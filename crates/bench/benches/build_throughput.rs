@@ -1,0 +1,48 @@
+//! Preprocessing cost: index construction across n and thread counts.
+//!
+//! The paper charges preprocessing nothing (the cell-probe model measures
+//! queries); the lazy-oracle implementation's real build cost is sketching
+//! the database — embarrassingly parallel across scales, which is what the
+//! thread sweep shows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use anns_core::{AnnIndex, BuildOptions};
+use anns_hamming::gen;
+use anns_lsh::{LshIndex, LshParams};
+use anns_sketch::SketchParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_builds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_throughput");
+    group.sample_size(10);
+    for n in [512usize, 2048] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let ds = gen::uniform(n, 256, &mut rng);
+        for threads in [1usize, 4] {
+            let ds2 = ds.clone();
+            group.bench_function(format!("ann_index_n{n}_t{threads}"), move |b| {
+                b.iter(|| {
+                    AnnIndex::build(
+                        ds2.clone(),
+                        SketchParams::practical(2.0, 7),
+                        BuildOptions { threads, ..BuildOptions::default() },
+                    )
+                })
+            });
+        }
+        let ds3 = ds.clone();
+        group.bench_function(format!("lsh_n{n}"), move |b| {
+            let params = LshParams::for_radius(n, 256, 8.0, 2.0, 1.0);
+            b.iter(|| {
+                let mut rng2 = StdRng::seed_from_u64(9);
+                LshIndex::build(ds3.clone(), params, &mut rng2)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Wall-clock query latency of every scheme on one workload
+//! (n = 4096, d = 512, planted distance 8).
+//!
+//! Complements the probe-count experiments: probes are the model cost,
+//! these are the engineering costs of the lazy-oracle implementation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use anns_cellprobe::{execute, ExecOptions};
+use anns_core::{Alg1Scheme, Alg2Config, AnnIndex, BuildOptions};
+use anns_hamming::{gen, Point};
+use anns_lsh::{LinearScan, LshIndex, LshParams};
+use anns_sketch::SketchParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 4096;
+const D: u32 = 512;
+
+struct Fixture {
+    index: AnnIndex,
+    lsh: LshIndex,
+    scan: LinearScan,
+    queries: Vec<Point>,
+}
+
+fn fixture() -> Fixture {
+    let mut rng = StdRng::seed_from_u64(1);
+    let planted = gen::planted(N, D, 8, &mut rng);
+    let index = AnnIndex::build(
+        planted.dataset.clone(),
+        SketchParams::practical(2.0, 1),
+        BuildOptions::default(),
+    );
+    let lsh = LshIndex::build(
+        planted.dataset.clone(),
+        LshParams::for_radius(N, D, 8.0, 2.0, 2.0),
+        &mut rng,
+    );
+    let scan = LinearScan::new(planted.dataset.clone());
+    let queries = (0..64)
+        .map(|_| gen::point_at_distance(planted.dataset.point(planted.planted_index), 8, &mut rng))
+        .collect();
+    Fixture {
+        index,
+        lsh,
+        scan,
+        queries,
+    }
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("query_latency");
+    group.sample_size(20);
+
+    let queries = f.queries.clone();
+    let make_next = || {
+        let qs = queries.clone();
+        let mut qi = 0usize;
+        move || {
+            qi = (qi + 1) % qs.len();
+            qs[qi].clone()
+        }
+    };
+
+    for k in [1u32, 3] {
+        group.bench_function(format!("alg1_k{k}"), |b| {
+            b.iter_batched(make_next(), |q| f.index.query(&q, k), BatchSize::SmallInput)
+        });
+    }
+    group.bench_function("alg1_k3_parallel_probes", |b| {
+        b.iter_batched(
+            make_next(),
+            |q| {
+                f.index.query_with(
+                    &q,
+                    3,
+                    ExecOptions {
+                        parallel: true,
+                        parallel_threshold: 4,
+                        threads: 4,
+                        ..ExecOptions::default()
+                    },
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("alg2_k8", |b| {
+        b.iter_batched(
+            make_next(),
+            |q| f.index.query_alg2(&q, Alg2Config::with_k(8)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("lambda_ann", |b| {
+        b.iter_batched(
+            make_next(),
+            |q| f.index.query_lambda(&q, 8.0),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("adaptive_tau2", |b| {
+        let scheme = Alg1Scheme {
+            instance: &f.index,
+            k: 64,
+            tau_override: Some(2),
+        };
+        b.iter_batched(make_next(), |q| execute(&scheme, &q), BatchSize::SmallInput)
+    });
+    group.bench_function("lsh", |b| {
+        b.iter_batched(make_next(), |q| f.lsh.query(&q), BatchSize::SmallInput)
+    });
+    group.bench_function("linear_scan", |b| {
+        b.iter_batched(make_next(), |q| f.scan.query(&q), BatchSize::SmallInput)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Micro-benchmarks of the hot kernels: Hamming distance, GF(2) sketching,
+//! sketch distance, and one lazy-table cell evaluation (a `C_i` scan).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use anns_hamming::{gen, Point};
+use anns_sketch::{DbSketches, SketchFamily, SketchParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let d = 1024u32;
+    let a = Point::random(d, &mut rng);
+    let b = Point::random(d, &mut rng);
+
+    c.bench_function("hamming_distance_d1024", |bch| {
+        bch.iter(|| std::hint::black_box(&a).distance(std::hint::black_box(&b)))
+    });
+
+    let n = 4096usize;
+    let ds = gen::uniform(n, d, &mut rng);
+    let family = SketchFamily::generate(d, n, &SketchParams::practical(2.0, 5));
+    let db = DbSketches::build(&family, &ds, 4);
+    let mid_scale = family.top() / 2;
+
+    c.bench_function("sketch_point_d1024", |bch| {
+        bch.iter(|| family.sketch_m(mid_scale, std::hint::black_box(&a)))
+    });
+
+    let sa = family.sketch_m(mid_scale, &a);
+    let sb = family.sketch_m(mid_scale, &b);
+    c.bench_function("sketch_distance", |bch| {
+        bch.iter(|| std::hint::black_box(&sa).distance(std::hint::black_box(&sb)))
+    });
+
+    c.bench_function("c_first_scan_n4096", |bch| {
+        bch.iter(|| db.c_first(&family, mid_scale, std::hint::black_box(&sa)))
+    });
+
+    c.bench_function("exact_nn_n4096_d1024", |bch| {
+        bch.iter(|| ds.exact_nn(std::hint::black_box(&a)))
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,203 @@
+//! `annsctl` — a small operator CLI over the library.
+//!
+//! ```text
+//! annsctl build    --n 4096 --d 512 --gamma 2.0 --seed 7 --out index.json
+//! annsctl query    --index index.json --k 3 [--flips 8] [--count 16]
+//! annsctl lambda   --index index.json --lambda 8
+//! annsctl stats    --index index.json
+//! annsctl lpm      --sigma 4 --m 8 --n 64 --k 2 --queries 32
+//! annsctl lb       --log2n 1.3e24 --log2d 1.1e12 --gamma 4 --k 3
+//! ```
+//!
+//! Exists so the index can be exercised without writing Rust: `build`
+//! snapshots an index over a seeded uniform database to JSON, `query` /
+//! `lambda` load it and run the paper's schemes, `stats` prints the space
+//! model, `lpm` runs the trie scheme end to end, and `lb` invokes the
+//! round-elimination calculator.
+
+use std::collections::HashMap;
+
+use anns_cellprobe::execute;
+use anns_core::{AnnIndex, AnnsInstance, BuildOptions};
+use anns_hamming::{gen, Point};
+use anns_lpm::{certified_lower_bound, lower_bound_form, ElimParams, LpmInstance, TrieLpm};
+use anns_sketch::SketchParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parses `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .unwrap_or_else(|| die(&format!("expected --flag, got {}", args[i])));
+        let value = args
+            .get(i + 1)
+            .unwrap_or_else(|| die(&format!("--{key} needs a value")));
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    flags
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("annsctl: {msg}");
+    eprintln!("usage: annsctl <build|query|lambda|stats|lpm|lb> [--flag value]…");
+    std::process::exit(2);
+}
+
+fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| die(&format!("--{key}: cannot parse {v:?}"))),
+        None => default,
+    }
+}
+
+fn required(flags: &HashMap<String, String>, key: &str) -> String {
+    flags
+        .get(key)
+        .cloned()
+        .unwrap_or_else(|| die(&format!("--{key} is required")))
+}
+
+fn load_index(path: &str) -> AnnIndex {
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let snapshot =
+        serde_json::from_str(&json).unwrap_or_else(|e| die(&format!("bad snapshot: {e}")));
+    AnnIndex::from_snapshot(snapshot)
+}
+
+fn cmd_build(flags: HashMap<String, String>) {
+    let n: usize = flag(&flags, "n", 1024);
+    let d: u32 = flag(&flags, "d", 256);
+    let gamma: f64 = flag(&flags, "gamma", 2.0);
+    let seed: u64 = flag(&flags, "seed", 7);
+    let out = required(&flags, "out");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ds = gen::uniform(n, d, &mut rng);
+    let index = AnnIndex::build(ds, SketchParams::practical(gamma, seed), BuildOptions::default());
+    let json = serde_json::to_string(&index.snapshot()).expect("serialize snapshot");
+    std::fs::write(&out, json).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    println!(
+        "built: n = {n}, d = {d}, γ = {gamma}, {} scales, snapshot → {out}",
+        index.family().top() + 1
+    );
+}
+
+fn cmd_query(flags: HashMap<String, String>) {
+    let index = load_index(&required(&flags, "index"));
+    let k: u32 = flag(&flags, "k", 3);
+    let flips: u32 = flag(&flags, "flips", 8);
+    let count: usize = flag(&flags, "count", 8);
+    let seed: u64 = flag(&flags, "seed", 99);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = index.dataset().dim();
+    println!("{:>4} {:>8} {:>8} {:>10} {:>8}", "#", "probes", "rounds", "distance", "γ-ok");
+    for i in 0..count {
+        let base = rng.gen_range(0..index.dataset().len());
+        let query = gen::point_at_distance(index.dataset().point(base), flips.min(d), &mut rng);
+        let (outcome, ledger) = index.query(&query, k);
+        let dist = index
+            .outcome_point(&outcome)
+            .map(|p| query.distance(p).to_string())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{i:>4} {:>8} {:>8} {dist:>10} {:>8}",
+            ledger.total_probes(),
+            ledger.rounds(),
+            index.verify_gamma(&query, &outcome)
+        );
+    }
+}
+
+fn cmd_lambda(flags: HashMap<String, String>) {
+    let index = load_index(&required(&flags, "index"));
+    let lambda: f64 = flag(&flags, "lambda", 8.0);
+    let seed: u64 = flag(&flags, "seed", 99);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = index.dataset().dim();
+    let query = Point::random(d, &mut rng);
+    let (answer, ledger) = index.query_lambda(&query, lambda);
+    println!("λ = {lambda}: {answer:?} ({} probe)", ledger.total_probes());
+}
+
+fn cmd_stats(flags: HashMap<String, String>) {
+    let index = load_index(&required(&flags, "index"));
+    let model = index.table().space_model();
+    println!("n          : {}", index.dataset().len());
+    println!("d          : {}", index.dataset().dim());
+    println!("γ          : {}", index.family().params().gamma);
+    println!("scales     : {}", index.family().top() + 1);
+    println!("m-rows     : {}", index.family().m_rows());
+    println!("n-rows     : {}", index.family().n_rows());
+    println!("log₂ cells : {:.1} (model)", model.cells_log2);
+    println!("word bits  : {}", model.word_bits);
+}
+
+fn cmd_lpm(flags: HashMap<String, String>) {
+    let sigma: u16 = flag(&flags, "sigma", 4);
+    let m: usize = flag(&flags, "m", 8);
+    let n: usize = flag(&flags, "n", 64);
+    let k: u32 = flag(&flags, "k", 2);
+    let queries: usize = flag(&flags, "queries", 32);
+    let seed: u64 = flag(&flags, "seed", 5);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let instance = LpmInstance::random(sigma, m, n, &mut rng);
+    let trie = TrieLpm::build(instance.clone(), k);
+    let mut probes = 0usize;
+    let mut ok = 0usize;
+    for _ in 0..queries {
+        let q: Vec<u16> = (0..m).map(|_| rng.gen_range(0..sigma)).collect();
+        let ((idx, lcp), ledger) = execute(&trie, &q);
+        probes += ledger.total_probes();
+        if instance.is_correct(&q, idx) && lcp == instance.solve(&q).1 {
+            ok += 1;
+        }
+    }
+    println!(
+        "LPM(Σ={sigma}, m={m}, n={n}) at k={k} (τ={}): {ok}/{queries} correct, avg {:.1} probes",
+        trie.tau(),
+        probes as f64 / queries as f64
+    );
+}
+
+fn cmd_lb(flags: HashMap<String, String>) {
+    let n_log2: f64 = flag(&flags, "log2n", 1.3e24);
+    let d_log2: f64 = flag(&flags, "log2d", 1.1e12);
+    let gamma: f64 = flag(&flags, "gamma", 4.0);
+    let k: u32 = flag(&flags, "k", 2);
+    let honest = !flags.contains_key("relaxed");
+    let params = if honest {
+        ElimParams::paper()
+    } else {
+        ElimParams::relaxed()
+    };
+    let cert = certified_lower_bound(n_log2, d_log2, gamma, k, 1 << 44, &params);
+    let form = lower_bound_form(d_log2, gamma, k);
+    println!(
+        "k = {k}: certified t > {cert} ({} constants); form (1/k)(log_γ d)^(1/k) = {form:.2}",
+        if honest { "honest" } else { "relaxed" }
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        die("missing subcommand");
+    };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "build" => cmd_build(flags),
+        "query" => cmd_query(flags),
+        "lambda" => cmd_lambda(flags),
+        "stats" => cmd_stats(flags),
+        "lpm" => cmd_lpm(flags),
+        "lb" => cmd_lb(flags),
+        other => die(&format!("unknown subcommand {other}")),
+    }
+}

@@ -1,0 +1,171 @@
+//! **E10 — Lemma 14/15/16:** the LPM → ANNS reduction, audited end to end.
+//!
+//! Three measurements:
+//! 1. ball-tree construction: greedy Gilbert–Varshamov feasibility and the
+//!    γ-separation margin at each (d, branching, depth);
+//! 2. reduction soundness: over *all* query strings, every γ-approximate
+//!    answer in the reduced instance attains the maximal LCP, and the
+//!    soundness margin (how much bigger than γ the approximation could be
+//!    before LPM answers break) is reported;
+//! 3. the full pipeline: LPM solved through the paper's own AnnIndex.
+
+use anns_bench::{experiment_header, trials, MarkdownTable};
+use anns_core::{AnnIndex, BuildOptions};
+use anns_lpm::{LpmInstance, LpmReduction};
+use anns_sketch::SketchParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const GAMMA: f64 = 2.0;
+
+/// Enumerates all Σ^m query strings (small m only).
+fn all_queries(sigma: u16, m: usize) -> Vec<Vec<u16>> {
+    let mut out = vec![vec![]];
+    for _ in 0..m {
+        let mut next = Vec::new();
+        for q in &out {
+            for c in 0..sigma {
+                let mut q2 = q.clone();
+                q2.push(c);
+                next.push(q2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+fn main() {
+    experiment_header(
+        "E10",
+        "Lemma 14/16: γ-separated ball trees and the LPM → ANNS reduction",
+    );
+
+    println!("## tree construction + separation audit\n");
+    let mut table = MarkdownTable::new(&[
+        "d",
+        "branching b",
+        "depth m",
+        "leaves",
+        "built?",
+        "sep margin (>1 required)",
+    ]);
+    let configs = [
+        (1024u32, 8u16, 1usize),
+        (2048, 4, 2),
+        (2048, 8, 2),
+        (4096, 4, 2),
+        (4096, 16, 1),
+    ];
+    for (d, b, m) in configs {
+        let mut rng = StdRng::seed_from_u64(u64::from(d) + u64::from(b));
+        let inst = LpmInstance::random(b, m, (usize::from(b).pow(m as u32) / 2).max(2), &mut rng);
+        match LpmReduction::build(inst, d, GAMMA, 50_000, &mut rng) {
+            Some(red) => {
+                let margin = red.tree().audit();
+                table.row(vec![
+                    d.to_string(),
+                    b.to_string(),
+                    m.to_string(),
+                    red.tree().num_leaves().to_string(),
+                    "yes".into(),
+                    format!("{margin:.2}"),
+                ]);
+            }
+            None => {
+                table.row(vec![
+                    d.to_string(),
+                    b.to_string(),
+                    m.to_string(),
+                    "-".into(),
+                    "no".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    table.print();
+
+    println!("\n## reduction soundness over ALL queries (exhaustive)\n");
+    let mut table = MarkdownTable::new(&[
+        "Σ",
+        "m",
+        "n",
+        "queries",
+        "γ-approx ⇒ max LCP",
+        "min soundness margin",
+    ]);
+    for (sigma, m, n, d) in [(4u16, 2usize, 10usize, 2048u32), (8, 2, 24, 4096)] {
+        let mut rng = StdRng::seed_from_u64(u64::from(sigma) * 31);
+        let inst = LpmInstance::random(sigma, m, n, &mut rng);
+        let red = LpmReduction::build(inst, d, GAMMA, 50_000, &mut rng).expect("feasible");
+        let queries = all_queries(sigma, m);
+        let mut all_sound = true;
+        let mut min_margin = f64::INFINITY;
+        for q in &queries {
+            let x = red.map_query(q);
+            let opt = red.dataset().exact_nn(&x).distance;
+            for i in 0..red.dataset().len() {
+                let dist = x.distance(red.dataset().point(i));
+                if f64::from(dist) <= GAMMA * f64::from(opt)
+                    && !red.instance().is_correct(q, i)
+                {
+                    all_sound = false;
+                }
+            }
+            if let Some(margin) = red.soundness_margin(q) {
+                min_margin = min_margin.min(margin);
+            }
+        }
+        table.row(vec![
+            sigma.to_string(),
+            m.to_string(),
+            n.to_string(),
+            queries.len().to_string(),
+            if all_sound { "all".into() } else { "VIOLATED".to_string() },
+            if min_margin.is_finite() {
+                format!("{min_margin:.2}")
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    table.print();
+
+    println!("\n## full pipeline: LPM through the AnnIndex (k = 3)\n");
+    let mut table = MarkdownTable::new(&["Σ", "m", "n", "queries", "LPM solved"]);
+    for (sigma, m, n, d) in [(4u16, 2usize, 12usize, 2048u32), (8, 2, 24, 4096)] {
+        let mut rng = StdRng::seed_from_u64(u64::from(sigma) * 77);
+        let inst = LpmInstance::random(sigma, m, n, &mut rng);
+        let red = LpmReduction::build(inst, d, GAMMA, 50_000, &mut rng).expect("feasible");
+        let index = AnnIndex::build(
+            red.dataset().clone(),
+            SketchParams::practical(GAMMA, u64::from(sigma)),
+            BuildOptions::default(),
+        );
+        let queries = all_queries(sigma, m);
+        let sample: Vec<_> = queries.iter().take(trials(queries.len())).collect();
+        let mut solved = 0usize;
+        for q in &sample {
+            let x = red.map_query(q);
+            let (outcome, _) = index.query(&x, 3);
+            if let Some(p) = index.outcome_point(&outcome) {
+                if red.answer_is_correct(q, p) {
+                    solved += 1;
+                }
+            }
+        }
+        table.row(vec![
+            sigma.to_string(),
+            m.to_string(),
+            n.to_string(),
+            sample.len().to_string(),
+            format!("{solved}/{}", sample.len()),
+        ]);
+    }
+    table.print();
+    println!("\nreading: the constructive trees meet Lemma 16's separation with");
+    println!("margin; exhaustively, every γ-approximate answer solves LPM (Lemma");
+    println!("14's transport); and the paper's own index solves LPM through the");
+    println!("reduction — the object the round-elimination lower bound reasons about.");
+}

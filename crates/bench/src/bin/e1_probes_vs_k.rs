@@ -1,0 +1,129 @@
+//! **E1 — Theorem 2:** Algorithm 1's total probes vs the round budget `k`.
+//!
+//! The theorem claims `O(k·(log d)^{1/k})` probes in `k` rounds. The
+//! experiment measures the worst case over a grid of planted scales, for
+//! synthetic instances at several (huge) dimensions, and prints the theory
+//! curve next to the measurement; a concrete instance cross-checks the
+//! shape at storable scale. Ablation A2 (`--sweep-tau`-style) is included
+//! as a second table: forcing non-optimal grid widths shows the chosen τ is
+//! the right one.
+
+use anns_bench::{experiment_header, trials, worst_totals, MarkdownTable};
+use anns_cellprobe::execute;
+use anns_core::{choose_tau_alg1, Alg1Scheme, AnnIndex, BuildOptions, SyntheticInstance, SyntheticProfile};
+use anns_hamming::gen;
+use anns_sketch::SketchParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn worst_probes_synthetic(top: u32, k: u32, tau_override: Option<u32>) -> (usize, usize) {
+    // Worst case over a grid of planted scales.
+    let grid: Vec<u32> = (0..16).map(|i| 2 + i * (top - 2) / 15).collect();
+    let mut ledgers = Vec::new();
+    for &i0 in &grid {
+        let inst = SyntheticInstance::new(SyntheticProfile::point_mass(top, i0, 40.0), 2.0);
+        let scheme = Alg1Scheme {
+            instance: &inst,
+            k,
+            tau_override,
+        };
+        let (outcome, ledger) = execute(&scheme, &());
+        assert_eq!(outcome.scale(), Some(i0), "k={k}, i0={i0}");
+        ledgers.push(ledger);
+    }
+    let (probes, rounds, _) = worst_totals(&ledgers);
+    (probes, rounds)
+}
+
+fn main() {
+    experiment_header(
+        "E1",
+        "Theorem 2: Algorithm 1 uses O(k·(log d)^{1/k}) probes in k rounds",
+    );
+
+    // --- Synthetic sweep at four dimensions (α = √2 ⇒ top = 2·log₂ d). ---
+    for log2_d in [64u32, 256, 1024, 4096] {
+        let top = 2 * log2_d;
+        println!("## log₂ d = {log2_d} (synthetic, top = {top})\n");
+        let mut table = MarkdownTable::new(&[
+            "k",
+            "τ",
+            "probes (worst)",
+            "rounds",
+            "theory k·(log d)^{1/k}",
+            "probes/theory",
+        ]);
+        for k in 1..=12u32 {
+            let tau = choose_tau_alg1(top, k);
+            let (probes, rounds) = worst_probes_synthetic(top, k, None);
+            let theory = f64::from(k) * f64::from(log2_d).powf(1.0 / f64::from(k));
+            table.row(vec![
+                k.to_string(),
+                tau.to_string(),
+                probes.to_string(),
+                rounds.to_string(),
+                format!("{theory:.1}"),
+                format!("{:.2}", probes as f64 / theory),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+
+    // --- Ablation A2: τ sensitivity at one dimension. ---
+    println!("## A2 — τ sensitivity (log₂ d = 1024, k = 4)\n");
+    let top = 2048u32;
+    let k = 4u32;
+    let tau_star = choose_tau_alg1(top, k);
+    let mut table = MarkdownTable::new(&["τ", "probes (worst)", "rounds (worst)", "note"]);
+    for tau in [2u32, tau_star / 2, tau_star, tau_star * 2, tau_star * 4] {
+        if tau < 2 {
+            continue;
+        }
+        let (probes, rounds) = worst_probes_synthetic(top, k, Some(tau));
+        let note = if tau == tau_star { "chosen τ" } else { "" };
+        table.row(vec![
+            tau.to_string(),
+            probes.to_string(),
+            rounds.to_string(),
+            note.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\n(small τ blows past the round budget; large τ wastes probes —");
+    println!("the paper's τ balances the two)\n");
+
+    // --- Concrete cross-check. ---
+    println!("## concrete cross-check (n = 4096, d = 512, planted dist 8)\n");
+    let mut rng = StdRng::seed_from_u64(99);
+    let planted = gen::planted(4096, 512, 8, &mut rng);
+    let index = AnnIndex::build(
+        planted.dataset,
+        SketchParams::practical(2.0, 99),
+        BuildOptions::default(),
+    );
+    let reps = trials(8);
+    let mut table = MarkdownTable::new(&["k", "probes", "rounds", "found", "theory shape"]);
+    for k in 1..=6u32 {
+        let mut ledgers = Vec::new();
+        let mut ok = 0usize;
+        for _ in 0..reps {
+            let (outcome, ledger) = index.query(&planted.query, k);
+            if index.verify_gamma(&planted.query, &outcome) {
+                ok += 1;
+            }
+            ledgers.push(ledger);
+        }
+        let (probes, rounds, _) = worst_totals(&ledgers);
+        let theory = f64::from(k) * 9.0f64.powf(1.0 / f64::from(k)); // log₂ 512 = 9
+        table.row(vec![
+            k.to_string(),
+            probes.to_string(),
+            rounds.to_string(),
+            format!("{ok}/{reps}"),
+            format!("{theory:.1}"),
+        ]);
+    }
+    table.print();
+    println!("\nE1 complete.");
+}

@@ -1,0 +1,149 @@
+//! **E3 — Theorem 4:** the `Ω((1/k)(log d)^{1/k})` lower bound against
+//! both upper bounds.
+//!
+//! Three tables:
+//! 1. the constant-free lower-bound form vs the measured probes of
+//!    Algorithms 1 and 2 at plottable synthetic dimensions — exhibiting the
+//!    claimed optimality: Algorithm 1's probes / the form ≈ `k²`
+//!    (i.e. matching up to the `Θ(k²)` factor between `k·(log d)^{1/k}`
+//!    and `(1/k)(log d)^{1/k}`, which is a constant for constant `k` —
+//!    "Algorithm 1 is asymptotically optimal for any constant k");
+//! 2. the **certified** lower bound from the round-elimination calculator
+//!    with the paper's honest constants, at the galactic sizes those
+//!    constants require;
+//! 3. the certified bound with relaxed constants at smaller (still huge)
+//!    sizes, showing the same `k`-decay shape.
+
+use anns_bench::{experiment_header, worst_totals, MarkdownTable};
+use anns_cellprobe::execute;
+use anns_core::{alg2_s, Alg1Scheme, Alg2Config, Alg2Scheme, SyntheticInstance, SyntheticProfile};
+use anns_lpm::{certified_lower_bound, lower_bound_form, ElimParams};
+
+fn alg1_probes(top: u32, k: u32) -> usize {
+    let grid: Vec<u32> = (0..8).map(|i| 2 + i * (top - 2) / 7).collect();
+    let mut ledgers = Vec::new();
+    for i0 in grid {
+        let inst = SyntheticInstance::new(SyntheticProfile::point_mass(top, i0, 40.0), 2.0);
+        let scheme = Alg1Scheme {
+            instance: &inst,
+            k,
+            tau_override: None,
+        };
+        let (o, l) = execute(&scheme, &());
+        assert_eq!(o.scale(), Some(i0));
+        ledgers.push(l);
+    }
+    worst_totals(&ledgers).0
+}
+
+fn alg2_probes(top: u32, k: u32) -> usize {
+    let cfg = Alg2Config::with_k(k);
+    let grid: Vec<u32> = (0..8).map(|i| 2 + i * (top - 2) / 7).collect();
+    let mut ledgers = Vec::new();
+    for i0 in grid {
+        let inst = SyntheticInstance::new(
+            SyntheticProfile::point_mass(top, i0, 40.0),
+            alg2_s(k, cfg.c),
+        );
+        let scheme = Alg2Scheme {
+            instance: &inst,
+            config: cfg,
+        };
+        let (o, l) = execute(&scheme, &());
+        assert_eq!(o.scale(), Some(i0));
+        ledgers.push(l);
+    }
+    worst_totals(&ledgers).0
+}
+
+fn main() {
+    experiment_header(
+        "E3",
+        "Theorem 4: Ω((1/k)(log d)^{1/k}) vs the measured upper bounds",
+    );
+
+    // --- Table 1: form vs measurements. ---
+    for log2_d in [256u32, 4096] {
+        let top = 2 * log2_d;
+        println!("## upper bounds vs lower-bound form — log₂ d = {log2_d}\n");
+        let mut table = MarkdownTable::new(&[
+            "k",
+            "LB form (1/k)(log_γ d)^{1/k}",
+            "alg1 probes",
+            "alg1/LB",
+            "alg1/(k²·LB)",
+            "alg2 probes",
+        ]);
+        for k in 1..=8u32 {
+            let lb = lower_bound_form(f64::from(log2_d), 2.0, k);
+            let a1 = alg1_probes(top, k);
+            let a2 = if k >= 2 {
+                alg2_probes(top, k).to_string()
+            } else {
+                "-".into()
+            };
+            table.row(vec![
+                k.to_string(),
+                format!("{lb:.2}"),
+                a1.to_string(),
+                format!("{:.1}", a1 as f64 / lb),
+                format!("{:.2}", a1 as f64 / (f64::from(k * k) * lb)),
+                a2,
+            ]);
+        }
+        table.print();
+        println!("\n(the alg1/(k²·LB) column is ≈ constant: upper and lower bounds");
+        println!("match in the (log d)^{{1/k}} factor, as Theorem 4 claims for constant k)\n");
+    }
+
+    // --- Table 2: honest certification at galactic sizes. ---
+    println!("## certified lower bound, honest constants (log₂ d = 1.1e12, log₂ n = 1.3e24)\n");
+    let honest = ElimParams::paper();
+    let (n_log2, d_log2) = (1.3e24f64, 1.1e12f64);
+    let ll = d_log2.log2();
+    let k_cap = ll / (2.0 * ll.log2());
+    let mut table = MarkdownTable::new(&[
+        "k",
+        "in theorem range?",
+        "certified t >",
+        "form (1/k)(log_γ d)^{1/k}",
+    ]);
+    for k in 1..=6u32 {
+        let cert = certified_lower_bound(n_log2, d_log2, 4.0, k, 1 << 44, &honest);
+        let form = lower_bound_form(d_log2, 4.0, k);
+        table.row(vec![
+            k.to_string(),
+            if f64::from(k) <= k_cap { "yes" } else { "no" }.into(),
+            cert.to_string(),
+            format!("{form:.2}"),
+        ]);
+    }
+    table.print();
+    println!("\n(theorem range: k ≤ log log d/(2·log log log d) = {k_cap:.2} here. The");
+    println!("recurrence certifies positive bounds exactly within that range and the");
+    println!("band empties beyond it — the theorem's own k-precondition, observed");
+    println!("numerically. The certified constants shrink with k as the e^{{Θ(k)}}");
+    println!("inflation of the compression lemma bites, as round elimination always");
+    println!("pays.)\n");
+
+    // --- Table 3: relaxed constants at smaller sizes. ---
+    println!("## certified lower bound, relaxed constants (log₂ d = 1e8, log₂ n = 1e16)\n");
+    let relaxed = ElimParams::relaxed();
+    let mut table = MarkdownTable::new(&["k", "certified t >", "form", "cert/form"]);
+    for k in 1..=5u32 {
+        let cert = certified_lower_bound(1e16, 1e8, 4.0, k, 1 << 40, &relaxed);
+        let form = lower_bound_form(1e8, 4.0, k);
+        table.row(vec![
+            k.to_string(),
+            cert.to_string(),
+            format!("{form:.2}"),
+            if cert > 0 {
+                format!("{:.2e}", cert as f64 / form)
+            } else {
+                "band empty".into()
+            },
+        ]);
+    }
+    table.print();
+    println!("\nE3 complete.");
+}

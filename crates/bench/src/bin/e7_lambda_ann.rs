@@ -1,0 +1,102 @@
+//! **E7 — Theorem 11:** the 1-probe λ-ANNS scheme on a YES/NO grid.
+//!
+//! For every (planted distance, λ) cell the scheme must, with one probe:
+//! return a witness within γλ when a point lies within λ (YES side), and
+//! answer NO when nothing lies within γλ (strong NO side); the promise gap
+//! in between is unconstrained. The table reports compliance rates over
+//! independently re-seeded instances.
+
+use anns_bench::{experiment_header, trials, MarkdownTable};
+use anns_core::lambda::LambdaAnswer;
+use anns_core::{AnnIndex, BuildOptions};
+use anns_hamming::gen;
+use anns_sketch::SketchParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const GAMMA: f64 = 2.0;
+const N: usize = 1024;
+const D: u32 = 512;
+
+fn main() {
+    experiment_header("E7", "Theorem 11: 1-probe λ-ANNS search");
+    let reps = trials(16);
+    println!(
+        "n = {N}, d = {D}, γ = {GAMMA}; {reps} re-seeded instances per cell; every query costs exactly 1 probe\n"
+    );
+    let mut table = MarkdownTable::new(&[
+        "planted dist",
+        "λ",
+        "side",
+        "compliant",
+        "witness ≤ γλ always",
+    ]);
+    for planted_dist in [4u32, 8, 16, 32] {
+        for lambda in [
+            f64::from(planted_dist) / 4.0,
+            f64::from(planted_dist) / GAMMA - 1.0,
+            f64::from(planted_dist),
+            f64::from(planted_dist) * 2.0,
+            f64::from(planted_dist) * 8.0,
+        ] {
+            if lambda < 1.0 {
+                continue;
+            }
+            let side = if f64::from(planted_dist) <= lambda {
+                "YES"
+            } else if f64::from(planted_dist) > GAMMA * lambda {
+                "strong NO"
+            } else {
+                "gap"
+            };
+            let mut compliant = 0usize;
+            let mut witness_ok = true;
+            for rep in 0..reps {
+                let mut rng = StdRng::seed_from_u64(1000 * u64::from(planted_dist) + rep as u64);
+                let planted = gen::planted(N, D, planted_dist, &mut rng);
+                let opt = planted.dataset.exact_nn(&planted.query).distance;
+                let index = AnnIndex::build(
+                    planted.dataset,
+                    SketchParams::practical(GAMMA, 77 + rep as u64),
+                    BuildOptions::default(),
+                );
+                let (answer, ledger) = index.query_lambda(&planted.query, lambda);
+                assert_eq!(ledger.total_probes(), 1);
+                assert_eq!(ledger.rounds(), 1);
+                match (&answer, side) {
+                    (LambdaAnswer::Neighbor { index: idx, .. }, _) => {
+                        let dist = planted
+                            .query
+                            .distance(index.dataset().point(*idx as usize));
+                        if f64::from(dist) > GAMMA * lambda {
+                            witness_ok = false;
+                        } else if side == "YES" || side == "gap" {
+                            compliant += 1;
+                        }
+                    }
+                    (LambdaAnswer::No, "strong NO") => compliant += 1,
+                    (LambdaAnswer::No, "gap") => compliant += 1,
+                    (LambdaAnswer::No, _) => {
+                        // YES side answered NO: non-compliant unless the
+                        // instance degenerated (opt > λ can't happen for
+                        // planted instances, but guard anyway).
+                        if f64::from(opt) > lambda {
+                            compliant += 1;
+                        }
+                    }
+                }
+            }
+            table.row(vec![
+                planted_dist.to_string(),
+                format!("{lambda:.0}"),
+                side.into(),
+                format!("{compliant}/{reps}"),
+                if witness_ok { "yes" } else { "NO" }.into(),
+            ]);
+        }
+    }
+    table.print();
+    println!("\nreading: YES and strong-NO cells comply at (near-)full rate with a");
+    println!("single probe — the reason the paper's lower bound must target the");
+    println!("*search* problem rather than the decision problem (§3.3).");
+}

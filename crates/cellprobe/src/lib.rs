@@ -1,0 +1,45 @@
+//! An executable version of Yao's cell-probe model with *limited adaptivity*.
+//!
+//! The paper (§2) refines the classic cell-probe model by organizing the
+//! query algorithm's probes into `k` **rounds**: the addresses probed in
+//! round `i` may depend on the query and on the contents read in rounds
+//! `< i`, but not on each other. The complexity of a scheme is the triple
+//! (table size `s`, word size `w`, total probes `t = t₁ + … + t_k`).
+//!
+//! This crate makes that model a concrete, enforceable API:
+//!
+//! * [`Word`] / [`Address`] — cell contents and multi-table addressing;
+//! * [`Table`] — the data-structure side: an oracle mapping addresses to
+//!   words. Implementations may be materialized ([`MaterializedTable`]) or
+//!   lazy (computed on demand — see substitution S1 in `DESIGN.md`);
+//! * [`RoundExecutor`] — the *only* way a scheme reads cells. One call to
+//!   [`RoundExecutor::round`] is one round of parallel probes; the API shape
+//!   itself enforces the round discipline (all addresses of a round are
+//!   produced before any of its contents are visible), and every probe is
+//!   charged to a [`ProbeLedger`];
+//! * [`CellProbeScheme`] — the trait shared by Algorithms 1/2, λ-ANNS, LSH
+//!   and the adaptive baseline, so complexity accounting is uniform;
+//! * [`space`] — table-size accounting, including the public-coin →
+//!   private-coin translation of Lemma 5 / Proposition 6 (Newman's theorem);
+//! * [`batch`] — a crossbeam-based parallel driver for query batches.
+//!
+//! Probes inside one round are *independent by definition of the model*;
+//! [`RoundExecutor`] optionally executes them on parallel threads
+//! (crossbeam scoped threads), which is precisely the parallelism the paper
+//! says limited adaptivity exposes ("the ability to be implemented in
+//! parallel", §1).
+
+pub mod audit;
+pub mod batch;
+pub mod executor;
+pub mod scheme;
+pub mod space;
+pub mod table;
+pub mod word;
+
+pub use audit::{CountingTable, PurityAuditTable};
+pub use executor::{ExecOptions, ProbeLedger, RoundExecutor, Transcript, TranscriptEntry};
+pub use scheme::{execute, execute_with, CellProbeScheme};
+pub use space::{newman_private_coin_cells_log2, SpaceModel};
+pub use table::{Address, MaterializedTable, Table, TableId};
+pub use word::Word;

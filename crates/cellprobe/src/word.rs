@@ -1,0 +1,100 @@
+//! Cell contents.
+//!
+//! A cell stores a *word* of `w` bits (paper §2: alphabet `Σ = {0,1}^w`).
+//! Schemes encode their own semantics into the payload (a database point, an
+//! `EMPTY` marker, a small integer, …); this module only fixes the container
+//! and the bit accounting, so the executor can enforce the declared word
+//! size uniformly across schemes.
+
+use serde::{Deserialize, Serialize};
+
+/// The content of one table cell: an opaque byte payload of bounded width.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Word(Vec<u8>);
+
+impl Word {
+    /// An empty (zero-length) word. Distinct from a scheme-level `EMPTY`
+    /// marker, which is an encoding convention of the scheme.
+    pub fn empty() -> Self {
+        Word(Vec::new())
+    }
+
+    /// Wraps a byte payload.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Word(bytes)
+    }
+
+    /// Encodes a `u64` (little-endian, trimmed of trailing zero bytes so the
+    /// bit accounting reflects the magnitude actually stored).
+    pub fn from_u64(v: u64) -> Self {
+        let mut bytes = v.to_le_bytes().to_vec();
+        while bytes.last() == Some(&0) {
+            bytes.pop();
+        }
+        Word(bytes)
+    }
+
+    /// Decodes a word previously produced by [`Word::from_u64`].
+    pub fn to_u64(&self) -> u64 {
+        let mut buf = [0u8; 8];
+        let n = self.0.len().min(8);
+        buf[..n].copy_from_slice(&self.0[..n]);
+        u64::from_le_bytes(buf)
+    }
+
+    /// The payload bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Consumes the word, returning the payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// Width of this word in bits (for ledger accounting).
+    pub fn bits(&self) -> u64 {
+        self.0.len() as u64 * 8
+    }
+}
+
+impl From<Vec<u8>> for Word {
+    fn from(bytes: Vec<u8>) -> Self {
+        Word(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        for v in [0u64, 1, 255, 256, u32::MAX as u64, u64::MAX] {
+            assert_eq!(Word::from_u64(v).to_u64(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn u64_trimming_minimizes_bits() {
+        assert_eq!(Word::from_u64(0).bits(), 0);
+        assert_eq!(Word::from_u64(1).bits(), 8);
+        assert_eq!(Word::from_u64(300).bits(), 16);
+        assert_eq!(Word::from_u64(u64::MAX).bits(), 64);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let w = Word::from_bytes(vec![1, 2, 3]);
+        assert_eq!(w.bytes(), &[1, 2, 3]);
+        assert_eq!(w.bits(), 24);
+        assert_eq!(w.clone().into_bytes(), vec![1, 2, 3]);
+        assert_eq!(Word::from(vec![1, 2, 3]), w);
+    }
+
+    #[test]
+    fn empty_word_has_zero_bits() {
+        assert_eq!(Word::empty().bits(), 0);
+        assert_eq!(Word::empty().to_u64(), 0);
+    }
+}

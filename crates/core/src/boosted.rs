@@ -1,0 +1,190 @@
+//! Success-probability boosting by parallel repetition (paper §2).
+//!
+//! "Any positive constant success probability is enough: we can boost it to
+//! any constant accuracy 1 − ε by independent repetition of the cell-probing
+//! algorithm for constant many times **in parallel**, which will keep the
+//! asymptotic cell-probe complexity and the number of rounds" — because the
+//! nearest-neighbor relation has a monotone order over answers, the best of
+//! r independent answers is correct whenever any copy is.
+//!
+//! [`BoostedIndex`] packages that: `r` copies of the data structure with
+//! independent public coins over the same database; a query runs all copies
+//! (conceptually in the same rounds — the ledger reports both the
+//! per-copy maximum, which is the model's round/probe cost under parallel
+//! composition, and the total work).
+
+use anns_cellprobe::ProbeLedger;
+use anns_hamming::{Dataset, Point};
+use anns_sketch::SketchParams;
+
+use crate::concrete::{AnnIndex, BuildOptions};
+use crate::outcome::QueryOutcome;
+
+/// `r` independently seeded copies of [`AnnIndex`] over one database.
+pub struct BoostedIndex {
+    copies: Vec<AnnIndex>,
+}
+
+/// Ledger of a boosted query.
+#[derive(Clone, Debug)]
+pub struct BoostedLedger {
+    /// Per-round maxima over the copies — the cost of the parallel
+    /// composition in the model (copies run side by side; a round's width
+    /// is the sum, but the *rounds* don't grow; we report widths summed).
+    pub parallel: ProbeLedger,
+    /// Total probes across all copies (the work a serial host would do).
+    pub total_probes: usize,
+}
+
+impl BoostedIndex {
+    /// Builds `r` copies with seeds `base_seed, base_seed+1, …`.
+    pub fn build(
+        dataset: Dataset,
+        mut params: SketchParams,
+        r: usize,
+        opts: BuildOptions,
+    ) -> Self {
+        assert!(r >= 1, "at least one copy");
+        let base_seed = params.seed;
+        let copies = (0..r)
+            .map(|c| {
+                params.seed = base_seed.wrapping_add(c as u64);
+                AnnIndex::build(dataset.clone(), params, opts)
+            })
+            .collect();
+        BoostedIndex { copies }
+    }
+
+    /// Number of copies `r`.
+    pub fn repetitions(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Access to one copy (e.g. for verification helpers).
+    pub fn copy(&self, i: usize) -> &AnnIndex {
+        &self.copies[i]
+    }
+
+    /// Runs Algorithm 1 on every copy and returns the best answer (smallest
+    /// distance to the query; degenerate hits dominate).
+    pub fn query(&self, x: &Point, k: u32) -> (QueryOutcome, BoostedLedger) {
+        let mut best: Option<(u32, QueryOutcome)> = None;
+        let mut parallel = ProbeLedger::default();
+        let mut total = 0usize;
+        for index in &self.copies {
+            let (outcome, ledger) = index.query(x, k);
+            total += ledger.total_probes();
+            // Parallel composition: per-round widths add, rounds take max.
+            while parallel.per_round.len() < ledger.per_round.len() {
+                parallel.per_round.push(0);
+            }
+            for (slot, &probes) in parallel.per_round.iter_mut().zip(ledger.per_round.iter()) {
+                *slot += probes;
+            }
+            parallel.word_bits_read += ledger.word_bits_read;
+            parallel.max_word_bits = parallel.max_word_bits.max(ledger.max_word_bits);
+            parallel.address_bits_sent += ledger.address_bits_sent;
+            if let Some(p) = index.outcome_point(&outcome) {
+                let dist = x.distance(p);
+                if best.as_ref().is_none_or(|(b, _)| dist < *b) {
+                    best = Some((dist, outcome));
+                }
+            }
+        }
+        let outcome = best.map(|(_, o)| o).unwrap_or(QueryOutcome {
+            kind: crate::outcome::OutcomeKind::NotFound,
+        });
+        (
+            outcome,
+            BoostedLedger {
+                parallel,
+                total_probes: total,
+            },
+        )
+    }
+
+    /// Whether the boosted answer is γ-approximate (judged against copy 0's
+    /// dataset — all copies share it).
+    pub fn verify_gamma(&self, x: &Point, outcome: &QueryOutcome) -> bool {
+        self.copies[0].verify_gamma(x, outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anns_hamming::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn boosted_query_finds_the_needle_and_keeps_rounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let planted = gen::planted(256, 256, 8, &mut rng);
+        let boosted = BoostedIndex::build(
+            planted.dataset,
+            SketchParams::practical(2.0, 500),
+            3,
+            BuildOptions { threads: 2, ..BuildOptions::default() },
+        );
+        assert_eq!(boosted.repetitions(), 3);
+        let (outcome, ledger) = boosted.query(&planted.query, 3);
+        assert_eq!(outcome.index(), Some(planted.planted_index as u64));
+        assert!(boosted.verify_gamma(&planted.query, &outcome));
+        // Parallel composition: rounds bounded by k, not by r·k.
+        assert!(ledger.parallel.rounds() <= 3);
+        assert!(ledger.total_probes >= ledger.parallel.max_round_probes());
+    }
+
+    #[test]
+    fn boosting_rescues_erased_copies() {
+        // Two copies with full erasures (main path dead) plus one clean
+        // copy: the boosted answer must come from the clean one.
+        let mut rng = StdRng::seed_from_u64(2);
+        let planted = gen::planted(128, 256, 8, &mut rng);
+        let dead = |seed: u64| {
+            AnnIndex::build(
+                planted.dataset.clone(),
+                SketchParams::practical(2.0, seed),
+                BuildOptions {
+                    erasures: Some(crate::concrete::ErasureModel {
+                        probability: 1.0,
+                        seed,
+                    }),
+                    ..BuildOptions::default()
+                },
+            )
+        };
+        let clean = AnnIndex::build(
+            planted.dataset.clone(),
+            SketchParams::practical(2.0, 77),
+            BuildOptions::default(),
+        );
+        let boosted = BoostedIndex {
+            copies: vec![dead(1), clean, dead(2)],
+        };
+        let (outcome, _) = boosted.query(&planted.query, 3);
+        assert_eq!(outcome.index(), Some(planted.planted_index as u64));
+    }
+
+    #[test]
+    fn single_copy_boost_matches_plain_index() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let planted = gen::planted(96, 128, 6, &mut rng);
+        let plain = AnnIndex::build(
+            planted.dataset.clone(),
+            SketchParams::practical(2.0, 42),
+            BuildOptions::default(),
+        );
+        let boosted = BoostedIndex::build(
+            planted.dataset,
+            SketchParams::practical(2.0, 42),
+            1,
+            BuildOptions::default(),
+        );
+        let (o1, l1) = plain.query(&planted.query, 2);
+        let (o2, l2) = boosted.query(&planted.query, 2);
+        assert_eq!(o1, o2);
+        assert_eq!(l1.per_round, l2.parallel.per_round);
+    }
+}

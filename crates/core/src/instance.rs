@@ -1,0 +1,118 @@
+//! The instance abstraction both algorithm backends implement.
+//!
+//! Algorithms 1 and 2 never look at raw points; all they do is (a) compute
+//! addresses from the query and the public randomness — a free query-side
+//! computation in the cell-probe model — and (b) decode probed words. An
+//! [`AnnsInstance`] packages exactly that surface:
+//!
+//! * the table oracle and its declared word size,
+//! * the top scale `⌈log_α d⌉`,
+//! * address builders for the main tables `T_i`, the auxiliary tables
+//!   `T̃_{u,·}` (Algorithm 2), and the two degenerate-case structures.
+//!
+//! The concrete backend ([`crate::concrete`]) computes sketch addresses from
+//! real points; the synthetic backend ([`crate::synthetic`]) addresses by
+//! scale index directly, which lets the same algorithm code run at
+//! `d = 2^{4096}`-class instance shapes (substitution S4 in `DESIGN.md`).
+
+use anns_cellprobe::{Address, Table};
+
+/// Table-id layout shared by all backends.
+pub mod table_ids {
+    /// Degenerate case 1: exact membership `x ∈ B`.
+    pub const DEGEN_EXACT: u32 = 0;
+    /// Degenerate case 2: membership in the 1-neighborhood `N1(B)`.
+    pub const DEGEN_N1: u32 = 1;
+    /// Main tables: scale `i` lives at `T_BASE + i`.
+    pub const T_BASE: u32 = 2;
+    /// Auxiliary tables (Algorithm 2): scale `u` lives at `AUX_BASE + u`.
+    /// Leaves room for 2^28 main scales (synthetic instances go far beyond
+    /// any storable dimension: top = 2^21 appears in experiment E4).
+    pub const AUX_BASE: u32 = 2 + (1 << 28);
+}
+
+/// One auxiliary-table query group of Algorithm 2 (paper §3.2).
+///
+/// The group covers the τ-grid points `ρ(1+(j−1)s) … ρ(js)`; the paper's
+/// address is `⟨l_j, u_j, w₀, w₁ … w_{w₀}⟩` with the covered indices
+/// reconstructed from `(l_j, u_j)`. We carry the covered indices explicitly
+/// (`indices`), which is the same information under the grid convention and
+/// keeps both sides of the oracle in exact agreement (see `DESIGN.md`, the
+/// Lemma 8/address-derivation note in §1.4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuxGroupSpec {
+    /// The current upper scale `u` (selects the auxiliary table).
+    pub u_scale: u32,
+    /// Group lower threshold `l_j` (first covered index).
+    pub lo: u32,
+    /// Group upper threshold `u_j` (last covered index).
+    pub hi: u32,
+    /// The covered scale indices `ρ(1+(j−1)s+q−1)`, `q = 1..=w₀`.
+    pub indices: Vec<u32>,
+}
+
+/// An ANNS instance: table oracle + query-side address computation.
+pub trait AnnsInstance: Sync {
+    /// The query type (a point for concrete instances, `()` for synthetic
+    /// ones whose profile already fixes the query).
+    type Query: Sync;
+
+    /// Top scale index `⌈log_α d⌉`.
+    fn top(&self) -> u32;
+
+    /// The table oracle.
+    fn table(&self) -> &dyn Table;
+
+    /// Declared word size `w` in bits (`O(d)` for the paper's schemes).
+    fn word_bits(&self) -> u64;
+
+    /// The Algorithm 2 coarseness parameter `s` the instance's auxiliary
+    /// tables were built for (`1 < s < ln ln n` in the paper; ≥ 1 here).
+    fn s(&self) -> f64;
+
+    /// Addresses of the two degenerate-case probes (`x ∈ B?`,
+    /// `x ∈ N1(B)?`), or `None` if the backend does not model them
+    /// (synthetic instances encode the degenerate cases in their profile).
+    fn degen_addresses(&self, query: &Self::Query) -> Option<[Address; 2]>;
+
+    /// Address of the main-table cell `T_i[M_i x]`.
+    fn t_address(&self, query: &Self::Query, i: u32) -> Address;
+
+    /// Address of the auxiliary cell for one query group.
+    fn aux_address(&self, query: &Self::Query, group: &AuxGroupSpec) -> Address;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_id_layout_does_not_collide() {
+        // Evaluated through locals so the (constant) layout is checked by a
+        // real comparison rather than folded away.
+        let (exact, n1, t_base, aux_base) = (
+            table_ids::DEGEN_EXACT,
+            table_ids::DEGEN_N1,
+            table_ids::T_BASE,
+            table_ids::AUX_BASE,
+        );
+        assert!(exact < t_base);
+        assert!(n1 < t_base);
+        // 2^28 scales fit between the bases (E4 uses top = 2^21), and the
+        // aux range still fits in u32 with the same headroom.
+        assert!(aux_base - t_base >= (1 << 28));
+        assert!(u32::MAX - aux_base >= (1 << 28));
+    }
+
+    #[test]
+    fn aux_group_spec_is_plain_data() {
+        let g = AuxGroupSpec {
+            u_scale: 9,
+            lo: 2,
+            hi: 5,
+            indices: vec![2, 3, 5],
+        };
+        let g2 = g.clone();
+        assert_eq!(g, g2);
+    }
+}

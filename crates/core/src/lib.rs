@@ -1,0 +1,48 @@
+//! Limited-adaptivity approximate nearest neighbor search.
+//!
+//! This crate is the paper's primary contribution, implemented end to end:
+//!
+//! * [`alg1`] — **Algorithm 1** (Theorem 2/9): the simple `k`-round scheme
+//!   with `O(k·(log d)^{1/k})` probes — a multi-way search over the ball
+//!   scales `0..⌈log_α d⌉` driven solely by the accurate ball
+//!   approximations `C_i`;
+//! * [`alg2`] — **Algorithm 2** (Theorem 3/10): the sophisticated scheme for
+//!   large `k` with `O(k + ((log d)/k)^{c/k})` probes — shrinking *phases*
+//!   of at most two rounds, using grouped coarse-ball queries `D_{i,j}`
+//!   through auxiliary tables to either shrink the scale gap by a `τ`
+//!   factor or shrink `|C_u|` by `n^{-1/2s}`;
+//! * [`lambda`] — the folklore 1-probe scheme for the approximate λ-near
+//!   neighbor *search* problem (Theorem 11);
+//! * [`concrete`] — [`concrete::AnnIndex`], the real-data backend: lazy
+//!   table oracles over database sketches (substitution S1 of `DESIGN.md`),
+//!   perfect-hash degenerate-case structures, build + query API;
+//! * [`synthetic`] — [`synthetic::SyntheticInstance`], the asymptotic-scale
+//!   backend: the same algorithms run against a specified ball profile
+//!   (substitution S4), so probe/round accounting is measurable for `d` far
+//!   beyond anything storable;
+//! * [`instance`] — the [`instance::AnnsInstance`] trait both backends
+//!   implement; the algorithms are generic over it;
+//! * [`outcome`] — answers, cell-content codecs shared by the algorithm
+//!   (decode) and the table oracles (encode).
+//!
+//! All schemes speak the [`anns_cellprobe`] model: probes go through a
+//! `RoundExecutor`, rounds and probes are charged to a `ProbeLedger`, word
+//! sizes are enforced.
+
+pub mod alg1;
+pub mod alg2;
+pub mod boosted;
+pub mod concrete;
+pub mod instance;
+pub mod lambda;
+pub mod outcome;
+pub mod synthetic;
+
+pub use alg1::{alg1, choose_tau_alg1, Alg1Scheme};
+pub use alg2::{alg2, alg2_s, choose_tau_alg2, Alg2Config, Alg2Scheme};
+pub use boosted::{BoostedIndex, BoostedLedger};
+pub use concrete::{AnnIndex, BuildOptions, ErasureModel, IndexSnapshot};
+pub use instance::{AnnsInstance, AuxGroupSpec};
+pub use lambda::{lambda_ann, lambda_scale, LambdaScheme};
+pub use outcome::{OutcomeKind, QueryOutcome};
+pub use synthetic::{ErrorModel, SyntheticInstance, SyntheticProfile};

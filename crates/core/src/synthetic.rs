@@ -1,0 +1,483 @@
+//! The synthetic (asymptotic-scale) instance backend — substitution S4.
+//!
+//! The interesting regimes of the paper's bounds live at dimensions no
+//! concrete instance can touch: `k = Θ(log log d / log log log d)` only
+//! varies meaningfully once `log_α d` is in the thousands, i.e.
+//! `d ≈ 2^{1000+}`. What the theorems actually constrain — probe counts and
+//! round counts — depends on the instance only through the *emptiness
+//! pattern of the balls* `B_i` (and, for Algorithm 2, the relative sizes
+//! driving the `|D_{u,j}| > n^{-1/s}|C_u|` comparisons).
+//!
+//! A [`SyntheticInstance`] is exactly that information: a [`SyntheticProfile`]
+//! of `log₂|B_i|` per scale. Its table oracle answers the same cell queries
+//! the concrete lazy tables answer, with the idealized semantics
+//! `C_i = B_i` (the Lemma 8 sandwich taken as exact) and
+//! `|D_{u,j}| ≈ |B_j|` (Assumption 3 taken as exact, which is precisely the
+//! two directions the algorithm's correctness argument uses). An optional
+//! [`ErrorModel`] flips emptiness answers with a per-cell deterministic
+//! probability, to measure the schemes' robustness when Lemma 8's events
+//! fail — deterministic per cell, because the paper's tables are fixed
+//! functions of the database and randomness: re-probing a cell must return
+//! the same word.
+
+use anns_cellprobe::{Address, SpaceModel, Table, Word};
+
+use crate::instance::{table_ids, AnnsInstance, AuxGroupSpec};
+use crate::outcome::{encode_aux_cell, encode_t_cell_indexed};
+
+/// Ball-size profile: `log₂|B_i|` for `i = 0..=top`.
+#[derive(Clone, Debug)]
+pub struct SyntheticProfile {
+    /// Top scale `⌈log_α d⌉`. For a synthetic instance standing in for
+    /// dimension `d` at `α = √2` this is `≈ 2·log₂ d`.
+    pub top: u32,
+    /// `log₂ n` — the database size (can exceed anything storable).
+    pub n_log2: f64,
+    /// `log₂|B_i|` per scale; `f64::NEG_INFINITY` marks an empty ball.
+    pub sizes_log2: Vec<f64>,
+}
+
+impl SyntheticProfile {
+    /// The uniform-data shape: every ball below `i0` empty, everything at
+    /// `i0` and above full (`|B_i| = n`). This is what a uniform random
+    /// database looks like around a uniform query (all points concentrate
+    /// at one distance scale), and it is the worst case for the multi-way
+    /// search (no early mass to exploit).
+    ///
+    /// # Panics
+    /// Panics unless `2 ≤ i0 ≤ top` (`i0 ≥ 2` is Assumption 1: the
+    /// degenerate cases `B_0, B_1 ≠ ∅` are handled separately).
+    pub fn point_mass(top: u32, i0: u32, n_log2: f64) -> Self {
+        assert!(top >= 2, "need at least three scales");
+        assert!((2..=top).contains(&i0), "planted scale out of range");
+        let sizes_log2 = (0..=top)
+            .map(|i| if i < i0 { f64::NEG_INFINITY } else { n_log2 })
+            .collect();
+        SyntheticProfile {
+            top,
+            n_log2,
+            sizes_log2,
+        }
+    }
+
+    /// A geometric-growth shape: `log₂|B_i| = min((i − i0 + 1)·step, log₂ n)`
+    /// for `i ≥ i0` — clustered-like data where balls fill gradually. This
+    /// populates the `|C_u|`-shrinking branch (CASE 3) of Algorithm 2.
+    pub fn geometric(top: u32, i0: u32, step_log2: f64, n_log2: f64) -> Self {
+        assert!(top >= 2);
+        assert!((2..=top).contains(&i0), "planted scale out of range");
+        assert!(step_log2 > 0.0);
+        let sizes_log2 = (0..=top)
+            .map(|i| {
+                if i < i0 {
+                    f64::NEG_INFINITY
+                } else {
+                    (f64::from(i - i0) + 1.0) * step_log2
+                }
+                .min(n_log2)
+            })
+            .collect();
+        SyntheticProfile {
+            top,
+            n_log2,
+            sizes_log2,
+        }
+    }
+
+    /// Smallest non-empty scale, if any.
+    pub fn first_nonempty(&self) -> Option<u32> {
+        self.sizes_log2
+            .iter()
+            .position(|&s| s > f64::NEG_INFINITY)
+            .map(|i| i as u32)
+    }
+
+    /// `log₂|B_i|`.
+    pub fn size_log2(&self, i: u32) -> f64 {
+        self.sizes_log2[i as usize]
+    }
+
+    /// Validates monotonicity and shape.
+    fn validate(&self) {
+        assert_eq!(self.sizes_log2.len(), self.top as usize + 1);
+        for w in self.sizes_log2.windows(2) {
+            assert!(w[0] <= w[1], "ball sizes must be monotone in the scale");
+        }
+        assert!(
+            self.sizes_log2[self.top as usize] > f64::NEG_INFINITY,
+            "B_top is the whole database and cannot be empty"
+        );
+        assert!(
+            self.sizes_log2[0] == f64::NEG_INFINITY && self.sizes_log2[1] == f64::NEG_INFINITY,
+            "Assumption 1 requires B_0 = B_1 = ∅ (degenerate cases handled separately)"
+        );
+    }
+}
+
+/// Deterministic per-cell error injection for robustness experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct ErrorModel {
+    /// Probability that a T-cell's emptiness answer is flipped.
+    pub flip_probability: f64,
+    /// Seed of the deterministic per-cell coin.
+    pub seed: u64,
+}
+
+impl ErrorModel {
+    /// Deterministic coin for a cell: same cell, same outcome, always.
+    fn flips(&self, table: u32, key: &[u8]) -> bool {
+        deterministic_cell_unit(self.seed, table, key) < self.flip_probability
+    }
+}
+
+/// Deterministic per-cell value in `[0, 1)` — the shared coin behind both
+/// backends' error injection. The table is a fixed function of the database
+/// and randomness, so injected faults must be too.
+pub(crate) fn deterministic_cell_unit(seed: u64, table: u32, key: &[u8]) -> f64 {
+    let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+    h = splitmix64(h ^ u64::from(table));
+    for &b in key {
+        h = splitmix64(h ^ u64::from(b));
+    }
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Table oracle answering from the profile.
+struct SyntheticTable {
+    profile: SyntheticProfile,
+    s: f64,
+    error: Option<ErrorModel>,
+}
+
+impl SyntheticTable {
+    fn ball_empty(&self, i: u32) -> bool {
+        self.profile.size_log2(i) == f64::NEG_INFINITY
+    }
+}
+
+impl Table for SyntheticTable {
+    fn read(&self, addr: &Address) -> Word {
+        if addr.table >= table_ids::AUX_BASE {
+            // Auxiliary cell: key carries the covered indices; answer the
+            // smallest in-group q with |D_{u,idx_q}| > n^{-1/s}|C_u|,
+            // modeled as log₂|B_idx| > log₂|B_u| − (log₂ n)/s.
+            let u = addr.table - table_ids::AUX_BASE;
+            let indices = decode_index_list(&addr.key);
+            let cu_log2 = self.profile.size_log2(u);
+            let threshold = cu_log2 - self.profile.n_log2 / self.s;
+            let hit = indices
+                .iter()
+                .position(|&idx| self.profile.size_log2(idx) > threshold)
+                .map(|pos| pos as u32 + 1);
+            return encode_aux_cell(hit);
+        }
+        if addr.table >= table_ids::T_BASE {
+            let i = addr.table - table_ids::T_BASE;
+            let mut empty = self.ball_empty(i);
+            if let Some(err) = &self.error {
+                if err.flips(addr.table, &addr.key) {
+                    empty = !empty;
+                }
+            }
+            return if empty {
+                encode_t_cell_indexed(None)
+            } else {
+                encode_t_cell_indexed(Some(u64::from(i)))
+            };
+        }
+        // Degenerate tables are not modeled (Assumption 1 holds by
+        // construction); reading them is a backend-usage bug.
+        panic!("synthetic instance has no degenerate tables");
+    }
+
+    fn space_model(&self) -> SpaceModel {
+        // Notional: the paper's structure would hold (top+1) main tables of
+        // n^{c₁} cells plus polynomially many auxiliary cells. Report the
+        // main-table count with a nominal c₁ = 2 exponent; the space
+        // experiments (E9) use the concrete backend where the accounting is
+        // real.
+        SpaceModel::from_cells(
+            ((self.profile.top + 1) as f64).log2() + 2.0 * self.profile.n_log2,
+            128,
+        )
+    }
+}
+
+/// Encodes a scale-index list into address-key bytes.
+pub(crate) fn encode_index_list(indices: &[u32]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(4 + indices.len() * 4);
+    bytes.extend_from_slice(&(indices.len() as u32).to_le_bytes());
+    for &i in indices {
+        bytes.extend_from_slice(&i.to_le_bytes());
+    }
+    bytes
+}
+
+/// Decodes a scale-index list from address-key bytes.
+pub(crate) fn decode_index_list(bytes: &[u8]) -> Vec<u32> {
+    let count = u32::from_le_bytes(bytes[0..4].try_into().expect("index count")) as usize;
+    let mut out = Vec::with_capacity(count);
+    for c in bytes[4..4 + count * 4].chunks_exact(4) {
+        out.push(u32::from_le_bytes(c.try_into().expect("index")));
+    }
+    out
+}
+
+/// A synthetic ANNS instance: profile + oracle, implementing
+/// [`AnnsInstance`] with `Query = ()`.
+pub struct SyntheticInstance {
+    profile: SyntheticProfile,
+    s: f64,
+    table: SyntheticTable,
+}
+
+impl SyntheticInstance {
+    /// Builds an instance from a profile. `s` is Algorithm 2's coarseness
+    /// parameter (irrelevant to Algorithm 1 queries).
+    ///
+    /// # Panics
+    /// Panics if the profile is malformed (non-monotone, empty `B_top`,
+    /// populated `B_0`/`B_1`).
+    pub fn new(profile: SyntheticProfile, s: f64) -> Self {
+        profile.validate();
+        assert!(
+            profile.top < (1 << 28),
+            "scale count exceeds the table-id layout (see instance::table_ids)"
+        );
+        assert!(s >= 1.0, "s must be at least 1");
+        SyntheticInstance {
+            table: SyntheticTable {
+                profile: profile.clone(),
+                s,
+                error: None,
+            },
+            profile,
+            s,
+        }
+    }
+
+    /// Same, with error injection on the T-cells.
+    pub fn with_errors(profile: SyntheticProfile, s: f64, error: ErrorModel) -> Self {
+        profile.validate();
+        assert!(s >= 1.0);
+        assert!((0.0..=1.0).contains(&error.flip_probability));
+        SyntheticInstance {
+            table: SyntheticTable {
+                profile: profile.clone(),
+                s,
+                error: Some(error),
+            },
+            profile,
+            s,
+        }
+    }
+
+    /// The profile.
+    pub fn profile(&self) -> &SyntheticProfile {
+        &self.profile
+    }
+
+    /// Ground truth: the scale a correct main-case answer must identify —
+    /// the smallest non-empty scale (with `C_i = B_i` exactly, the paper's
+    /// invariant pins `i*` to exactly this index).
+    pub fn expected_scale(&self) -> u32 {
+        self.profile
+            .first_nonempty()
+            .expect("profile has a non-empty top ball")
+    }
+}
+
+impl AnnsInstance for SyntheticInstance {
+    type Query = ();
+
+    fn top(&self) -> u32 {
+        self.profile.top
+    }
+
+    fn table(&self) -> &dyn Table {
+        &self.table
+    }
+
+    fn word_bits(&self) -> u64 {
+        128
+    }
+
+    fn s(&self) -> f64 {
+        self.s
+    }
+
+    fn degen_addresses(&self, _query: &()) -> Option<[Address; 2]> {
+        None
+    }
+
+    fn t_address(&self, _query: &(), i: u32) -> Address {
+        debug_assert!(i <= self.profile.top);
+        Address::new(table_ids::T_BASE + i, Vec::new())
+    }
+
+    fn aux_address(&self, _query: &(), group: &AuxGroupSpec) -> Address {
+        Address::new(
+            table_ids::AUX_BASE + group.u_scale,
+            encode_index_list(&group.indices),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::{decode_aux_cell, decode_t_cell};
+
+    #[test]
+    fn point_mass_profile_shape() {
+        let p = SyntheticProfile::point_mass(20, 7, 30.0);
+        assert_eq!(p.first_nonempty(), Some(7));
+        for i in 0..7 {
+            assert_eq!(p.size_log2(i), f64::NEG_INFINITY);
+        }
+        for i in 7..=20 {
+            assert_eq!(p.size_log2(i), 30.0);
+        }
+    }
+
+    #[test]
+    fn geometric_profile_is_monotone_and_capped() {
+        let p = SyntheticProfile::geometric(30, 5, 2.0, 20.0);
+        assert_eq!(p.first_nonempty(), Some(5));
+        for w in p.sizes_log2.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(p.size_log2(30), 20.0, "capped at n");
+        assert_eq!(p.size_log2(5), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn profile_rejects_planted_scale_zero() {
+        // i0 = 0 violates Assumption 1.
+        let _ = SyntheticProfile::point_mass(10, 0, 5.0);
+    }
+
+    #[test]
+    fn t_cells_reflect_emptiness() {
+        let inst = SyntheticInstance::new(SyntheticProfile::point_mass(12, 4, 10.0), 2.0);
+        for i in 0..=12u32 {
+            let addr = inst.t_address(&(), i);
+            let word = inst.table().read(&addr);
+            let content = decode_t_cell(&word);
+            assert_eq!(content.is_some(), i >= 4, "scale {i}");
+            if let Some((idx, point)) = content {
+                assert_eq!(idx, u64::from(i));
+                assert!(point.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn aux_cells_find_smallest_large_d() {
+        // Geometric profile: |B_i| = 2^{2(i-4)}·4 for i ≥ 5... sizes grow by
+        // 2 bits per scale; |C_u| at u=20 is capped at n. Threshold is
+        // n^{-1/s}|C_u| → log2 terms: size(u) − n_log2/s.
+        let profile = SyntheticProfile::geometric(20, 5, 2.0, 24.0);
+        let inst = SyntheticInstance::new(profile.clone(), 2.0);
+        let u = 20u32;
+        let threshold = profile.size_log2(u) - 24.0 / 2.0; // 24 - 12 = 12
+        let indices: Vec<u32> = (5..=15).collect();
+        let group = AuxGroupSpec {
+            u_scale: u,
+            lo: 5,
+            hi: 15,
+            indices: indices.clone(),
+        };
+        let word = inst.table().read(&inst.aux_address(&(), &group));
+        let got = decode_aux_cell(&word);
+        let expect = indices
+            .iter()
+            .position(|&i| profile.size_log2(i) > threshold)
+            .map(|p| p as u32 + 1);
+        assert_eq!(got, expect);
+        assert!(got.is_some(), "some scale must exceed the threshold");
+    }
+
+    #[test]
+    fn aux_cell_sentinel_when_no_scale_is_large() {
+        let profile = SyntheticProfile::point_mass(20, 18, 24.0);
+        let inst = SyntheticInstance::new(profile, 2.0);
+        let group = AuxGroupSpec {
+            u_scale: 20,
+            lo: 2,
+            hi: 10,
+            indices: (2..=10).collect(),
+        };
+        let word = inst.table().read(&inst.aux_address(&(), &group));
+        assert_eq!(decode_aux_cell(&word), None, "all balls empty below 18");
+    }
+
+    #[test]
+    fn error_injection_is_deterministic_per_cell() {
+        let profile = SyntheticProfile::point_mass(16, 8, 12.0);
+        let inst = SyntheticInstance::with_errors(
+            profile,
+            2.0,
+            ErrorModel {
+                flip_probability: 0.5,
+                seed: 99,
+            },
+        );
+        for i in 0..=16u32 {
+            let addr = inst.t_address(&(), i);
+            let w1 = inst.table().read(&addr);
+            let w2 = inst.table().read(&addr);
+            assert_eq!(w1, w2, "cell {i} must be a fixed function");
+        }
+    }
+
+    #[test]
+    fn error_injection_rate_is_roughly_right() {
+        // Over many scales, ~half the cells flip at p = 0.5.
+        let top = 400u32;
+        let profile = SyntheticProfile::point_mass(top, 200, 12.0);
+        let clean = SyntheticInstance::new(profile.clone(), 2.0);
+        let noisy = SyntheticInstance::with_errors(
+            profile,
+            2.0,
+            ErrorModel {
+                flip_probability: 0.5,
+                seed: 7,
+            },
+        );
+        let mut flips = 0;
+        for i in 0..=top {
+            let a = clean.table().read(&clean.t_address(&(), i));
+            let b = noisy.table().read(&noisy.t_address(&(), i));
+            if decode_t_cell(&a).is_some() != decode_t_cell(&b).is_some() {
+                flips += 1;
+            }
+        }
+        assert!(
+            (100..=300).contains(&flips),
+            "flip count {flips} wildly off p=0.5"
+        );
+    }
+
+    #[test]
+    fn index_list_codec_roundtrip() {
+        for list in [vec![], vec![5u32], vec![1, 2, 3, 1000, u32::MAX]] {
+            assert_eq!(decode_index_list(&encode_index_list(&list)), list);
+        }
+    }
+
+    #[test]
+    fn expected_scale_matches_first_nonempty() {
+        let inst = SyntheticInstance::new(SyntheticProfile::point_mass(40, 13, 20.0), 2.0);
+        assert_eq!(inst.expected_scale(), 13);
+    }
+}

@@ -1,0 +1,183 @@
+//! Hamming balls, neighborhoods and volume arithmetic.
+//!
+//! Two pieces of the paper live here:
+//!
+//! * the 1-neighborhood `N1(B) = {y : ∃z ∈ B, dist(y,z) ≤ 1}` used by the
+//!   degenerate-case handling of Algorithm 1 (§3.1) — at most `(d+1)·n`
+//!   points, resolved by perfect hashing in the paper and by a membership
+//!   oracle here;
+//! * log-volume arithmetic `log₂ |Ball(d, r)| = log₂ Σ_{i≤r} C(d,i)`, needed
+//!   by the γ-separated ball-family constructions (Lemma 15) and by space
+//!   accounting.
+
+use crate::point::Point;
+
+/// Iterator over the closed 1-ball around a point: the point itself followed
+/// by its `d` single-coordinate flips. Yields `d + 1` points.
+pub struct N1Iter<'a> {
+    center: &'a Point,
+    next_flip: u32,
+    yielded_center: bool,
+}
+
+impl<'a> N1Iter<'a> {
+    /// Iterates the closed radius-1 ball around `center`.
+    pub fn new(center: &'a Point) -> Self {
+        N1Iter {
+            center,
+            next_flip: 0,
+            yielded_center: false,
+        }
+    }
+}
+
+impl Iterator for N1Iter<'_> {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        if !self.yielded_center {
+            self.yielded_center = true;
+            return Some(self.center.clone());
+        }
+        if self.next_flip < self.center.dim() {
+            let p = self.center.flipped(self.next_flip);
+            self.next_flip += 1;
+            return Some(p);
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.center.dim() - self.next_flip) as usize
+            + usize::from(!self.yielded_center);
+        (remaining, Some(remaining))
+    }
+}
+
+/// Whether `query` lies in the 1-neighborhood of any point in `points`
+/// — i.e. membership in `N1(B)` — together with the witness index.
+///
+/// This is the database-side computation behind the paper's second
+/// degenerate-case table: the table stores, for every `y ∈ N1(B)`, a nearest
+/// database point. A lazy oracle computes the same content per probe.
+pub fn n1_member(points: &[Point], query: &Point) -> Option<usize> {
+    // Exact hits first (they give distance 0 < 1).
+    if let Some(i) = points.iter().position(|p| p == query) {
+        return Some(i);
+    }
+    points.iter().position(|p| p.distance(query) <= 1)
+}
+
+/// Natural log of the binomial coefficient `C(d, i)` (exact iterative form,
+/// no Stirling error).
+fn ln_binomial(d: u64, i: u64) -> f64 {
+    assert!(i <= d);
+    let i = i.min(d - i);
+    let mut acc = 0.0f64;
+    for j in 0..i {
+        acc += ((d - j) as f64).ln() - ((j + 1) as f64).ln();
+    }
+    acc
+}
+
+/// `log₂ |Ball(d, r)| = log₂ Σ_{i=0..r} C(d, i)` via stable log-sum-exp.
+///
+/// # Panics
+/// Panics if `r > d`.
+pub fn ball_volume_log2(d: u64, r: u64) -> f64 {
+    assert!(r <= d, "radius exceeds dimension");
+    // Σ exp(ln C(d,i)); run the recurrence ln C(d,i+1) = ln C(d,i) +
+    // ln(d-i) - ln(i+1) and log-sum-exp against the running max.
+    let mut terms = Vec::with_capacity(r as usize + 1);
+    let mut ln_c = 0.0f64; // ln C(d, 0)
+    terms.push(ln_c);
+    for i in 0..r {
+        ln_c += ((d - i) as f64).ln() - ((i + 1) as f64).ln();
+        terms.push(ln_c);
+    }
+    let max = terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let sum: f64 = terms.iter().map(|t| (t - max).exp()).sum();
+    (max + sum.ln()) / std::f64::consts::LN_2
+}
+
+/// `log₂ C(d, r)` — exposed for the space-accounting experiments.
+pub fn binomial_log2(d: u64, r: u64) -> f64 {
+    ln_binomial(d, r) / std::f64::consts::LN_2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn n1_iter_yields_d_plus_one_distinct_points() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = Point::random(40, &mut rng);
+        let all: Vec<Point> = N1Iter::new(&c).collect();
+        assert_eq!(all.len(), 41);
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 41, "all neighborhood points distinct");
+        for p in &all {
+            assert!(c.distance(p) <= 1);
+        }
+    }
+
+    #[test]
+    fn n1_member_detects_exact_and_one_flip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let points: Vec<Point> = (0..10).map(|_| Point::random(64, &mut rng)).collect();
+        // Exact member.
+        assert_eq!(n1_member(&points, &points[3]), Some(3));
+        // One flip away.
+        let near = points[7].flipped(13);
+        let witness = n1_member(&points, &near).expect("must be a member");
+        assert!(points[witness].distance(&near) <= 1);
+        // Far point (whp at distance > 1 from 10 random points in d=64).
+        let far = Point::from_fn(64, |i| i % 2 == 0);
+        let dmin = points.iter().map(|p| p.distance(&far)).min().unwrap();
+        assert_eq!(n1_member(&points, &far).is_some(), dmin <= 1);
+    }
+
+    #[test]
+    fn ball_volume_small_cases_exact() {
+        // |Ball(5, 0)| = 1, |Ball(5, 1)| = 6, |Ball(5, 2)| = 16,
+        // |Ball(5, 5)| = 32.
+        let cases = [(5u64, 0u64, 1.0f64), (5, 1, 6.0), (5, 2, 16.0), (5, 5, 32.0)];
+        for (d, r, v) in cases {
+            let got = ball_volume_log2(d, r);
+            assert!(
+                (got - v.log2()).abs() < 1e-9,
+                "Ball({d},{r}): got 2^{got}, want {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn ball_volume_monotone_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let d = rng.gen_range(2u64..2000);
+            let r = rng.gen_range(0..=d);
+            let v = ball_volume_log2(d, r);
+            assert!(v <= d as f64 + 1e-9, "volume exceeds cube");
+            if r > 0 {
+                assert!(v >= ball_volume_log2(d, r - 1) - 1e-12, "not monotone");
+            }
+        }
+        // Full ball is the entire cube.
+        assert!((ball_volume_log2(100, 100) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binomial_log2_symmetry() {
+        for d in [10u64, 37, 64] {
+            for r in 0..=d {
+                let a = binomial_log2(d, r);
+                let b = binomial_log2(d, d - r);
+                assert!((a - b).abs() < 1e-9, "C({d},{r}) symmetry");
+            }
+        }
+    }
+}

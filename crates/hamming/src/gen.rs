@@ -1,0 +1,240 @@
+//! Seeded workload generators.
+//!
+//! The paper evaluates nothing empirically, so the reproduction needs
+//! workloads that exercise the interesting regimes:
+//!
+//! * **uniform** — in high dimension (`d ≫ log n`) uniform points concentrate
+//!   at pairwise distance `≈ d/2`; queries see a sharp ball profile (all of
+//!   `B` appears at the top few scales), the regime the lower bound lives in;
+//! * **planted** — a query at a controlled exact distance from one database
+//!   point, with everything else far: the canonical "needle" instance where
+//!   approximation quality is measurable;
+//! * **clustered** — databases with geometric structure, so intermediate
+//!   balls `B_i` are non-trivially populated at many scales;
+//! * **shells** — points at an exact prescribed distance, the building block
+//!   for all of the above and for the `λ`-ANN YES/NO instances.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::point::Point;
+
+/// A planted-neighbor instance: a database, a query, and where the needle is.
+#[derive(Clone, Debug)]
+pub struct PlantedInstance {
+    /// The database (needle included).
+    pub dataset: Dataset,
+    /// The query point.
+    pub query: Point,
+    /// Index of the planted near neighbor in the database.
+    pub planted_index: usize,
+    /// Exact Hamming distance from the query to the planted point.
+    pub planted_distance: u32,
+}
+
+/// `n` uniformly random points in `{0,1}^d`.
+pub fn uniform<R: Rng + ?Sized>(n: usize, d: u32, rng: &mut R) -> Dataset {
+    Dataset::new((0..n).map(|_| Point::random(d, rng)).collect())
+}
+
+/// A point at *exactly* distance `r` from `center` (uniform over the shell).
+///
+/// # Panics
+/// Panics if `r > d`.
+pub fn point_at_distance<R: Rng + ?Sized>(center: &Point, r: u32, rng: &mut R) -> Point {
+    let d = center.dim();
+    assert!(r <= d, "cannot flip {r} coordinates in dimension {d}");
+    let mut coords: Vec<u32> = (0..d).collect();
+    // partial_shuffle returns the uniformly chosen sample as the FIRST
+    // element of the tuple (it lives at the tail of the slice).
+    let (sample, _) = coords.partial_shuffle(rng, r as usize);
+    let mut p = center.clone();
+    for &c in sample.iter() {
+        p.flip(c);
+    }
+    p
+}
+
+/// Flips each coordinate of `point` independently with probability `p`.
+pub fn corrupt<R: Rng + ?Sized>(point: &Point, p: f64, rng: &mut R) -> Point {
+    assert!((0.0..=1.0).contains(&p), "flip probability must be in [0,1]");
+    let mut out = point.clone();
+    for i in 0..point.dim() {
+        if rng.gen_bool(p) {
+            out.flip(i);
+        }
+    }
+    out
+}
+
+/// A planted-neighbor instance: `n - 1` uniform points plus one needle at
+/// exact distance `planted_distance` from the (uniform random) query.
+///
+/// For `d ≥ 4·log₂ n + planted_distance·γ`-ish regimes the uniform points sit
+/// at distance ≈ d/2, so the needle is the unique approximate answer; the
+/// caller is responsible for choosing sensible parameters (the function makes
+/// no attempt to verify uniqueness — use [`Dataset::exact_nn`] in tests).
+pub fn planted<R: Rng + ?Sized>(
+    n: usize,
+    d: u32,
+    planted_distance: u32,
+    rng: &mut R,
+) -> PlantedInstance {
+    assert!(n >= 1, "database must be non-empty");
+    let query = Point::random(d, rng);
+    let needle = point_at_distance(&query, planted_distance, rng);
+    let mut points: Vec<Point> = (0..n - 1).map(|_| Point::random(d, rng)).collect();
+    let planted_index = rng.gen_range(0..=points.len());
+    points.insert(planted_index, needle);
+    PlantedInstance {
+        dataset: Dataset::new(points),
+        query,
+        planted_index,
+        planted_distance,
+    }
+}
+
+/// A clustered database: `n_clusters` uniform centers, each with
+/// `per_cluster` points obtained by iid flips with probability `flip_p`.
+///
+/// Cluster `c` occupies indices `c*per_cluster .. (c+1)*per_cluster`.
+pub fn clustered<R: Rng + ?Sized>(
+    n_clusters: usize,
+    per_cluster: usize,
+    d: u32,
+    flip_p: f64,
+    rng: &mut R,
+) -> Dataset {
+    assert!(n_clusters > 0 && per_cluster > 0);
+    let mut points = Vec::with_capacity(n_clusters * per_cluster);
+    for _ in 0..n_clusters {
+        let center = Point::random(d, rng);
+        for _ in 0..per_cluster {
+            points.push(corrupt(&center, flip_p, rng));
+        }
+    }
+    Dataset::new(points)
+}
+
+/// A database whose ball profile around `query` is controlled exactly:
+/// `shell_sizes[j]` points are placed at exact distance `radii[j]`.
+///
+/// This is how concrete tests pin down which `B_i` are empty/non-empty.
+///
+/// # Panics
+/// Panics if lengths mismatch, any radius exceeds `d`, or the total is zero.
+pub fn shells<R: Rng + ?Sized>(
+    query: &Point,
+    radii: &[u32],
+    shell_sizes: &[usize],
+    rng: &mut R,
+) -> Dataset {
+    assert_eq!(radii.len(), shell_sizes.len(), "radii/sizes mismatch");
+    let total: usize = shell_sizes.iter().sum();
+    assert!(total > 0, "database must be non-empty");
+    let mut points = Vec::with_capacity(total);
+    for (&r, &s) in radii.iter().zip(shell_sizes.iter()) {
+        for _ in 0..s {
+            points.push(point_at_distance(query, r, rng));
+        }
+    }
+    points.shuffle(rng);
+    Dataset::new(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn point_at_distance_is_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let center = Point::random(200, &mut rng);
+        for r in [0u32, 1, 5, 50, 199, 200] {
+            let p = point_at_distance(&center, r, &mut rng);
+            assert_eq!(center.distance(&p), r, "radius {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn point_at_distance_rejects_r_above_d() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let center = Point::zeros(10);
+        let _ = point_at_distance(&center, 11, &mut rng);
+    }
+
+    #[test]
+    fn planted_instance_has_needle_at_distance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = planted(100, 256, 7, &mut rng);
+        assert_eq!(
+            inst.query.distance(inst.dataset.point(inst.planted_index)),
+            7
+        );
+        assert_eq!(inst.dataset.len(), 100);
+    }
+
+    #[test]
+    fn planted_needle_is_exact_nn_in_high_dim() {
+        // d = 512, n = 128: uniform points concentrate near 256; the needle
+        // at distance 10 is the unique nearest neighbor with overwhelming
+        // probability at this seed.
+        let mut rng = StdRng::seed_from_u64(4);
+        let inst = planted(128, 512, 10, &mut rng);
+        let nn = inst.dataset.exact_nn(&inst.query);
+        assert_eq!(nn.index, inst.planted_index);
+        assert_eq!(nn.distance, 10);
+    }
+
+    #[test]
+    fn uniform_pairwise_distances_concentrate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ds = uniform(40, 1024, &mut rng);
+        for i in 0..ds.len() {
+            for j in (i + 1)..ds.len() {
+                let dist = ds.point(i).distance(ds.point(j));
+                // Chernoff: |dist - 512| < 150 except with prob << 1e-12.
+                assert!((362..=662).contains(&dist), "outlier distance {dist}");
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_layout_and_radii() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let ds = clustered(4, 10, 512, 0.02, &mut rng);
+        assert_eq!(ds.len(), 40);
+        // Points in the same cluster are near (≈ 2*0.02*512 ≈ 20),
+        // points across clusters are far (≈ 256).
+        let same = ds.point(0).distance(ds.point(1));
+        let cross = ds.point(0).distance(ds.point(11));
+        assert!(same < 80, "same-cluster distance {same}");
+        assert!(cross > 150, "cross-cluster distance {cross}");
+    }
+
+    #[test]
+    fn shells_controls_profile_exactly() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let q = Point::random(300, &mut rng);
+        let ds = shells(&q, &[3, 40, 150], &[2, 5, 13], &mut rng);
+        assert_eq!(ds.len(), 20);
+        assert_eq!(ds.within(&q, 3).len(), 2);
+        assert_eq!(ds.within(&q, 39).len(), 2);
+        assert_eq!(ds.within(&q, 40).len(), 7);
+        assert_eq!(ds.within(&q, 150).len(), 20);
+        assert_eq!(ds.exact_nn(&q).distance, 3);
+    }
+
+    #[test]
+    fn corrupt_zero_and_one_probabilities() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = Point::random(128, &mut rng);
+        assert_eq!(corrupt(&p, 0.0, &mut rng), p);
+        let inverted = corrupt(&p, 1.0, &mut rng);
+        assert_eq!(p.distance(&inverted), 128);
+    }
+}

@@ -1,0 +1,208 @@
+//! Exact k-nearest-neighbor search and distance statistics.
+//!
+//! Ground-truth utilities used across the experiment suite: top-k exact
+//! neighbors (the reference every approximate answer is judged against
+//! when one neighbor is not enough), distance histograms (how a workload's
+//! ball profile fills — the shape that decides which algorithm branch
+//! fires), and pairwise-distance summaries for dataset characterization.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{Dataset, ExactNeighbor};
+use crate::point::Point;
+
+/// The `k` exact nearest neighbors of a query, ascending by distance (ties
+/// broken by index).
+pub fn k_nearest(dataset: &Dataset, query: &Point, k: usize) -> Vec<ExactNeighbor> {
+    assert!(k >= 1, "k must be positive");
+    let k = k.min(dataset.len());
+    // Bounded insertion into a sorted buffer: O(n·k) worst case but k is
+    // small everywhere we use this, and the constant is tiny.
+    let mut best: Vec<ExactNeighbor> = Vec::with_capacity(k + 1);
+    for (index, p) in dataset.points().iter().enumerate() {
+        let distance = query.distance(p);
+        if best.len() == k && distance >= best[k - 1].distance {
+            continue;
+        }
+        let pos = best.partition_point(|b| {
+            b.distance < distance || (b.distance == distance && b.index < index)
+        });
+        best.insert(pos, ExactNeighbor { index, distance });
+        if best.len() > k {
+            best.pop();
+        }
+    }
+    best
+}
+
+/// Histogram of query-to-database distances with fixed-width buckets.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DistanceHistogram {
+    /// Bucket width in distance units.
+    pub bucket_width: u32,
+    /// `counts[b]` = points with distance in `[b·width, (b+1)·width)`.
+    pub counts: Vec<usize>,
+    /// Smallest observed distance.
+    pub min: u32,
+    /// Largest observed distance.
+    pub max: u32,
+}
+
+impl DistanceHistogram {
+    /// Builds the histogram of distances from `query` to every database
+    /// point.
+    pub fn build(dataset: &Dataset, query: &Point, bucket_width: u32) -> Self {
+        assert!(bucket_width >= 1);
+        let n_buckets = (dataset.dim() / bucket_width + 1) as usize;
+        let mut counts = vec![0usize; n_buckets];
+        let mut min = u32::MAX;
+        let mut max = 0u32;
+        for p in dataset.points() {
+            let d = query.distance(p);
+            counts[(d / bucket_width) as usize] += 1;
+            min = min.min(d);
+            max = max.max(d);
+        }
+        while counts.last() == Some(&0) && counts.len() > 1 {
+            counts.pop();
+        }
+        DistanceHistogram {
+            bucket_width,
+            counts,
+            min,
+            max,
+        }
+    }
+
+    /// Total points counted.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+/// Summary statistics of a sample of pairwise distances.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PairwiseStats {
+    /// Pairs sampled.
+    pub pairs: usize,
+    /// Smallest sampled pairwise distance.
+    pub min: u32,
+    /// Mean of the sample.
+    pub mean: f64,
+    /// Largest sampled pairwise distance.
+    pub max: u32,
+}
+
+/// Pairwise-distance statistics over the first `max_pairs` index pairs
+/// (deterministic: lexicographic pair order — callers wanting random
+/// samples shuffle the dataset first).
+pub fn pairwise_stats(dataset: &Dataset, max_pairs: usize) -> PairwiseStats {
+    assert!(dataset.len() >= 2, "need at least two points");
+    let mut pairs = 0usize;
+    let mut min = u32::MAX;
+    let mut max = 0u32;
+    let mut sum = 0u64;
+    'outer: for i in 0..dataset.len() {
+        for j in (i + 1)..dataset.len() {
+            let d = dataset.point(i).distance(dataset.point(j));
+            min = min.min(d);
+            max = max.max(d);
+            sum += u64::from(d);
+            pairs += 1;
+            if pairs >= max_pairs {
+                break 'outer;
+            }
+        }
+    }
+    PairwiseStats {
+        pairs,
+        min,
+        mean: sum as f64 / pairs as f64,
+        max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn k_nearest_matches_sorted_scan() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = gen::uniform(80, 96, &mut rng);
+        let q = Point::random(96, &mut rng);
+        for k in [1usize, 3, 10, 80, 200] {
+            let got = k_nearest(&ds, &q, k);
+            let mut all: Vec<ExactNeighbor> = ds
+                .points()
+                .iter()
+                .enumerate()
+                .map(|(index, p)| ExactNeighbor {
+                    index,
+                    distance: q.distance(p),
+                })
+                .collect();
+            all.sort_by_key(|e| (e.distance, e.index));
+            all.truncate(k.min(ds.len()));
+            assert_eq!(got, all, "k={k}");
+        }
+    }
+
+    #[test]
+    fn k_nearest_first_equals_exact_nn() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = gen::uniform(60, 64, &mut rng);
+        for _ in 0..10 {
+            let q = Point::random(64, &mut rng);
+            let top = k_nearest(&ds, &q, 1);
+            assert_eq!(top[0].distance, ds.exact_nn(&q).distance);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_everything_once() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = gen::uniform(100, 128, &mut rng);
+        let q = Point::random(128, &mut rng);
+        for width in [1u32, 4, 16] {
+            let h = DistanceHistogram::build(&ds, &q, width);
+            assert_eq!(h.total(), 100, "width {width}");
+            assert!(h.min <= h.max);
+            // Min/max land in the right buckets.
+            assert!(h.counts[(h.min / width) as usize] > 0);
+            assert!(h.counts[(h.max / width) as usize] > 0);
+        }
+    }
+
+    #[test]
+    fn histogram_of_planted_instance_shows_the_needle() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let planted = gen::planted(256, 512, 5, &mut rng);
+        let h = DistanceHistogram::build(&planted.dataset, &planted.query, 8);
+        assert_eq!(h.min, 5);
+        assert_eq!(h.counts[0], 1, "exactly the needle below distance 8");
+    }
+
+    #[test]
+    fn pairwise_stats_concentrate_for_uniform_data() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ds = gen::uniform(50, 1024, &mut rng);
+        let stats = pairwise_stats(&ds, 500);
+        assert_eq!(stats.pairs, 500);
+        assert!((stats.mean - 512.0).abs() < 30.0, "mean {}", stats.mean);
+        assert!(stats.min > 380 && stats.max < 650);
+    }
+
+    #[test]
+    fn pairwise_stats_caps_pairs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let ds = gen::uniform(10, 32, &mut rng);
+        let stats = pairwise_stats(&ds, 7);
+        assert_eq!(stats.pairs, 7);
+        let all = pairwise_stats(&ds, usize::MAX);
+        assert_eq!(all.pairs, 45);
+    }
+}

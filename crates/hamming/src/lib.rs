@@ -1,0 +1,132 @@
+//! Hamming-space substrate for the limited-adaptivity ANNS reproduction.
+//!
+//! Everything in the paper lives in the d-dimensional Hamming cube
+//! `{0,1}^d`: the database is a set of `n` points, the query is a point, and
+//! distances are Hamming distances. This crate provides that metric space as
+//! an efficient, well-tested foundation:
+//!
+//! * [`Point`] — bit-packed points with O(d/64) distance via XOR+popcount;
+//! * [`Dataset`] — a database of points with exact nearest-neighbor ground
+//!   truth and ball-profile queries (the `B_i = {y : dist(x,y) ≤ α^i}` sets
+//!   of the paper, §3 eq. (1));
+//! * [`gen`] — seeded workload generators (uniform, planted-neighbor,
+//!   clustered, exact-distance shells);
+//! * [`ball`] — Hamming balls, 1-neighborhoods `N1(B)` (used by the paper's
+//!   degenerate-case handling) and log-volume arithmetic;
+//! * [`code`] — greedy Gilbert–Varshamov style codes, the constructive
+//!   ingredient behind the γ-separated ball families of Lemma 15/16.
+//!
+//! All randomness is taken from caller-provided [`rand::Rng`] instances so
+//! every experiment in the workspace is reproducible from a seed.
+
+pub mod ball;
+pub mod code;
+pub mod dataset;
+pub mod gen;
+pub mod knn;
+pub mod point;
+
+pub use ball::{ball_volume_log2, N1Iter};
+pub use code::GreedyCode;
+pub use dataset::{BallProfile, Dataset, ExactNeighbor};
+pub use knn::{k_nearest, DistanceHistogram, PairwiseStats};
+pub use point::Point;
+
+/// Effective integer radius of the paper's scale-`i` ball `B_i`.
+///
+/// The paper defines `B_i = {y ∈ B : dist(x,y) ≤ α^i}` over real radii, but
+/// reads `B_0 ≠ ∅` as "`x ∈ B`" and `B_1 ≠ ∅` as "`x` within distance 1 of
+/// `B`" (§3.1 degenerate cases). With integer Hamming distances and
+/// `1 < α < 2` the consistent integer radii are therefore
+/// `r_0 = 0` and `r_i = ⌊α^i⌋` for `i ≥ 1` (flooring is exact for integer
+/// distances: `dist ≤ α^i ⇔ dist ≤ ⌊α^i⌋`).
+pub fn scale_radius(i: u32, alpha: f64) -> u32 {
+    assert!(alpha > 1.0, "alpha must exceed 1 (paper: 1 < α < 2)");
+    if i == 0 {
+        0
+    } else {
+        alpha.powi(i as i32).floor() as u32
+    }
+}
+
+/// `⌈log_α d⌉` — the number of ball scales the paper's algorithms search
+/// over (indices `0..=ceil_log_alpha(d, α)`).
+///
+/// Returns the smallest `k ≥ 0` with `α^k ≥ d`.
+///
+/// # Panics
+/// Panics if `alpha <= 1` or `d == 0`; the paper fixes `1 < α = √γ < 2`.
+pub fn ceil_log_alpha(d: u64, alpha: f64) -> u32 {
+    assert!(alpha > 1.0, "alpha must exceed 1 (paper: 1 < α < 2)");
+    assert!(d > 0, "dimension must be positive");
+    if d == 1 {
+        return 0;
+    }
+    let raw = (d as f64).ln() / alpha.ln();
+    let mut k = raw.ceil() as u32;
+    // Guard against floating point rounding on exact powers.
+    while alpha.powi(k as i32) < d as f64 {
+        k += 1;
+    }
+    while k > 0 && alpha.powi(k as i32 - 1) >= d as f64 {
+        k -= 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log_alpha_matches_definition() {
+        // Smallest k with alpha^k >= d.
+        for &d in &[1u64, 2, 3, 10, 64, 100, 1024, 65536] {
+            for &alpha in &[1.2f64, std::f64::consts::SQRT_2, 1.9] {
+                let k = ceil_log_alpha(d, alpha);
+                assert!(alpha.powi(k as i32) >= d as f64, "alpha^k < d for d={d}");
+                if k > 0 {
+                    assert!(
+                        alpha.powi(k as i32 - 1) < d as f64,
+                        "k not minimal for d={d}, alpha={alpha}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn ceil_log_alpha_rejects_bad_alpha() {
+        ceil_log_alpha(10, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ceil_log_alpha_rejects_zero_dim() {
+        ceil_log_alpha(0, 1.5);
+    }
+
+    #[test]
+    fn scale_radius_convention() {
+        let alpha = std::f64::consts::SQRT_2;
+        assert_eq!(scale_radius(0, alpha), 0, "B_0 is x itself");
+        assert_eq!(scale_radius(1, alpha), 1, "B_1 is the 1-neighborhood");
+        assert_eq!(scale_radius(2, alpha), 2);
+        assert_eq!(scale_radius(4, alpha), 4);
+        // Radii are non-decreasing in the scale.
+        for i in 0..40 {
+            assert!(scale_radius(i, alpha) <= scale_radius(i + 1, alpha));
+        }
+    }
+
+    #[test]
+    fn top_scale_radius_covers_dimension() {
+        for &d in &[2u64, 10, 100, 1024] {
+            for &alpha in &[1.2f64, std::f64::consts::SQRT_2] {
+                let top = ceil_log_alpha(d, alpha);
+                assert!(u64::from(scale_radius(top, alpha)) >= d);
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the Hamming substrate.
+
+use anns_hamming::{ball, ceil_log_alpha, gen, scale_radius, Dataset, Point};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a dimension and a pair of seeds.
+fn dim_and_seed() -> impl Strategy<Value = (u32, u64)> {
+    (1u32..600, any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hamming distance is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn distance_is_a_metric((d, seed) in dim_and_seed()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Point::random(d, &mut rng);
+        let b = Point::random(d, &mut rng);
+        let c = Point::random(d, &mut rng);
+        prop_assert_eq!(a.distance(&a), 0);
+        prop_assert_eq!(a.distance(&b), b.distance(&a));
+        prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c));
+        // Distance zero implies equality (positivity).
+        if a.distance(&b) == 0 {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    /// XOR is addition: dist(a, b) = weight(a ⊕ b), and ⊕ is an involution.
+    #[test]
+    fn xor_is_group_action((d, seed) in dim_and_seed()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Point::random(d, &mut rng);
+        let b = Point::random(d, &mut rng);
+        let mut x = a.clone();
+        x.xor_assign(&b);
+        prop_assert_eq!(x.weight(), a.distance(&b));
+        x.xor_assign(&b);
+        prop_assert_eq!(x, a);
+    }
+
+    /// Flipping any subset of coordinates moves the point by exactly the
+    /// subset size.
+    #[test]
+    fn flips_move_exactly((d, seed) in dim_and_seed(), flips in prop::collection::btree_set(0u32..600, 0..40)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Point::random(d, &mut rng);
+        let valid: Vec<u32> = flips.into_iter().filter(|&i| i < d).collect();
+        let mut b = a.clone();
+        for &i in &valid {
+            b.flip(i);
+        }
+        prop_assert_eq!(a.distance(&b) as usize, valid.len());
+    }
+
+    /// `point_at_distance` hits the shell exactly, for every radius.
+    #[test]
+    fn shell_sampler_is_exact((d, seed) in dim_and_seed(), frac in 0.0f64..=1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let center = Point::random(d, &mut rng);
+        let r = ((d as f64) * frac).floor() as u32;
+        let p = gen::point_at_distance(&center, r, &mut rng);
+        prop_assert_eq!(center.distance(&p), r);
+    }
+
+    /// The ball profile is monotone, ends at n, and its first non-empty
+    /// scale is consistent with the exact NN distance.
+    #[test]
+    fn ball_profile_invariants(seed in any::<u64>(), n in 1usize..60, d in 2u32..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = gen::uniform(n, d, &mut rng);
+        let q = Point::random(d, &mut rng);
+        let alpha = std::f64::consts::SQRT_2;
+        let prof = ds.ball_profile(&q, alpha);
+        for w in prof.sizes.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert_eq!(*prof.sizes.last().unwrap(), n);
+        let first = prof.first_nonempty() as u32;
+        // NN distance lies in (radius(first-1), radius(first)].
+        prop_assert!(prof.nn_distance <= scale_radius(first, alpha));
+        if first > 0 {
+            prop_assert!(prof.nn_distance > scale_radius(first - 1, alpha));
+        }
+    }
+
+    /// Ball volumes: log2-volume of radius-d ball is exactly d; volumes are
+    /// monotone in the radius.
+    #[test]
+    fn ball_volume_consistency(d in 1u64..400, r_frac in 0.0f64..=1.0) {
+        let r = ((d as f64) * r_frac).floor() as u64;
+        let v = ball::ball_volume_log2(d, r);
+        prop_assert!(v <= d as f64 + 1e-6);
+        if r < d {
+            prop_assert!(ball::ball_volume_log2(d, r + 1) >= v - 1e-9);
+        }
+    }
+
+    /// `ceil_log_alpha` really is the minimal exponent.
+    #[test]
+    fn ceil_log_alpha_minimal(d in 1u64..1_000_000, alpha_milli in 1001u32..1999) {
+        let alpha = alpha_milli as f64 / 1000.0;
+        let k = ceil_log_alpha(d, alpha);
+        prop_assert!(alpha.powi(k as i32) >= d as f64);
+        if k > 0 {
+            prop_assert!(alpha.powi(k as i32 - 1) < d as f64);
+        }
+    }
+
+    /// Exact NN scan is correct against a direct minimum.
+    #[test]
+    fn exact_nn_is_minimum(seed in any::<u64>(), n in 1usize..50, d in 1u32..128) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = gen::uniform(n, d, &mut rng);
+        let q = Point::random(d, &mut rng);
+        let nn = ds.exact_nn(&q);
+        let direct = ds.points().iter().map(|p| q.distance(p)).min().unwrap();
+        prop_assert_eq!(nn.distance, direct);
+        prop_assert_eq!(q.distance(ds.point(nn.index)), direct);
+    }
+}
+
+#[test]
+fn n1_membership_exhaustive_small() {
+    // Exhaustive check in dimension 10 with a 5-point database.
+    let mut rng = StdRng::seed_from_u64(99);
+    let ds = gen::uniform(5, 10, &mut rng);
+    for mask in 0u32..1024 {
+        let q = Point::from_fn(10, |i| (mask >> i) & 1 == 1);
+        let expect = ds.points().iter().any(|p| p.distance(&q) <= 1);
+        let got = ball::n1_member(ds.points(), &q).is_some();
+        assert_eq!(got, expect, "mask {mask}");
+    }
+    let _ = Dataset::new(ds.points().to_vec()); // exercise re-wrap
+}

@@ -1,0 +1,276 @@
+//! γ-separated trees of Hamming balls (Lemma 15 / Lemma 16).
+//!
+//! Lemma 16 builds a rooted tree whose vertices are Hamming balls in
+//! `{0,1}^d`: children nest inside their parent, each depth-`i` ball has
+//! radius `d/(8γ)^i`, and the depth-`i` balls form a **γ-separated family**
+//! (any two points in distinct balls are more than `γ × diameter` apart).
+//! The paper needs `⌈2^{d^0.99}⌉` children per node; the existence comes
+//! from Lemma 15 (Chakrabarti–Chazelle–Gum–Lvov). At laptop scale we build
+//! the same object constructively with greedy Gilbert–Varshamov codes
+//! (substitution S2 of `DESIGN.md`): children centers are sampled on a
+//! shell inside the parent with pairwise distance `> 2·r_child·(γ+1)`,
+//! which implies the required point-separation `> γ·2·r_child` between
+//! distinct child balls.
+//!
+//! The tree is the backbone of the `LPM → ANNS` reduction
+//! ([`crate::reduce`]): a string over `Σ = {0..b−1}` walks the tree symbol
+//! by symbol; its leaf center is its Hamming-space image.
+
+use rand::Rng;
+
+use anns_hamming::{GreedyCode, Point};
+
+/// A γ-separated ball tree of uniform branching.
+#[derive(Clone, Debug)]
+pub struct BallTree {
+    dim: u32,
+    gamma: f64,
+    branching: u16,
+    depth: usize,
+    /// `radii[i]` = ball radius at depth `i` (root at depth 0).
+    radii: Vec<u32>,
+    /// Level-order center storage: level `i` holds `branching^i` centers;
+    /// children of node `j` at level `i` are nodes `j·b .. j·b+b` at `i+1`.
+    levels: Vec<Vec<Point>>,
+}
+
+impl BallTree {
+    /// Builds a tree of the given `depth` (leaves at `depth`) and
+    /// `branching` inside `{0,1}^dim`, rooted at `root_center`.
+    ///
+    /// Returns `None` if some greedy code fails to reach the branching
+    /// factor within `max_attempts` rejections per node (radii too small
+    /// for the requested separation — the caller should lower `depth` /
+    /// `branching` or raise `dim`, mirroring Lemma 15's `r ≥ d^0.995`
+    /// hypothesis).
+    pub fn build<R: Rng + ?Sized>(
+        dim: u32,
+        gamma: f64,
+        branching: u16,
+        depth: usize,
+        root_center: Point,
+        max_attempts: usize,
+        rng: &mut R,
+    ) -> Option<Self> {
+        assert!(gamma > 1.0);
+        assert!(branching >= 2);
+        assert!(depth >= 1);
+        assert_eq!(root_center.dim(), dim);
+        // radius at depth i: d/(8γ)^i.
+        let mut radii = Vec::with_capacity(depth + 1);
+        for i in 0..=depth {
+            let r = f64::from(dim) / (8.0 * gamma).powi(i as i32);
+            radii.push(r.floor() as u32);
+        }
+        assert!(
+            radii[depth] >= 1,
+            "leaf radius underflows: raise dim or lower depth (d/(8γ)^m ≥ 1 needed)"
+        );
+        let mut levels: Vec<Vec<Point>> = vec![vec![root_center]];
+        for i in 0..depth {
+            let r_child = radii[i + 1];
+            // Separation between child centers ⇒ γ-separation of the balls:
+            // point distance > center distance − 2·r_child > γ·(2·r_child).
+            let min_sep = 2 * r_child * (gamma.ceil() as u32 + 1);
+            // Sample centers on a shell that both stays inside the parent
+            // and keeps random points well spread (pairwise distance of
+            // shell points ≈ 2q(1−q/d) peaks near q = d/2).
+            let shell = (radii[i] - r_child).min(dim / 2).max(1);
+            let mut next = Vec::with_capacity(levels[i].len() * branching as usize);
+            for parent in &levels[i] {
+                let code = GreedyCode::grow(
+                    parent,
+                    shell,
+                    min_sep,
+                    branching as usize,
+                    max_attempts,
+                    rng,
+                );
+                if code.len() < branching as usize {
+                    return None;
+                }
+                next.extend(code.words().iter().cloned());
+            }
+            levels.push(next);
+        }
+        Some(BallTree {
+            dim,
+            gamma,
+            branching,
+            depth,
+            radii,
+            levels,
+        })
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Tree depth (leaves live at this level).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Branching factor = alphabet size of the reduction.
+    pub fn branching(&self) -> u16 {
+        self.branching
+    }
+
+    /// Ball radius at a level.
+    pub fn radius(&self, level: usize) -> u32 {
+        self.radii[level]
+    }
+
+    /// Number of leaves (`branching^depth`).
+    pub fn num_leaves(&self) -> usize {
+        (self.branching as usize).pow(self.depth as u32)
+    }
+
+    /// The center reached from the root by following `path` (one symbol per
+    /// level). Paths shorter than `depth` land on internal centers.
+    ///
+    /// # Panics
+    /// Panics if a symbol is out of range.
+    pub fn center(&self, path: &[u16]) -> &Point {
+        assert!(path.len() <= self.depth);
+        let mut idx = 0usize;
+        for (level, &sym) in path.iter().enumerate() {
+            assert!(sym < self.branching, "symbol out of range");
+            idx = idx * self.branching as usize + sym as usize;
+            let _ = level;
+        }
+        &self.levels[path.len()][idx]
+    }
+
+    /// Audits the construction: containment of children in parents and
+    /// γ-separation at every level. Returns the worst observed ratio
+    /// `point_separation / (γ·diameter)` (must be > 1).
+    ///
+    /// # Panics
+    /// Panics if an invariant is violated.
+    pub fn audit(&self) -> f64 {
+        let mut worst = f64::INFINITY;
+        for level in 1..=self.depth {
+            let r = self.radii[level];
+            let r_parent = self.radii[level - 1];
+            let b = self.branching as usize;
+            let centers = &self.levels[level];
+            let parents = &self.levels[level - 1];
+            // Containment.
+            for (j, c) in centers.iter().enumerate() {
+                let parent = &parents[j / b];
+                assert!(
+                    parent.distance(c) + r <= r_parent,
+                    "child ball escapes parent at level {level}"
+                );
+            }
+            // Separation between sibling balls (the γ-separated family is
+            // the whole level; distinct subtrees are at least as separated
+            // as siblings higher up, which containment transports down).
+            for j in 0..centers.len() {
+                for l in (j + 1)..centers.len() {
+                    let center_dist = centers[j].distance(&centers[l]);
+                    // Worst-case point distance between the two balls.
+                    let point_sep = center_dist.saturating_sub(2 * r);
+                    let needed = self.gamma * f64::from(2 * r);
+                    assert!(
+                        f64::from(point_sep) > needed,
+                        "level {level}: balls {j},{l} separation {point_sep} ≤ γ·diam {needed}"
+                    );
+                    worst = worst.min(f64::from(point_sep) / needed);
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tree(seed: u64, dim: u32, branching: u16, depth: usize) -> BallTree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let root = Point::random(dim, &mut rng);
+        BallTree::build(dim, 2.0, branching, depth, root, 50_000, &mut rng)
+            .expect("construction must succeed at these parameters")
+    }
+
+    #[test]
+    fn depth_one_tree_shape_and_audit() {
+        let t = tree(1, 1024, 8, 1);
+        assert_eq!(t.num_leaves(), 8);
+        assert_eq!(t.radius(0), 1024);
+        assert_eq!(t.radius(1), 64);
+        let margin = t.audit();
+        assert!(margin > 1.0);
+    }
+
+    #[test]
+    fn depth_two_tree_separation_holds_globally() {
+        let t = tree(2, 2048, 4, 2);
+        assert_eq!(t.num_leaves(), 16);
+        assert_eq!(t.radius(2), 8);
+        t.audit();
+    }
+
+    #[test]
+    fn leaf_distance_encodes_lcp_depth() {
+        // Two leaves sharing a longer path prefix are closer: within one
+        // depth-1 subtree, distance ≤ 2·r₁; across subtrees > 2γ·r₁.
+        let t = tree(3, 2048, 4, 2);
+        let same_subtree = t.center(&[0, 0]).distance(t.center(&[0, 1]));
+        let cross_subtree = t.center(&[0, 0]).distance(t.center(&[1, 0]));
+        assert!(
+            same_subtree <= 2 * t.radius(1),
+            "same-subtree distance {same_subtree}"
+        );
+        assert!(
+            f64::from(cross_subtree) > 2.0 * 2.0 * f64::from(t.radius(1)),
+            "cross-subtree distance {cross_subtree}"
+        );
+        assert!(cross_subtree > same_subtree);
+    }
+
+    #[test]
+    fn infeasible_parameters_return_none() {
+        // γ close to 1 inflates the required separation past what shell
+        // points can deliver: at γ = 1.2 the child separation is
+        // 2·(d/9.6)·3 = 0.625d while random shell-(d/2) points concentrate
+        // at pairwise distance ≈ d/2 — every candidate conflicts with the
+        // first accepted word, so the greedy code stalls below the
+        // branching target and the constructor reports failure.
+        let mut rng = StdRng::seed_from_u64(4);
+        let root = Point::random(512, &mut rng);
+        let result = BallTree::build(512, 1.2, 8, 1, root, 1_000, &mut rng);
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn center_path_indexing() {
+        let t = tree(5, 1024, 3, 2);
+        // Root.
+        assert_eq!(t.center(&[]).dim(), 1024);
+        // All 9 leaves distinct.
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..3u16 {
+            for b in 0..3u16 {
+                seen.insert(t.center(&[a, b]).clone());
+            }
+        }
+        assert_eq!(seen.len(), 9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn leaf_radius_underflow_is_detected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let root = Point::random(256, &mut rng);
+        // depth 3 at d=256: 256/16³ < 1.
+        let _ = BallTree::build(256, 2.0, 2, 3, root, 100, &mut rng);
+    }
+}

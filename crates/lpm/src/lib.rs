@@ -1,0 +1,33 @@
+//! The paper's lower-bound machinery (§4), made executable.
+//!
+//! Theorem 4's `Ω((1/k)(log d)^{1/k})` bound is proved in three moves, each
+//! of which this crate implements:
+//!
+//! 1. [`problem`] — the **longest prefix match** problem `LPM(Σ, m, n)`
+//!    (Definition 13) with an exhaustive reference solver;
+//! 2. [`balltree`] + [`reduce`] — the reduction `LPM → ANNS` (Lemma 14):
+//!    a γ-separated tree of Hamming balls (Lemma 15/16, built
+//!    constructively with Gilbert–Varshamov codes at laptop scale) maps
+//!    strings to leaf centers such that *any* γ-approximate
+//!    nearest-neighbor answer reveals the longest common prefix;
+//! 3. [`protocol`] + [`roundelim`] — the cell-probe → communication
+//!    translation (Proposition 18) and the **round elimination** recurrence
+//!    (Lemma 19 / Claim 25) executed numerically: for a given
+//!    `(n, d, γ, k, t)` the calculator replays the proof's eliminations and
+//!    reports whether a `t`-probe `k`-round scheme survives to the
+//!    impossible zero-communication `LPM(Σ, 1, 1)` protocol (Claim 26) —
+//!    i.e. whether `t` is *certifiably below* the lower bound.
+
+pub mod balltree;
+pub mod problem;
+pub mod protocol;
+pub mod reduce;
+pub mod roundelim;
+pub mod trie;
+
+pub use balltree::BallTree;
+pub use problem::{lcp_len, LpmInstance};
+pub use protocol::ProtocolShape;
+pub use reduce::LpmReduction;
+pub use roundelim::{certified_lower_bound, eliminate, lower_bound_form, ElimOutcome, ElimParams};
+pub use trie::TrieLpm;

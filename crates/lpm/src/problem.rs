@@ -1,0 +1,171 @@
+//! The longest prefix match problem `LPM(Σ, m, n)` (Definition 13).
+//!
+//! Given a query string `x ∈ Σ^m` and a database `B ⊆ Σ^m` of `n` strings,
+//! return some `z ∈ B` whose common prefix with `x` is longest. LPM
+//! "critically captures the nature of searching for the nearest neighbors"
+//! (§1): unlike the decision problem `λ-ANN` (1-probe solvable,
+//! Theorem 11), its answer localizes the query at every scale at once —
+//! which is exactly what the reduction of Lemma 14 transports into Hamming
+//! space.
+//!
+//! Strings are `Vec<u16>` over an alphabet `{0, …, |Σ|−1}`; the paper's
+//! alphabet is the enormous `⌈2^{d^0.99}⌉`, ours is a parameter (see
+//! substitution S2 in `DESIGN.md`).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A string over the integer alphabet.
+pub type LpmString = Vec<u16>;
+
+/// Length of the longest common prefix of two strings.
+pub fn lcp_len(a: &[u16], b: &[u16]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+/// An LPM instance: alphabet size, string length, and database.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LpmInstance {
+    /// Alphabet size `|Σ|`.
+    pub sigma: u16,
+    /// String length `m`.
+    pub m: usize,
+    /// The database `B` (n strings).
+    pub database: Vec<LpmString>,
+}
+
+impl LpmInstance {
+    /// Creates an instance, validating every string.
+    ///
+    /// # Panics
+    /// Panics on empty databases, wrong lengths, or out-of-alphabet symbols.
+    pub fn new(sigma: u16, m: usize, database: Vec<LpmString>) -> Self {
+        assert!(sigma >= 2, "alphabet needs at least two symbols");
+        assert!(m >= 1, "strings must be non-empty");
+        assert!(!database.is_empty(), "database must be non-empty");
+        for s in &database {
+            assert_eq!(s.len(), m, "database string of wrong length");
+            assert!(s.iter().all(|&c| c < sigma), "symbol out of alphabet");
+        }
+        LpmInstance { sigma, m, database }
+    }
+
+    /// A random instance with `n` distinct strings.
+    pub fn random<R: Rng + ?Sized>(sigma: u16, m: usize, n: usize, rng: &mut R) -> Self {
+        assert!(
+            (n as f64) <= (f64::from(sigma)).powi(m as i32),
+            "alphabet too small for {n} distinct strings"
+        );
+        let mut set = std::collections::HashSet::with_capacity(n);
+        while set.len() < n {
+            let s: LpmString = (0..m).map(|_| rng.gen_range(0..sigma)).collect();
+            set.insert(s);
+        }
+        LpmInstance::new(sigma, m, set.into_iter().collect())
+    }
+
+    /// Database size `n`.
+    pub fn len(&self) -> usize {
+        self.database.len()
+    }
+
+    /// Never true (constructor rejects empty databases).
+    pub fn is_empty(&self) -> bool {
+        self.database.is_empty()
+    }
+
+    /// The exhaustive reference solver: index of a database string with the
+    /// longest common prefix (lowest index wins ties), plus the LCP length.
+    pub fn solve(&self, query: &[u16]) -> (usize, usize) {
+        assert_eq!(query.len(), self.m);
+        let mut best = (0usize, 0usize);
+        for (i, s) in self.database.iter().enumerate() {
+            let l = lcp_len(query, s);
+            if l > best.1 {
+                best = (i, l);
+                if l == self.m {
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// Whether returning database index `idx` is a *correct* LPM answer for
+    /// `query` (achieves the maximal LCP — the relation allows any
+    /// maximizer, not just the solver's tie-break).
+    pub fn is_correct(&self, query: &[u16], idx: usize) -> bool {
+        let (_, opt) = self.solve(query);
+        lcp_len(query, &self.database[idx]) == opt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lcp_basic() {
+        assert_eq!(lcp_len(&[1, 2, 3], &[1, 2, 4]), 2);
+        assert_eq!(lcp_len(&[1, 2, 3], &[1, 2, 3]), 3);
+        assert_eq!(lcp_len(&[5], &[6]), 0);
+        assert_eq!(lcp_len(&[], &[]), 0);
+    }
+
+    #[test]
+    fn solver_finds_maximal_prefix() {
+        let inst = LpmInstance::new(
+            4,
+            3,
+            vec![vec![0, 1, 2], vec![0, 1, 3], vec![2, 0, 0], vec![0, 2, 2]],
+        );
+        let (idx, l) = inst.solve(&[0, 1, 3]);
+        assert_eq!((idx, l), (1, 3), "exact match");
+        let (idx, l) = inst.solve(&[0, 2, 3]);
+        assert_eq!((idx, l), (3, 2));
+        let (_, l) = inst.solve(&[3, 3, 3]);
+        assert_eq!(l, 0);
+        assert!(inst.is_correct(&[3, 3, 3], 2), "any string is a maximizer at lcp 0");
+    }
+
+    #[test]
+    fn random_instances_have_distinct_strings() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = LpmInstance::random(4, 5, 50, &mut rng);
+        let set: std::collections::HashSet<_> = inst.database.iter().collect();
+        assert_eq!(set.len(), 50);
+    }
+
+    #[test]
+    fn solver_against_brute_force_on_random() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let inst = LpmInstance::random(3, 4, 30, &mut rng);
+        for _ in 0..50 {
+            let q: LpmString = (0..4).map(|_| rng.gen_range(0..3)).collect();
+            let (idx, l) = inst.solve(&q);
+            let brute = inst
+                .database
+                .iter()
+                .map(|s| lcp_len(&q, s))
+                .max()
+                .unwrap();
+            assert_eq!(l, brute);
+            assert_eq!(lcp_len(&q, &inst.database[idx]), brute);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_alphabet() {
+        let _ = LpmInstance::new(2, 2, vec![vec![0, 5]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_too_many_distinct_strings() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = LpmInstance::random(2, 2, 5, &mut rng); // only 4 exist
+    }
+}

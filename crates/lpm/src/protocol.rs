@@ -1,0 +1,100 @@
+//! Cell-probe schemes as communication protocols (Proposition 18).
+//!
+//! A `k`-round cell-probing scheme with `t_i` probes in round `i` on a
+//! table of `s` cells and word size `w` is a `⟨A, B, 2k⟩`-protocol between
+//! Alice (the query algorithm) and Bob (the table): Alice's `i`-th message
+//! carries the `t_i` probed addresses (`a_i = t_i·⌈log₂ s⌉` bits), Bob's
+//! reply carries their contents (`b_i = t_i·w` bits). This is the paper's
+//! observation that *k rounds of probes = 2k rounds of communication*, and
+//! it is where the non-uniform message sizes of Lemma 19 come from.
+
+use anns_cellprobe::ProbeLedger;
+use serde::{Deserialize, Serialize};
+
+/// Message-size vectors of the induced `⟨A, B, 2k⟩` protocol.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolShape {
+    /// Alice's message sizes `a_i = t_i·⌈log₂ s⌉`, bits.
+    pub a: Vec<f64>,
+    /// Bob's message sizes `b_i = t_i·w`, bits.
+    pub b: Vec<f64>,
+}
+
+impl ProtocolShape {
+    /// Translates a measured ledger (Proposition 18). `cells_log2` is
+    /// `log₂ s`, `word_bits` is `w`.
+    pub fn from_ledger(ledger: &ProbeLedger, cells_log2: f64, word_bits: u64) -> Self {
+        let addr_bits = cells_log2.ceil().max(1.0);
+        let a = ledger
+            .per_round
+            .iter()
+            .map(|&t| t as f64 * addr_bits)
+            .collect();
+        let b = ledger
+            .per_round
+            .iter()
+            .map(|&t| t as f64 * word_bits as f64)
+            .collect();
+        ProtocolShape { a, b }
+    }
+
+    /// The uniform-split shape used by the lower-bound recurrence:
+    /// `t_i = t/k` for all rounds.
+    pub fn uniform(t_total: f64, k: u32, cells_log2: f64, word_bits_log2: f64) -> Self {
+        assert!(k >= 1);
+        let per_round = t_total / f64::from(k);
+        let a = vec![per_round * cells_log2.ceil().max(1.0); k as usize];
+        let b = vec![per_round * word_bits_log2.exp2(); k as usize];
+        ProtocolShape { a, b }
+    }
+
+    /// Number of communication rounds (`2k`).
+    pub fn comm_rounds(&self) -> usize {
+        2 * self.a.len()
+    }
+
+    /// Total bits exchanged.
+    pub fn total_bits(&self) -> f64 {
+        self.a.iter().sum::<f64>() + self.b.iter().sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_translation_matches_proposition_18() {
+        let ledger = ProbeLedger {
+            per_round: vec![3, 1, 2],
+            word_bits_read: 999,
+            max_word_bits: 512,
+            address_bits_sent: 0,
+        };
+        let shape = ProtocolShape::from_ledger(&ledger, 30.0, 512);
+        assert_eq!(shape.a, vec![90.0, 30.0, 60.0]);
+        assert_eq!(shape.b, vec![3.0 * 512.0, 512.0, 1024.0]);
+        assert_eq!(shape.comm_rounds(), 6);
+        assert!((shape.total_bits() - (180.0 + 3072.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_shape() {
+        let shape = ProtocolShape::uniform(12.0, 4, 20.0, 9.0);
+        assert_eq!(shape.a.len(), 4);
+        assert!((shape.a[0] - 3.0 * 20.0).abs() < 1e-9);
+        assert!((shape.b[0] - 3.0 * 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_cells_round_up() {
+        let ledger = ProbeLedger {
+            per_round: vec![1],
+            word_bits_read: 0,
+            max_word_bits: 0,
+            address_bits_sent: 0,
+        };
+        let shape = ProtocolShape::from_ledger(&ledger, 10.2, 8);
+        assert_eq!(shape.a, vec![11.0]);
+    }
+}

@@ -1,0 +1,234 @@
+//! The reduction `LPM(Σ, m, n) → ANNS(γ, d, n)` (Lemma 14).
+//!
+//! Strings walk the γ-separated ball tree: symbol `c` at depth `i` selects
+//! the `c`-th child; a string's image is its leaf center. The tree geometry
+//! makes approximate nearest neighbors reveal longest common prefixes:
+//!
+//! * leaves sharing a prefix of length `p` lie in one depth-`p` ball —
+//!   distance `≤ 2·r_p`;
+//! * leaves diverging at depth `q < p` lie in distinct depth-`(q+1)` balls
+//!   of a γ-separated family — distance `> γ·2·r_{q+1} ≥ γ·2·r_p`.
+//!
+//! So if the best database string has LCP `p` with the query, its leaf is
+//! within `2·r_p` of the query's leaf while every string with a shorter LCP
+//! is beyond `γ·2·r_p` — strictly beyond what a γ-approximate NN may
+//! return. **Any** valid γ-approximate answer therefore attains the maximal
+//! LCP, which is why a lower bound for LPM transfers to ANNS with rounds
+//! and probes untouched (the reduction happens entirely at the instance
+//! level).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use anns_hamming::{Dataset, Point};
+
+use crate::balltree::BallTree;
+use crate::problem::{lcp_len, LpmInstance};
+
+/// A materialized reduction: the tree plus the instance mapping.
+pub struct LpmReduction {
+    tree: BallTree,
+    instance: LpmInstance,
+    /// ANNS database: `dataset.point(i)` is the leaf image of
+    /// `instance.database[i]`.
+    dataset: Dataset,
+    /// Inverse map leaf-center → database index.
+    inverse: HashMap<Point, usize>,
+}
+
+impl LpmReduction {
+    /// Builds the tree for the instance's alphabet/length and maps the
+    /// database. Returns `None` if the tree construction fails at these
+    /// parameters (see [`BallTree::build`]).
+    pub fn build<R: Rng + ?Sized>(
+        instance: LpmInstance,
+        dim: u32,
+        gamma: f64,
+        max_attempts: usize,
+        rng: &mut R,
+    ) -> Option<Self> {
+        let root = Point::random(dim, rng);
+        let tree = BallTree::build(
+            dim,
+            gamma,
+            instance.sigma,
+            instance.m,
+            root,
+            max_attempts,
+            rng,
+        )?;
+        let points: Vec<Point> = instance
+            .database
+            .iter()
+            .map(|s| tree.center(s).clone())
+            .collect();
+        let mut inverse = HashMap::with_capacity(points.len());
+        for (i, p) in points.iter().enumerate() {
+            inverse.entry(p.clone()).or_insert(i);
+        }
+        let dataset = Dataset::new(points);
+        Some(LpmReduction {
+            tree,
+            instance,
+            dataset,
+            inverse,
+        })
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &BallTree {
+        &self.tree
+    }
+
+    /// The LPM instance.
+    pub fn instance(&self) -> &LpmInstance {
+        &self.instance
+    }
+
+    /// The ANNS database (leaf images of the LPM database).
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Maps a query string to its ANNS query point.
+    pub fn map_query(&self, query: &[u16]) -> Point {
+        assert_eq!(query.len(), self.instance.m);
+        self.tree.center(query).clone()
+    }
+
+    /// Pulls an ANNS answer (a returned database point) back to the LPM
+    /// answer (a database index). Returns `None` if the point is not a
+    /// database image — a protocol violation by the ANNS solver.
+    pub fn pull_back(&self, answer: &Point) -> Option<usize> {
+        self.inverse.get(answer).copied()
+    }
+
+    /// End-to-end check for one query: solves the ANNS instance *exactly*
+    /// (or through any solver the caller ran) and verifies the pulled-back
+    /// index attains the maximal LCP.
+    pub fn answer_is_correct(&self, query: &[u16], answer: &Point) -> bool {
+        match self.pull_back(answer) {
+            Some(idx) => self.instance.is_correct(query, idx),
+            None => false,
+        }
+    }
+
+    /// The reduction's soundness margin for a query: the largest `γ'` such
+    /// that every `γ'`-approximate answer still attains the maximal LCP
+    /// (`min_{wrong y} dist(x, y) / min_z dist(x, z)`); `None` when the
+    /// query's optimum is 0 distance with no wrong answers to exclude, or
+    /// when every database string attains the maximal LCP.
+    pub fn soundness_margin(&self, query: &[u16]) -> Option<f64> {
+        let x = self.map_query(query);
+        let (_, opt_lcp) = self.instance.solve(query);
+        let mut best: Option<u32> = None;
+        let mut worst_ok: Option<u32> = None;
+        for (i, s) in self.instance.database.iter().enumerate() {
+            let dist = x.distance(self.dataset.point(i));
+            if lcp_len(query, s) == opt_lcp {
+                worst_ok = Some(worst_ok.map_or(dist, |w: u32| w.min(dist)));
+            } else {
+                best = Some(best.map_or(dist, |b: u32| b.min(dist)));
+            }
+        }
+        match (worst_ok, best) {
+            (Some(ok), Some(wrong)) if ok > 0 => Some(f64::from(wrong) / f64::from(ok)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reduction(seed: u64, sigma: u16, m: usize, n: usize, dim: u32) -> LpmReduction {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instance = LpmInstance::random(sigma, m, n, &mut rng);
+        LpmReduction::build(instance, dim, 2.0, 50_000, &mut rng)
+            .expect("reduction must build at these parameters")
+    }
+
+    #[test]
+    fn exact_nn_solves_lpm_through_the_reduction() {
+        let red = reduction(1, 4, 2, 12, 2048);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..40 {
+            let q: Vec<u16> = (0..2).map(|_| rng.gen_range(0..4)).collect();
+            let x = red.map_query(&q);
+            let nn = red.dataset().exact_nn(&x);
+            let answer = red.dataset().point(nn.index);
+            assert!(
+                red.answer_is_correct(&q, answer),
+                "query {q:?}: exact NN does not maximize LCP"
+            );
+        }
+    }
+
+    #[test]
+    fn any_gamma_approximate_answer_solves_lpm() {
+        // The heart of Lemma 14: enumerate *all* database points within
+        // γ·opt and verify every one attains the maximal LCP.
+        let red = reduction(3, 3, 2, 9, 2048);
+        let gamma = 2.0;
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..30 {
+            let q: Vec<u16> = (0..2).map(|_| rng.gen_range(0..3)).collect();
+            let x = red.map_query(&q);
+            let opt = red.dataset().exact_nn(&x).distance;
+            for i in 0..red.dataset().len() {
+                let dist = x.distance(red.dataset().point(i));
+                if f64::from(dist) <= gamma * f64::from(opt) {
+                    assert!(
+                        red.instance().is_correct(&q, i),
+                        "query {q:?}: {i} is γ-approximate but wrong for LPM"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soundness_margin_exceeds_gamma() {
+        let red = reduction(5, 4, 2, 10, 2048);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut checked = 0;
+        for _ in 0..40 {
+            let q: Vec<u16> = (0..2).map(|_| rng.gen_range(0..4)).collect();
+            if let Some(margin) = red.soundness_margin(&q) {
+                assert!(margin > 2.0, "query {q:?}: margin {margin} ≤ γ");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no query exercised the margin");
+    }
+
+    #[test]
+    fn pull_back_rejects_foreign_points() {
+        let red = reduction(7, 3, 2, 5, 2048);
+        let mut rng = StdRng::seed_from_u64(8);
+        let foreign = Point::random(2048, &mut rng);
+        assert_eq!(red.pull_back(&foreign), None);
+        // Database images pull back to themselves.
+        for i in 0..red.dataset().len() {
+            assert_eq!(red.pull_back(red.dataset().point(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn depth_one_reduction_works_too() {
+        // m = 1: LPM degenerates to exact symbol match; the reduction still
+        // must route it correctly.
+        let red = reduction(9, 8, 1, 6, 1024);
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..16 {
+            let q = vec![rng.gen_range(0..8u16)];
+            let x = red.map_query(&q);
+            let nn = red.dataset().exact_nn(&x);
+            assert!(red.answer_is_correct(&q, red.dataset().point(nn.index)));
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Property tests for the direct k-round LPM scheme.
+
+use anns_cellprobe::execute;
+use anns_lpm::{LpmInstance, TrieLpm};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For random instances, alphabet sizes, lengths and round budgets, the
+    /// trie scheme returns a maximal-LCP witness within its round budget
+    /// and probe bound.
+    #[test]
+    fn trie_matches_reference_solver(
+        seed in any::<u64>(),
+        sigma in 2u16..8,
+        m in 1usize..12,
+        n_exp in 1u32..6,
+        k in 1u32..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max_strings = (f64::from(sigma)).powi(m as i32);
+        let n = ((1usize << n_exp) as f64).min(max_strings) as usize;
+        prop_assume!(n >= 1);
+        let instance = LpmInstance::random(sigma, m, n, &mut rng);
+        let trie = TrieLpm::build(instance.clone(), k);
+        let tau = trie.tau();
+        for _ in 0..6 {
+            let q: Vec<u16> = (0..m).map(|_| rng.gen_range(0..sigma)).collect();
+            let ((idx, lcp), ledger) = execute(&trie, &q);
+            let (_, expect) = instance.solve(&q);
+            prop_assert_eq!(lcp, expect);
+            prop_assert!(instance.is_correct(&q, idx));
+            prop_assert!(ledger.rounds() <= k as usize);
+            prop_assert!(ledger.total_probes() <= (k * tau) as usize);
+        }
+    }
+
+    /// Database members always resolve to full-length matches.
+    #[test]
+    fn members_resolve_exactly(seed in any::<u64>(), k in 1u32..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instance = LpmInstance::random(4, 6, 20, &mut rng);
+        let trie = TrieLpm::build(instance.clone(), k);
+        let pick = rng.gen_range(0..instance.len());
+        let q = instance.database[pick].clone();
+        let ((idx, lcp), _) = execute(&trie, &q);
+        prop_assert_eq!(lcp, 6);
+        prop_assert_eq!(&instance.database[idx], &q);
+    }
+}

@@ -1,0 +1,24 @@
+//! Baselines the paper positions itself against (§1).
+//!
+//! * [`bitsampling`] — classic locality-sensitive hashing for Hamming space
+//!   (Indyk–Motwani bit sampling): `L` tables of `K`-bit projections,
+//!   `ρ = ln(1/p₁)/ln(1/p₂)`, `O~(d·n^ρ)` cell-probe cost on an
+//!   `O~(n^{1+ρ})`-cell table. The paper's canonical example of a
+//!   **non-adaptive** (1-round) scheme: every bucket address depends only
+//!   on the query.
+//! * [`linear`] — the trivial exact baseline: scan all `n` points in one
+//!   round (`n` probes). Useful both as a comparison row and as ground
+//!   truth routed *through the cell-probe machinery* (so integration tests
+//!   can cross-check ledgers end to end).
+//!
+//! The fully-adaptive `O(log log d)` baseline the introduction mentions is
+//! Algorithm 1 with `τ = 2` (adaptive binary search over scales); it lives
+//! in `anns-core` behind `Alg1Scheme { tau_override: Some(2), .. }`.
+
+pub mod bitsampling;
+pub mod linear;
+pub mod multiradius;
+
+pub use bitsampling::{LshIndex, LshParams};
+pub use linear::LinearScan;
+pub use multiradius::{MultiRadiusLsh, MultiRadiusParams};

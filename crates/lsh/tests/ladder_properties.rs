@@ -1,0 +1,47 @@
+//! Property tests for the multi-radius LSH ladder.
+
+use anns_hamming::gen;
+use anns_lsh::{MultiRadiusLsh, MultiRadiusParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    // Ladder builds are heavy; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Across seeds, the ladder recovers a planted needle and its answer is
+    /// γ·α-approximate; more rungs per round never increases rounds.
+    #[test]
+    fn ladder_recovers_planted_needles(seed in any::<u64>(), dist in 4u32..24) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let planted = gen::planted(256, 512, dist, &mut rng);
+        let params = MultiRadiusParams {
+            boost: 6.0,
+            ..MultiRadiusParams::default()
+        };
+        let ladder = MultiRadiusLsh::build(planted.dataset.clone(), params, &mut rng);
+        let (answer, ledger) = ladder.query(&planted.query);
+        let (idx, found_dist) = answer.expect("planted needle must be found at boost 6");
+        // The certified guarantee: within γ·α of the optimum (γ for the
+        // rung, α for the ladder's radius granularity).
+        let opt = planted.dataset.exact_nn(&planted.query).distance;
+        prop_assert!(f64::from(found_dist) <= 2.0 * std::f64::consts::SQRT_2 * f64::from(opt).max(1.0));
+        prop_assert!(idx < planted.dataset.len());
+        prop_assert!(ledger.rounds() <= ladder.num_rungs());
+
+        // Fully parallel variant: one round, at least as many probes.
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let planted2 = gen::planted(256, 512, dist, &mut rng2);
+        let params_par = MultiRadiusParams {
+            boost: 6.0,
+            rungs_per_round: 64,
+            ..MultiRadiusParams::default()
+        };
+        let ladder_par = MultiRadiusLsh::build(planted2.dataset, params_par, &mut rng2);
+        let (answer_par, ledger_par) = ladder_par.query(&planted2.query);
+        prop_assert!(answer_par.is_some());
+        prop_assert_eq!(ledger_par.rounds(), 1);
+        prop_assert!(ledger_par.total_probes() >= ledger.total_probes());
+    }
+}

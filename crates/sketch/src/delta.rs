@@ -1,0 +1,201 @@
+//! The `δ(β, α)` gap function and sketch-distance thresholds.
+//!
+//! One row of `M_i` is a random vector `r ∈ {0,1}^d` with iid
+//! `Bernoulli(p_i)` entries, `p_i = 1/(4α^i)`; the sketch bit of `x` is the
+//! GF(2) inner product `⟨r, x⟩`. For two points at Hamming distance `D` the
+//! sketch bits differ iff `r` hits the D differing coordinates an odd number
+//! of times:
+//!
+//! ```text
+//!   f_i(D) = P[⟨r,x⟩ ≠ ⟨r,z⟩] = ½·(1 − (1 − 2p_i)^D) = ½·(1 − (1 − 1/(2α^i))^D),
+//! ```
+//!
+//! increasing in `D`. The paper's gap function (Definition 7)
+//!
+//! ```text
+//!   δ(β, α) = ½(1 − 1/(2β))^β · [1 − (1 − 1/(2β))^{(α−1)β}]
+//! ```
+//!
+//! is exactly `f(αβ) − f(β)` at `β = α^i`: the separation between the
+//! expected fractional sketch distance of points *inside* `B_i` and points
+//! *outside* `B_{i+1}`. The membership test that makes Lemma 8's sandwich
+//! work thresholds at the **midpoint** `f_i(α^i) + δ/2`, leaving a `δ/2`
+//! Chernoff margin on both sides; the literal reading of Definition 7
+//! (threshold = `δ` itself) sits *below* the in-ball mean and rejects
+//! everything — kept available as [`ThresholdMode::LiteralDelta`] for the
+//! A3 ablation. See `DESIGN.md` § "Threshold clarification".
+
+use serde::{Deserialize, Serialize};
+
+/// How the sketch-distance membership threshold is chosen.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThresholdMode {
+    /// Midpoint between in-ball and out-ball means: `f(β) + δ(β,α)/2`.
+    /// This is the working rule (used by everything but ablation A3).
+    #[default]
+    Midpoint,
+    /// The literal `δ(β,α)` of the arXiv text — demonstrably broken; kept
+    /// for the A3 ablation and the documenting unit test.
+    LiteralDelta,
+}
+
+/// Per-row sketch-bit mismatch probability `f(D)` for points at Hamming
+/// distance `dist`, with matrix density `p` (`p = 1/(4β)` at scale radius β).
+///
+/// `½·(1 − (1 − 2p)^dist)`.
+pub fn mismatch_probability(p: f64, dist: f64) -> f64 {
+    assert!((0.0..=0.5).contains(&p), "row density must be in [0, 1/2]");
+    assert!(dist >= 0.0);
+    0.5 * (1.0 - (1.0 - 2.0 * p).powf(dist))
+}
+
+/// The paper's `δ(β, α)` (Definition 7):
+/// `½(1−1/(2β))^β·[1−(1−1/(2β))^{(α−1)β}]`.
+///
+/// Equals `mismatch(p, αβ) − mismatch(p, β)` at `p = 1/(4β)` — the gap
+/// between the out-ball and in-ball means (verified by a unit test).
+pub fn delta_gap(beta: f64, alpha: f64) -> f64 {
+    assert!(beta >= 1.0, "scale radius must be ≥ 1");
+    assert!(alpha > 1.0, "alpha must exceed 1");
+    let q = (1.0 - 1.0 / (2.0 * beta)).powf(beta);
+    0.5 * q * (1.0 - (1.0 - 1.0 / (2.0 * beta)).powf((alpha - 1.0) * beta))
+}
+
+/// Fractional sketch-distance threshold for scale radius `beta`: the value
+/// `θ` such that `z` is accepted iff `dist(sketch_x, sketch_z) ≤ θ·rows`.
+pub fn threshold_fraction(beta: f64, alpha: f64, mode: ThresholdMode) -> f64 {
+    let p = 1.0 / (4.0 * beta);
+    match mode {
+        ThresholdMode::Midpoint => {
+            mismatch_probability(p, beta) + 0.5 * delta_gap(beta, alpha)
+        }
+        ThresholdMode::LiteralDelta => delta_gap(beta, alpha),
+    }
+}
+
+/// Hoeffding bound on the per-point failure probability of the membership
+/// test with `rows` sketch rows and margin `δ(β,α)/2`:
+/// `exp(−2·rows·(δ/2)²) = exp(−rows·δ²/2)`.
+pub fn per_point_failure_probability(beta: f64, alpha: f64, rows: u32) -> f64 {
+    let delta = delta_gap(beta, alpha);
+    (-(rows as f64) * delta * delta / 2.0).exp()
+}
+
+/// Smallest `c₁` such that `rows = c₁·log₂ n` drives the union bound over
+/// all `n` points and all `scales` matrices below `target` total failure
+/// probability — the quantitative content of the paper's
+/// `c₁ > 64/(1−e^{(1−α)/2})²` requirement, solved numerically instead of
+/// loosely. Worst margin is at the largest scale radius (δ decreases to its
+/// limit `½e^{−1/2}(1−e^{(1−α)/2})` as β → ∞).
+pub fn recommended_c1(n: usize, d: u64, alpha: f64, target: f64) -> f64 {
+    assert!(n >= 2 && d >= 2);
+    assert!((0.0..1.0).contains(&target) && target > 0.0);
+    let log2n = (n as f64).log2();
+    let scales = anns_hamming::ceil_log_alpha(d, alpha) as f64 + 1.0;
+    // Worst-case (smallest) delta over scales: monotone in β, so check the
+    // largest radius.
+    let beta_max = alpha.powi(anns_hamming::ceil_log_alpha(d, alpha) as i32);
+    let delta = delta_gap(beta_max.max(1.0), alpha);
+    // Need n·scales·exp(−c1·log₂n·δ²/2) ≤ target.
+    let needed = ((n as f64) * scales / target).ln() * 2.0 / (delta * delta);
+    needed / log2n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALPHA: f64 = std::f64::consts::SQRT_2;
+
+    #[test]
+    fn mismatch_probability_limits() {
+        assert_eq!(mismatch_probability(0.25, 0.0), 0.0);
+        // Dense rows (p = 1/2) give an unbiased coin for any D ≥ 1.
+        assert!((mismatch_probability(0.5, 1.0) - 0.5).abs() < 1e-12);
+        // Monotone in D.
+        let p = 0.01;
+        let mut prev = 0.0;
+        for d in 1..200 {
+            let f = mismatch_probability(p, d as f64);
+            assert!(f >= prev);
+            prev = f;
+        }
+        // Approaches 1/2 from below.
+        assert!(prev < 0.5);
+        assert!(mismatch_probability(p, 1e9) > 0.499999);
+    }
+
+    #[test]
+    fn delta_is_the_gap_between_means() {
+        // δ(β,α) = f(αβ) − f(β) at p = 1/(4β).
+        for beta in [1.0f64, 2.0, 5.0, 31.7, 1000.0] {
+            let p = 1.0 / (4.0 * beta);
+            let gap = mismatch_probability(p, ALPHA * beta) - mismatch_probability(p, beta);
+            let delta = delta_gap(beta, ALPHA);
+            assert!(
+                (gap - delta).abs() < 1e-12,
+                "beta={beta}: gap {gap} vs delta {delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_limit_matches_paper_constant() {
+        // As β → ∞, δ → ½·e^{−1/2}·(1 − e^{(1−α)/2}); the paper's constant
+        // c₁ > 64/(1−e^{(1−α)/2})² is the Chernoff requirement built on it.
+        let limit = 0.5 * (-0.5f64).exp() * (1.0 - ((1.0 - ALPHA) / 2.0).exp());
+        let far = delta_gap(1e7, ALPHA);
+        assert!((far - limit).abs() < 1e-4, "far {far} vs limit {limit}");
+    }
+
+    #[test]
+    fn midpoint_threshold_separates_means() {
+        for beta in [1.0f64, 3.0, 10.0, 200.0] {
+            let p = 1.0 / (4.0 * beta);
+            let theta = threshold_fraction(beta, ALPHA, ThresholdMode::Midpoint);
+            let inside = mismatch_probability(p, beta);
+            let outside = mismatch_probability(p, ALPHA * beta);
+            assert!(inside < theta, "beta={beta}: in-ball mean must pass");
+            assert!(outside > theta, "beta={beta}: out-ball mean must fail");
+            // Equal margins on both sides (definition of midpoint).
+            assert!(((theta - inside) - (outside - theta)).abs() < 1e-12);
+        }
+    }
+
+    /// Documents the Definition 7 reading issue: the literal δ threshold
+    /// sits *below* the in-ball mean, so in expectation it rejects points
+    /// that must be accepted for Lemma 8.1 to hold.
+    #[test]
+    fn literal_delta_threshold_is_below_in_ball_mean() {
+        for beta in [2.0f64, 10.0, 100.0] {
+            let p = 1.0 / (4.0 * beta);
+            let literal = threshold_fraction(beta, ALPHA, ThresholdMode::LiteralDelta);
+            let inside = mismatch_probability(p, beta);
+            assert!(
+                literal < inside,
+                "beta={beta}: literal {literal} vs in-ball mean {inside}"
+            );
+        }
+    }
+
+    #[test]
+    fn failure_probability_decays_with_rows() {
+        let f10 = per_point_failure_probability(10.0, ALPHA, 100);
+        let f20 = per_point_failure_probability(10.0, ALPHA, 6000);
+        assert!(f20 < f10);
+        // rows·δ²/2 ≈ 6000·0.0572²/2 ≈ 9.8 → e^{-9.8} ≈ 5.5e-5.
+        assert!(f20 < 1e-3);
+    }
+
+    #[test]
+    fn recommended_c1_is_sufficient() {
+        let n = 4096usize;
+        let d = 1024u64;
+        let c1 = recommended_c1(n, d, ALPHA, 0.05);
+        let rows = (c1 * (n as f64).log2()).ceil() as u32;
+        let scales = anns_hamming::ceil_log_alpha(d, ALPHA) as f64 + 1.0;
+        let beta_max = ALPHA.powi(anns_hamming::ceil_log_alpha(d, ALPHA) as i32);
+        let union = (n as f64) * scales * per_point_failure_probability(beta_max, ALPHA, rows);
+        assert!(union <= 0.05 * 1.01, "union bound {union}");
+    }
+}

@@ -1,0 +1,496 @@
+//! The full sketch family of an ANNS instance, plus database-side sketches.
+//!
+//! [`SketchFamily`] bundles everything Definition 7 samples once per
+//! instance: the accurate matrices `M_0 … M_top`, the coarse matrices
+//! `N_0 … N_top` (`top = ⌈log_α d⌉`), and the integer acceptance thresholds
+//! per scale. In the public-coin presentation (paper §2, substitution S3 of
+//! `DESIGN.md`) this family *is* the shared randomness `r`: both the
+//! cell-probing algorithm and the table oracle hold it, reconstructed
+//! deterministically from a seed.
+//!
+//! [`DbSketches`] holds the table side's precomputation: the sketches of
+//! every database point under every matrix. Lazy table oracles answer a
+//! probed address by scanning these sketches — the `C_i` / `D_{i,j}`
+//! membership oracles at the bottom of this file.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use anns_hamming::{ceil_log_alpha, Dataset, Point};
+
+use crate::delta::{threshold_fraction, ThresholdMode};
+use crate::matrix::{Sketch, SketchMatrix};
+
+/// Parameters of the sketch family (the constants of Definition 7).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SketchParams {
+    /// Approximation ratio `γ > 1` (paper assumes `γ < 4` wlog; `α = √γ`).
+    pub gamma: f64,
+    /// Accurate matrices have `c₁·log₂ n` rows.
+    pub c1: f64,
+    /// Coarse matrices have `(c₂/s)·log₂ n` rows.
+    pub c2: f64,
+    /// The paper's round-group parameter `1 < s < ln ln n` (Algorithm 2);
+    /// also divides the coarse row count.
+    pub s: f64,
+    /// Threshold rule (midpoint in normal operation; literal for ablation).
+    pub threshold_mode: ThresholdMode,
+    /// Seed of the public randomness.
+    pub seed: u64,
+}
+
+impl SketchParams {
+    /// Laptop-scale defaults: constants far below the paper's union-bound
+    /// values but validated empirically by experiment E5 (the sandwich
+    /// holds with probability ≫ 3/4 at the n we run).
+    pub fn practical(gamma: f64, seed: u64) -> Self {
+        SketchParams {
+            gamma,
+            c1: 24.0,
+            c2: 24.0,
+            s: 2.0,
+            threshold_mode: ThresholdMode::Midpoint,
+            seed,
+        }
+    }
+
+    /// Asymptotically sufficient constants: `c₁` chosen numerically so the
+    /// union bound over all points and scales is below `1/8` (the paper's
+    /// Lemma 8 targets overall failure ≤ 1/4 across both conditions).
+    pub fn paper(gamma: f64, n: usize, d: u64, seed: u64) -> Self {
+        let alpha = gamma.sqrt();
+        let c = crate::delta::recommended_c1(n, d, alpha, 1.0 / 8.0);
+        SketchParams {
+            gamma,
+            c1: c,
+            c2: c,
+            s: 2.0,
+            threshold_mode: ThresholdMode::Midpoint,
+            seed,
+        }
+    }
+
+    /// `α = √γ`.
+    pub fn alpha(&self) -> f64 {
+        self.gamma.sqrt()
+    }
+}
+
+/// The sampled public randomness: matrices and thresholds for every scale.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SketchFamily {
+    params: SketchParams,
+    dim: u32,
+    n: usize,
+    top: u32,
+    m_mats: Vec<SketchMatrix>,
+    n_mats: Vec<SketchMatrix>,
+    m_thresholds: Vec<u32>,
+    n_thresholds: Vec<u32>,
+}
+
+impl SketchFamily {
+    /// Samples the family for an instance of dimension `d` and database
+    /// size `n`, deterministically from `params.seed`.
+    pub fn generate(d: u32, n: usize, params: &SketchParams) -> Self {
+        assert!(d >= 2, "dimension must be at least 2");
+        assert!(n >= 2, "database size must be at least 2");
+        assert!(params.gamma > 1.0, "gamma must exceed 1");
+        assert!(params.s >= 1.0, "s must be at least 1");
+        let alpha = params.alpha();
+        let top = ceil_log_alpha(d as u64, alpha);
+        let log2n = (n as f64).log2();
+        let m_rows = ((params.c1 * log2n).ceil() as u32).max(8);
+        let n_rows = (((params.c2 / params.s) * log2n).ceil() as u32).max(4);
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut m_mats = Vec::with_capacity(top as usize + 1);
+        let mut n_mats = Vec::with_capacity(top as usize + 1);
+        let mut m_thresholds = Vec::with_capacity(top as usize + 1);
+        let mut n_thresholds = Vec::with_capacity(top as usize + 1);
+        for i in 0..=top {
+            let beta = alpha.powi(i as i32);
+            let p = 1.0 / (4.0 * beta);
+            m_mats.push(SketchMatrix::sample(m_rows, d, p, &mut rng));
+            let theta = threshold_fraction(beta, alpha, params.threshold_mode);
+            m_thresholds.push((theta * m_rows as f64).floor() as u32);
+        }
+        for j in 0..=top {
+            let beta = alpha.powi(j as i32);
+            let p = 1.0 / (4.0 * beta);
+            n_mats.push(SketchMatrix::sample(n_rows, d, p, &mut rng));
+            let theta = threshold_fraction(beta, alpha, params.threshold_mode);
+            n_thresholds.push((theta * n_rows as f64).floor() as u32);
+        }
+        SketchFamily {
+            params: *params,
+            dim: d,
+            n,
+            top,
+            m_mats,
+            n_mats,
+            m_thresholds,
+            n_thresholds,
+        }
+    }
+
+    /// The parameters the family was generated with.
+    pub fn params(&self) -> &SketchParams {
+        &self.params
+    }
+
+    /// `α = √γ`.
+    pub fn alpha(&self) -> f64 {
+        self.params.alpha()
+    }
+
+    /// Top scale index `⌈log_α d⌉`.
+    pub fn top(&self) -> u32 {
+        self.top
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Database size the row counts were derived from.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rows per accurate matrix (`c₁·log₂ n`).
+    pub fn m_rows(&self) -> u32 {
+        self.m_mats[0].rows()
+    }
+
+    /// Rows per coarse matrix (`(c₂/s)·log₂ n`).
+    pub fn n_rows(&self) -> u32 {
+        self.n_mats[0].rows()
+    }
+
+    /// Accurate sketch `M_i x`.
+    pub fn sketch_m(&self, i: u32, x: &Point) -> Sketch {
+        self.m_mats[i as usize].sketch(x)
+    }
+
+    /// Coarse sketch `N_j x`.
+    pub fn sketch_n(&self, j: u32, x: &Point) -> Sketch {
+        self.n_mats[j as usize].sketch(x)
+    }
+
+    /// Integer acceptance threshold of the accurate test at scale `i`.
+    pub fn m_threshold(&self, i: u32) -> u32 {
+        self.m_thresholds[i as usize]
+    }
+
+    /// Integer acceptance threshold of the coarse test at scale `j`.
+    pub fn n_threshold(&self, j: u32) -> u32 {
+        self.n_thresholds[j as usize]
+    }
+
+    /// The accurate membership test: does sketch `b` fall within the scale-i
+    /// threshold of sketch (= cell address) `a`?
+    pub fn m_passes(&self, i: u32, a: &Sketch, b: &Sketch) -> bool {
+        a.distance(b) <= self.m_thresholds[i as usize]
+    }
+
+    /// The coarse membership test at scale `j`.
+    pub fn n_passes(&self, j: u32, a: &Sketch, b: &Sketch) -> bool {
+        a.distance(b) <= self.n_thresholds[j as usize]
+    }
+}
+
+/// Database-side sketches: `sketches_m[i][z] = M_i·B[z]`, likewise for `N_j`.
+///
+/// This is the table's preprocessing. Memory: `(top+1) · n` sketches of
+/// `c₁·log₂ n` bits each — genuinely polynomial, unlike the materialized
+/// tables (substitution S1). Serializable, so indices can be snapshotted
+/// and reloaded without re-sketching.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DbSketches {
+    m: Vec<Vec<Sketch>>,
+    n: Vec<Vec<Sketch>>,
+}
+
+impl DbSketches {
+    /// Sketches every database point under every matrix, parallelizing
+    /// across scales with crossbeam scoped threads.
+    pub fn build(family: &SketchFamily, dataset: &Dataset, threads: usize) -> Self {
+        assert_eq!(dataset.dim(), family.dim(), "dataset/family dimension");
+        let scales = family.top() as usize + 1;
+        let build_scale_m = |i: usize| -> Vec<Sketch> {
+            dataset
+                .points()
+                .iter()
+                .map(|z| family.sketch_m(i as u32, z))
+                .collect()
+        };
+        let build_scale_n = |j: usize| -> Vec<Sketch> {
+            dataset
+                .points()
+                .iter()
+                .map(|z| family.sketch_n(j as u32, z))
+                .collect()
+        };
+        if threads <= 1 {
+            return DbSketches {
+                m: (0..scales).map(build_scale_m).collect(),
+                n: (0..scales).map(build_scale_n).collect(),
+            };
+        }
+        // 2·scales independent jobs, sharded over the workers.
+        let mut m: Vec<Option<Vec<Sketch>>> = vec![None; scales];
+        let mut n: Vec<Option<Vec<Sketch>>> = vec![None; scales];
+        let jobs: Vec<(usize, bool, &mut Option<Vec<Sketch>>)> = m
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| (i, true, slot))
+            .chain(n.iter_mut().enumerate().map(|(j, slot)| (j, false, slot)))
+            .collect();
+        let workers = threads.min(jobs.len()).max(1);
+        let chunk = jobs.len().div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            let mut jobs = jobs;
+            while !jobs.is_empty() {
+                let batch: Vec<_> = jobs.drain(..chunk.min(jobs.len())).collect();
+                scope.spawn(move |_| {
+                    for (scale, is_m, slot) in batch {
+                        *slot = Some(if is_m {
+                            build_scale_m(scale)
+                        } else {
+                            build_scale_n(scale)
+                        });
+                    }
+                });
+            }
+        })
+        .expect("sketch worker panicked");
+        DbSketches {
+            m: m.into_iter().map(|v| v.expect("scale not built")).collect(),
+            n: n.into_iter().map(|v| v.expect("scale not built")).collect(),
+        }
+    }
+
+    /// `M_i`-sketch of database point `z`.
+    pub fn m_sketch(&self, i: u32, z: usize) -> &Sketch {
+        &self.m[i as usize][z]
+    }
+
+    /// `N_j`-sketch of database point `z`.
+    pub fn n_sketch(&self, j: u32, z: usize) -> &Sketch {
+        &self.n[j as usize][z]
+    }
+
+    /// Database size.
+    pub fn len(&self) -> usize {
+        self.m.first().map_or(0, |v| v.len())
+    }
+
+    /// Whether there are no points (never true for valid datasets).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Members of `C_i` relative to an address sketch `a` (which is `M_i x`
+    /// when the algorithm probes): indices `z` with
+    /// `dist(a, M_i z) ≤ threshold_i`.
+    pub fn c_members<'a>(
+        &'a self,
+        family: &'a SketchFamily,
+        i: u32,
+        addr: &'a Sketch,
+    ) -> impl Iterator<Item = usize> + 'a {
+        self.m[i as usize]
+            .iter()
+            .enumerate()
+            .filter(move |(_, sz)| family.m_passes(i, addr, sz))
+            .map(|(z, _)| z)
+    }
+
+    /// First member of `C_i` (the content the paper's `T_i` cell stores), if
+    /// any.
+    pub fn c_first(&self, family: &SketchFamily, i: u32, addr: &Sketch) -> Option<usize> {
+        self.c_members(family, i, addr).next()
+    }
+
+    /// `|C_i|` for an address sketch.
+    pub fn c_count(&self, family: &SketchFamily, i: u32, addr: &Sketch) -> usize {
+        self.c_members(family, i, addr).count()
+    }
+
+    /// `|D_{i,j}|` for address sketches `a = M_i x` and `b = N_j x`:
+    /// members of `C_i` that also pass the coarse scale-`j` test.
+    pub fn d_count(
+        &self,
+        family: &SketchFamily,
+        i: u32,
+        j: u32,
+        addr_m: &Sketch,
+        addr_n: &Sketch,
+    ) -> usize {
+        self.c_members(family, i, addr_m)
+            .filter(|&z| family.n_passes(j, addr_n, self.n_sketch(j, z)))
+            .count()
+    }
+
+    /// Members of `D_{i,j}` (for validation code).
+    pub fn d_members(
+        &self,
+        family: &SketchFamily,
+        i: u32,
+        j: u32,
+        addr_m: &Sketch,
+        addr_n: &Sketch,
+    ) -> Vec<usize> {
+        self.c_members(family, i, addr_m)
+            .filter(|&z| family.n_passes(j, addr_n, self.n_sketch(j, z)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anns_hamming::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const GAMMA: f64 = 2.0;
+
+    fn family_and_ds(seed: u64, n: usize, d: u32) -> (SketchFamily, Dataset, DbSketches) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = gen::uniform(n, d, &mut rng);
+        let params = SketchParams::practical(GAMMA, seed ^ 0xABCD);
+        let family = SketchFamily::generate(d, n, &params);
+        let db = DbSketches::build(&family, &ds, 1);
+        (family, ds, db)
+    }
+
+    #[test]
+    fn generation_is_deterministic_from_seed() {
+        let params = SketchParams::practical(GAMMA, 42);
+        let f1 = SketchFamily::generate(128, 100, &params);
+        let f2 = SketchFamily::generate(128, 100, &params);
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Point::random(128, &mut rng);
+        for i in 0..=f1.top() {
+            assert_eq!(f1.sketch_m(i, &x), f2.sketch_m(i, &x));
+            assert_eq!(f1.sketch_n(i, &x), f2.sketch_n(i, &x));
+            assert_eq!(f1.m_threshold(i), f2.m_threshold(i));
+        }
+    }
+
+    #[test]
+    fn row_counts_scale_with_log_n() {
+        let p = SketchParams::practical(GAMMA, 1);
+        let f_small = SketchFamily::generate(64, 16, &p);
+        let f_large = SketchFamily::generate(64, 4096, &p);
+        assert_eq!(f_small.m_rows(), (24.0f64 * 4.0).ceil() as u32);
+        assert_eq!(f_large.m_rows(), (24.0f64 * 12.0).ceil() as u32);
+        assert!(f_large.n_rows() > f_small.n_rows());
+    }
+
+    #[test]
+    fn self_sketch_always_in_c() {
+        // A database point probed with its own sketch is a member of C_i
+        // for every scale (distance 0 ≤ any threshold).
+        let (family, ds, db) = family_and_ds(7, 50, 128);
+        for z in [0usize, 17, 49] {
+            for i in 0..=family.top() {
+                let addr = family.sketch_m(i, ds.point(z));
+                assert!(
+                    db.c_members(&family, i, &addr).any(|m| m == z),
+                    "point {z} missing from its own C_{i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_scale_c_contains_everything() {
+        // At scale top, every point is within radius d, i.e. in B_top, and
+        // the sandwich (tested at scale) puts B_top ⊆ C_top whp.
+        let (family, ds, db) = family_and_ds(8, 60, 128);
+        let mut rng = StdRng::seed_from_u64(99);
+        let x = Point::random(128, &mut rng);
+        let addr = family.sketch_m(family.top(), &x);
+        let count = db.c_count(&family, family.top(), &addr);
+        assert!(
+            count as f64 >= 0.9 * ds.len() as f64,
+            "C_top holds {count}/{} points",
+            ds.len()
+        );
+    }
+
+    #[test]
+    fn c_membership_separates_planted_from_far() {
+        // Planted needle at distance 4 must be in C_i for scales with
+        // α^i ≥ 4; uniform points at distance ≈ d/2 must be out of C_i for
+        // small i.
+        let mut rng = StdRng::seed_from_u64(9);
+        let inst = gen::planted(64, 512, 4, &mut rng);
+        let params = SketchParams::practical(GAMMA, 11);
+        let family = SketchFamily::generate(512, 64, &params);
+        let db = DbSketches::build(&family, &inst.dataset, 1);
+        let alpha = family.alpha();
+        // One scale above ceil(log_α 4), so the needle sits well inside the
+        // ball and the per-point Chernoff margin is comfortable at
+        // practical row counts (at the boundary scale the margin is only
+        // δ/2 and would make this test seed-sensitive).
+        let i_in = anns_hamming::ceil_log_alpha(4, alpha) + 1;
+        let addr = family.sketch_m(i_in, &inst.query);
+        assert!(
+            db.c_members(&family, i_in, &addr).any(|z| z == inst.planted_index),
+            "needle missing from C_{i_in}"
+        );
+        // Tiny scale: nothing within distance α^1, so C_1 ⊆ B_2 should be
+        // empty (uniform points are at distance ≈ 256).
+        let addr1 = family.sketch_m(1, &inst.query);
+        assert_eq!(db.c_count(&family, 1, &addr1), 0, "C_1 must be empty");
+    }
+
+    #[test]
+    fn d_count_bounded_by_c_count() {
+        let (family, ds, db) = family_and_ds(10, 80, 128);
+        let mut rng = StdRng::seed_from_u64(123);
+        let x = Point::random(128, &mut rng);
+        let _ = ds;
+        for i in (0..=family.top()).step_by(3) {
+            let addr_m = family.sketch_m(i, &x);
+            for j in (0..=i).step_by(2) {
+                let addr_n = family.sketch_n(j, &x);
+                let dc = db.d_count(&family, i, j, &addr_m, &addr_n);
+                let cc = db.c_count(&family, i, &addr_m);
+                assert!(dc <= cc, "D_{{{i},{j}}} larger than C_{i}");
+                assert_eq!(
+                    dc,
+                    db.d_members(&family, i, j, &addr_m, &addr_n).len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_db_sketches_match_sequential() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let ds = gen::uniform(40, 96, &mut rng);
+        let params = SketchParams::practical(GAMMA, 77);
+        let family = SketchFamily::generate(96, 40, &params);
+        let seq = DbSketches::build(&family, &ds, 1);
+        let par = DbSketches::build(&family, &ds, 8);
+        for i in 0..=family.top() {
+            for z in 0..ds.len() {
+                assert_eq!(seq.m_sketch(i, z), par.m_sketch(i, z));
+                assert_eq!(seq.n_sketch(i, z), par.n_sketch(i, z));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_params_produce_larger_c1() {
+        let practical = SketchParams::practical(GAMMA, 0);
+        let paper = SketchParams::paper(GAMMA, 4096, 1024, 0);
+        assert!(paper.c1 > practical.c1, "paper c1 {} too small", paper.c1);
+    }
+}

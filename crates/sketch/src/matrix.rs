@@ -1,0 +1,251 @@
+//! Sparse Bernoulli GF(2) matrices and sketches.
+//!
+//! A [`SketchMatrix`] is the paper's `M_i` (or `N_j`): `rows × d` with iid
+//! `Bernoulli(p)` entries. A point's [`Sketch`] is the matrix-vector product
+//! over GF(2): bit `r` of the sketch is the parity `⟨row_r, x⟩`.
+//!
+//! Rows are bit-packed [`Point`]s, so sketching costs `rows × d/64`
+//! AND+popcount-parity word operations and sketch distances are XOR+popcount
+//! — the same hot loop as raw Hamming distances, just in sketch space.
+//! Row generation uses geometric skip-sampling, so sparse scales
+//! (`p = 1/(4α^i)` decays geometrically in `i`) cost time proportional to
+//! the number of set bits rather than to `d`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use anns_hamming::Point;
+
+/// A sketch: the GF(2) image `Mx` of a point, bit-packed.
+///
+/// Sketches serve two roles: (1) operands of the threshold test, via
+/// [`Sketch::distance`]; (2) *cell addresses* in the paper's tables
+/// (`T_i[M_i x]`), via [`Sketch::address_bytes`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Sketch(Point);
+
+impl Sketch {
+    /// Number of sketch bits (matrix rows).
+    pub fn bits(&self) -> u32 {
+        self.0.dim()
+    }
+
+    /// Hamming distance between sketches.
+    pub fn distance(&self, other: &Sketch) -> u32 {
+        self.0.distance(&other.0)
+    }
+
+    /// The sketch as a byte string for use as a table-cell address.
+    pub fn address_bytes(&self) -> Vec<u8> {
+        self.0
+            .limbs()
+            .iter()
+            .flat_map(|l| l.to_le_bytes())
+            .collect()
+    }
+
+    /// Access to the underlying bit vector.
+    pub fn as_point(&self) -> &Point {
+        &self.0
+    }
+
+    /// Rebuilds a sketch from its bit vector (for tests / table-side code).
+    pub fn from_point(p: Point) -> Self {
+        Sketch(p)
+    }
+}
+
+/// A `rows × d` random GF(2) matrix with iid `Bernoulli(p)` entries.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SketchMatrix {
+    dim: u32,
+    density: f64,
+    rows: Vec<Point>,
+}
+
+impl SketchMatrix {
+    /// Samples a matrix. `p` is clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `rows == 0` or `dim == 0`.
+    pub fn sample<R: Rng + ?Sized>(rows: u32, dim: u32, p: f64, rng: &mut R) -> Self {
+        assert!(rows > 0, "a sketch matrix needs at least one row");
+        assert!(dim > 0);
+        let p = p.clamp(0.0, 1.0);
+        let rows_vec = (0..rows).map(|_| sample_bernoulli_row(dim, p, rng)).collect();
+        SketchMatrix {
+            dim,
+            density: p,
+            rows: rows_vec,
+        }
+    }
+
+    /// Number of rows (sketch bits produced).
+    pub fn rows(&self) -> u32 {
+        self.rows.len() as u32
+    }
+
+    /// Ambient dimension `d`.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// The Bernoulli density the matrix was sampled with.
+    pub fn density(&self) -> f64 {
+        self.density
+    }
+
+    /// The raw rows.
+    pub fn row_points(&self) -> &[Point] {
+        &self.rows
+    }
+
+    /// Sketches a point: bit `r` is the GF(2) inner product with row `r`.
+    ///
+    /// # Panics
+    /// Panics if the point's dimension does not match the matrix.
+    pub fn sketch(&self, x: &Point) -> Sketch {
+        assert_eq!(x.dim(), self.dim, "point/matrix dimension mismatch");
+        let out = Point::from_fn(self.rows(), |r| {
+            self.rows[r as usize].inner_product_parity(x)
+        });
+        Sketch(out)
+    }
+}
+
+/// Samples one `Bernoulli(p)` row by geometric skip-sampling: the gap to the
+/// next set coordinate is `⌊ln U / ln(1−p)⌋`, costing O(weight) instead of
+/// O(d) for sparse rows.
+fn sample_bernoulli_row<R: Rng + ?Sized>(dim: u32, p: f64, rng: &mut R) -> Point {
+    let mut row = Point::zeros(dim);
+    if p <= 0.0 {
+        return row;
+    }
+    if p >= 1.0 {
+        return Point::ones(dim);
+    }
+    let ln_q = (1.0 - p).ln(); // < 0
+    let mut pos: u64 = 0;
+    loop {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let skip = (u.ln() / ln_q).floor();
+        // Guard against pathological f64 values before casting.
+        if !skip.is_finite() || skip >= dim as f64 {
+            break;
+        }
+        pos += skip as u64;
+        if pos >= dim as u64 {
+            break;
+        }
+        row.set(pos as u32, true);
+        pos += 1;
+        if pos >= dim as u64 {
+            break;
+        }
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn density_is_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &p in &[0.01f64, 0.1, 0.25, 0.5, 0.9] {
+            let m = SketchMatrix::sample(200, 500, p, &mut rng);
+            let total: u32 = m.row_points().iter().map(|r| r.weight()).sum();
+            let expect = 200.0 * 500.0 * p;
+            let got = total as f64;
+            // 5 sigma of Binomial(100000, p).
+            let sigma = (200.0 * 500.0 * p * (1.0 - p)).sqrt();
+            assert!(
+                (got - expect).abs() < 5.0 * sigma + 5.0,
+                "p={p}: got {got}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_densities() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let zero = SketchMatrix::sample(10, 64, 0.0, &mut rng);
+        assert!(zero.row_points().iter().all(|r| r.weight() == 0));
+        let one = SketchMatrix::sample(10, 64, 1.0, &mut rng);
+        assert!(one.row_points().iter().all(|r| r.weight() == 64));
+    }
+
+    #[test]
+    fn sketch_is_linear_over_gf2() {
+        // sketch(x) XOR sketch(z) = sketch(x XOR z) — linearity of parity.
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = SketchMatrix::sample(64, 128, 0.2, &mut rng);
+        let x = Point::random(128, &mut rng);
+        let z = Point::random(128, &mut rng);
+        let mut xz = x.clone();
+        xz.xor_assign(&z);
+        let sx = m.sketch(&x);
+        let sz = m.sketch(&z);
+        let sxz = m.sketch(&xz);
+        let mut combined = sx.as_point().clone();
+        combined.xor_assign(sz.as_point());
+        assert_eq!(&combined, sxz.as_point());
+        // Consequently sketch distance = weight of sketch of difference.
+        assert_eq!(sx.distance(&sz), sxz.as_point().weight());
+    }
+
+    #[test]
+    fn sketch_distance_statistics_match_mismatch_probability() {
+        // Points at distance D have sketch distance ≈ f(D)·rows.
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = 512u32;
+        let beta = 16.0f64;
+        let p = 1.0 / (4.0 * beta);
+        let rows = 4000u32;
+        let m = SketchMatrix::sample(rows, d, p, &mut rng);
+        let x = Point::random(d, &mut rng);
+        for dist in [4u32, 16, 32, 64] {
+            let z = anns_hamming::gen::point_at_distance(&x, dist, &mut rng);
+            let observed = m.sketch(&x).distance(&m.sketch(&z)) as f64 / rows as f64;
+            let expect = crate::delta::mismatch_probability(p, dist as f64);
+            let sigma = (expect * (1.0 - expect) / rows as f64).sqrt();
+            assert!(
+                (observed - expect).abs() < 6.0 * sigma + 0.01,
+                "dist={dist}: observed {observed:.4}, expect {expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_points_have_zero_sketch_distance() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = SketchMatrix::sample(32, 100, 0.3, &mut rng);
+        let x = Point::random(100, &mut rng);
+        assert_eq!(m.sketch(&x).distance(&m.sketch(&x)), 0);
+    }
+
+    #[test]
+    fn address_bytes_injective_on_samples() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = SketchMatrix::sample(96, 200, 0.25, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let x = Point::random(200, &mut rng);
+            seen.insert(m.sketch(&x).address_bytes());
+        }
+        // 96-bit sketches of 200 random points collide with prob ≈ 0.
+        assert!(seen.len() >= 199, "unexpected address collisions");
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = SketchMatrix::sample(8, 64, 0.25, &mut rng);
+        let x = Point::random(65, &mut rng);
+        let _ = m.sketch(&x);
+    }
+}

@@ -1,0 +1,133 @@
+//! Document near-duplicate search: the paper's index vs classic LSH.
+//!
+//! Documents are shingled into binary signatures (one bit per vocabulary
+//! bucket — a simplified simhash); near-duplicate documents share most
+//! buckets, so signature Hamming distance tracks edit distance. This
+//! example pits three schemes from the workspace against each other on one
+//! workload and prints the comparison the paper's introduction makes in
+//! prose:
+//!
+//! * classic bit-sampling **LSH** — 1 round, `O~(n^ρ)` probes, small table;
+//! * **Algorithm 1 at k = 1** — 1 round, `O(log d)` probes, larger
+//!   polynomial table (Theorem 2 beats LSH's probe count by paying space);
+//! * **Algorithm 1 at k = 3** — 3 rounds, `O((log d)^{1/3})` probes/round.
+//!
+//! ```sh
+//! cargo run --release --example document_dedup
+//! ```
+
+use anns::cellprobe::Table;
+use anns::core::{AnnIndex, AnnsInstance, BuildOptions};
+use anns::hamming::{gen, Dataset};
+use anns::lsh::{LshIndex, LshParams};
+use anns::sketch::SketchParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SIG_BITS: u32 = 512;
+const CORPUS: usize = 2048;
+const NEAR_DUP_DIST: u32 = 12;
+
+/// Simulates a shingled signature corpus: base documents plus revisions.
+fn corpus(rng: &mut StdRng) -> Dataset {
+    // 256 base documents, 8 revisions each; revisions flip ~12 signature
+    // bits (small edits move few shingle buckets).
+    gen::clustered(CORPUS / 8, 8, SIG_BITS, f64::from(NEAR_DUP_DIST) / f64::from(SIG_BITS) / 2.0, rng)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let docs = corpus(&mut rng);
+    println!(
+        "corpus: {} signatures × {} bits; near-duplicate radius ≈ {}\n",
+        docs.len(),
+        SIG_BITS,
+        NEAR_DUP_DIST
+    );
+
+    // --- Scheme 1: classic LSH tuned for radius 12, γ = 2. ---
+    let lsh_params = LshParams::for_radius(docs.len(), SIG_BITS, f64::from(NEAR_DUP_DIST), 2.0, 4.0);
+    let lsh = LshIndex::build(docs.clone(), lsh_params, &mut rng);
+
+    // --- Schemes 2 & 3: the paper's index. ---
+    let index = AnnIndex::build(
+        docs.clone(),
+        SketchParams::practical(2.0, 99),
+        BuildOptions::default(),
+    );
+
+    let mut rows: Vec<(String, usize, usize, f64, usize)> = Vec::new(); // name, rounds, probes, bits, hits
+    let trials = 25usize;
+    let mut queries = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        // A new revision of a random document.
+        let base = rng.gen_range(0..docs.len());
+        queries.push(gen::corrupt(
+            docs.point(base),
+            f64::from(NEAR_DUP_DIST) / f64::from(SIG_BITS),
+            &mut rng,
+        ));
+    }
+
+    // LSH row.
+    {
+        let (mut probes, mut bits, mut hits, mut rounds) = (0usize, 0u64, 0usize, 0usize);
+        for q in &queries {
+            let (ans, ledger) = lsh.query(q);
+            probes += ledger.total_probes();
+            bits += ledger.word_bits_read;
+            rounds = rounds.max(ledger.rounds());
+            if let Some((idx, _)) = ans {
+                if docs.is_gamma_approximate_nn(q, docs.point(idx), 2.0) {
+                    hits += 1;
+                }
+            }
+        }
+        rows.push((
+            format!("LSH (K={}, L={})", lsh.params().k_bits, lsh.params().l_tables),
+            rounds,
+            probes / trials,
+            bits as f64 / trials as f64,
+            hits,
+        ));
+    }
+
+    // Algorithm 1 rows.
+    for k in [1u32, 3] {
+        let (mut probes, mut bits, mut hits, mut rounds) = (0usize, 0u64, 0usize, 0usize);
+        for q in &queries {
+            let (outcome, ledger) = index.query(q, k);
+            probes += ledger.total_probes();
+            bits += ledger.word_bits_read;
+            rounds = rounds.max(ledger.rounds());
+            if index.verify_gamma(q, &outcome) {
+                hits += 1;
+            }
+        }
+        rows.push((
+            format!("Algorithm 1 (k={k})"),
+            rounds,
+            probes / trials,
+            bits as f64 / trials as f64,
+            hits,
+        ));
+    }
+
+    println!(
+        "{:<24} {:>7} {:>12} {:>14} {:>10}",
+        "scheme", "rounds", "avg probes", "avg bits read", "success"
+    );
+    for (name, rounds, probes, bits, hits) in &rows {
+        println!(
+            "{name:<24} {rounds:>7} {probes:>12} {bits:>14.0} {:>7}/{trials}",
+            hits
+        );
+    }
+    println!(
+        "\ntable sizes (log₂ cells): LSH = {:.1}, Algorithm 1 = {:.1}",
+        Table::space_model(&lsh).cells_log2,
+        index.table().space_model().cells_log2,
+    );
+    println!("→ the paper's point: at equal (non-)adaptivity, Algorithm 1 probes");
+    println!("  far fewer cells than LSH by paying a larger polynomial table.");
+}

@@ -1,0 +1,89 @@
+//! The 1-probe λ-near-neighbor scheme (Theorem 11) under a radius sweep.
+//!
+//! The paper's point in §3.3: once "nearest" is relaxed to a fixed radius,
+//! a *single* cell-probe decides (and even returns a witness). This example
+//! sweeps λ across a planted instance and prints the YES/NO transition,
+//! verifying the promise semantics on both sides of the gap:
+//!
+//! * λ ≥ planted distance  → must return a point within γλ;
+//! * γλ < planted distance → must answer NO.
+//!
+//! ```sh
+//! cargo run --release --example lambda_near_neighbor
+//! ```
+
+use anns::core::lambda::LambdaAnswer;
+use anns::core::{AnnIndex, BuildOptions};
+use anns::hamming::gen;
+use anns::sketch::SketchParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const GAMMA: f64 = 2.0;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let planted = gen::planted(2048, 512, 16, &mut rng);
+    let opt = planted.planted_distance;
+    println!(
+        "n = {}, d = {}, nearest neighbor at distance {opt}, γ = {GAMMA}\n",
+        planted.dataset.len(),
+        planted.dataset.dim()
+    );
+
+    let index = AnnIndex::build(
+        planted.dataset,
+        SketchParams::practical(GAMMA, 31),
+        BuildOptions::default(),
+    );
+
+    println!(
+        "{:>6} {:>8} {:>12} {:>14} {:>8}",
+        "λ", "γλ", "answer", "witness dist", "probes"
+    );
+    let mut yes_seen = 0;
+    let mut no_seen = 0;
+    for lambda in [2.0f64, 4.0, 6.0, 8.0, 16.0, 32.0, 64.0, 128.0] {
+        let (answer, ledger) = index.query_lambda(&planted.query, lambda);
+        assert_eq!(ledger.total_probes(), 1, "Theorem 11 uses exactly one probe");
+        let (label, witness) = match &answer {
+            LambdaAnswer::Neighbor { index: idx, .. } => {
+                let dist = planted
+                    .query
+                    .distance(index.dataset().point(*idx as usize));
+                (format!("NEIGHBOR #{idx}"), format!("{dist}"))
+            }
+            LambdaAnswer::No => ("NO".to_string(), "-".to_string()),
+        };
+        println!(
+            "{lambda:>6} {:>8} {label:>12} {witness:>14} {:>8}",
+            GAMMA * lambda,
+            ledger.total_probes()
+        );
+
+        // Promise-side checks.
+        if f64::from(opt) <= lambda {
+            // YES instance: a neighbor within γλ must come back.
+            match &answer {
+                LambdaAnswer::Neighbor { index: idx, .. } => {
+                    let dist = planted
+                        .query
+                        .distance(index.dataset().point(*idx as usize));
+                    assert!(
+                        f64::from(dist) <= GAMMA * lambda,
+                        "witness at {dist} outside γλ = {}",
+                        GAMMA * lambda
+                    );
+                    yes_seen += 1;
+                }
+                LambdaAnswer::No => panic!("YES instance (λ={lambda}) answered NO"),
+            }
+        } else if f64::from(opt) > GAMMA * lambda {
+            // Strong NO instance: nothing within γλ exists.
+            assert_eq!(answer, LambdaAnswer::No, "NO instance (λ={lambda}) found a witness");
+            no_seen += 1;
+        }
+        // In the promise gap (λ < opt ≤ γλ) any answer is legal.
+    }
+    println!("\nverified {yes_seen} YES instances and {no_seen} strong NO instances ✓");
+}

@@ -1,0 +1,101 @@
+//! Near-duplicate detection over perceptual fingerprints.
+//!
+//! A classic consumer of Hamming-space ANN: images (or audio clips) are
+//! hashed to fixed-width binary fingerprints where visually similar inputs
+//! land within a small Hamming distance. The workload here simulates a
+//! fingerprint catalog with duplicate clusters (re-encodes, crops → a few
+//! bit flips) and uses the paper's index two ways:
+//!
+//! * the 1-probe λ-ANNS scheme (Theorem 11) as a cheap "is this a
+//!   near-duplicate of anything?" filter, and
+//! * Algorithm 1 with a 2-round budget to actually fetch the closest
+//!   catalog entry.
+//!
+//! ```sh
+//! cargo run --release --example near_duplicate_fingerprints
+//! ```
+
+use anns::core::lambda::LambdaAnswer;
+use anns::core::{AnnIndex, BuildOptions};
+use anns::hamming::{gen, Dataset, Point};
+use anns::sketch::SketchParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: u32 = 256; // fingerprint width
+const CATALOG: usize = 4096;
+const DUP_FLIPS: f64 = 0.02; // a duplicate flips ~5 of 256 bits
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // Catalog: 256 original assets × 16 near-duplicate variants each.
+    let catalog = gen::clustered(CATALOG / 16, 16, DIM, DUP_FLIPS, &mut rng);
+    println!(
+        "catalog: {} fingerprints of {} bits ({} duplicate clusters)",
+        catalog.len(),
+        DIM,
+        CATALOG / 16
+    );
+
+    let index = AnnIndex::build(
+        catalog.clone(),
+        SketchParams::practical(2.0, 77),
+        BuildOptions::default(),
+    );
+
+    // Incoming uploads: half are fresh noise, half are duplicates of
+    // catalog entries.
+    let mut dup_hits = 0usize;
+    let mut fresh_rejections = 0usize;
+    let trials = 40usize;
+    let lambda = 16.0; // duplicates land within ~10 bits; 16 is a safe radius
+    for t in 0..trials {
+        let is_dup = t % 2 == 0;
+        let query = if is_dup {
+            let victim = rng.gen_range(0..catalog.len());
+            gen::corrupt(catalog.point(victim), DUP_FLIPS, &mut rng)
+        } else {
+            Point::random(DIM, &mut rng)
+        };
+
+        // Stage 1: the single-probe duplicate filter.
+        let (answer, ledger) = index.query_lambda(&query, lambda);
+        assert_eq!(ledger.total_probes(), 1, "Theorem 11: one probe");
+        match (&answer, is_dup) {
+            (LambdaAnswer::Neighbor { .. }, true) => dup_hits += 1,
+            (LambdaAnswer::No, false) => fresh_rejections += 1,
+            _ => {}
+        }
+
+        // Stage 2: for flagged uploads, fetch the closest catalog entry
+        // with a 2-round query.
+        if matches!(answer, LambdaAnswer::Neighbor { .. }) {
+            let (outcome, ledger) = index.query(&query, 2);
+            let found = index
+                .outcome_point(&outcome)
+                .map(|p| query.distance(p))
+                .unwrap_or(u32::MAX);
+            assert!(ledger.rounds() <= 2);
+            assert!(
+                found as f64 <= 2.0 * exact_nn_distance(&catalog, &query) as f64,
+                "stage-2 answer must be 2-approximate"
+            );
+        }
+    }
+    println!(
+        "duplicate filter: {dup_hits}/{} duplicates flagged, {fresh_rejections}/{} fresh uploads passed through",
+        trials / 2,
+        trials / 2
+    );
+    assert!(dup_hits * 10 >= trials / 2 * 9, "filter must catch ≥90% of duplicates");
+    assert!(
+        fresh_rejections * 10 >= trials / 2 * 9,
+        "filter must pass ≥90% of fresh uploads"
+    );
+    println!("near-duplicate pipeline behaved as specified ✓");
+}
+
+fn exact_nn_distance(catalog: &Dataset, query: &Point) -> u32 {
+    catalog.exact_nn(query).distance
+}

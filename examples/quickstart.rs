@@ -1,0 +1,65 @@
+//! Quickstart: build an index, run a k-round query, inspect the accounting.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use anns::core::{AnnIndex, BuildOptions};
+use anns::hamming::gen;
+use anns::sketch::SketchParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // A database of 2048 random 512-bit points with one planted neighbor at
+    // Hamming distance 9 from the query (everything else sits near 256).
+    let planted = gen::planted(2048, 512, 9, &mut rng);
+    println!(
+        "database: n = {}, d = {}, planted neighbor at distance {}",
+        planted.dataset.len(),
+        planted.dataset.dim(),
+        planted.planted_distance
+    );
+
+    // Build the paper's data structure: the sketch family of Definition 7
+    // (public randomness) plus lazy tables. γ = 2 approximation.
+    let index = AnnIndex::build(
+        planted.dataset,
+        SketchParams::practical(2.0, 42),
+        BuildOptions::default(),
+    );
+    println!(
+        "index: {} scales (⌈log_α d⌉ = {}), {} accurate sketch rows/scale\n",
+        index.family().top() + 1,
+        index.family().top(),
+        index.family().m_rows(),
+    );
+
+    // Query with different round budgets: fewer rounds ⇒ more probes per
+    // round (Theorem 2: O(k·(log d)^{1/k}) probes in k rounds).
+    println!("{:>3} {:>8} {:>8} {:>14} {:>10}", "k", "rounds", "probes", "probes/round", "found");
+    for k in 1..=6u32 {
+        let (outcome, ledger) = index.query(&planted.query, k);
+        let point = index.outcome_point(&outcome);
+        let dist = point.map(|p| planted.query.distance(p));
+        println!(
+            "{:>3} {:>8} {:>8} {:>14.2} {:>10}",
+            k,
+            ledger.rounds(),
+            ledger.total_probes(),
+            ledger.avg_probes_per_round(),
+            match dist {
+                Some(dist) => format!("dist {dist}"),
+                None => "-".to_string(),
+            }
+        );
+        assert!(
+            index.verify_gamma(&planted.query, &outcome),
+            "answer must be a γ-approximate nearest neighbor"
+        );
+    }
+
+    println!("\nall answers verified as γ-approximate nearest neighbors ✓");
+}

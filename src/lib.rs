@@ -1,0 +1,51 @@
+//! # limited-adaptivity-anns
+//!
+//! A full reproduction of *"Randomized approximate nearest neighbor search
+//! with limited adaptivity"* (Liu, Pan, Yin — SPAA 2016, arXiv:1602.04421):
+//! approximate nearest neighbor search in the Hamming cube, in the
+//! cell-probe model, with the query's probes organized into `k` rounds.
+//!
+//! This crate re-exports the workspace's public API under one roof:
+//!
+//! * [`hamming`] — the metric space: bit-packed points, datasets, workload
+//!   generators, Hamming balls, greedy codes;
+//! * [`cellprobe`] — the executable cell-probe model: tables, rounds,
+//!   probe ledgers, batch drivers;
+//! * [`sketch`] — the Definition 7 machinery: sparse GF(2) sketches and the
+//!   `C_i`/`D_{i,j}` ball approximations with their Lemma 8 validator;
+//! * [`core`] — the paper's algorithms: Algorithm 1 (`O(k(log d)^{1/k})`
+//!   probes), Algorithm 2 (`O(k + ((log d)/k)^{c/k})`), the 1-probe
+//!   λ-ANNS scheme, plus concrete (real data) and synthetic (asymptotic
+//!   scale) backends;
+//! * [`lsh`] — the baselines: bit-sampling LSH and linear scan;
+//! * [`lpm`] — the lower-bound side: longest prefix match, the
+//!   ball-tree reduction, and the round-elimination calculator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use anns::core::{AnnIndex, BuildOptions};
+//! use anns::hamming::gen;
+//! use anns::sketch::SketchParams;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! // 256 points in {0,1}^256, one planted neighbor at distance 6.
+//! let planted = gen::planted(256, 256, 6, &mut rng);
+//! let index = AnnIndex::build(
+//!     planted.dataset,
+//!     SketchParams::practical(2.0, 7),
+//!     BuildOptions::default(),
+//! );
+//! // k = 3 rounds of parallel cell-probes.
+//! let (outcome, ledger) = index.query(&planted.query, 3);
+//! assert!(index.verify_gamma(&planted.query, &outcome));
+//! assert!(ledger.rounds() <= 3);
+//! ```
+
+pub use anns_cellprobe as cellprobe;
+pub use anns_core as core;
+pub use anns_hamming as hamming;
+pub use anns_lpm as lpm;
+pub use anns_lsh as lsh;
+pub use anns_sketch as sketch;

@@ -1,0 +1,172 @@
+//! Robustness under injected faults, across both backends, plus
+//! model-conformance audits of the real schemes.
+
+use anns::cellprobe::{CountingTable, ExecOptions, PurityAuditTable, RoundExecutor};
+use anns::core::{
+    alg1, AnnIndex, AnnsInstance, BuildOptions, ErasureModel, ErrorModel, LambdaScheme,
+    OutcomeKind, SyntheticInstance, SyntheticProfile,
+};
+use anns::hamming::gen;
+use anns::sketch::SketchParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const GAMMA: f64 = 2.0;
+
+/// Erasure sweep on a concrete index: success degrades with the erasure
+/// probability but never panics, never loops, and never reports a point
+/// that is not a database member.
+#[test]
+fn concrete_erasure_sweep_degrades_gracefully() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let planted = gen::planted(128, 256, 8, &mut rng);
+    let mut successes = Vec::new();
+    for &p in &[0.0f64, 0.25, 0.5, 0.9, 1.0] {
+        let index = AnnIndex::build(
+            planted.dataset.clone(),
+            SketchParams::practical(GAMMA, 7),
+            BuildOptions {
+                erasures: Some(ErasureModel {
+                    probability: p,
+                    seed: 13,
+                }),
+                ..BuildOptions::default()
+            },
+        );
+        let mut ok = 0usize;
+        for k in 1..=4u32 {
+            let (outcome, ledger) = index.query(&planted.query, k);
+            assert!(ledger.rounds() <= (index.top() + 3) as usize, "p={p}");
+            if let Some(idx) = outcome.index() {
+                assert!((idx as usize) < index.dataset().len());
+                if index.verify_gamma(&planted.query, &outcome) {
+                    ok += 1;
+                }
+            }
+        }
+        successes.push((p, ok));
+    }
+    // Clean index solves all four budgets; fully erased solves none.
+    assert_eq!(successes.first().unwrap().1, 4);
+    assert_eq!(successes.last().unwrap().1, 0);
+}
+
+/// Synthetic error sweep: same graceful-degradation contract at asymptotic
+/// scale, where every T-cell answer can lie.
+#[test]
+fn synthetic_error_sweep_terminates_and_degrades() {
+    let profile = SyntheticProfile::point_mass(500, 123, 32.0);
+    let mut exact = 0usize;
+    for &p in &[0.0f64, 0.01, 0.1, 0.5] {
+        let inst = SyntheticInstance::with_errors(
+            profile.clone(),
+            2.0,
+            ErrorModel {
+                flip_probability: p,
+                seed: 3,
+            },
+        );
+        let table = inst.table();
+        let mut exec = RoundExecutor::new(table, ExecOptions::default());
+        let outcome = alg1(&inst, &(), 5, None, &mut exec);
+        let (ledger, _) = exec.finish();
+        assert!(ledger.rounds() <= 502, "p={p} must terminate promptly");
+        if outcome.scale() == Some(123) {
+            exact += 1;
+        }
+    }
+    assert!(exact >= 1, "the clean run must find the planted scale");
+}
+
+/// Purity audit over the real lazy oracle: a full Algorithm 1 run touches
+/// only pure cells (every address re-readable with identical content).
+#[test]
+fn lazy_oracle_passes_the_purity_audit() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let planted = gen::planted(128, 256, 8, &mut rng);
+    let index = AnnIndex::build(
+        planted.dataset,
+        SketchParams::practical(GAMMA, 9),
+        BuildOptions::default(),
+    );
+    let audit = PurityAuditTable::new(index.table());
+    let mut exec = RoundExecutor::new(&audit, ExecOptions::default());
+    let outcome = alg1(&index, &planted.query, 3, None, &mut exec);
+    assert!(outcome.index().is_some());
+    // Replay every touched address once more through the audit.
+    let distinct = audit.distinct_cells();
+    assert!(distinct > 0);
+    let mut exec2 = RoundExecutor::new(&audit, ExecOptions::default());
+    let outcome2 = alg1(&index, &planted.query, 3, None, &mut exec2);
+    assert_eq!(outcome.index(), outcome2.index());
+    assert_eq!(audit.distinct_cells(), distinct, "replay adds no new cells");
+}
+
+/// Probe attribution: λ-ANNS touches exactly one main-table cell and
+/// nothing else; Algorithm 1 touches the two degenerate tables plus main
+/// tables only (never the auxiliary range).
+#[test]
+fn probe_attribution_matches_scheme_structure() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let planted = gen::planted(128, 256, 8, &mut rng);
+    let index = AnnIndex::build(
+        planted.dataset,
+        SketchParams::practical(GAMMA, 11),
+        BuildOptions::default(),
+    );
+    let aux_base = 2 + (1 << 28);
+
+    // λ-ANNS: one probe, one main table.
+    let counting = CountingTable::new(index.table());
+    let mut exec = RoundExecutor::new(&counting, ExecOptions::default());
+    let scheme = LambdaScheme {
+        instance: &index,
+        scale: 6,
+    };
+    use anns::cellprobe::CellProbeScheme;
+    let _ = scheme.run(&planted.query, &mut exec);
+    assert_eq!(counting.total(), 1);
+    let snapshot = counting.snapshot();
+    assert_eq!(snapshot.len(), 1);
+    assert_eq!(snapshot[0].0, 2 + 6, "T_BASE + scale");
+
+    // Algorithm 1: degenerate tables (ids 0, 1) + main tables; no aux.
+    let counting = CountingTable::new(index.table());
+    let mut exec = RoundExecutor::new(&counting, ExecOptions::default());
+    let outcome = alg1(&index, &planted.query, 3, None, &mut exec);
+    assert!(outcome.index().is_some());
+    assert_eq!(counting.count(0), 1, "one exact-membership probe");
+    assert_eq!(counting.count(1), 1, "one N1-membership probe");
+    for (table, _) in counting.snapshot() {
+        assert!(table < aux_base, "Algorithm 1 must not touch aux tables");
+    }
+}
+
+/// Degenerate paths dominate under faults: an exact-member query answers
+/// correctly even on a fully erased index (erasures only hit main tables).
+#[test]
+fn exact_members_survive_total_erasure() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let planted = gen::planted(64, 128, 6, &mut rng);
+    let index = AnnIndex::build(
+        planted.dataset,
+        SketchParams::practical(GAMMA, 12),
+        BuildOptions {
+            erasures: Some(ErasureModel {
+                probability: 1.0,
+                seed: 14,
+            }),
+            ..BuildOptions::default()
+        },
+    );
+    for i in [0usize, 31, 63] {
+        let member = index.dataset().point(i).clone();
+        let (outcome, _) = index.query(&member, 2);
+        match outcome.kind {
+            OutcomeKind::Exact { index: idx } => {
+                assert_eq!(index.dataset().point(idx as usize), &member);
+            }
+            ref other => panic!("expected Exact, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests over the algorithms' invariants, driven by random
+//! synthetic profiles (so they cover instance shapes no fixed unit test
+//! enumerates) and random concrete micro-instances.
+
+use anns::cellprobe::execute;
+use anns::core::{
+    alg2_s, choose_tau_alg1, Alg1Scheme, Alg2Config, Alg2Scheme, AnnIndex, BuildOptions,
+    LambdaScheme, SyntheticInstance, SyntheticProfile,
+};
+use anns::hamming::gen;
+use anns::sketch::SketchParams;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random point-mass or geometric profile.
+fn profile_strategy() -> impl Strategy<Value = SyntheticProfile> {
+    (4u32..400, any::<bool>(), 4.0f64..80.0).prop_flat_map(|(top, geometric, n_log2)| {
+        (2u32..=top, 0.25f64..4.0).prop_map(move |(i0, step)| {
+            if geometric {
+                SyntheticProfile::geometric(top, i0, step, n_log2)
+            } else {
+                SyntheticProfile::point_mass(top, i0, n_log2)
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Algorithm 1 finds the first non-empty scale on ANY profile, within
+    /// its round budget and probe bound.
+    #[test]
+    fn alg1_invariants_on_random_profiles(profile in profile_strategy(), k in 1u32..12) {
+        let expected = profile.first_nonempty().unwrap();
+        let top = profile.top;
+        let inst = SyntheticInstance::new(profile, 2.0);
+        let scheme = Alg1Scheme { instance: &inst, k, tau_override: None };
+        let (outcome, ledger) = execute(&scheme, &());
+        prop_assert_eq!(outcome.scale(), Some(expected));
+        prop_assert!(ledger.rounds() <= k as usize);
+        let tau = choose_tau_alg1(top, k);
+        prop_assert!(ledger.total_probes() <= (k * (tau - 1)) as usize);
+        prop_assert!(ledger.max_round_probes() <= (tau - 1) as usize);
+    }
+
+    /// Algorithm 2 finds the first non-empty scale on ANY profile, and its
+    /// phase structure bounds every non-final round.
+    #[test]
+    fn alg2_invariants_on_random_profiles(profile in profile_strategy(), k in 2u32..64) {
+        let expected = profile.first_nonempty().unwrap();
+        let cfg = Alg2Config::with_k(k);
+        let s = alg2_s(k, cfg.c);
+        let inst = SyntheticInstance::new(profile, s);
+        let scheme = Alg2Scheme { instance: &inst, config: cfg };
+        let (outcome, ledger) = execute(&scheme, &());
+        prop_assert_eq!(outcome.scale(), Some(expected));
+        // Every round is either a phase round (≤ 1 + ⌈(τ−1)/s⌉ probes), a
+        // 1-probe second phase round, or the completion round.
+        prop_assert!(ledger.rounds() >= 1);
+    }
+
+    /// The λ-scheme on synthetic profiles: probing at scale s answers
+    /// NEIGHBOR iff s is at or above the first non-empty scale.
+    #[test]
+    fn lambda_threshold_behaviour(profile in profile_strategy(), frac in 0.0f64..1.0) {
+        let i0 = profile.first_nonempty().unwrap();
+        let top = profile.top;
+        let scale = ((f64::from(top)) * frac) as u32;
+        let inst = SyntheticInstance::new(profile, 2.0);
+        let scheme = LambdaScheme { instance: &inst, scale };
+        let (answer, ledger) = execute(&scheme, &());
+        prop_assert_eq!(ledger.total_probes(), 1);
+        let is_neighbor = matches!(answer, anns::core::lambda::LambdaAnswer::Neighbor { .. });
+        prop_assert_eq!(is_neighbor, scale >= i0);
+    }
+
+    /// τ selection: the paper's inequality holds and τ is minimal, for all
+    /// (top, k).
+    #[test]
+    fn tau_selection_is_sound(top in 1u32..100_000, k in 2u32..20) {
+        let tau = choose_tau_alg1(top, k);
+        let val = |t: u32| f64::from(t) * (f64::from(t) / 2.0).powi(k as i32 - 1);
+        prop_assert!(val(tau) >= f64::from(top.max(1)));
+        if tau > 2 {
+            prop_assert!(val(tau - 1) < f64::from(top.max(1)));
+        }
+    }
+}
+
+proptest! {
+    // Concrete micro-instances are slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// End-to-end on random concrete planted instances: the returned point
+    /// is γ-approximate (the planted gap makes failures effectively
+    /// impossible at these margins, any seed).
+    #[test]
+    fn concrete_planted_instances_are_solved(seed in any::<u64>(), k in 1u32..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let planted = gen::planted(96, 384, 6, &mut rng);
+        let index = AnnIndex::build(
+            planted.dataset,
+            SketchParams::practical(2.0, seed ^ 0xA5A5),
+            BuildOptions { threads: 1, ..BuildOptions::default() },
+        );
+        let (outcome, ledger) = index.query(&planted.query, k);
+        prop_assert!(ledger.rounds() <= k as usize);
+        prop_assert_eq!(outcome.index(), Some(planted.planted_index as u64));
+    }
+}

@@ -1,0 +1,108 @@
+//! The flagship cross-crate test: solving longest prefix match through the
+//! paper's *own* ANNS data structure, via the Lemma 14 reduction.
+//!
+//! LPM instance → γ-separated ball tree → ANNS instance → `AnnIndex`
+//! (sketches + lazy tables) → k-round query → pulled-back LPM answer,
+//! checked against the exhaustive LPM solver. This exercises every crate in
+//! the workspace in one pipeline and is exactly the object the lower-bound
+//! argument reasons about.
+
+use anns::core::{Alg2Config, AnnIndex, BuildOptions};
+use anns::hamming::Point;
+use anns::lpm::{LpmInstance, LpmReduction};
+use anns::sketch::SketchParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const GAMMA: f64 = 2.0;
+
+fn pipeline(seed: u64) -> (LpmReduction, AnnIndex) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let instance = LpmInstance::random(4, 2, 12, &mut rng);
+    let reduction = LpmReduction::build(instance, 2048, GAMMA, 50_000, &mut rng)
+        .expect("tree construction feasible at these parameters");
+    let index = AnnIndex::build(
+        reduction.dataset().clone(),
+        SketchParams::practical(GAMMA, seed ^ 0xFEED),
+        BuildOptions { threads: 4, ..BuildOptions::default() },
+    );
+    (reduction, index)
+}
+
+#[test]
+fn lpm_solved_through_the_anns_index() {
+    let (reduction, index) = pipeline(51);
+    let mut rng = StdRng::seed_from_u64(52);
+    let mut solved = 0usize;
+    let trials = 24usize;
+    for _ in 0..trials {
+        let q: Vec<u16> = (0..2).map(|_| rng.gen_range(0..4)).collect();
+        let x: Point = reduction.map_query(&q);
+        let (outcome, ledger) = index.query(&x, 3);
+        assert!(ledger.rounds() <= 3);
+        let answer = index
+            .outcome_point(&outcome)
+            .expect("query must return a point");
+        if reduction.answer_is_correct(&q, answer) {
+            solved += 1;
+        }
+    }
+    // The reduction guarantees any γ-approximate answer is LPM-correct; the
+    // index's γ-approximation holds with the scheme's success probability.
+    assert!(
+        solved * 4 >= trials * 3,
+        "LPM solved for only {solved}/{trials} queries"
+    );
+}
+
+#[test]
+fn lpm_solved_through_algorithm_2_as_well() {
+    let (reduction, index) = pipeline(61);
+    let mut rng = StdRng::seed_from_u64(62);
+    let mut solved = 0usize;
+    let trials = 12usize;
+    for _ in 0..trials {
+        let q: Vec<u16> = (0..2).map(|_| rng.gen_range(0..4)).collect();
+        let x = reduction.map_query(&q);
+        let (outcome, _) = index.query_alg2(&x, Alg2Config::with_k(8));
+        if let Some(answer) = index.outcome_point(&outcome) {
+            if reduction.answer_is_correct(&q, answer) {
+                solved += 1;
+            }
+        }
+    }
+    assert!(solved * 4 >= trials * 3, "{solved}/{trials}");
+}
+
+#[test]
+fn database_string_queries_come_back_exactly() {
+    // Querying the image of a database string: distance 0, the degenerate
+    // path fires, the pulled-back answer has LCP = m.
+    let (reduction, index) = pipeline(71);
+    for i in 0..reduction.instance().len() {
+        let s = reduction.instance().database[i].clone();
+        let x = reduction.map_query(&s);
+        let (outcome, ledger) = index.query(&x, 2);
+        assert_eq!(ledger.rounds(), 1, "degenerate exact hit is one round");
+        let answer = index.outcome_point(&outcome).expect("must answer");
+        assert!(
+            reduction.answer_is_correct(&s, answer),
+            "string {i} must match itself"
+        );
+    }
+}
+
+#[test]
+fn exact_nn_ground_truth_matches_reduction_semantics() {
+    // Sanity tie-break: for every query string, the *exact* NN in the
+    // reduced dataset maximizes the LCP (Lemma 14's easy direction), so the
+    // ANNS index's job is only to γ-approximate it.
+    let (reduction, _) = pipeline(81);
+    let mut rng = StdRng::seed_from_u64(82);
+    for _ in 0..40 {
+        let q: Vec<u16> = (0..2).map(|_| rng.gen_range(0..4)).collect();
+        let x = reduction.map_query(&q);
+        let nn = reduction.dataset().exact_nn(&x);
+        assert!(reduction.answer_is_correct(&q, reduction.dataset().point(nn.index)));
+    }
+}
