@@ -27,7 +27,10 @@ fn bench_builds(c: &mut Criterion) {
                     AnnIndex::build(
                         ds2.clone(),
                         SketchParams::practical(2.0, 7),
-                        BuildOptions { threads, ..BuildOptions::default() },
+                        BuildOptions {
+                            threads,
+                            ..BuildOptions::default()
+                        },
                     )
                 })
             });

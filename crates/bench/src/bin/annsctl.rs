@@ -65,8 +65,8 @@ fn required(flags: &HashMap<String, String>, key: &str) -> String {
 }
 
 fn load_index(path: &str) -> AnnIndex {
-    let json = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let json =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     let snapshot =
         serde_json::from_str(&json).unwrap_or_else(|e| die(&format!("bad snapshot: {e}")));
     AnnIndex::from_snapshot(snapshot)
@@ -80,7 +80,11 @@ fn cmd_build(flags: HashMap<String, String>) {
     let out = required(&flags, "out");
     let mut rng = StdRng::seed_from_u64(seed);
     let ds = gen::uniform(n, d, &mut rng);
-    let index = AnnIndex::build(ds, SketchParams::practical(gamma, seed), BuildOptions::default());
+    let index = AnnIndex::build(
+        ds,
+        SketchParams::practical(gamma, seed),
+        BuildOptions::default(),
+    );
     let json = serde_json::to_string(&index.snapshot()).expect("serialize snapshot");
     std::fs::write(&out, json).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
     println!(
@@ -97,7 +101,10 @@ fn cmd_query(flags: HashMap<String, String>) {
     let seed: u64 = flag(&flags, "seed", 99);
     let mut rng = StdRng::seed_from_u64(seed);
     let d = index.dataset().dim();
-    println!("{:>4} {:>8} {:>8} {:>10} {:>8}", "#", "probes", "rounds", "distance", "γ-ok");
+    println!(
+        "{:>4} {:>8} {:>8} {:>10} {:>8}",
+        "#", "probes", "rounds", "distance", "γ-ok"
+    );
     for i in 0..count {
         let base = rng.gen_range(0..index.dataset().len());
         let query = gen::point_at_distance(index.dataset().point(base), flips.min(d), &mut rng);

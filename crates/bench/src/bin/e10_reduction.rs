@@ -107,9 +107,7 @@ fn main() {
             let opt = red.dataset().exact_nn(&x).distance;
             for i in 0..red.dataset().len() {
                 let dist = x.distance(red.dataset().point(i));
-                if f64::from(dist) <= GAMMA * f64::from(opt)
-                    && !red.instance().is_correct(q, i)
-                {
+                if f64::from(dist) <= GAMMA * f64::from(opt) && !red.instance().is_correct(q, i) {
                     all_sound = false;
                 }
             }
@@ -122,7 +120,11 @@ fn main() {
             m.to_string(),
             n.to_string(),
             queries.len().to_string(),
-            if all_sound { "all".into() } else { "VIOLATED".to_string() },
+            if all_sound {
+                "all".into()
+            } else {
+                "VIOLATED".to_string()
+            },
             if min_margin.is_finite() {
                 format!("{min_margin:.2}")
             } else {

@@ -10,7 +10,9 @@
 
 use anns_bench::{experiment_header, trials, worst_totals, MarkdownTable};
 use anns_cellprobe::execute;
-use anns_core::{choose_tau_alg1, Alg1Scheme, AnnIndex, BuildOptions, SyntheticInstance, SyntheticProfile};
+use anns_core::{
+    choose_tau_alg1, Alg1Scheme, AnnIndex, BuildOptions, SyntheticInstance, SyntheticProfile,
+};
 use anns_hamming::gen;
 use anns_sketch::SketchParams;
 use rand::rngs::StdRng;

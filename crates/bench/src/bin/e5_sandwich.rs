@@ -66,7 +66,9 @@ fn main() {
         "Lemma 8: sandwich B_i ⊆ C_i ⊆ B_{i+1} and the n^{-1/s} fraction bounds",
     );
     let queries = trials(16);
-    println!("## sandwich success rate vs c₁ (n = {N}, d = {D}, {queries} fresh families × 2 queries)\n");
+    println!(
+        "## sandwich success rate vs c₁ (n = {N}, d = {D}, {queries} fresh families × 2 queries)\n"
+    );
     let c1_star = recommended_c1(N, u64::from(D), GAMMA.sqrt(), 0.125);
     println!("numerically sufficient c₁ for Lemma 8's 3/4 at this n,d: {c1_star:.0}\n");
     let mut table = MarkdownTable::new(&[
@@ -91,7 +93,8 @@ fn main() {
     table.print();
 
     println!("\n## A3 — literal Definition 7 threshold vs corrected midpoint (c₁ = 96)\n");
-    let mut table = MarkdownTable::new(&["threshold", "P[sandwich ∀i]", "lower viol.", "upper viol."]);
+    let mut table =
+        MarkdownTable::new(&["threshold", "P[sandwich ∀i]", "lower viol.", "upper viol."]);
     for (name, mode) in [
         ("midpoint f(β)+δ/2 (ours)", ThresholdMode::Midpoint),
         ("literal δ(β,α) (arXiv text)", ThresholdMode::LiteralDelta),

@@ -111,7 +111,12 @@ fn main() {
                 format!("{:.2}", row.boosted),
                 format!("{:.2}", row.mean_ratio),
                 format!("{:.2}", row.max_ratio),
-                if row.success >= 2.0 / 3.0 { "yes" } else { "no" }.into(),
+                if row.success >= 2.0 / 3.0 {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .into(),
             ]);
         }
         table.print();

@@ -65,9 +65,7 @@ fn main() {
                 assert_eq!(ledger.rounds(), 1);
                 match (&answer, side) {
                     (LambdaAnswer::Neighbor { index: idx, .. }, _) => {
-                        let dist = planted
-                            .query
-                            .distance(index.dataset().point(*idx as usize));
+                        let dist = planted.query.distance(index.dataset().point(*idx as usize));
                         if f64::from(dist) > GAMMA * lambda {
                             witness_ok = false;
                         } else if side == "YES" || side == "gap" {

@@ -33,7 +33,9 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let planted = gen::planted(n, D, R, &mut rng);
         let queries: Vec<_> = (0..reps)
-            .map(|_| gen::point_at_distance(planted.dataset.point(planted.planted_index), R, &mut rng))
+            .map(|_| {
+                gen::point_at_distance(planted.dataset.point(planted.planted_index), R, &mut rng)
+            })
             .collect();
 
         let lsh_params = LshParams::for_radius(n, D, f64::from(R), GAMMA, 4.0);
@@ -77,7 +79,11 @@ fn main() {
                 }
             }
             table.row(vec![
-                format!("LSH (K={},L={})", lsh.params().k_bits, lsh.params().l_tables),
+                format!(
+                    "LSH (K={},L={})",
+                    lsh.params().k_bits,
+                    lsh.params().l_tables
+                ),
                 rounds.to_string(),
                 (probes / reps).to_string(),
                 (bits / reps as u64).to_string(),

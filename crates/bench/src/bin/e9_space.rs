@@ -8,10 +8,10 @@
 //! The Newman translation column shows the private-coin table growth.
 
 use anns_bench::{experiment_header, MarkdownTable};
+use anns_cellprobe::{newman_private_coin_cells_log2, Table};
 use anns_core::{AnnIndex, AnnsInstance, BuildOptions};
 use anns_hamming::gen;
 use anns_lsh::{LinearScan, LshIndex, LshParams};
-use anns_cellprobe::{newman_private_coin_cells_log2, Table};
 use anns_sketch::SketchParams;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -81,7 +81,11 @@ fn main() {
             format!("{} buckets", lsh.populated_buckets()),
             format!(
                 "{:.1}",
-                newman_private_coin_cells_log2(lm.cells_log2, f64::from(d), f64::from(d) * n as f64)
+                newman_private_coin_cells_log2(
+                    lm.cells_log2,
+                    f64::from(d),
+                    f64::from(d) * n as f64
+                )
             ),
         ]);
 
@@ -104,11 +108,7 @@ fn main() {
     for d in [128u32, 512, 2048] {
         let mut rng = StdRng::seed_from_u64(u64::from(d));
         let ds = gen::uniform(1024, d, &mut rng);
-        let index = AnnIndex::build(
-            ds,
-            SketchParams::practical(2.0, 4),
-            BuildOptions::default(),
-        );
+        let index = AnnIndex::build(ds, SketchParams::practical(2.0, 4), BuildOptions::default());
         let w = index.word_bits();
         table.row(vec![
             d.to_string(),

@@ -92,7 +92,11 @@ pub fn worst_ledger(ledgers: &[ProbeLedger]) -> ProbeLedger {
 /// Worst-case totals over a set of runs: `(max total probes, max rounds,
 /// max single-round width)`.
 pub fn worst_totals(ledgers: &[ProbeLedger]) -> (usize, usize, usize) {
-    let probes = ledgers.iter().map(ProbeLedger::total_probes).max().unwrap_or(0);
+    let probes = ledgers
+        .iter()
+        .map(ProbeLedger::total_probes)
+        .max()
+        .unwrap_or(0);
     let rounds = ledgers.iter().map(ProbeLedger::rounds).max().unwrap_or(0);
     let width = ledgers
         .iter()

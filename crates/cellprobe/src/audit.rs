@@ -87,12 +87,8 @@ impl<'a> CountingTable<'a> {
 
     /// All `(table id, probes)` pairs, sorted by id.
     pub fn snapshot(&self) -> Vec<(TableId, usize)> {
-        let mut v: Vec<(TableId, usize)> = self
-            .counts
-            .lock()
-            .iter()
-            .map(|(&t, &c)| (t, c))
-            .collect();
+        let mut v: Vec<(TableId, usize)> =
+            self.counts.lock().iter().map(|(&t, &c)| (t, c)).collect();
         v.sort_unstable();
         v
     }

@@ -65,9 +65,9 @@ where
 /// Worst-case ledger over a batch — the quantity the paper's bounds are
 /// stated for ("within t cell-probes in k rounds … in the worst case").
 pub fn worst_case_ledger<A>(items: &[BatchItem<A>]) -> ProbeLedger {
-    items
-        .iter()
-        .fold(ProbeLedger::default(), |acc, item| acc.worst_case(&item.ledger))
+    items.iter().fold(ProbeLedger::default(), |acc, item| {
+        acc.worst_case(&item.ledger)
+    })
 }
 
 #[cfg(test)]

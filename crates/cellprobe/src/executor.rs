@@ -224,7 +224,9 @@ impl<'a> RoundExecutor<'a> {
             }
         })
         .expect("probe worker panicked");
-        out.into_iter().map(|w| w.expect("probe not executed")).collect()
+        out.into_iter()
+            .map(|w| w.expect("probe not executed"))
+            .collect()
     }
 
     /// Accounting so far.

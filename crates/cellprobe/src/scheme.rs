@@ -141,8 +141,7 @@ mod tests {
         let table = MaterializedTable::new(SpaceModel::from_exact_cells(1, 8));
         table.write(Address::with_u64(0, 0), Word::from_bytes(vec![0; 10]));
         let liar = Liar { table };
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(&liar, &())));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(&liar, &())));
         assert!(result.is_err(), "oversized word must be rejected");
     }
 }

@@ -110,7 +110,11 @@ impl MaterializedTable {
 
 impl Table for MaterializedTable {
     fn read(&self, addr: &Address) -> Word {
-        self.cells.read().get(addr).cloned().unwrap_or_else(Word::empty)
+        self.cells
+            .read()
+            .get(addr)
+            .cloned()
+            .unwrap_or_else(Word::empty)
     }
 
     fn space_model(&self) -> SpaceModel {

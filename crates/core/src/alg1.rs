@@ -196,8 +196,7 @@ mod tests {
     fn finds_the_planted_scale_for_every_k() {
         let top = 40u32;
         for i0 in [2u32, 3, 17, 39, 40] {
-            let inst =
-                SyntheticInstance::new(SyntheticProfile::point_mass(top, i0, 20.0), 2.0);
+            let inst = SyntheticInstance::new(SyntheticProfile::point_mass(top, i0, 20.0), 2.0);
             for k in 1..=10u32 {
                 let (outcome, ledger) = run_k(&inst, k);
                 assert_eq!(
@@ -223,7 +222,11 @@ mod tests {
         for k in 1..=14u32 {
             let (outcome, ledger) = run_k(&inst, k);
             assert_eq!(outcome.scale(), Some(747), "k={k}");
-            assert!(ledger.rounds() <= k as usize, "k={k}: rounds {}", ledger.rounds());
+            assert!(
+                ledger.rounds() <= k as usize,
+                "k={k}: rounds {}",
+                ledger.rounds()
+            );
         }
     }
 
@@ -289,7 +292,10 @@ mod tests {
                 let val = |t: u32| f64::from(t) * (f64::from(t) / 2.0).powi(k as i32 - 1);
                 assert!(val(tau) >= f64::from(top), "top={top}, k={k}");
                 if tau > 2 {
-                    assert!(val(tau - 1) < f64::from(top), "not minimal: top={top}, k={k}");
+                    assert!(
+                        val(tau - 1) < f64::from(top),
+                        "not minimal: top={top}, k={k}"
+                    );
                 }
             }
         }
@@ -309,8 +315,7 @@ mod tests {
 
     #[test]
     fn geometric_profiles_are_also_solved() {
-        let inst =
-            SyntheticInstance::new(SyntheticProfile::geometric(200, 23, 0.5, 40.0), 2.0);
+        let inst = SyntheticInstance::new(SyntheticProfile::geometric(200, 23, 0.5, 40.0), 2.0);
         for k in 1..=8u32 {
             let (outcome, _) = run_k(&inst, k);
             assert_eq!(outcome.scale(), Some(23), "k={k}");

@@ -267,7 +267,10 @@ mod tests {
         SyntheticInstance::new(profile, alg2_s(k, c))
     }
 
-    fn run(inst: &SyntheticInstance, cfg: Alg2Config) -> (QueryOutcome, anns_cellprobe::ProbeLedger) {
+    fn run(
+        inst: &SyntheticInstance,
+        cfg: Alg2Config,
+    ) -> (QueryOutcome, anns_cellprobe::ProbeLedger) {
         let scheme = Alg2Scheme {
             instance: inst,
             config: cfg,
@@ -358,8 +361,7 @@ mod tests {
             let tau = choose_tau_alg2(top, k, cfg.c);
             let inst = SyntheticInstance::new(SyntheticProfile::point_mass(top, 999, 64.0), s);
             let (_, ledger) = run(&inst, cfg);
-            let bound = ((k - 1) / 2 + 1) as usize
-                * ((tau - 1).div_ceil(s_int) as usize + 2)
+            let bound = ((k - 1) / 2 + 1) as usize * ((tau - 1).div_ceil(s_int) as usize + 2)
                 + (3 * tau).max(k) as usize;
             assert!(
                 ledger.total_probes() <= bound,

@@ -38,12 +38,7 @@ pub struct BoostedLedger {
 
 impl BoostedIndex {
     /// Builds `r` copies with seeds `base_seed, base_seed+1, …`.
-    pub fn build(
-        dataset: Dataset,
-        mut params: SketchParams,
-        r: usize,
-        opts: BuildOptions,
-    ) -> Self {
+    pub fn build(dataset: Dataset, mut params: SketchParams, r: usize, opts: BuildOptions) -> Self {
         assert!(r >= 1, "at least one copy");
         let base_seed = params.seed;
         let copies = (0..r)
@@ -125,7 +120,10 @@ mod tests {
             planted.dataset,
             SketchParams::practical(2.0, 500),
             3,
-            BuildOptions { threads: 2, ..BuildOptions::default() },
+            BuildOptions {
+                threads: 2,
+                ..BuildOptions::default()
+            },
         );
         assert_eq!(boosted.repetitions(), 3);
         let (outcome, ledger) = boosted.query(&planted.query, 3);

@@ -22,9 +22,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use anns_cellprobe::{
-    execute_with, Address, ExecOptions, ProbeLedger, SpaceModel, Table, Word,
-};
+use anns_cellprobe::{execute_with, Address, ExecOptions, ProbeLedger, SpaceModel, Table, Word};
 use anns_hamming::{Dataset, Point};
 use anns_sketch::{DbSketches, Sketch, SketchFamily, SketchParams};
 
@@ -200,8 +198,10 @@ impl Table for ConcreteTables {
             t if t >= table_ids::AUX_BASE => {
                 let u = t - table_ids::AUX_BASE;
                 let key = decode_aux_key(&addr.key, inner.family.m_rows(), inner.family.n_rows());
-                let c_members: Vec<usize> =
-                    inner.db.c_members(&inner.family, u, &key.m_sketch).collect();
+                let c_members: Vec<usize> = inner
+                    .db
+                    .c_members(&inner.family, u, &key.m_sketch)
+                    .collect();
                 let threshold = c_members.len() as f64
                     * (inner.dataset.len() as f64).powf(-1.0 / inner.family.params().s);
                 for (pos, (&scale, n_sketch)) in
@@ -225,9 +225,7 @@ impl Table for ConcreteTables {
                 let i = t - table_ids::T_BASE;
                 if let Some(model) = &inner.erasures {
                     let coin = crate::synthetic::deterministic_cell_unit(
-                        model.seed,
-                        addr.table,
-                        &addr.key,
+                        model.seed, addr.table, &addr.key,
                     );
                     if coin < model.probability {
                         return encode_t_cell(None);
@@ -364,12 +362,7 @@ impl AnnIndex {
 
     /// Runs Algorithm 1 with explicit executor options (e.g. parallel
     /// in-round probes).
-    pub fn query_with(
-        &self,
-        x: &Point,
-        k: u32,
-        opts: ExecOptions,
-    ) -> (QueryOutcome, ProbeLedger) {
+    pub fn query_with(&self, x: &Point, k: u32, opts: ExecOptions) -> (QueryOutcome, ProbeLedger) {
         let scheme = Alg1Scheme {
             instance: self,
             k,
@@ -411,10 +404,11 @@ impl AnnIndex {
     /// nearest neighbor of `x`? Returns `false` for failed queries.
     pub fn verify_gamma(&self, x: &Point, outcome: &QueryOutcome) -> bool {
         match self.outcome_point(outcome) {
-            Some(z) => self
-                .inner
-                .dataset
-                .is_gamma_approximate_nn(x, z, self.inner.family.params().gamma),
+            Some(z) => {
+                self.inner
+                    .dataset
+                    .is_gamma_approximate_nn(x, z, self.inner.family.params().gamma)
+            }
             None => false,
         }
     }
@@ -483,7 +477,10 @@ mod tests {
         let index = AnnIndex::build(
             inst.dataset,
             SketchParams::practical(GAMMA, seed ^ 0x5555),
-            BuildOptions { threads: 2, ..BuildOptions::default() },
+            BuildOptions {
+                threads: 2,
+                ..BuildOptions::default()
+            },
         );
         (index, inst.query, inst.planted_index)
     }
@@ -567,7 +564,10 @@ mod tests {
         let index = AnnIndex::build(
             ds,
             SketchParams::practical(GAMMA, 99),
-            BuildOptions { threads: 2, ..BuildOptions::default() },
+            BuildOptions {
+                threads: 2,
+                ..BuildOptions::default()
+            },
         );
         let mut ok = 0;
         let trials = 20;

@@ -22,11 +22,18 @@ use crate::outcome::decode_t_cell;
 
 /// The probed scale: smallest `i` with `α^i ≥ λ`.
 pub fn lambda_scale(lambda: f64, alpha: f64, top: u32) -> u32 {
-    assert!(lambda >= 1.0, "radii below 1 degenerate to exact membership");
+    assert!(
+        lambda >= 1.0,
+        "radii below 1 degenerate to exact membership"
+    );
     assert!(alpha > 1.0);
     let i = (lambda.ln() / alpha.ln()).ceil().max(0.0) as u32;
     // Guard float rounding at exact powers.
-    let i = if alpha.powi(i as i32) < lambda { i + 1 } else { i };
+    let i = if alpha.powi(i as i32) < lambda {
+        i + 1
+    } else {
+        i
+    };
     i.min(top)
 }
 

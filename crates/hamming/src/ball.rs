@@ -48,8 +48,8 @@ impl Iterator for N1Iter<'_> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let remaining = (self.center.dim() - self.next_flip) as usize
-            + usize::from(!self.yielded_center);
+        let remaining =
+            (self.center.dim() - self.next_flip) as usize + usize::from(!self.yielded_center);
         (remaining, Some(remaining))
     }
 }
@@ -144,7 +144,12 @@ mod tests {
     fn ball_volume_small_cases_exact() {
         // |Ball(5, 0)| = 1, |Ball(5, 1)| = 6, |Ball(5, 2)| = 16,
         // |Ball(5, 5)| = 32.
-        let cases = [(5u64, 0u64, 1.0f64), (5, 1, 6.0), (5, 2, 16.0), (5, 5, 32.0)];
+        let cases = [
+            (5u64, 0u64, 1.0f64),
+            (5, 1, 6.0),
+            (5, 2, 16.0),
+            (5, 5, 32.0),
+        ];
         for (d, r, v) in cases {
             let got = ball_volume_log2(d, r);
             assert!(

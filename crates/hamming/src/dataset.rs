@@ -112,7 +112,10 @@ impl Dataset {
         for (i, p) in self.points.iter().enumerate() {
             let dist = query.distance(p);
             if dist < best.distance {
-                best = ExactNeighbor { index: i, distance: dist };
+                best = ExactNeighbor {
+                    index: i,
+                    distance: dist,
+                };
                 if dist == 0 {
                     break;
                 }
@@ -200,12 +203,7 @@ mod tests {
         for _ in 0..20 {
             let q = Point::random(96, &mut rng);
             let nn = ds.exact_nn(&q);
-            let min = ds
-                .points()
-                .iter()
-                .map(|p| q.distance(p))
-                .min()
-                .unwrap();
+            let min = ds.points().iter().map(|p| q.distance(p)).min().unwrap();
             assert_eq!(nn.distance, min);
         }
     }

@@ -58,7 +58,10 @@ pub fn point_at_distance<R: Rng + ?Sized>(center: &Point, r: u32, rng: &mut R) -
 
 /// Flips each coordinate of `point` independently with probability `p`.
 pub fn corrupt<R: Rng + ?Sized>(point: &Point, p: f64, rng: &mut R) -> Point {
-    assert!((0.0..=1.0).contains(&p), "flip probability must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "flip probability must be in [0,1]"
+    );
     let mut out = point.clone();
     for i in 0..point.dim() {
         if rng.gen_bool(p) {

@@ -127,7 +127,10 @@ mod tests {
         assert_eq!((idx, l), (3, 2));
         let (_, l) = inst.solve(&[3, 3, 3]);
         assert_eq!(l, 0);
-        assert!(inst.is_correct(&[3, 3, 3], 2), "any string is a maximizer at lcp 0");
+        assert!(
+            inst.is_correct(&[3, 3, 3], 2),
+            "any string is a maximizer at lcp 0"
+        );
     }
 
     #[test]
@@ -145,12 +148,7 @@ mod tests {
         for _ in 0..50 {
             let q: LpmString = (0..4).map(|_| rng.gen_range(0..3)).collect();
             let (idx, l) = inst.solve(&q);
-            let brute = inst
-                .database
-                .iter()
-                .map(|s| lcp_len(&q, s))
-                .max()
-                .unwrap();
+            let brute = inst.database.iter().map(|s| lcp_len(&q, s)).max().unwrap();
             assert_eq!(l, brute);
             assert_eq!(lcp_len(&q, &inst.database[idx]), brute);
         }

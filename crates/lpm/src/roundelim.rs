@@ -319,14 +319,7 @@ mod tests {
             outcome.is_contradiction(),
             "t = 4 must be impossible at k = 2: {outcome:?}"
         );
-        let lb = certified_lower_bound(
-            GALACTIC_N_LOG2,
-            GALACTIC_D_LOG2,
-            4.0,
-            k,
-            1 << 40,
-            &params,
-        );
+        let lb = certified_lower_bound(GALACTIC_N_LOG2, GALACTIC_D_LOG2, 4.0, k, 1 << 40, &params);
         assert!(lb >= 4, "certified lb {lb}");
         // And the certificate is not vacuous: large t survives.
         let big = eliminate(GALACTIC_N_LOG2, GALACTIC_D_LOG2, 4.0, k, 1e18, &params);
@@ -397,7 +390,11 @@ mod tests {
             let b = eliminate_with_split(1e16, 1e8, 4.0, &[1.0, 1.0, 1.0], t, &params);
             let c = eliminate_with_split(1e16, 1e8, 4.0, &[7.0, 7.0, 7.0], t, &params);
             assert_eq!(a.is_contradiction(), b.is_contradiction(), "t={t}");
-            assert_eq!(a.is_contradiction(), c.is_contradiction(), "t={t} (scaled weights)");
+            assert_eq!(
+                a.is_contradiction(),
+                c.is_contradiction(),
+                "t={t} (scaled weights)"
+            );
         }
     }
 

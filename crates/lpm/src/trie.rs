@@ -18,9 +18,7 @@
 //! Together with Theorem 24 this brackets LPM's k-round complexity the same
 //! way Theorems 2 and 4 bracket ANNS's.
 
-use anns_cellprobe::{
-    Address, CellProbeScheme, RoundExecutor, SpaceModel, Table, Word,
-};
+use anns_cellprobe::{Address, CellProbeScheme, RoundExecutor, SpaceModel, Table, Word};
 use std::collections::HashMap;
 
 use crate::problem::{LpmInstance, LpmString};

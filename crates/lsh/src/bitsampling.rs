@@ -350,13 +350,19 @@ mod tests {
     fn bucket_codec_roundtrip() {
         let mut rng = StdRng::seed_from_u64(3);
         let points: Vec<Point> = (0..5).map(|_| Point::random(130, &mut rng)).collect();
-        let records: Vec<(u64, &Point)> =
-            points.iter().enumerate().map(|(i, p)| (i as u64, p)).collect();
+        let records: Vec<(u64, &Point)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u64, p))
+            .collect();
         let word = encode_bucket(&records);
         let back = decode_bucket(&word);
         assert_eq!(back.len(), 5);
         for ((idx, point), orig) in back.iter().zip(points.iter()) {
-            assert_eq!(*idx as usize, back.iter().position(|(i, _)| i == idx).unwrap());
+            assert_eq!(
+                *idx as usize,
+                back.iter().position(|(i, _)| i == idx).unwrap()
+            );
             assert_eq!(point, orig);
         }
         assert!(decode_bucket(&encode_bucket(&[])).is_empty());

@@ -75,8 +75,7 @@ impl MultiRadiusLsh {
             if params.gamma * r >= f64::from(d) {
                 break;
             }
-            let lsh_params =
-                LshParams::for_radius(dataset.len(), d, r, params.gamma, params.boost);
+            let lsh_params = LshParams::for_radius(dataset.len(), d, r, params.gamma, params.boost);
             rungs.push((
                 r.floor() as u32,
                 LshIndex::build(dataset.clone(), lsh_params, rng),
@@ -212,7 +211,10 @@ mod tests {
         // their lower per-table collision probability, so the exact stop
         // round varies with the seed.)
         assert!(ledger.rounds() <= ladder.num_rungs());
-        assert!(ledger.rounds() >= 2, "distance-8 needle cannot certify at rung 1");
+        assert!(
+            ledger.rounds() >= 2,
+            "distance-8 needle cannot certify at rung 1"
+        );
     }
 
     #[test]

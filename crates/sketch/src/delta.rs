@@ -66,9 +66,7 @@ pub fn delta_gap(beta: f64, alpha: f64) -> f64 {
 pub fn threshold_fraction(beta: f64, alpha: f64, mode: ThresholdMode) -> f64 {
     let p = 1.0 / (4.0 * beta);
     match mode {
-        ThresholdMode::Midpoint => {
-            mismatch_probability(p, beta) + 0.5 * delta_gap(beta, alpha)
-        }
+        ThresholdMode::Midpoint => mismatch_probability(p, beta) + 0.5 * delta_gap(beta, alpha),
         ThresholdMode::LiteralDelta => delta_gap(beta, alpha),
     }
 }

@@ -441,7 +441,8 @@ mod tests {
         let i_in = anns_hamming::ceil_log_alpha(4, alpha) + 1;
         let addr = family.sketch_m(i_in, &inst.query);
         assert!(
-            db.c_members(&family, i_in, &addr).any(|z| z == inst.planted_index),
+            db.c_members(&family, i_in, &addr)
+                .any(|z| z == inst.planted_index),
             "needle missing from C_{i_in}"
         );
         // Tiny scale: nothing within distance α^1, so C_1 ⊆ B_2 should be
@@ -463,10 +464,7 @@ mod tests {
                 let dc = db.d_count(&family, i, j, &addr_m, &addr_n);
                 let cc = db.c_count(&family, i, &addr_m);
                 assert!(dc <= cc, "D_{{{i},{j}}} larger than C_{i}");
-                assert_eq!(
-                    dc,
-                    db.d_members(&family, i, j, &addr_m, &addr_n).len()
-                );
+                assert_eq!(dc, db.d_members(&family, i, j, &addr_m, &addr_n).len());
             }
         }
     }

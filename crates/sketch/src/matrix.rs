@@ -72,7 +72,9 @@ impl SketchMatrix {
         assert!(rows > 0, "a sketch matrix needs at least one row");
         assert!(dim > 0);
         let p = p.clamp(0.0, 1.0);
-        let rows_vec = (0..rows).map(|_| sample_bernoulli_row(dim, p, rng)).collect();
+        let rows_vec = (0..rows)
+            .map(|_| sample_bernoulli_row(dim, p, rng))
+            .collect();
         SketchMatrix {
             dim,
             density: p,

@@ -263,13 +263,13 @@ mod tests {
             let bfam = SketchFamily::generate(256, bds.len(), &params);
             let bdb = DbSketches::build(&bfam, &bds, 2);
             let br = validate_sandwich(&bds, &bfam, &bdb, &[bq]);
-            boundary_viol +=
-                br.lower_violations.iter().sum::<usize>() + br.upper_violations.iter().sum::<usize>();
+            boundary_viol += br.lower_violations.iter().sum::<usize>()
+                + br.upper_violations.iter().sum::<usize>();
             let ufam = SketchFamily::generate(256, uds.len(), &params);
             let udb = DbSketches::build(&ufam, &uds, 2);
             let ur = validate_sandwich(&uds, &ufam, &udb, &[uq]);
-            interior_viol +=
-                ur.lower_violations.iter().sum::<usize>() + ur.upper_violations.iter().sum::<usize>();
+            interior_viol += ur.lower_violations.iter().sum::<usize>()
+                + ur.upper_violations.iter().sum::<usize>();
         }
         assert!(
             boundary_viol > interior_viol,

@@ -32,7 +32,13 @@ const NEAR_DUP_DIST: u32 = 12;
 fn corpus(rng: &mut StdRng) -> Dataset {
     // 256 base documents, 8 revisions each; revisions flip ~12 signature
     // bits (small edits move few shingle buckets).
-    gen::clustered(CORPUS / 8, 8, SIG_BITS, f64::from(NEAR_DUP_DIST) / f64::from(SIG_BITS) / 2.0, rng)
+    gen::clustered(
+        CORPUS / 8,
+        8,
+        SIG_BITS,
+        f64::from(NEAR_DUP_DIST) / f64::from(SIG_BITS) / 2.0,
+        rng,
+    )
 }
 
 fn main() {
@@ -46,7 +52,8 @@ fn main() {
     );
 
     // --- Scheme 1: classic LSH tuned for radius 12, γ = 2. ---
-    let lsh_params = LshParams::for_radius(docs.len(), SIG_BITS, f64::from(NEAR_DUP_DIST), 2.0, 4.0);
+    let lsh_params =
+        LshParams::for_radius(docs.len(), SIG_BITS, f64::from(NEAR_DUP_DIST), 2.0, 4.0);
     let lsh = LshIndex::build(docs.clone(), lsh_params, &mut rng);
 
     // --- Schemes 2 & 3: the paper's index. ---
@@ -84,7 +91,11 @@ fn main() {
             }
         }
         rows.push((
-            format!("LSH (K={}, L={})", lsh.params().k_bits, lsh.params().l_tables),
+            format!(
+                "LSH (K={}, L={})",
+                lsh.params().k_bits,
+                lsh.params().l_tables
+            ),
             rounds,
             probes / trials,
             bits as f64 / trials as f64,

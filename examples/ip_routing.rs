@@ -66,17 +66,13 @@ fn main() {
     // need astronomical d (radii shrink by 8γ per level), so the reduction
     // demo routes on the first TWO nibbles only — the paper's reduction
     // with m = 2 — while the trie handles full addresses.
-    let short_table = LpmInstance::new(
-        SIGMA,
-        2,
-        {
-            let mut set = std::collections::HashSet::new();
-            for r in &table.database {
-                set.insert(r[..2].to_vec());
-            }
-            set.into_iter().collect()
-        },
-    );
+    let short_table = LpmInstance::new(SIGMA, 2, {
+        let mut set = std::collections::HashSet::new();
+        for r in &table.database {
+            set.insert(r[..2].to_vec());
+        }
+        set.into_iter().collect()
+    });
     let reduction = LpmReduction::build(short_table.clone(), 16384, 2.0, 200_000, &mut rng)
         .expect("ball tree feasible at d = 16384, b = 16, m = 2");
     let index = AnnIndex::build(

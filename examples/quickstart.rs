@@ -39,7 +39,10 @@ fn main() {
 
     // Query with different round budgets: fewer rounds ⇒ more probes per
     // round (Theorem 2: O(k·(log d)^{1/k}) probes in k rounds).
-    println!("{:>3} {:>8} {:>8} {:>14} {:>10}", "k", "rounds", "probes", "probes/round", "found");
+    println!(
+        "{:>3} {:>8} {:>8} {:>14} {:>10}",
+        "k", "rounds", "probes", "probes/round", "found"
+    );
     for k in 1..=6u32 {
         let (outcome, ledger) = index.query(&planted.query, k);
         let point = index.outcome_point(&outcome);

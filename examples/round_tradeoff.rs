@@ -14,9 +14,7 @@
 //! ```
 
 use anns::cellprobe::execute;
-use anns::core::{
-    alg2_s, Alg1Scheme, Alg2Config, Alg2Scheme, SyntheticInstance, SyntheticProfile,
-};
+use anns::core::{alg2_s, Alg1Scheme, Alg2Config, Alg2Scheme, SyntheticInstance, SyntheticProfile};
 use anns::lpm::lower_bound_form;
 
 const TOP: u32 = 4000; // ⌈log_α d⌉; log₂ d = TOP/2 at α = √2

@@ -17,7 +17,10 @@ fn build_planted(seed: u64, n: usize, d: u32, dist: u32) -> (AnnIndex, Point, us
     let index = AnnIndex::build(
         planted.dataset,
         SketchParams::practical(GAMMA, seed),
-        BuildOptions { threads: 4, ..BuildOptions::default() },
+        BuildOptions {
+            threads: 4,
+            ..BuildOptions::default()
+        },
     );
     (index, planted.query, planted.planted_index)
 }
@@ -207,7 +210,10 @@ fn success_probability_is_boostable_by_repetition() {
             AnnIndex::build(
                 planted.dataset.clone(),
                 SketchParams::practical(GAMMA, 1000 + c),
-                BuildOptions { threads: 2, ..BuildOptions::default() },
+                BuildOptions {
+                    threads: 2,
+                    ..BuildOptions::default()
+                },
             )
         })
         .collect();

@@ -25,7 +25,10 @@ fn lazy_oracle_agrees_with_materialization() {
     let index = AnnIndex::build(
         planted.dataset,
         SketchParams::practical(GAMMA, 5),
-        BuildOptions { threads: 2, ..BuildOptions::default() },
+        BuildOptions {
+            threads: 2,
+            ..BuildOptions::default()
+        },
     );
     let scheme = Alg1Scheme {
         instance: &index,
@@ -127,7 +130,10 @@ fn lazy_oracle_is_total_over_the_address_space() {
     let index = AnnIndex::build(
         ds,
         SketchParams::practical(GAMMA, 6),
-        BuildOptions { threads: 1, ..BuildOptions::default() },
+        BuildOptions {
+            threads: 1,
+            ..BuildOptions::default()
+        },
     );
     // A made-up sketch address (all zeros) at every scale: must return
     // *some* deterministic word without panicking.
@@ -152,7 +158,10 @@ fn space_models_are_polynomial_with_documented_exponents() {
     let index = AnnIndex::build(
         ds.clone(),
         SketchParams::practical(GAMMA, 7),
-        BuildOptions { threads: 2, ..BuildOptions::default() },
+        BuildOptions {
+            threads: 2,
+            ..BuildOptions::default()
+        },
     );
     let m = index.table().space_model();
     // Main tables dominate: log₂ cells ≈ c₁·log₂ n ⇒ exponent ≈ c₁ = 24
@@ -181,7 +190,10 @@ fn newman_translation_grows_cells_but_not_probes() {
     let index = AnnIndex::build(
         planted.dataset,
         SketchParams::practical(GAMMA, 8),
-        BuildOptions { threads: 1, ..BuildOptions::default() },
+        BuildOptions {
+            threads: 1,
+            ..BuildOptions::default()
+        },
     );
     let (outcome, ledger) = index.query(&planted.query, 2);
     assert!(outcome.index().is_some());
@@ -206,7 +218,10 @@ fn ledger_to_protocol_translation() {
     let index = AnnIndex::build(
         planted.dataset,
         SketchParams::practical(GAMMA, 9),
-        BuildOptions { threads: 1, ..BuildOptions::default() },
+        BuildOptions {
+            threads: 1,
+            ..BuildOptions::default()
+        },
     );
     let (_, ledger) = index.query(&planted.query, 3);
     let model = index.table().space_model();
@@ -228,7 +243,10 @@ fn word_bound_holds_across_schemes() {
     let index = AnnIndex::build(
         planted.dataset.clone(),
         SketchParams::practical(GAMMA, 10),
-        BuildOptions { threads: 2, ..BuildOptions::default() },
+        BuildOptions {
+            threads: 2,
+            ..BuildOptions::default()
+        },
     );
     let (_, ledger) = index.query(&planted.query, 2);
     assert!(ledger.max_word_bits <= index.word_bits());

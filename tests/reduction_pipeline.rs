@@ -24,7 +24,10 @@ fn pipeline(seed: u64) -> (LpmReduction, AnnIndex) {
     let index = AnnIndex::build(
         reduction.dataset().clone(),
         SketchParams::practical(GAMMA, seed ^ 0xFEED),
-        BuildOptions { threads: 4, ..BuildOptions::default() },
+        BuildOptions {
+            threads: 4,
+            ..BuildOptions::default()
+        },
     );
     (reduction, index)
 }

@@ -1,0 +1,67 @@
+//! Workspace smoke test: the facade re-exports resolve and the quickstart
+//! path works end to end on a small planted instance. This is the first
+//! test a fresh checkout should run — it fails loudly if the workspace
+//! wiring (manifests, re-exports, vendored shims) regresses.
+
+use anns::core::{AnnIndex, BuildOptions};
+use anns::hamming::gen;
+use anns::sketch::SketchParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Every facade module path resolves to the workspace crate behind it.
+#[test]
+fn facade_reexports_resolve() {
+    // One representative symbol per re-exported crate; a rename or a
+    // dropped manifest dependency turns this into a compile error.
+    let _: fn(u32, &mut StdRng) -> anns::hamming::Point = anns::hamming::Point::random;
+    let _ = anns::cellprobe::ProbeLedger::default();
+    let _ = anns::sketch::SketchParams::practical(2.0, 1);
+    let _ = anns::core::Alg2Config::with_k(4);
+    let _ = anns::lsh::LshParams::for_radius(64, 64, 4.0, 2.0, 1.0);
+    let _ = anns::lpm::lcp_len(&[1, 2, 3], &[1, 2, 9]);
+}
+
+/// The `src/lib.rs` quickstart, as a plain test: build → query →
+/// verify_gamma, with the round budget respected.
+#[test]
+fn quickstart_path_works_on_planted_instance() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let planted = gen::planted(256, 256, 6, &mut rng);
+    let index = AnnIndex::build(
+        planted.dataset,
+        SketchParams::practical(2.0, 7),
+        BuildOptions::default(),
+    );
+
+    let k = 3;
+    let (outcome, ledger) = index.query(&planted.query, k);
+    assert!(
+        index.verify_gamma(&planted.query, &outcome),
+        "answer must be gamma-approximate"
+    );
+    assert!(ledger.rounds() <= k as usize, "round budget exceeded");
+    assert_eq!(
+        outcome.index(),
+        Some(planted.planted_index as u64),
+        "planted neighbor should be found at this margin"
+    );
+}
+
+/// Snapshot JSON round-trip through the vendored serde/serde_json shims:
+/// a restored index answers identically.
+#[test]
+fn snapshot_round_trip_preserves_answers() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let planted = gen::planted(128, 128, 5, &mut rng);
+    let index = AnnIndex::build(
+        planted.dataset,
+        SketchParams::practical(2.0, 11),
+        BuildOptions::default(),
+    );
+    let json = serde_json::to_string(&index.snapshot()).expect("serialize snapshot");
+    let restored = AnnIndex::from_snapshot(serde_json::from_str(&json).expect("parse snapshot"));
+    let (a, _) = index.query(&planted.query, 3);
+    let (b, _) = restored.query(&planted.query, 3);
+    assert_eq!(a, b, "restored index must answer identically");
+}

@@ -1,0 +1,234 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Provides the harness surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! measurement loop: short warmup, then timed iterations, reporting the
+//! mean wall-clock time per iteration. No statistics, plots, or baseline
+//! comparisons; this keeps `cargo bench` usable offline while the real
+//! criterion can be swapped back in from a registry.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How per-iteration setup output is batched (accepted for API
+/// compatibility; the shim runs one setup per iteration regardless).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Benchmark identifier combining a function name and a parameter, as in
+/// `BenchmarkId::new("query", 64)`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(id: BenchmarkId) -> String {
+        id.id
+    }
+}
+
+/// Timing driver handed to bench closures.
+pub struct Bencher {
+    /// Measured mean nanoseconds per iteration, set by `iter*`.
+    mean_ns: f64,
+    /// Target measurement wall-clock budget.
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly and records the mean time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.budget && iters < 1_000_000 {
+            let start = Instant::now();
+            black_box(routine());
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..3 {
+            black_box(routine(setup()));
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.budget && iters < 1_000_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    /// `iter_batched` variant passing the input by mutable reference.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(&mut setup, |mut input| routine(&mut input), _size);
+    }
+}
+
+/// Benchmark registry/driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // ANNS_BENCH_QUICK trims the per-bench budget for smoke runs.
+        let quick = std::env::var("ANNS_BENCH_QUICK").is_ok();
+        Criterion {
+            budget: if quick {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(300)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its mean time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.budget, f);
+        self
+    }
+
+    /// Opens a named group; benchmarks in it print as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's budget is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.budget = time.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.criterion.budget, f);
+        self
+    }
+
+    /// Finishes the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, budget: Duration, mut f: F) {
+    let mut bencher = Bencher {
+        mean_ns: 0.0,
+        budget,
+    };
+    f(&mut bencher);
+    let ns = bencher.mean_ns;
+    if ns >= 1_000_000.0 {
+        println!("{id:<40} {:>12.3} ms/iter", ns / 1_000_000.0);
+    } else if ns >= 1_000.0 {
+        println!("{id:<40} {:>12.3} us/iter", ns / 1_000.0);
+    } else {
+        println!("{id:<40} {ns:>12.1} ns/iter");
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        std::env::set_var("ANNS_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u32, 2], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,68 @@
+//! Offline, API-compatible subset of `crossbeam`: scoped threads with the
+//! `crossbeam::thread::scope(|s| { s.spawn(|_| ...) })` calling convention,
+//! implemented over `std::thread::scope`.
+//!
+//! Divergence from upstream: if a spawned thread panics, `scope` itself
+//! propagates the panic (std semantics) instead of returning `Err`; callers
+//! that `.expect()` the result observe a panic either way.
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::thread as std_thread;
+
+    /// Handle for spawning further threads inside a scope. Mirrors
+    /// `crossbeam::thread::Scope`; the spawn closure receives a copy of it.
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope handle so
+        /// workers can spawn siblings (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> std_thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(handle))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// joins them all before returning.
+    pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let mut data = [0u64; 8];
+        super::thread::scope(|scope| {
+            for chunk in data.chunks_mut(3) {
+                scope.spawn(move |_| {
+                    for x in chunk {
+                        *x += 1;
+                    }
+                });
+            }
+        })
+        .expect("workers");
+        assert!(data.iter().all(|&x| x == 1));
+    }
+}

@@ -1,0 +1,390 @@
+//! Offline subset of `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for non-generic structs and enums, generating
+//! impls of the shim `serde::Serialize`/`serde::Deserialize` traits
+//! (which render to/from `serde::Value`).
+//!
+//! Implemented without `syn`/`quote` (no registry access): the item is
+//! parsed directly from the `proc_macro` token stream and code is emitted
+//! as text. Supported shapes — the ones this workspace uses — are named
+//! structs, tuple structs, unit structs, and enums with unit, tuple, or
+//! struct variants. Generics and `#[serde(...)]` attributes are rejected
+//! with a compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let (name, shape) = match parse_item(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = if serialize {
+        gen_serialize(&name, &shape)
+    } else {
+        gen_deserialize(&name, &shape)
+    };
+    code.parse().unwrap()
+}
+
+/// True if the token is the given punctuation character.
+fn is_punct(tok: Option<&TokenTree>, ch: char) -> bool {
+    matches!(tok, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+/// True if the token is the given keyword/identifier.
+fn is_ident(tok: Option<&TokenTree>, kw: &str) -> bool {
+    matches!(tok, Some(TokenTree::Ident(id)) if id.to_string() == kw)
+}
+
+/// Advances past outer attributes (`#[...]`, including doc comments) and
+/// a visibility qualifier (`pub`, `pub(...)`). Rejects `#[serde(...)]`.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> Result<usize, String> {
+    loop {
+        if is_punct(toks.get(i), '#') {
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                let body = g.stream().to_string();
+                if body.starts_with("serde") {
+                    return Err(
+                        "the vendored serde_derive shim does not support #[serde(...)] attributes"
+                            .into(),
+                    );
+                }
+            }
+            i += 2;
+        } else if is_ident(toks.get(i), "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        } else {
+            return Ok(i);
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0)?;
+    let is_enum = if is_ident(toks.get(i), "struct") {
+        false
+    } else if is_ident(toks.get(i), "enum") {
+        true
+    } else {
+        return Err("derive expects a struct or enum".into());
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".into()),
+    };
+    i += 1;
+    if is_punct(toks.get(i), '<') {
+        return Err(format!(
+            "the vendored serde_derive shim does not support generic type `{name}`"
+        ));
+    }
+    if is_enum {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+            }
+            _ => Err(format!("expected enum body for `{name}`")),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::NamedStruct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::TupleStruct(count_tuple_fields(g.stream()))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            _ => Err(format!("expected struct body for `{name}`")),
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i)?;
+        if i >= toks.len() {
+            break;
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("expected field name".into()),
+        };
+        i += 1;
+        if !is_punct(toks.get(i), ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        // Skip the type: everything up to the next comma outside `<...>`.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut trailing_comma = false;
+    for (idx, tok) in toks.iter().enumerate() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if idx + 1 == toks.len() {
+                    trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i)?;
+        if i >= toks.len() {
+            break;
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("expected variant name".into()),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip any discriminant, up to the separating comma.
+        while i < toks.len() && !is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// `vec![(String::from("f"), Serialize::to_value(<prefix>f)), ...]` for an
+/// object body; `prefix` is `&self.` for structs, `` for bound variants.
+fn object_body(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::from("::std::vec![");
+    for f in fields {
+        out.push_str(&format!(
+            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({})),",
+            access(f)
+        ));
+    }
+    out.push(']');
+    out
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => format!(
+            "::serde::Value::Object({})",
+            object_body(fields, |f| format!("&self.{f}"))
+        ),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                    )),
+                    VariantKind::Named(fields) => {
+                        let pat: Vec<String> = fields.to_vec();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Object({}))]),",
+                            pat.join(","),
+                            object_body(fields, |f| f.to_string())
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__v{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__v0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), {inner})]),",
+                            binds.join(",")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::obj_get(__fields, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match __v {{ ::serde::Value::Object(__fields) => ::std::result::Result::Ok({name} {{ {} }}), _ => ::std::result::Result::Err(::serde::Error::custom(\"expected object for {name}\")) }}",
+                inits.join(",")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{ ::serde::Value::Array(__items) if __items.len() == {n} => ::std::result::Result::Ok({name}({})), _ => ::std::result::Result::Err(::serde::Error::custom(\"expected {n}-element array for {name}\")) }}",
+                inits.join(",")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                    )),
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::obj_get(__fs, \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => match __inner {{ ::serde::Value::Object(__fs) => ::std::result::Result::Ok({name}::{vn} {{ {} }}), _ => ::std::result::Result::Err(::serde::Error::custom(\"expected object for variant {vn}\")) }},",
+                            inits.join(",")
+                        ));
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => match __inner {{ ::serde::Value::Array(__items) if __items.len() == {n} => ::std::result::Result::Ok({name}::{vn}({})), _ => ::std::result::Result::Err(::serde::Error::custom(\"expected array for variant {vn}\")) }},",
+                            inits.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{ \
+                   ::serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms} _ => ::std::result::Result::Err(::serde::Error::custom(\"unknown variant of {name}\")) }}, \
+                   ::serde::Value::Object(__fields) if __fields.len() == 1 => {{ \
+                     let (__tag, __inner) = &__fields[0]; \
+                     match __tag.as_str() {{ {tagged_arms} _ => ::std::result::Result::Err(::serde::Error::custom(\"unknown variant of {name}\")) }} \
+                   }}, \
+                   _ => ::std::result::Result::Err(::serde::Error::custom(\"expected string or single-key object for {name}\")) \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}
