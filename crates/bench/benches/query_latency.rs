@@ -73,16 +73,8 @@ fn bench_queries(c: &mut Criterion) {
         b.iter_batched(
             make_next(),
             |q| {
-                f.index.query_with(
-                    &q,
-                    3,
-                    ExecOptions {
-                        parallel: true,
-                        parallel_threshold: 4,
-                        threads: 4,
-                        ..ExecOptions::default()
-                    },
-                )
+                f.index
+                    .query_with(&q, 3, ExecOptions::parallel_probes(4, 4))
             },
             BatchSize::SmallInput,
         )

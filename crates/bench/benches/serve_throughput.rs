@@ -1,0 +1,90 @@
+//! Serving throughput: coalesced round-synchronous engine vs per-query
+//! `run_batch`, on a hot-set workload (requests repeat over a small pool
+//! of distinct queries — the traffic shape a serving tier actually sees).
+//!
+//! The engine's edge is structural: within a generation-round, identical
+//! probe addresses from different queries are executed once. At 4x
+//! request repetition the engine does roughly a quarter of the oracle
+//! work per round; `run_batch` recomputes every query independently.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use anns_bench::hot_set_workload;
+use anns_cellprobe::{run_batch, ExecOptions};
+use anns_core::serve::SoloServable;
+use anns_core::{AnnIndex, BuildOptions, ServeAlg1};
+use anns_engine::{Engine, EngineOptions, QueryRequest, Registry};
+use anns_hamming::{gen, Point};
+use anns_sketch::SketchParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 4096;
+const D: u32 = 512;
+const K: u32 = 3;
+const REQUESTS: usize = 128;
+const DISTINCT: usize = 8;
+const THREADS: usize = 4;
+
+struct Fixture {
+    index: Arc<AnnIndex>,
+    queries: Vec<Point>,
+}
+
+fn fixture() -> Fixture {
+    let mut rng = StdRng::seed_from_u64(5);
+    let ds = gen::uniform(N, D, &mut rng);
+    let index = Arc::new(AnnIndex::build(
+        ds,
+        SketchParams::practical(2.0, 5),
+        BuildOptions::default(),
+    ));
+    let queries = hot_set_workload(&index, REQUESTS, DISTINCT, 6, 5);
+    Fixture { index, queries }
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+
+    group.bench_function("run_batch_per_query", |b| {
+        let servable = ServeAlg1 {
+            index: Arc::clone(&f.index),
+            k: K,
+            tau_override: None,
+        };
+        let solo = SoloServable(&servable);
+        b.iter(|| run_batch(&solo, &f.queries, THREADS, ExecOptions::default()))
+    });
+
+    for batch in [16usize, 64, 128] {
+        group.bench_function(format!("engine_coalesced_gen{batch}"), |b| {
+            let mut registry = Registry::new();
+            let shard = registry.register_alg1("alg1", Arc::clone(&f.index), K);
+            let engine = Engine::new(
+                registry,
+                EngineOptions {
+                    generation: batch,
+                    exec: ExecOptions::default(),
+                    batch_threads: THREADS,
+                },
+            );
+            let requests: Vec<QueryRequest> = f
+                .queries
+                .iter()
+                .map(|query| QueryRequest {
+                    shard,
+                    query: query.clone(),
+                })
+                .collect();
+            b.iter(|| engine.submit_batch(&requests))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

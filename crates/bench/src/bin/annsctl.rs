@@ -1,24 +1,36 @@
 //! `annsctl` — a small operator CLI over the library.
 //!
 //! ```text
-//! annsctl build    --n 4096 --d 512 --gamma 2.0 --seed 7 --out index.json
-//! annsctl query    --index index.json --k 3 [--flips 8] [--count 16]
-//! annsctl lambda   --index index.json --lambda 8
-//! annsctl stats    --index index.json
-//! annsctl lpm      --sigma 4 --m 8 --n 64 --k 2 --queries 32
-//! annsctl lb       --log2n 1.3e24 --log2d 1.1e12 --gamma 4 --k 3
+//! annsctl build       --n 4096 --d 512 --gamma 2.0 --seed 7 --out index.json
+//! annsctl query       --index index.json --k 3 [--flips 8] [--count 16]
+//! annsctl lambda      --index index.json --lambda 8
+//! annsctl stats       --index index.json
+//! annsctl serve       --index index.json [--scheme all] [--requests 256] [--batch 64]
+//! annsctl bench-serve [--index index.json] [--requests 256] [--batches 8,64,256] --out BENCH_serve.json
+//! annsctl lpm         --sigma 4 --m 8 --n 64 --k 2 --queries 32
+//! annsctl lb          --log2n 1.3e24 --log2d 1.1e12 --gamma 4 --k 3
 //! ```
 //!
 //! Exists so the index can be exercised without writing Rust: `build`
 //! snapshots an index over a seeded uniform database to JSON, `query` /
 //! `lambda` load it and run the paper's schemes, `stats` prints the space
-//! model, `lpm` runs the trie scheme end to end, and `lb` invokes the
-//! round-elimination calculator.
+//! model, `serve` drives the round-synchronous engine over a snapshot and
+//! emits JSON serving stats, `bench-serve` races coalesced engine serving
+//! against per-query `run_batch` (plus a transcript audit) and writes
+//! `BENCH_serve.json`, `lpm` runs the trie scheme end to end, and `lb`
+//! invokes the round-elimination calculator.
 
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
-use anns_cellprobe::execute;
-use anns_core::{AnnIndex, AnnsInstance, BuildOptions};
+use anns_bench::{hot_set_workload, quick_mode};
+use anns_cellprobe::{
+    execute, execute_with, run_batch, CellProbeScheme, ExecOptions, RoundExecutor, Table,
+};
+use anns_core::serve::{ServableScheme, SoloServable};
+use anns_core::{Alg2Config, AnnIndex, AnnsInstance, BuildOptions};
+use anns_engine::{Engine, EngineOptions, QueryRequest, Registry, ServeReport, Served, ShardId};
 use anns_hamming::{gen, Point};
 use anns_lpm::{certified_lower_bound, lower_bound_form, ElimParams, LpmInstance, TrieLpm};
 use anns_sketch::SketchParams;
@@ -44,7 +56,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 
 fn die(msg: &str) -> ! {
     eprintln!("annsctl: {msg}");
-    eprintln!("usage: annsctl <build|query|lambda|stats|lpm|lb> [--flag value]…");
+    eprintln!("usage: annsctl <build|query|lambda|stats|serve|bench-serve|lpm|lb> [--flag value]…");
     std::process::exit(2);
 }
 
@@ -146,6 +158,379 @@ fn cmd_stats(flags: HashMap<String, String>) {
     println!("word bits  : {}", model.word_bits);
 }
 
+/// Loads `--index`, or builds a fresh seeded-uniform instance from
+/// `--n/--d/--gamma/--seed` when no snapshot is given.
+fn load_or_build_index(
+    flags: &HashMap<String, String>,
+    n_default: usize,
+    d_default: u32,
+) -> Arc<AnnIndex> {
+    if let Some(path) = flags.get("index") {
+        return anns_engine::load_index_snapshot(path).unwrap_or_else(|e| die(&e));
+    }
+    let n: usize = flag(flags, "n", n_default);
+    let d: u32 = flag(flags, "d", d_default);
+    let gamma: f64 = flag(flags, "gamma", 2.0);
+    let seed: u64 = flag(flags, "seed", 7);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ds = gen::uniform(n, d, &mut rng);
+    Arc::new(AnnIndex::build(
+        ds,
+        SketchParams::practical(gamma, seed),
+        BuildOptions::default(),
+    ))
+}
+
+fn cmd_serve(flags: HashMap<String, String>) {
+    let index = load_or_build_index(&flags, 1024, 256);
+    let scheme: String = flag(&flags, "scheme", "all".to_string());
+    let k: u32 = flag(&flags, "k", 3);
+    let lambda: f64 = flag(&flags, "lambda", 8.0);
+    let requests_n: usize = flag(&flags, "requests", 256);
+    let distinct: usize = flag(&flags, "distinct", requests_n / 4);
+    let flips: u32 = flag(&flags, "flips", 6);
+    let batch: usize = flag(&flags, "batch", 64);
+    let threads: usize = flag(&flags, "threads", 4);
+    let seed: u64 = flag(&flags, "seed", 99);
+
+    // Algorithm 2 needs at least two rounds; an out-of-range --k is
+    // clamped with a visible warning rather than silently rewritten.
+    let alg2_k = k.max(2);
+    let register_alg2 = |registry: &mut Registry| {
+        if alg2_k != k {
+            eprintln!(
+                "warning: --k {k} is below Algorithm 2's minimum; serving alg2 at k = {alg2_k}"
+            );
+        }
+        registry.register_alg2(
+            format!("alg2-k{alg2_k}"),
+            Arc::clone(&index),
+            Alg2Config::with_k(alg2_k),
+        );
+    };
+    let mut registry = Registry::new();
+    match scheme.as_str() {
+        "alg1" => {
+            registry.register_alg1(format!("alg1-k{k}"), Arc::clone(&index), k);
+        }
+        "alg2" => register_alg2(&mut registry),
+        "lambda" => {
+            registry.register_lambda(format!("lambda-{lambda}"), Arc::clone(&index), lambda);
+        }
+        "all" => {
+            registry.register_alg1(format!("alg1-k{k}"), Arc::clone(&index), k);
+            register_alg2(&mut registry);
+            registry.register_lambda(format!("lambda-{lambda}"), Arc::clone(&index), lambda);
+        }
+        other => die(&format!(
+            "--scheme must be alg1|alg2|lambda|all, got {other}"
+        )),
+    }
+    let engine = Engine::new(
+        registry,
+        EngineOptions {
+            generation: batch.max(1),
+            exec: ExecOptions::default(),
+            batch_threads: threads,
+        },
+    );
+    let queries = hot_set_workload(&index, requests_n, distinct, flips, seed);
+    let shards = engine.registry().len();
+    let reqs: Vec<QueryRequest> = queries
+        .into_iter()
+        .enumerate()
+        .map(|(i, query)| QueryRequest {
+            shard: ShardId(i % shards),
+            query,
+        })
+        .collect();
+    eprintln!(
+        "serving {} requests ({} distinct) over {} shard(s), generation width {batch}…",
+        reqs.len(),
+        distinct,
+        shards
+    );
+    for (name, label) in engine.registry().listing() {
+        eprintln!("  shard {name}: {label}");
+    }
+    let started = Instant::now();
+    let (served, traces) = engine.submit_batch_traced(&reqs);
+    let wall = started.elapsed();
+    let report = ServeReport::from_run(format!("engine[batch={batch}]"), &served, &traces, wall);
+    let json = serde_json::to_string(&report).expect("serialize serve report");
+    println!("{json}");
+    if let Some(out) = flags.get("out") {
+        std::fs::write(out, &json).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+        eprintln!("report → {out}");
+    }
+}
+
+/// `bench-serve` output: config, the per-query `run_batch` baseline, one
+/// engine run per generation width, and the round-integrity audit.
+#[derive(serde::Serialize)]
+struct BenchServeReport {
+    config: BenchServeConfig,
+    baseline: ServeReport,
+    engine: Vec<EngineRun>,
+    audit: AuditReport,
+}
+
+#[derive(serde::Serialize)]
+struct BenchServeConfig {
+    n: usize,
+    d: u32,
+    k: u32,
+    requests: usize,
+    distinct: usize,
+    flips: u32,
+    threads: usize,
+    seed: u64,
+    quick: bool,
+}
+
+#[derive(serde::Serialize)]
+struct EngineRun {
+    batch: usize,
+    speedup_vs_baseline: f64,
+    report: ServeReport,
+}
+
+#[derive(serde::Serialize)]
+struct AuditReport {
+    queries: usize,
+    /// Engine round count per query equals the solo round count.
+    rounds_identical: bool,
+    /// Full (round, address, word) transcripts are byte-identical.
+    transcripts_identical: bool,
+}
+
+fn cmd_bench_serve(flags: HashMap<String, String>) {
+    let quick = quick_mode();
+    // Defaults model a serving tier: an instance big enough that probes
+    // cost real work (lazy oracles scan all n sketches per probe) and a
+    // hot query pool (each distinct query ~16x in the stream) — the
+    // traffic shape cross-query coalescing exists for. On this kind of
+    // workload the coalesced engine overtakes per-query `run_batch` once
+    // the generation window spans the hot set (batch ≥ 64 at defaults).
+    let index = load_or_build_index(
+        &flags,
+        if quick { 256 } else { 8192 },
+        if quick { 256 } else { 512 },
+    );
+    let k: u32 = flag(&flags, "k", 3);
+    let requests_n: usize = flag(&flags, "requests", if quick { 64 } else { 256 });
+    let distinct: usize = flag(&flags, "distinct", (requests_n / 16).max(4));
+    let flips: u32 = flag(&flags, "flips", 6);
+    let threads: usize = flag(&flags, "threads", 4);
+    let seed: u64 = flag(&flags, "seed", 99);
+    let out = flag(&flags, "out", "BENCH_serve.json".to_string());
+    let batches_flag: String = flag(
+        &flags,
+        "batches",
+        if quick {
+            "4,16".to_string()
+        } else {
+            "8,64,256".to_string()
+        },
+    );
+    let batches: Vec<usize> = batches_flag
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| die(&format!("--batches: cannot parse {s:?}")))
+        })
+        .collect();
+
+    /// Times each query inside its `run_batch` worker thread, so baseline
+    /// latencies describe the same (threaded, contended) execution the
+    /// wall clock does.
+    struct TimedSolo<'a>(SoloServable<'a>);
+    impl CellProbeScheme for TimedSolo<'_> {
+        type Query = Point;
+        type Answer = (anns_core::ServedAnswer, u64);
+        fn table(&self) -> &dyn Table {
+            CellProbeScheme::table(&self.0)
+        }
+        fn word_bits(&self) -> u64 {
+            CellProbeScheme::word_bits(&self.0)
+        }
+        fn run(&self, query: &Point, exec: &mut RoundExecutor<'_>) -> Self::Answer {
+            let t0 = Instant::now();
+            let answer = self.0.run(query, exec);
+            (answer, t0.elapsed().as_nanos() as u64)
+        }
+    }
+
+    let queries = hot_set_workload(&index, requests_n, distinct, flips, seed);
+    let scheme_name = format!("alg1-k{k}");
+    let servable = anns_core::ServeAlg1 {
+        index: Arc::clone(&index),
+        k,
+        tau_override: None,
+    };
+
+    // Baseline: per-query `run_batch` over the same scheme object, with
+    // each query timed *inside* its worker thread — latencies and wall
+    // clock describe the same threaded execution.
+    eprintln!(
+        "baseline: run_batch over {} requests, {threads} threads…",
+        queries.len()
+    );
+    let timed = TimedSolo(SoloServable(&servable));
+    let started = Instant::now();
+    let batch_items = run_batch(&timed, &queries, threads, ExecOptions::default());
+    let baseline_wall = started.elapsed();
+    let baseline_served: Vec<Served> = batch_items
+        .into_iter()
+        .map(|item| {
+            let (answer, latency_ns) = item.answer;
+            // Same budget verdict the engine computes, so the two reports
+            // are comparable field for field.
+            let within_budget = servable.within_budget(&item.ledger);
+            Served {
+                answer,
+                ledger: item.ledger,
+                transcript: None,
+                latency_ns,
+                within_budget,
+            }
+        })
+        .collect();
+    let mut baseline = ServeReport::from_run(
+        format!("run_batch[threads={threads}]"),
+        &baseline_served,
+        &[],
+        baseline_wall,
+    );
+    // Per-query execution coalesces nothing: every submitted probe runs.
+    let baseline_probes: u64 = baseline_served
+        .iter()
+        .map(|s| s.ledger.total_probes() as u64)
+        .sum();
+    baseline.probes_submitted = baseline_probes;
+    baseline.probes_executed = baseline_probes;
+
+    // Engine runs: one per generation width, same request stream.
+    let mut engine_runs = Vec::new();
+    for &batch in &batches {
+        let mut registry = Registry::new();
+        let shard = registry.register_alg1(scheme_name.clone(), Arc::clone(&index), k);
+        let engine = Engine::new(
+            registry,
+            EngineOptions {
+                generation: batch.max(1),
+                exec: ExecOptions::default(),
+                batch_threads: threads,
+            },
+        );
+        let reqs: Vec<QueryRequest> = queries
+            .iter()
+            .map(|query| QueryRequest {
+                shard,
+                query: query.clone(),
+            })
+            .collect();
+        eprintln!("engine: generation width {batch}…");
+        let started = Instant::now();
+        let (served, traces) = engine.submit_batch_traced(&reqs);
+        let wall = started.elapsed();
+        // Correctness cross-check against the baseline run.
+        for (s, b) in served.iter().zip(baseline_served.iter()) {
+            assert_eq!(s.answer, b.answer, "engine answer diverged from run_batch");
+            assert_eq!(s.ledger, b.ledger, "engine ledger diverged from run_batch");
+        }
+        let report =
+            ServeReport::from_run(format!("engine[batch={batch}]"), &served, &traces, wall);
+        engine_runs.push(EngineRun {
+            batch,
+            speedup_vs_baseline: if report.wall_ms > 0.0 {
+                baseline.wall_ms / report.wall_ms
+            } else {
+                0.0
+            },
+            report,
+        });
+    }
+
+    // Round-integrity audit: coalesced execution must use identical round
+    // counts (and transcripts) per query versus solo execution.
+    let audit_n = queries.len().min(2 * distinct);
+    let mut registry = Registry::new();
+    let shard = registry.register_alg1(scheme_name.clone(), Arc::clone(&index), k);
+    let audit_engine = Engine::new(
+        registry,
+        EngineOptions {
+            generation: audit_n.max(1),
+            exec: ExecOptions::with_transcript(),
+            batch_threads: threads,
+        },
+    );
+    let audit_reqs: Vec<QueryRequest> = queries[..audit_n]
+        .iter()
+        .map(|query| QueryRequest {
+            shard,
+            query: query.clone(),
+        })
+        .collect();
+    let audit_served = audit_engine.submit_batch(&audit_reqs);
+    let mut rounds_identical = true;
+    let mut transcripts_identical = true;
+    for (req, s) in audit_reqs.iter().zip(audit_served.iter()) {
+        let (_, solo_ledger, solo_transcript) = execute_with(
+            &SoloServable(audit_engine.registry().scheme(shard)),
+            &req.query,
+            ExecOptions::with_transcript(),
+        );
+        rounds_identical &= s.ledger.rounds() == solo_ledger.rounds();
+        transcripts_identical &= s.transcript == solo_transcript;
+    }
+
+    let report = BenchServeReport {
+        config: BenchServeConfig {
+            n: index.dataset().len(),
+            d: index.dataset().dim(),
+            k,
+            requests: requests_n,
+            distinct,
+            flips,
+            threads,
+            seed,
+            quick,
+        },
+        baseline,
+        engine: engine_runs,
+        audit: AuditReport {
+            queries: audit_n,
+            rounds_identical,
+            transcripts_identical,
+        },
+    };
+    let json = serde_json::to_string(&report).expect("serialize bench-serve report");
+    std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    println!(
+        "baseline {:.0} qps; {}",
+        report.baseline.qps,
+        report
+            .engine
+            .iter()
+            .map(|r| format!(
+                "batch {}: {:.0} qps ({:.2}x, coalescing {:.2})",
+                r.batch, r.report.qps, r.speedup_vs_baseline, r.report.coalescing_ratio
+            ))
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+    println!(
+        "audit over {} queries: rounds identical = {}, transcripts identical = {}",
+        report.audit.queries, report.audit.rounds_identical, report.audit.transcripts_identical
+    );
+    println!("report → {out}");
+    if !(report.audit.rounds_identical && report.audit.transcripts_identical) {
+        die("round-integrity audit failed");
+    }
+}
+
 fn cmd_lpm(flags: HashMap<String, String>) {
     let sigma: u16 = flag(&flags, "sigma", 4);
     let m: usize = flag(&flags, "m", 8);
@@ -203,6 +588,8 @@ fn main() {
         "query" => cmd_query(flags),
         "lambda" => cmd_lambda(flags),
         "stats" => cmd_stats(flags),
+        "serve" => cmd_serve(flags),
+        "bench-serve" => cmd_bench_serve(flags),
         "lpm" => cmd_lpm(flags),
         "lb" => cmd_lb(flags),
         other => die(&format!("unknown subcommand {other}")),

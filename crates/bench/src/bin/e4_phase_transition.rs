@@ -99,14 +99,7 @@ fn main() {
         instance: &inst,
         config: cfg,
     };
-    let (outcome, ledger, _) = execute_with(
-        &scheme,
-        &(),
-        ExecOptions {
-            serialize_rounds: true,
-            ..ExecOptions::default()
-        },
-    );
+    let (outcome, ledger, _) = execute_with(&scheme, &(), ExecOptions::serialized());
     assert_eq!(outcome.scale(), Some(top / 3));
     println!("## serialized implementation (Theorem 3's extreme, k = {k})\n");
     println!(

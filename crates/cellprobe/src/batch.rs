@@ -20,8 +20,23 @@ pub struct BatchItem<A> {
     pub ledger: ProbeLedger,
 }
 
+/// Executes a single query solo against the scheme's own table — the one
+/// per-query code path shared by [`run_batch`]'s inline and threaded
+/// branches and by the serving engine's solo baseline (`anns-engine` uses
+/// it for its engine-vs-solo equivalence audits).
+pub fn run_one<S: CellProbeScheme>(
+    scheme: &S,
+    query: &S::Query,
+    opts: ExecOptions,
+) -> BatchItem<S::Answer> {
+    let (answer, ledger, _) = execute_with(scheme, query, opts);
+    BatchItem { answer, ledger }
+}
+
 /// Runs all queries, sharding across `threads` workers; results are in
-/// query order. With `threads <= 1` runs inline (no spawning).
+/// query order. With `threads <= 1` runs inline (no spawning). Requesting
+/// more threads than queries runs exactly one worker per query — never
+/// an empty-range worker (see `chunked_parallel_map`).
 pub fn run_batch<S>(
     scheme: &S,
     queries: &[S::Query],
@@ -33,33 +48,7 @@ where
     S::Query: Sync,
     S::Answer: Send,
 {
-    if threads <= 1 || queries.len() <= 1 {
-        return queries
-            .iter()
-            .map(|q| {
-                let (answer, ledger, _) = execute_with(scheme, q, opts);
-                BatchItem { answer, ledger }
-            })
-            .collect();
-    }
-    let workers = threads.min(queries.len());
-    let chunk = queries.len().div_ceil(workers);
-    let mut out: Vec<Option<BatchItem<S::Answer>>> = Vec::new();
-    out.resize_with(queries.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        for (slot_chunk, query_chunk) in out.chunks_mut(chunk).zip(queries.chunks(chunk)) {
-            scope.spawn(move |_| {
-                for (slot, q) in slot_chunk.iter_mut().zip(query_chunk.iter()) {
-                    let (answer, ledger, _) = execute_with(scheme, q, opts);
-                    *slot = Some(BatchItem { answer, ledger });
-                }
-            });
-        }
-    })
-    .expect("batch worker panicked");
-    out.into_iter()
-        .map(|item| item.expect("query not executed"))
-        .collect()
+    crate::executor::chunked_parallel_map(queries, threads, |q| run_one(scheme, q, opts))
 }
 
 /// Worst-case ledger over a batch — the quantity the paper's bounds are
@@ -107,10 +96,23 @@ mod tests {
     }
 
     #[test]
+    fn more_threads_than_queries_is_safe_and_complete() {
+        let scheme = Square::new();
+        let queries: Vec<u64> = (0..3).collect();
+        for threads in [4usize, 64] {
+            let items = run_batch(&scheme, &queries, threads, ExecOptions::default());
+            assert_eq!(items.len(), 3, "threads={threads}");
+            for (q, item) in queries.iter().zip(items.iter()) {
+                assert_eq!(item.answer, q * q, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
     fn batch_matches_sequential_in_order() {
         let scheme = Square::new();
         let queries: Vec<u64> = (0..100).collect();
-        for threads in [1usize, 2, 7] {
+        for threads in [1usize, 2, 7, 200] {
             let items = run_batch(&scheme, &queries, threads, ExecOptions::default());
             assert_eq!(items.len(), 100);
             for (q, item) in queries.iter().zip(items.iter()) {

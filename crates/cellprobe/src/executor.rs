@@ -44,6 +44,12 @@ pub struct ExecOptions {
 }
 
 impl Default for ExecOptions {
+    /// The baseline configuration every call site starts from: sequential
+    /// probes (`parallel: false`, threshold 8, 4 worker threads when
+    /// enabled), no transcript, no extra word-size cap beyond the scheme's
+    /// declared `w`, rounds as the scheme issues them. Customize with
+    /// struct-update syntax (`ExecOptions { threads: 8, ..Default::default() }`)
+    /// or one of the named builders below.
     fn default() -> Self {
         ExecOptions {
             parallel: false,
@@ -52,6 +58,37 @@ impl Default for ExecOptions {
             record_transcript: false,
             word_bits_limit: None,
             serialize_rounds: false,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Default options plus a full probe transcript — the common audit
+    /// configuration (replay tests, engine coalescing audits).
+    pub fn with_transcript() -> Self {
+        ExecOptions {
+            record_transcript: true,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// Default options with in-round probes executed on `threads` worker
+    /// threads once a round has at least `threshold` probes.
+    pub fn parallel_probes(threads: usize, threshold: usize) -> Self {
+        ExecOptions {
+            parallel: true,
+            parallel_threshold: threshold.max(1),
+            threads,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// Default options with every probe charged as its own single-probe
+    /// round (the paper's "1 cell-probe per round" serialization).
+    pub fn serialized() -> Self {
+        ExecOptions {
+            serialize_rounds: true,
+            ..ExecOptions::default()
         }
     }
 }
@@ -94,6 +131,24 @@ impl ProbeLedger {
         }
     }
 
+    /// Accumulates another query's ledger into this one: element-wise sums
+    /// of the per-round probe counts, sums of the bit totals, max of the
+    /// single-word maximum. This is the *aggregate served cost* over a set
+    /// of queries (what an engine pays in total), as opposed to
+    /// [`ProbeLedger::worst_case`], which is the per-query bound the
+    /// paper's theorems describe.
+    pub fn merge(&mut self, other: &ProbeLedger) {
+        while self.per_round.len() < other.per_round.len() {
+            self.per_round.push(0);
+        }
+        for (i, &p) in other.per_round.iter().enumerate() {
+            self.per_round[i] += p;
+        }
+        self.word_bits_read += other.word_bits_read;
+        self.max_word_bits = self.max_word_bits.max(other.max_word_bits);
+        self.address_bits_sent += other.address_bits_sent;
+    }
+
     /// Element-wise max — the worst case over a set of queries, which is the
     /// quantity the paper's upper bounds describe.
     pub fn worst_case(mut self, other: &ProbeLedger) -> ProbeLedger {
@@ -132,9 +187,81 @@ impl Transcript {
     }
 }
 
+/// A batched-address round entry point: everything that can execute one
+/// full round of probes, given *all* of the round's addresses at once.
+///
+/// The default implementor is a [`Table`] (each address is read from the
+/// oracle, possibly on parallel threads — see [`read_batch`]). The serving
+/// engine substitutes a *coalescing* source that parks the round at a
+/// generation barrier, merges it with the same round of every other
+/// in-flight query, executes one sorted batch per shard, and hands the
+/// words back — all without the scheme being able to tell the difference,
+/// which is exactly the paper's point: a round's addresses are fixed
+/// before any content is revealed, so *who* executes the batch is
+/// irrelevant to correctness.
+pub trait RoundSource: Sync {
+    /// Executes one round of probes, returning words in address order.
+    fn read_round(&self, addrs: &[Address]) -> Vec<Word>;
+}
+
+/// Reads a batch of addresses from a table, words in address order, on up
+/// to `threads` crossbeam scoped threads (sequential when `threads <= 1`
+/// or the batch is a single address).
+///
+/// Probes within a round are independent by the model's definition, so
+/// this is always safe; it pays off when cell evaluation is expensive
+/// (lazy oracles scan sketches of all n database points per probe). This
+/// is the one batched read primitive shared by [`RoundExecutor`]'s
+/// in-round parallelism and the engine's cross-query coalesced dispatch.
+pub fn read_batch(table: &dyn Table, addrs: &[Address], threads: usize) -> Vec<Word> {
+    chunked_parallel_map(addrs, threads, |a| table.read(a))
+}
+
+/// Maps `f` over `items` on up to `threads` crossbeam scoped threads
+/// (contiguous chunks, never an empty-range worker), results in item
+/// order; runs inline when `threads <= 1` or there is at most one item.
+/// The one scatter/gather primitive behind [`read_batch`], the batch
+/// driver's query sharding, and the engine's per-shard dispatch fan-out.
+pub fn chunked_parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let workers = threads.min(items.len());
+    let chunk = items.len().div_ceil(workers).max(1);
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk.iter()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+    out.into_iter()
+        .map(|r| r.expect("item not processed"))
+        .collect()
+}
+
+/// What a [`RoundExecutor`] executes rounds against: a plain table oracle
+/// (with the executor's own parallelism options) or an external
+/// [`RoundSource`].
+enum Backend<'a> {
+    Table(&'a dyn Table),
+    Source(&'a dyn RoundSource),
+}
+
 /// Mediates all table access for one query, enforcing round structure.
 pub struct RoundExecutor<'a> {
-    table: &'a dyn Table,
+    backend: Backend<'a>,
     opts: ExecOptions,
     ledger: ProbeLedger,
     transcript: Option<Transcript>,
@@ -143,8 +270,19 @@ pub struct RoundExecutor<'a> {
 impl<'a> RoundExecutor<'a> {
     /// New executor over a table oracle.
     pub fn new(table: &'a dyn Table, opts: ExecOptions) -> Self {
+        Self::build(Backend::Table(table), opts)
+    }
+
+    /// New executor over an external round source. Accounting (ledger,
+    /// transcript, word-size enforcement) is identical to a table-backed
+    /// executor; only the execution of each round's batch is delegated.
+    pub fn with_source(source: &'a dyn RoundSource, opts: ExecOptions) -> Self {
+        Self::build(Backend::Source(source), opts)
+    }
+
+    fn build(backend: Backend<'a>, opts: ExecOptions) -> Self {
         RoundExecutor {
-            table,
+            backend,
             opts,
             ledger: ProbeLedger::default(),
             transcript: if opts.record_transcript {
@@ -162,13 +300,24 @@ impl<'a> RoundExecutor<'a> {
         if addrs.is_empty() {
             return Vec::new();
         }
-        let words = if self.opts.parallel
-            && addrs.len() >= self.opts.parallel_threshold
-            && self.opts.threads > 1
-        {
-            self.read_parallel(addrs)
-        } else {
-            addrs.iter().map(|a| self.table.read(a)).collect()
+        let words = match self.backend {
+            Backend::Table(table) => {
+                let threads = if self.opts.parallel && addrs.len() >= self.opts.parallel_threshold {
+                    self.opts.threads
+                } else {
+                    1
+                };
+                read_batch(table, addrs, threads)
+            }
+            Backend::Source(source) => {
+                let words = source.read_round(addrs);
+                assert_eq!(
+                    words.len(),
+                    addrs.len(),
+                    "round source must answer every address"
+                );
+                words
+            }
         };
         let base_round = self.ledger.per_round.len();
         if self.opts.serialize_rounds {
@@ -202,31 +351,6 @@ impl<'a> RoundExecutor<'a> {
             }
         }
         words
-    }
-
-    /// Executes the probes of one round on crossbeam scoped threads.
-    ///
-    /// Probes within a round are independent by the model's definition, so
-    /// this is always safe; it pays off when cell evaluation is expensive
-    /// (lazy oracles scan sketches of all n database points per probe).
-    fn read_parallel(&self, addrs: &[Address]) -> Vec<Word> {
-        let threads = self.opts.threads.min(addrs.len());
-        let chunk = addrs.len().div_ceil(threads);
-        let table = self.table;
-        let mut out: Vec<Option<Word>> = vec![None; addrs.len()];
-        crossbeam::thread::scope(|scope| {
-            for (slot_chunk, addr_chunk) in out.chunks_mut(chunk).zip(addrs.chunks(chunk)) {
-                scope.spawn(move |_| {
-                    for (slot, addr) in slot_chunk.iter_mut().zip(addr_chunk.iter()) {
-                        *slot = Some(table.read(addr));
-                    }
-                });
-            }
-        })
-        .expect("probe worker panicked");
-        out.into_iter()
-            .map(|w| w.expect("probe not executed"))
-            .collect()
     }
 
     /// Accounting so far.
@@ -295,15 +419,7 @@ mod tests {
         let addrs: Vec<Address> = (0..97).map(|i| Address::with_u64(0, i)).collect();
         let mut seq = RoundExecutor::new(&t, ExecOptions::default());
         let expect = seq.round(&addrs);
-        let mut par = RoundExecutor::new(
-            &t,
-            ExecOptions {
-                parallel: true,
-                parallel_threshold: 1,
-                threads: 8,
-                ..ExecOptions::default()
-            },
-        );
+        let mut par = RoundExecutor::new(&t, ExecOptions::parallel_probes(8, 1));
         let got = par.round(&addrs);
         assert_eq!(got, expect);
         assert_eq!(par.ledger().total_probes(), 97);
@@ -312,13 +428,7 @@ mod tests {
     #[test]
     fn transcript_records_all_probes_in_order() {
         let t = table_mod7();
-        let mut exec = RoundExecutor::new(
-            &t,
-            ExecOptions {
-                record_transcript: true,
-                ..ExecOptions::default()
-            },
-        );
+        let mut exec = RoundExecutor::new(&t, ExecOptions::with_transcript());
         exec.round(&[Address::with_u64(0, 5), Address::with_u64(0, 6)]);
         exec.round(&[Address::with_u64(0, 7)]);
         let (_, transcript) = exec.finish();
@@ -350,9 +460,8 @@ mod tests {
         let mut exec = RoundExecutor::new(
             &t,
             ExecOptions {
-                serialize_rounds: true,
                 record_transcript: true,
-                ..ExecOptions::default()
+                ..ExecOptions::serialized()
             },
         );
         let addrs: Vec<Address> = (0..5).map(|i| Address::with_u64(0, i)).collect();
@@ -391,5 +500,78 @@ mod tests {
         assert_eq!(m.per_round, vec![3, 4, 2]);
         assert_eq!(m.word_bits_read, 64);
         assert_eq!(m.max_word_bits, 40);
+    }
+
+    #[test]
+    fn merge_sums_ledgers() {
+        let mut acc = ProbeLedger {
+            per_round: vec![3, 1],
+            word_bits_read: 64,
+            max_word_bits: 32,
+            address_bits_sent: 100,
+        };
+        acc.merge(&ProbeLedger {
+            per_round: vec![1, 4, 2],
+            word_bits_read: 50,
+            max_word_bits: 40,
+            address_bits_sent: 90,
+        });
+        assert_eq!(acc.per_round, vec![4, 5, 2]);
+        assert_eq!(acc.total_probes(), 11);
+        assert_eq!(acc.word_bits_read, 114);
+        assert_eq!(acc.max_word_bits, 40);
+        assert_eq!(acc.address_bits_sent, 190);
+        // Merging the empty ledger is a no-op.
+        acc.merge(&ProbeLedger::default());
+        assert_eq!(acc.per_round, vec![4, 5, 2]);
+    }
+
+    #[test]
+    fn read_batch_handles_more_threads_than_addresses() {
+        let t = table_mod7();
+        let addrs: Vec<Address> = (0..3).map(|i| Address::with_u64(0, i)).collect();
+        for threads in [0usize, 1, 2, 3, 64] {
+            let words = read_batch(&t, &addrs, threads);
+            let got: Vec<u64> = words.iter().map(Word::to_u64).collect();
+            assert_eq!(got, vec![0, 1, 2], "threads={threads}");
+        }
+        assert!(read_batch(&t, &[], 8).is_empty());
+    }
+
+    #[test]
+    fn source_backed_executor_accounts_identically() {
+        struct Mod7Source(MaterializedTable);
+        impl RoundSource for Mod7Source {
+            fn read_round(&self, addrs: &[Address]) -> Vec<Word> {
+                read_batch(&self.0, addrs, 1)
+            }
+        }
+        let source = Mod7Source(table_mod7());
+        let addrs: Vec<Address> = (0..9).map(|i| Address::with_u64(0, i)).collect();
+        let mut direct = RoundExecutor::new(&source.0, ExecOptions::with_transcript());
+        let expect = direct.round(&addrs);
+        let _ = direct.round(&[Address::with_u64(0, 11)]);
+        let mut sourced = RoundExecutor::with_source(&source, ExecOptions::with_transcript());
+        let got = sourced.round(&addrs);
+        let _ = sourced.round(&[Address::with_u64(0, 11)]);
+        assert_eq!(got, expect);
+        let (l1, t1) = direct.finish();
+        let (l2, t2) = sourced.finish();
+        assert_eq!(l1, l2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must answer every address")]
+    fn short_source_answers_are_rejected() {
+        struct Mute;
+        impl RoundSource for Mute {
+            fn read_round(&self, _addrs: &[Address]) -> Vec<Word> {
+                Vec::new()
+            }
+        }
+        let mute = Mute;
+        let mut exec = RoundExecutor::with_source(&mute, ExecOptions::default());
+        let _ = exec.round(&[Address::with_u64(0, 0)]);
     }
 }

@@ -38,8 +38,12 @@ pub mod table;
 pub mod word;
 
 pub use audit::{CountingTable, PurityAuditTable};
-pub use executor::{ExecOptions, ProbeLedger, RoundExecutor, Transcript, TranscriptEntry};
-pub use scheme::{execute, execute_with, CellProbeScheme};
+pub use batch::{run_batch, run_one, worst_case_ledger, BatchItem};
+pub use executor::{
+    chunked_parallel_map, read_batch, ExecOptions, ProbeLedger, RoundExecutor, RoundSource,
+    Transcript, TranscriptEntry,
+};
+pub use scheme::{execute, execute_on, execute_with, CellProbeScheme};
 pub use space::{newman_private_coin_cells_log2, SpaceModel};
 pub use table::{Address, MaterializedTable, Table, TableId};
 pub use word::Word;

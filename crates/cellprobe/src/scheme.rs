@@ -6,7 +6,7 @@
 //! [`RoundExecutor`] so Algorithms 1/2, λ-ANNS, LSH and the baselines are
 //! all measured by the same ledger.
 
-use crate::executor::{ExecOptions, ProbeLedger, RoundExecutor, Transcript};
+use crate::executor::{ExecOptions, ProbeLedger, RoundExecutor, RoundSource, Transcript};
 use crate::table::Table;
 
 /// A static data structure plus its query algorithm.
@@ -37,17 +37,43 @@ pub fn execute<S: CellProbeScheme>(scheme: &S, query: &S::Query) -> (S::Answer, 
 pub fn execute_with<S: CellProbeScheme>(
     scheme: &S,
     query: &S::Query,
-    mut opts: ExecOptions,
+    opts: ExecOptions,
 ) -> (S::Answer, ProbeLedger, Option<Transcript>) {
+    let mut exec = RoundExecutor::new(scheme.table(), clamp_word_limit(scheme, opts));
+    let answer = scheme.run(query, &mut exec);
+    let (ledger, transcript) = exec.finish();
+    (answer, ledger, transcript)
+}
+
+/// Runs one query with its rounds executed by an external [`RoundSource`]
+/// instead of the scheme's own table — the entry point the serving engine
+/// uses to coalesce one round of *many* queries into a single batched
+/// dispatch. Accounting (ledger, transcript, declared word-size
+/// enforcement) is identical to [`execute_with`]; the source is trusted to
+/// answer each address with the same word the scheme's table would
+/// (sources that disagree are caught by the word-size check and by the
+/// engine's equivalence audits).
+pub fn execute_on<S: CellProbeScheme>(
+    scheme: &S,
+    query: &S::Query,
+    source: &dyn RoundSource,
+    opts: ExecOptions,
+) -> (S::Answer, ProbeLedger, Option<Transcript>) {
+    let mut exec = RoundExecutor::with_source(source, clamp_word_limit(scheme, opts));
+    let answer = scheme.run(query, &mut exec);
+    let (ledger, transcript) = exec.finish();
+    (answer, ledger, transcript)
+}
+
+/// The declared word size is always enforced on top of whatever the
+/// options say.
+fn clamp_word_limit<S: CellProbeScheme>(scheme: &S, mut opts: ExecOptions) -> ExecOptions {
     let declared = scheme.word_bits();
     opts.word_bits_limit = Some(match opts.word_bits_limit {
         Some(limit) => limit.min(declared),
         None => declared,
     });
-    let mut exec = RoundExecutor::new(scheme.table(), opts);
-    let answer = scheme.run(query, &mut exec);
-    let (ledger, transcript) = exec.finish();
-    (answer, ledger, transcript)
+    opts
 }
 
 #[cfg(test)]
@@ -105,18 +131,29 @@ mod tests {
     #[test]
     fn execute_with_transcript() {
         let scheme = Toy::new();
-        let (_, _, transcript) = execute_with(
-            &scheme,
-            &2,
-            ExecOptions {
-                record_transcript: true,
-                ..ExecOptions::default()
-            },
-        );
+        let (_, _, transcript) = execute_with(&scheme, &2, ExecOptions::with_transcript());
         let tr = transcript.unwrap();
         assert_eq!(tr.0.len(), 2);
         assert_eq!(tr.0[0].round, 0);
         assert_eq!(tr.0[1].round, 1);
+    }
+
+    #[test]
+    fn execute_on_matches_execute_with() {
+        struct Passthrough<'a>(&'a dyn Table);
+        impl crate::executor::RoundSource for Passthrough<'_> {
+            fn read_round(&self, addrs: &[Address]) -> Vec<Word> {
+                crate::executor::read_batch(self.0, addrs, 1)
+            }
+        }
+        let scheme = Toy::new();
+        let opts = ExecOptions::with_transcript();
+        let (a1, l1, t1) = execute_with(&scheme, &5, opts);
+        let source = Passthrough(scheme.table());
+        let (a2, l2, t2) = execute_on(&scheme, &5, &source, opts);
+        assert_eq!(a1, a2);
+        assert_eq!(l1, l2);
+        assert_eq!(t1, t2);
     }
 
     #[test]

@@ -2,11 +2,11 @@
 //!
 //! This crate is the paper's primary contribution, implemented end to end:
 //!
-//! * [`alg1`] — **Algorithm 1** (Theorem 2/9): the simple `k`-round scheme
+//! * [`alg1`](mod@alg1) — **Algorithm 1** (Theorem 2/9): the simple `k`-round scheme
 //!   with `O(k·(log d)^{1/k})` probes — a multi-way search over the ball
 //!   scales `0..⌈log_α d⌉` driven solely by the accurate ball
 //!   approximations `C_i`;
-//! * [`alg2`] — **Algorithm 2** (Theorem 3/10): the sophisticated scheme for
+//! * [`alg2`](mod@alg2) — **Algorithm 2** (Theorem 3/10): the sophisticated scheme for
 //!   large `k` with `O(k + ((log d)/k)^{c/k})` probes — shrinking *phases*
 //!   of at most two rounds, using grouped coarse-ball queries `D_{i,j}`
 //!   through auxiliary tables to either shrink the scale gap by a `τ`
@@ -23,7 +23,10 @@
 //! * [`instance`] — the [`instance::AnnsInstance`] trait both backends
 //!   implement; the algorithms are generic over it;
 //! * [`outcome`] — answers, cell-content codecs shared by the algorithm
-//!   (decode) and the table oracles (encode).
+//!   (decode) and the table oracles (encode);
+//! * [`serve`] — the object-safe [`serve::ServableScheme`] surface the
+//!   `anns-engine` serving subsystem holds instances behind, with
+//!   adapters for Algorithm 1/2 and λ-ANNS over a built index.
 //!
 //! All schemes speak the [`anns_cellprobe`] model: probes go through a
 //! `RoundExecutor`, rounds and probes are charged to a `ProbeLedger`, word
@@ -36,6 +39,7 @@ pub mod concrete;
 pub mod instance;
 pub mod lambda;
 pub mod outcome;
+pub mod serve;
 pub mod synthetic;
 
 pub use alg1::{alg1, choose_tau_alg1, Alg1Scheme};
@@ -45,4 +49,7 @@ pub use concrete::{AnnIndex, BuildOptions, ErasureModel, IndexSnapshot};
 pub use instance::{AnnsInstance, AuxGroupSpec};
 pub use lambda::{lambda_ann, lambda_scale, LambdaScheme};
 pub use outcome::{OutcomeKind, QueryOutcome};
+pub use serve::{
+    Candidate, ServableScheme, ServeAlg1, ServeAlg2, ServeLambda, ServedAnswer, SoloServable,
+};
 pub use synthetic::{ErrorModel, SyntheticInstance, SyntheticProfile};

@@ -1,0 +1,207 @@
+//! The serving front-end: admission, generations, per-query results.
+
+use std::time::Instant;
+
+use anns_cellprobe::{execute_on, ExecOptions, ProbeLedger, Transcript};
+use anns_core::serve::{ServedAnswer, SoloServable};
+use anns_hamming::Point;
+
+use crate::registry::{Registry, ShardId};
+use crate::scheduler::{DispatchTrace, Generation};
+use crate::stats::EngineStats;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOptions {
+    /// Maximum queries admitted into one generation (the coalescing and
+    /// parallelism width; also the number of worker threads per
+    /// generation, one per in-flight query).
+    pub generation: usize,
+    /// Per-query executor options (transcripts, serialization, word caps).
+    /// The `parallel*` fields are inert on the engine path — parallelism
+    /// happens at the coalesced-batch level instead.
+    pub exec: ExecOptions,
+    /// Worker threads per coalesced shard batch.
+    pub batch_threads: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            generation: 64,
+            exec: ExecOptions::default(),
+            batch_threads: 4,
+        }
+    }
+}
+
+/// One query request: which shard to ask, and the query point.
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    /// Target shard.
+    pub shard: ShardId,
+    /// The query point.
+    pub query: Point,
+}
+
+/// One served query: the answer plus its first-class served metrics.
+#[derive(Clone, Debug)]
+pub struct Served {
+    /// The scheme's answer.
+    pub answer: ServedAnswer,
+    /// Probe accounting, identical to a solo execution of the same query.
+    pub ledger: ProbeLedger,
+    /// Full probe transcript when `exec.record_transcript` is set.
+    pub transcript: Option<Transcript>,
+    /// Wall-clock latency of this query inside its generation, in
+    /// nanoseconds (includes time parked at round barriers — that is the
+    /// latency a caller actually observes under coalesced serving).
+    pub latency_ns: u64,
+    /// Whether the query stayed within the shard scheme's declared round
+    /// and probe budgets (`true` when no budget is declared).
+    pub within_budget: bool,
+}
+
+/// The audit log of one generation: its coalesced dispatches in order.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct GenerationTrace {
+    /// One entry per generation-round dispatch.
+    pub dispatches: Vec<DispatchTrace>,
+}
+
+/// The round-synchronous serving engine over a [`Registry`] of shards.
+pub struct Engine {
+    registry: Registry,
+    opts: EngineOptions,
+    totals: std::sync::Mutex<EngineStats>,
+}
+
+impl Engine {
+    /// An engine over a populated registry.
+    ///
+    /// # Panics
+    /// If the registry is empty or `opts.generation == 0`.
+    pub fn new(registry: Registry, opts: EngineOptions) -> Self {
+        assert!(!registry.is_empty(), "engine needs at least one shard");
+        assert!(opts.generation >= 1, "generation width must be positive");
+        Engine {
+            registry,
+            opts,
+            totals: std::sync::Mutex::new(EngineStats::default()),
+        }
+    }
+
+    /// The shard registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The engine configuration.
+    pub fn options(&self) -> &EngineOptions {
+        &self.opts
+    }
+
+    /// Serves one query (a generation of width 1 — no cross-query
+    /// coalescing, but the same dispatch path and accounting).
+    pub fn submit(&self, shard: ShardId, query: &Point) -> Served {
+        let request = QueryRequest {
+            shard,
+            query: query.clone(),
+        };
+        self.submit_batch(std::slice::from_ref(&request))
+            .pop()
+            .expect("one served result")
+    }
+
+    /// Serves a batch of queries, admitted in generations of at most
+    /// `opts.generation`; results are in request order.
+    pub fn submit_batch(&self, requests: &[QueryRequest]) -> Vec<Served> {
+        self.submit_batch_traced(requests).0
+    }
+
+    /// [`Engine::submit_batch`] plus the per-generation audit log of every
+    /// coalesced dispatch — the raw material for non-adaptivity audits and
+    /// coalescing-efficiency reports.
+    pub fn submit_batch_traced(
+        &self,
+        requests: &[QueryRequest],
+    ) -> (Vec<Served>, Vec<GenerationTrace>) {
+        // Reject unknown shards before any generation spawns: a bad id
+        // discovered mid-generation would panic one worker while its
+        // peers hold the round barrier.
+        for request in requests {
+            assert!(
+                request.shard.0 < self.registry.len(),
+                "unknown shard {:?} (registry holds {})",
+                request.shard,
+                self.registry.len()
+            );
+        }
+        let mut served = Vec::with_capacity(requests.len());
+        let mut traces = Vec::new();
+        for generation_slice in requests.chunks(self.opts.generation) {
+            let (mut results, trace) = self.run_generation(generation_slice);
+            served.append(&mut results);
+            traces.push(trace);
+        }
+        (served, traces)
+    }
+
+    /// Cumulative served metrics since the engine was built.
+    pub fn stats(&self) -> EngineStats {
+        self.totals
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Runs one generation: a scoped thread per query, all advanced round
+    /// by round through the generation barrier.
+    fn run_generation(&self, requests: &[QueryRequest]) -> (Vec<Served>, GenerationTrace) {
+        let tables = (0..self.registry.len())
+            .map(|i| self.registry.scheme(ShardId(i)).table())
+            .collect();
+        let generation = Generation::new(tables, requests.len(), self.opts.batch_threads);
+        let mut slots: Vec<Option<Served>> = (0..requests.len()).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            for ((slot, request), out) in requests.iter().enumerate().zip(slots.iter_mut()) {
+                let generation = &generation;
+                let scheme = self.registry.scheme(request.shard);
+                let exec = self.opts.exec;
+                scope.spawn(move |_| {
+                    let started = Instant::now();
+                    let source = generation.source(slot, request.shard.0);
+                    let solo = SoloServable(scheme);
+                    // Departs on drop — also mid-unwind if the scheme
+                    // panics, so one failing query can't strand its peers
+                    // at the round barrier.
+                    let departing = generation.depart_guard();
+                    let (answer, ledger, transcript) =
+                        execute_on(&solo, &request.query, &source, exec);
+                    drop(departing);
+                    let within_budget = scheme.within_budget(&ledger);
+                    *out = Some(Served {
+                        answer,
+                        ledger,
+                        transcript,
+                        latency_ns: started.elapsed().as_nanos() as u64,
+                        within_budget,
+                    });
+                });
+            }
+        })
+        .expect("generation worker panicked");
+        let served: Vec<Served> = slots
+            .into_iter()
+            .map(|s| s.expect("query not served"))
+            .collect();
+        let trace = GenerationTrace {
+            dispatches: generation.into_traces(),
+        };
+        self.totals
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .absorb(&served, &trace);
+        (served, trace)
+    }
+}

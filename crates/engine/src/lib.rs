@@ -1,0 +1,60 @@
+//! A round-synchronous query-serving subsystem with cross-query probe
+//! coalescing.
+//!
+//! # Why the paper's model is a serving architecture
+//!
+//! The paper (§1–§2) organizes a query's cell-probes into `k` rounds: the
+//! addresses of round `i` are a function of the query and the contents
+//! read in rounds `< i` only, so *all* of a round's addresses exist
+//! before any of its contents are revealed. §1 motivates this with
+//! parallelism inside one query; this crate exploits the same property
+//! *across* queries. If many concurrent queries each expose a full round
+//! of addresses up front, a server can merge those rounds into one batch
+//! per index shard — sorted for locality, deduplicated so a cell shared
+//! by several queries (hot queries, shared scales, degenerate-case
+//! probes) is computed once — without changing any query's observable
+//! execution. Limited adaptivity is precisely what makes the batch
+//! boundary exist: a fully adaptive query (`k = t`) exposes one address
+//! at a time and coalesces with nothing.
+//!
+//! # Architecture
+//!
+//! * [`registry`] — the **sharded index registry**: built instances
+//!   (Algorithm 1/2 at chosen round budgets, λ-ANNS, LSH/linear
+//!   baselines) behind the object-safe `anns_core::serve::ServableScheme`
+//!   surface, each shard owning its own table oracle;
+//! * [`scheduler`] — the **generation barrier**: queries admitted
+//!   together advance one round at a time; the last query to park a round
+//!   leads the coalesced dispatch (sort + dedup + one
+//!   `anns_cellprobe::read_batch` per shard) and every dispatch is
+//!   recorded in an auditable [`scheduler::DispatchTrace`];
+//! * [`engine`] — the **front-end**: [`engine::Engine::submit`] /
+//!   [`engine::Engine::submit_batch`] admit queries in generations, and
+//!   per-query results carry the answer, the probe [`ProbeLedger`]
+//!   (byte-identical to solo execution), an optional `Transcript`, the
+//!   observed latency, and a budget-adherence verdict;
+//! * [`stats`] — **served metrics**: cumulative engine counters (merged
+//!   ledgers, coalescing ratio, budget violations) and the JSON
+//!   [`stats::ServeReport`] emitted by `annsctl serve` /
+//!   `annsctl bench-serve`.
+//!
+//! Within-round non-adaptivity is preserved *by construction*: every
+//! query still reads cells only through its own `RoundExecutor`, which
+//! hands whole rounds to the generation barrier via the `RoundSource`
+//! seam, and the engine's equivalence audits (see
+//! `tests/engine_equivalence.rs`) check answers, ledgers and transcripts
+//! against sequential `execute_with` runs — the round count per query is
+//! identical, which is the paper's `k` showing up unchanged under
+//! coalesced serving.
+//!
+//! [`ProbeLedger`]: anns_cellprobe::ProbeLedger
+
+pub mod engine;
+pub mod registry;
+pub mod scheduler;
+pub mod stats;
+
+pub use engine::{Engine, EngineOptions, GenerationTrace, QueryRequest, Served};
+pub use registry::{load_index_snapshot, Registry, ShardId};
+pub use scheduler::{DispatchTrace, Generation};
+pub use stats::{percentile, EngineStats, LatencySummary, ServeReport};

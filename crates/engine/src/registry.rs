@@ -1,0 +1,195 @@
+//! The sharded index registry: every servable instance the engine holds.
+//!
+//! A *shard* is one built index instance behind the
+//! [`ServableScheme`] trait-object surface — an `AnnIndex` served by
+//! Algorithm 1 at some `k`, the same index served by Algorithm 2, an LSH
+//! baseline, … Each shard owns its own table oracle, so the scheduler's
+//! coalescer groups every generation-round's probe addresses *by shard*
+//! and dispatches one sorted, deduplicated batch per shard.
+//!
+//! Registering the same `Arc<AnnIndex>` under several schemes is cheap
+//! (the index state is shared); it is the intended way to A/B round
+//! budgets or algorithms on live traffic.
+
+use std::sync::Arc;
+
+use anns_core::serve::{ServableScheme, ServeAlg1, ServeAlg2, ServeLambda};
+use anns_core::{Alg2Config, AnnIndex};
+
+/// Identifier of a registered shard; stable for the registry's lifetime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ShardId(pub usize);
+
+struct Entry {
+    name: String,
+    scheme: Box<dyn ServableScheme>,
+}
+
+/// Holds every servable instance, addressable by name or [`ShardId`].
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<Entry>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers a scheme under a unique name.
+    ///
+    /// # Panics
+    /// If the name is already taken (shards are static configuration;
+    /// colliding names are a deployment bug worth failing loudly on).
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        scheme: Box<dyn ServableScheme>,
+    ) -> ShardId {
+        let name = name.into();
+        assert!(
+            self.resolve(&name).is_none(),
+            "shard name {name:?} already registered"
+        );
+        self.entries.push(Entry { name, scheme });
+        ShardId(self.entries.len() - 1)
+    }
+
+    /// Registers Algorithm 1 over a built index at round budget `k`.
+    pub fn register_alg1(
+        &mut self,
+        name: impl Into<String>,
+        index: Arc<AnnIndex>,
+        k: u32,
+    ) -> ShardId {
+        self.register(
+            name,
+            Box::new(ServeAlg1 {
+                index,
+                k,
+                tau_override: None,
+            }),
+        )
+    }
+
+    /// Registers Algorithm 2 over a built index.
+    pub fn register_alg2(
+        &mut self,
+        name: impl Into<String>,
+        index: Arc<AnnIndex>,
+        config: Alg2Config,
+    ) -> ShardId {
+        self.register(name, Box::new(ServeAlg2 { index, config }))
+    }
+
+    /// Registers the 1-probe λ-ANNS scheme over a built index.
+    pub fn register_lambda(
+        &mut self,
+        name: impl Into<String>,
+        index: Arc<AnnIndex>,
+        lambda: f64,
+    ) -> ShardId {
+        self.register(name, Box::new(ServeLambda { index, lambda }))
+    }
+
+    /// Looks a shard up by name.
+    pub fn resolve(&self, name: &str) -> Option<ShardId> {
+        self.entries
+            .iter()
+            .position(|e| e.name == name)
+            .map(ShardId)
+    }
+
+    /// The scheme behind a shard id.
+    ///
+    /// # Panics
+    /// If the id is out of range (ids come from this registry's
+    /// `register`/`resolve`, so a bad one is a caller bug).
+    pub fn scheme(&self, id: ShardId) -> &dyn ServableScheme {
+        &*self.entries[id.0].scheme
+    }
+
+    /// The shard's registered name.
+    pub fn name(&self, id: ShardId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// Number of registered shards.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(name, scheme label)` of every shard, in id order.
+    pub fn listing(&self) -> Vec<(String, String)> {
+        self.entries
+            .iter()
+            .map(|e| (e.name.clone(), e.scheme.label()))
+            .collect()
+    }
+}
+
+/// Loads an [`AnnIndex`] snapshot from a JSON file (the format written by
+/// `annsctl build` / [`AnnIndex::snapshot`]).
+pub fn load_index_snapshot(path: &str) -> Result<Arc<AnnIndex>, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let snapshot = serde_json::from_str(&json).map_err(|e| format!("bad snapshot {path}: {e}"))?;
+    Ok(Arc::new(AnnIndex::from_snapshot(snapshot)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anns_core::BuildOptions;
+    use anns_hamming::gen;
+    use anns_sketch::SketchParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_index() -> Arc<AnnIndex> {
+        let mut rng = StdRng::seed_from_u64(50);
+        let ds = gen::uniform(32, 64, &mut rng);
+        Arc::new(AnnIndex::build(
+            ds,
+            SketchParams::practical(2.0, 50),
+            BuildOptions::default(),
+        ))
+    }
+
+    #[test]
+    fn register_resolve_roundtrip() {
+        let index = small_index();
+        let mut reg = Registry::new();
+        let a = reg.register_alg1("alg1-k3", Arc::clone(&index), 3);
+        let b = reg.register_alg2("alg2-k8", Arc::clone(&index), Alg2Config::with_k(8));
+        let c = reg.register_lambda("lambda-4", index, 4.0);
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.resolve("alg1-k3"), Some(a));
+        assert_eq!(reg.resolve("alg2-k8"), Some(b));
+        assert_eq!(reg.resolve("lambda-4"), Some(c));
+        assert_eq!(reg.resolve("nope"), None);
+        assert_eq!(reg.name(b), "alg2-k8");
+        assert_eq!(reg.scheme(a).label(), "alg1[k=3]");
+        let listing = reg.listing();
+        assert_eq!(listing[2], ("lambda-4".into(), "lambda[4]".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_names_are_rejected() {
+        let index = small_index();
+        let mut reg = Registry::new();
+        reg.register_alg1("x", Arc::clone(&index), 2);
+        reg.register_alg1("x", index, 3);
+    }
+
+    #[test]
+    fn snapshot_loading_reports_errors() {
+        assert!(load_index_snapshot("/nonexistent/index.json").is_err());
+    }
+}

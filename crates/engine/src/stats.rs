@@ -1,0 +1,242 @@
+//! Served metrics: cumulative engine counters and per-run reports.
+//!
+//! Probe and round budgets are *served metrics* here, not bench-side
+//! accounting: every query's ledger is merged into the engine totals (the
+//! aggregate cost actually paid) and checked against its shard scheme's
+//! declared budgets, and every coalesced dispatch reports how many
+//! submitted probes were saved by deduplication.
+
+use anns_cellprobe::ProbeLedger;
+
+use crate::engine::{GenerationTrace, Served};
+
+/// Cumulative counters since the engine was built.
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct EngineStats {
+    /// Queries served.
+    pub queries: u64,
+    /// Generations executed.
+    pub generations: u64,
+    /// Coalesced dispatches (generation-rounds) executed.
+    pub dispatches: u64,
+    /// Probe addresses submitted by queries.
+    pub probes_submitted: u64,
+    /// Unique probes executed after per-shard coalescing.
+    pub probes_executed: u64,
+    /// Sum of per-query round counts.
+    pub rounds_total: u64,
+    /// Worst per-query round count seen.
+    pub rounds_max: u64,
+    /// Worst per-query probe total seen.
+    pub probes_max: u64,
+    /// Queries that exceeded their shard scheme's declared budgets.
+    pub budget_violations: u64,
+    /// Aggregate ledger over all served queries (element-wise per-round
+    /// sums — the engine's total bill, not the paper's worst case).
+    pub merged_ledger: ProbeLedger,
+}
+
+impl EngineStats {
+    /// Folds one generation's results into the totals.
+    pub(crate) fn absorb(&mut self, served: &[Served], trace: &GenerationTrace) {
+        self.queries += served.len() as u64;
+        self.generations += 1;
+        self.dispatches += trace.dispatches.len() as u64;
+        for dispatch in &trace.dispatches {
+            self.probes_submitted += dispatch.submitted as u64;
+            self.probes_executed += dispatch.executed as u64;
+        }
+        for s in served {
+            self.rounds_total += s.ledger.rounds() as u64;
+            self.rounds_max = self.rounds_max.max(s.ledger.rounds() as u64);
+            self.probes_max = self.probes_max.max(s.ledger.total_probes() as u64);
+            if !s.within_budget {
+                self.budget_violations += 1;
+            }
+            self.merged_ledger.merge(&s.ledger);
+        }
+    }
+
+    /// Fraction of submitted probes actually executed (1.0 = nothing
+    /// coalesced away, 0.25 = four-fold sharing).
+    pub fn coalescing_ratio(&self) -> f64 {
+        if self.probes_submitted == 0 {
+            1.0
+        } else {
+            self.probes_executed as f64 / self.probes_submitted as f64
+        }
+    }
+}
+
+/// Latency summary in microseconds.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_us: f64,
+    /// 90th percentile.
+    pub p90_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Maximum.
+    pub max_us: f64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of per-query latencies (nanoseconds).
+    pub fn from_ns(samples: &[u64]) -> Self {
+        let mut sorted: Vec<u64> = samples.to_vec();
+        sorted.sort_unstable();
+        let us = |ns: u64| ns as f64 / 1e3;
+        let mean = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().map(|&ns| us(ns)).sum::<f64>() / sorted.len() as f64
+        };
+        LatencySummary {
+            p50_us: us(percentile(&sorted, 0.50)),
+            p90_us: us(percentile(&sorted, 0.90)),
+            p99_us: us(percentile(&sorted, 0.99)),
+            max_us: us(sorted.last().copied().unwrap_or(0)),
+            mean_us: mean,
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice; 0 when empty.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// One serving run, summarized for JSON emission (`annsctl serve` /
+/// `annsctl bench-serve` / CI perf artifacts).
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ServeReport {
+    /// What was served (shard name or comparison label).
+    pub label: String,
+    /// Queries in the run.
+    pub queries: u64,
+    /// Wall-clock for the whole run, milliseconds.
+    pub wall_ms: f64,
+    /// Queries per second over the run.
+    pub qps: f64,
+    /// Per-query latency summary.
+    pub latency: LatencySummary,
+    /// Mean probes per query.
+    pub probes_per_query: f64,
+    /// Worst per-query probe total.
+    pub probes_max: u64,
+    /// Mean rounds per query.
+    pub rounds_per_query: f64,
+    /// Worst per-query round count.
+    pub rounds_max: u64,
+    /// Probe addresses submitted by queries.
+    pub probes_submitted: u64,
+    /// Unique probes executed after coalescing (equals `probes_submitted`
+    /// for solo/per-query execution).
+    pub probes_executed: u64,
+    /// `probes_executed / probes_submitted`.
+    pub coalescing_ratio: f64,
+    /// Queries that blew their declared budgets.
+    pub budget_violations: u64,
+    /// Queries whose answer carried a database point.
+    pub answered: u64,
+}
+
+impl ServeReport {
+    /// Builds a report from one engine run.
+    pub fn from_run(
+        label: impl Into<String>,
+        served: &[Served],
+        traces: &[GenerationTrace],
+        wall: std::time::Duration,
+    ) -> Self {
+        let latencies: Vec<u64> = served.iter().map(|s| s.latency_ns).collect();
+        let queries = served.len() as u64;
+        let probes_total: u64 = served.iter().map(|s| s.ledger.total_probes() as u64).sum();
+        let rounds_total: u64 = served.iter().map(|s| s.ledger.rounds() as u64).sum();
+        let (mut submitted, mut executed) = (0u64, 0u64);
+        for trace in traces {
+            for d in &trace.dispatches {
+                submitted += d.submitted as u64;
+                executed += d.executed as u64;
+            }
+        }
+        let wall_s = wall.as_secs_f64();
+        ServeReport {
+            label: label.into(),
+            queries,
+            wall_ms: wall_s * 1e3,
+            qps: if wall_s > 0.0 {
+                queries as f64 / wall_s
+            } else {
+                0.0
+            },
+            latency: LatencySummary::from_ns(&latencies),
+            probes_per_query: if queries == 0 {
+                0.0
+            } else {
+                probes_total as f64 / queries as f64
+            },
+            probes_max: served
+                .iter()
+                .map(|s| s.ledger.total_probes() as u64)
+                .max()
+                .unwrap_or(0),
+            rounds_per_query: if queries == 0 {
+                0.0
+            } else {
+                rounds_total as f64 / queries as f64
+            },
+            rounds_max: served
+                .iter()
+                .map(|s| s.ledger.rounds() as u64)
+                .max()
+                .unwrap_or(0),
+            probes_submitted: submitted,
+            probes_executed: executed,
+            coalescing_ratio: if submitted == 0 {
+                1.0
+            } else {
+                executed as f64 / submitted as f64
+            },
+            budget_violations: served.iter().filter(|s| !s.within_budget).count() as u64,
+            answered: served.iter().filter(|s| s.answer.index().is_some()).count() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&xs, 0.50), 50);
+        assert_eq!(percentile(&xs, 0.99), 99);
+        assert_eq!(percentile(&xs, 1.0), 100);
+        assert_eq!(percentile(&xs, 0.0), 1);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.5), 7);
+    }
+
+    #[test]
+    fn latency_summary_orders_percentiles() {
+        let ns: Vec<u64> = (0..1000).map(|i| (i * 1000) as u64).collect();
+        let s = LatencySummary::from_ns(&ns);
+        assert!(s.p50_us <= s.p90_us && s.p90_us <= s.p99_us && s.p99_us <= s.max_us);
+        assert!(s.mean_us > 0.0);
+    }
+
+    #[test]
+    fn empty_stats_have_unit_coalescing_ratio() {
+        let stats = EngineStats::default();
+        assert_eq!(stats.coalescing_ratio(), 1.0);
+    }
+}

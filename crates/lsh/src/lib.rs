@@ -14,11 +14,17 @@
 //! The fully-adaptive `O(log log d)` baseline the introduction mentions is
 //! Algorithm 1 with `τ = 2` (adaptive binary search over scales); it lives
 //! in `anns-core` behind `Alg1Scheme { tau_override: Some(2), .. }`.
+//!
+//! [`serve`] adapts both baselines to the engine's
+//! `anns_core::serve::ServableScheme` surface, so serving deployments can
+//! A/B them against the round-bounded schemes on the same dispatch path.
 
 pub mod bitsampling;
 pub mod linear;
 pub mod multiradius;
+pub mod serve;
 
 pub use bitsampling::{LshIndex, LshParams};
 pub use linear::LinearScan;
 pub use multiradius::{MultiRadiusLsh, MultiRadiusParams};
+pub use serve::{ServeLinear, ServeLsh};

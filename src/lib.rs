@@ -19,7 +19,11 @@
 //!   scale) backends;
 //! * [`lsh`] — the baselines: bit-sampling LSH and linear scan;
 //! * [`lpm`] — the lower-bound side: longest prefix match, the
-//!   ball-tree reduction, and the round-elimination calculator.
+//!   ball-tree reduction, and the round-elimination calculator;
+//! * [`engine`] — the serving subsystem: a sharded registry of built
+//!   instances behind one trait surface, and a round-synchronous
+//!   scheduler that coalesces each round's probes across all in-flight
+//!   queries into one sorted batch per shard.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +49,7 @@
 
 pub use anns_cellprobe as cellprobe;
 pub use anns_core as core;
+pub use anns_engine as engine;
 pub use anns_hamming as hamming;
 pub use anns_lpm as lpm;
 pub use anns_lsh as lsh;

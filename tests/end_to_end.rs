@@ -60,10 +60,7 @@ fn queries_are_deterministic_replays() {
         k: 3,
         tau_override: None,
     };
-    let opts = ExecOptions {
-        record_transcript: true,
-        ..ExecOptions::default()
-    };
+    let opts = ExecOptions::with_transcript();
     let (a1, l1, t1) = execute_with(&scheme, &query, opts);
     let (a2, l2, t2) = execute_with(&scheme, &query, opts);
     assert_eq!(a1, a2);
@@ -77,16 +74,7 @@ fn parallel_in_round_probes_match_sequential() {
     // threads must not change anything observable.
     let (index, query, _) = build_planted(17, 512, 256, 8);
     let seq = index.query_with(&query, 2, ExecOptions::default());
-    let par = index.query_with(
-        &query,
-        2,
-        ExecOptions {
-            parallel: true,
-            parallel_threshold: 2,
-            threads: 8,
-            ..ExecOptions::default()
-        },
-    );
+    let par = index.query_with(&query, 2, ExecOptions::parallel_probes(8, 2));
     assert_eq!(seq.0, par.0);
     assert_eq!(seq.1, par.1);
 }
@@ -121,14 +109,7 @@ fn transcript_respects_round_structure() {
         k: 4,
         tau_override: None,
     };
-    let (_, ledger, transcript) = execute_with(
-        &scheme,
-        &query,
-        ExecOptions {
-            record_transcript: true,
-            ..ExecOptions::default()
-        },
-    );
+    let (_, ledger, transcript) = execute_with(&scheme, &query, ExecOptions::with_transcript());
     let transcript = transcript.expect("recorded");
     let mut last_round = 0usize;
     for entry in &transcript.0 {
@@ -178,14 +159,7 @@ fn serialized_rounds_realize_one_probe_per_round() {
         tau_override: None,
     };
     let (batched, ledger_batched, _) = execute_with(&scheme, &query, ExecOptions::default());
-    let (serial, ledger_serial, _) = execute_with(
-        &scheme,
-        &query,
-        ExecOptions {
-            serialize_rounds: true,
-            ..ExecOptions::default()
-        },
-    );
+    let (serial, ledger_serial, _) = execute_with(&scheme, &query, ExecOptions::serialized());
     assert_eq!(batched, serial, "serialization must not change the answer");
     assert_eq!(batched.index(), Some(needle as u64));
     assert_eq!(

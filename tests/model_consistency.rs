@@ -35,14 +35,7 @@ fn lazy_oracle_agrees_with_materialization() {
         k: 3,
         tau_override: None,
     };
-    let (_, _, transcript) = execute_with(
-        &scheme,
-        &planted.query,
-        ExecOptions {
-            record_transcript: true,
-            ..ExecOptions::default()
-        },
-    );
+    let (_, _, transcript) = execute_with(&scheme, &planted.query, ExecOptions::with_transcript());
     let transcript = transcript.expect("recorded");
     // Freeze the touched cells.
     let frozen = MaterializedTable::new(index.table().space_model());
@@ -106,14 +99,7 @@ fn full_materialization_equals_lazy_oracle_on_tiny_instance() {
         k: 2,
         tau_override: None,
     };
-    let (_, _, transcript) = execute_with(
-        &scheme,
-        &q,
-        ExecOptions {
-            record_transcript: true,
-            ..ExecOptions::default()
-        },
-    );
+    let (_, _, transcript) = execute_with(&scheme, &q, ExecOptions::with_transcript());
     for entry in &transcript.unwrap().0 {
         if entry.addr.table >= 2 && entry.addr.table < 2 + (1 << 28) {
             assert_eq!(frozen.read(&entry.addr), entry.word);

@@ -20,6 +20,41 @@ fn facade_reexports_resolve() {
     let _ = anns::core::Alg2Config::with_k(4);
     let _ = anns::lsh::LshParams::for_radius(64, 64, 4.0, 2.0, 1.0);
     let _ = anns::lpm::lcp_len(&[1, 2, 3], &[1, 2, 9]);
+    let _ = anns::engine::Registry::new();
+    let _ = anns::engine::EngineOptions::default();
+}
+
+/// The engine serves the quickstart index through the facade: registry →
+/// engine → submit_batch, with coalesced answers equal to direct queries.
+#[test]
+fn engine_serves_through_the_facade() {
+    use std::sync::Arc;
+    let mut rng = StdRng::seed_from_u64(7);
+    let planted = gen::planted(128, 128, 5, &mut rng);
+    let query = planted.query.clone();
+    let index = Arc::new(AnnIndex::build(
+        planted.dataset,
+        SketchParams::practical(2.0, 7),
+        BuildOptions::default(),
+    ));
+    let mut registry = anns::engine::Registry::new();
+    let shard = registry.register_alg1("alg1-k3", Arc::clone(&index), 3);
+    let engine = anns::engine::Engine::new(registry, anns::engine::EngineOptions::default());
+    let requests: Vec<anns::engine::QueryRequest> = (0..8)
+        .map(|_| anns::engine::QueryRequest {
+            shard,
+            query: query.clone(),
+        })
+        .collect();
+    let served = engine.submit_batch(&requests);
+    let (direct, direct_ledger) = index.query(&query, 3);
+    for s in &served {
+        assert_eq!(s.answer.index(), direct.index());
+        assert_eq!(s.ledger, direct_ledger);
+    }
+    // Eight copies of one query: one query's worth of unique probes.
+    let stats = engine.stats();
+    assert_eq!(stats.probes_executed * 8, stats.probes_submitted);
 }
 
 /// The `src/lib.rs` quickstart, as a plain test: build → query →
