@@ -5,8 +5,12 @@
 //! annsctl query       --index index.json --k 3 [--flips 8] [--count 16]
 //! annsctl lambda      --index index.json --lambda 8
 //! annsctl stats       --index index.json
-//! annsctl serve       --index index.json [--scheme all] [--requests 256] [--batch 64]
-//! annsctl bench-serve [--index index.json] [--requests 256] [--batches 8,64,256] --out BENCH_serve.json
+//! annsctl save        --out bundle.anns [--scheme all] [--n 1024 --d 256 | --index index.json]
+//! annsctl load        --store bundle.anns [--verify-queries 4]
+//! annsctl inspect     --store bundle.anns
+//! annsctl serve       [--from-store bundle.anns | --index index.json] [--scheme all] [--batch 64]
+//! annsctl bench-serve [--from-store bundle.anns | --index index.json] --out BENCH_serve.json
+//! annsctl bench-gate  --current BENCH_new.json --reference BENCH_serve.json [--tol-coalescing 0.1]
 //! annsctl lpm         --sigma 4 --m 8 --n 64 --k 2 --queries 32
 //! annsctl lb          --log2n 1.3e24 --log2d 1.1e12 --gamma 4 --k 3
 //! ```
@@ -14,11 +18,16 @@
 //! Exists so the index can be exercised without writing Rust: `build`
 //! snapshots an index over a seeded uniform database to JSON, `query` /
 //! `lambda` load it and run the paper's schemes, `stats` prints the space
-//! model, `serve` drives the round-synchronous engine over a snapshot and
-//! emits JSON serving stats, `bench-serve` races coalesced engine serving
-//! against per-query `run_batch` (plus a transcript audit) and writes
-//! `BENCH_serve.json`, `lpm` runs the trie scheme end to end, and `lb`
-//! invokes the round-elimination calculator.
+//! model, `save` / `load` / `inspect` manage versioned **binary store
+//! bundles** (`anns-store`: checksummed sections holding deduplicated
+//! index payloads plus every registered scheme), `serve` drives the
+//! round-synchronous engine — warm-started from a bundle via
+//! `--from-store` — and exits nonzero on budget violations or a failed
+//! round-integrity audit, `bench-serve` races coalesced engine serving
+//! against per-query `run_batch` and writes `BENCH_serve.json`,
+//! `bench-gate` compares such a report against a committed reference with
+//! tolerance bands (the CI perf-regression gate), `lpm` runs the trie
+//! scheme end to end, and `lb` invokes the round-elimination calculator.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -34,6 +43,7 @@ use anns_engine::{Engine, EngineOptions, QueryRequest, Registry, ServeReport, Se
 use anns_hamming::{gen, Point};
 use anns_lpm::{certified_lower_bound, lower_bound_form, ElimParams, LpmInstance, TrieLpm};
 use anns_sketch::SketchParams;
+use anns_store::Codec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -56,7 +66,9 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 
 fn die(msg: &str) -> ! {
     eprintln!("annsctl: {msg}");
-    eprintln!("usage: annsctl <build|query|lambda|stats|serve|bench-serve|lpm|lb> [--flag value]…");
+    eprintln!(
+        "usage: annsctl <build|query|lambda|stats|save|load|inspect|serve|bench-serve|bench-gate|lpm|lb> [--flag value]…"
+    );
     std::process::exit(2);
 }
 
@@ -181,21 +193,20 @@ fn load_or_build_index(
     ))
 }
 
-fn cmd_serve(flags: HashMap<String, String>) {
-    let index = load_or_build_index(&flags, 1024, 256);
-    let scheme: String = flag(&flags, "scheme", "all".to_string());
-    let k: u32 = flag(&flags, "k", 3);
-    let lambda: f64 = flag(&flags, "lambda", 8.0);
-    let requests_n: usize = flag(&flags, "requests", 256);
-    let distinct: usize = flag(&flags, "distinct", requests_n / 4);
-    let flips: u32 = flag(&flags, "flips", 6);
-    let batch: usize = flag(&flags, "batch", 64);
-    let threads: usize = flag(&flags, "threads", 4);
-    let seed: u64 = flag(&flags, "seed", 99);
-
+/// Registers the requested schemes (comma-separated list of
+/// `alg1|alg2|lambda|lsh|linear|all`) over a shared index. Shared by
+/// `serve` (cold start) and `save`, so a saved bundle serves exactly what
+/// a cold-started registry would.
+fn build_registry(flags: &HashMap<String, String>, index: &Arc<AnnIndex>) -> Registry {
+    let scheme: String = flag(flags, "scheme", "all".to_string());
+    let k: u32 = flag(flags, "k", 3);
+    let lambda: f64 = flag(flags, "lambda", 8.0);
+    let lsh_r: f64 = flag(flags, "lsh-r", 6.0);
+    let seed: u64 = flag(flags, "seed", 99);
     // Algorithm 2 needs at least two rounds; an out-of-range --k is
     // clamped with a visible warning rather than silently rewritten.
     let alg2_k = k.max(2);
+    let mut registry = Registry::new();
     let register_alg2 = |registry: &mut Registry| {
         if alg2_k != k {
             eprintln!(
@@ -204,38 +215,102 @@ fn cmd_serve(flags: HashMap<String, String>) {
         }
         registry.register_alg2(
             format!("alg2-k{alg2_k}"),
-            Arc::clone(&index),
+            Arc::clone(index),
             Alg2Config::with_k(alg2_k),
         );
     };
-    let mut registry = Registry::new();
-    match scheme.as_str() {
-        "alg1" => {
-            registry.register_alg1(format!("alg1-k{k}"), Arc::clone(&index), k);
+    for part in scheme.split(',').map(str::trim) {
+        match part {
+            "alg1" => {
+                registry.register_alg1(format!("alg1-k{k}"), Arc::clone(index), k);
+            }
+            "alg2" => register_alg2(&mut registry),
+            "lambda" => {
+                registry.register_lambda(format!("lambda-{lambda}"), Arc::clone(index), lambda);
+            }
+            "lsh" => {
+                let (n, d) = (index.dataset().len(), index.dataset().dim());
+                let gamma = index.family().params().gamma;
+                let params = anns_lsh::LshParams::for_radius(n, d, lsh_r, gamma, 8.0);
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x15A);
+                let lsh = anns_lsh::LshIndex::build(index.dataset().clone(), params, &mut rng);
+                registry.register(
+                    format!("lsh-K{}L{}", params.k_bits, params.l_tables),
+                    Box::new(anns_lsh::ServeLsh {
+                        index: Arc::new(lsh),
+                    }),
+                );
+            }
+            "linear" => {
+                registry.register(
+                    format!("linear-n{}", index.dataset().len()),
+                    Box::new(anns_lsh::ServeLinear {
+                        scan: Arc::new(anns_lsh::LinearScan::new(index.dataset().clone())),
+                    }),
+                );
+            }
+            "all" => {
+                registry.register_alg1(format!("alg1-k{k}"), Arc::clone(index), k);
+                register_alg2(&mut registry);
+                registry.register_lambda(format!("lambda-{lambda}"), Arc::clone(index), lambda);
+            }
+            other => die(&format!(
+                "--scheme must be a comma list of alg1|alg2|lambda|lsh|linear|all, got {other}"
+            )),
         }
-        "alg2" => register_alg2(&mut registry),
-        "lambda" => {
-            registry.register_lambda(format!("lambda-{lambda}"), Arc::clone(&index), lambda);
-        }
-        "all" => {
-            registry.register_alg1(format!("alg1-k{k}"), Arc::clone(&index), k);
-            register_alg2(&mut registry);
-            registry.register_lambda(format!("lambda-{lambda}"), Arc::clone(&index), lambda);
-        }
-        other => die(&format!(
-            "--scheme must be alg1|alg2|lambda|all, got {other}"
-        )),
     }
+    registry
+}
+
+/// The serving surface behind `serve`/`bench-serve`: either a cold-built
+/// registry over a fresh/JSON-snapshot index, or a warm start from an
+/// `anns-store` bundle (`--from-store`).
+fn registry_and_index(flags: &HashMap<String, String>) -> (Registry, Arc<AnnIndex>) {
+    if let Some(path) = flags.get("from-store") {
+        let bundle = Registry::load_bundle(path)
+            .unwrap_or_else(|e| die(&format!("cannot load store {path}: {e}")));
+        let index = bundle
+            .indexes
+            .first()
+            .cloned()
+            .unwrap_or_else(|| die(&format!("{path} holds no AnnIndex-backed shard")));
+        eprintln!(
+            "warm start: {} shard(s), {} pooled index(es) from {path}",
+            bundle.registry.len(),
+            bundle.indexes.len()
+        );
+        (bundle.registry, index)
+    } else {
+        let index = load_or_build_index(flags, 1024, 256);
+        (build_registry(flags, &index), index)
+    }
+}
+
+fn cmd_serve(flags: HashMap<String, String>) {
+    let (registry, index) = registry_and_index(&flags);
+    let requests_n: usize = flag(&flags, "requests", 256);
+    let distinct: usize = flag(&flags, "distinct", requests_n / 4);
+    let flips: u32 = flag(&flags, "flips", 6);
+    let batch: usize = flag(&flags, "batch", 64);
+    let threads: usize = flag(&flags, "threads", 4);
+    let seed: u64 = flag(&flags, "seed", 99);
+    let audit_n: usize = flag(&flags, "audit", requests_n.min(32));
+
+    // Transcripts stay on so the round-integrity audit below can compare
+    // the engine's execution against solo replay, query for query.
     let engine = Engine::new(
         registry,
         EngineOptions {
             generation: batch.max(1),
-            exec: ExecOptions::default(),
+            exec: ExecOptions::with_transcript(),
             batch_threads: threads,
         },
     );
     let queries = hot_set_workload(&index, requests_n, distinct, flips, seed);
     let shards = engine.registry().len();
+    if shards == 0 {
+        die("nothing to serve: registry is empty");
+    }
     let reqs: Vec<QueryRequest> = queries
         .into_iter()
         .enumerate()
@@ -263,11 +338,43 @@ fn cmd_serve(flags: HashMap<String, String>) {
         std::fs::write(out, &json).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
         eprintln!("report → {out}");
     }
+
+    // Round-integrity audit: replay a sample solo and demand identical
+    // rounds and transcripts. Together with the budget verdicts this
+    // decides the exit code — CI must fail on bad serving behavior, not
+    // archive a green-looking artifact of it.
+    let mut audit_ok = true;
+    for (req, s) in reqs.iter().zip(served.iter()).take(audit_n) {
+        let (_, solo_ledger, solo_transcript) = execute_with(
+            &SoloServable(engine.registry().scheme(req.shard)),
+            &req.query,
+            ExecOptions::with_transcript(),
+        );
+        audit_ok &= s.ledger.rounds() == solo_ledger.rounds() && s.transcript == solo_transcript;
+    }
+    let mut failed = false;
+    if !audit_ok {
+        eprintln!("serve: round-integrity audit FAILED over {audit_n} queries");
+        failed = true;
+    } else {
+        eprintln!("serve: round-integrity audit passed over {audit_n} queries");
+    }
+    if report.budget_violations > 0 {
+        eprintln!(
+            "serve: {} queries exceeded their declared budgets",
+            report.budget_violations
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }
 
 /// `bench-serve` output: config, the per-query `run_batch` baseline, one
 /// engine run per generation width, and the round-integrity audit.
-#[derive(serde::Serialize)]
+/// Deserializable so `bench-gate` can reload committed artifacts.
+#[derive(serde::Serialize, serde::Deserialize)]
 struct BenchServeReport {
     config: BenchServeConfig,
     baseline: ServeReport,
@@ -275,7 +382,7 @@ struct BenchServeReport {
     audit: AuditReport,
 }
 
-#[derive(serde::Serialize)]
+#[derive(serde::Serialize, serde::Deserialize)]
 struct BenchServeConfig {
     n: usize,
     d: u32,
@@ -288,14 +395,14 @@ struct BenchServeConfig {
     quick: bool,
 }
 
-#[derive(serde::Serialize)]
+#[derive(serde::Serialize, serde::Deserialize)]
 struct EngineRun {
     batch: usize,
     speedup_vs_baseline: f64,
     report: ServeReport,
 }
 
-#[derive(serde::Serialize)]
+#[derive(serde::Serialize, serde::Deserialize)]
 struct AuditReport {
     queries: usize,
     /// Engine round count per query equals the solo round count.
@@ -312,11 +419,29 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
     // traffic shape cross-query coalescing exists for. On this kind of
     // workload the coalesced engine overtakes per-query `run_batch` once
     // the generation window spans the hot set (batch ≥ 64 at defaults).
-    let index = load_or_build_index(
-        &flags,
-        if quick { 256 } else { 8192 },
-        if quick { 256 } else { 512 },
-    );
+    let index = if let Some(path) = flags.get("from-store") {
+        // Warm start: the whole point of the store — bench (and CI) reuse
+        // one build instead of paying preprocessing per run.
+        let bundle = Registry::load_bundle(path)
+            .unwrap_or_else(|e| die(&format!("cannot load store {path}: {e}")));
+        let index = bundle
+            .indexes
+            .first()
+            .cloned()
+            .unwrap_or_else(|| die(&format!("{path} holds no AnnIndex-backed shard")));
+        eprintln!(
+            "warm start: index n = {}, d = {} from {path}",
+            index.dataset().len(),
+            index.dataset().dim()
+        );
+        index
+    } else {
+        load_or_build_index(
+            &flags,
+            if quick { 256 } else { 8192 },
+            if quick { 256 } else { 512 },
+        )
+    };
     let k: u32 = flag(&flags, "k", 3);
     let requests_n: usize = flag(&flags, "requests", if quick { 64 } else { 256 });
     let distinct: usize = flag(&flags, "distinct", (requests_n / 16).max(4));
@@ -531,6 +656,250 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
     }
 }
 
+fn cmd_save(flags: HashMap<String, String>) {
+    let out = required(&flags, "out");
+    let index = load_or_build_index(&flags, 1024, 256);
+    let registry = build_registry(&flags, &index);
+    if registry.is_empty() {
+        die("nothing to save: no schemes registered");
+    }
+    registry
+        .save_bundle(&out)
+        .unwrap_or_else(|e| die(&format!("cannot save {out}: {e}")));
+    let size = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "saved: n = {}, d = {}, {} shard(s) → {out} ({size} bytes)",
+        index.dataset().len(),
+        index.dataset().dim(),
+        registry.len()
+    );
+    for (name, label) in registry.listing() {
+        println!("  shard {name}: {label}");
+    }
+}
+
+fn cmd_load(flags: HashMap<String, String>) {
+    let path = required(&flags, "store");
+    let verify: usize = flag(&flags, "verify-queries", 4);
+    let seed: u64 = flag(&flags, "seed", 99);
+    let started = Instant::now();
+    let bundle = Registry::load_bundle(&path)
+        .unwrap_or_else(|e| die(&format!("cannot load store {path}: {e}")));
+    let load_ms = started.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "loaded {path} in {load_ms:.1} ms: {} shard(s), {} pooled index(es) [{}]",
+        bundle.registry.len(),
+        bundle.indexes.len(),
+        bundle.meta.tool
+    );
+    for (id, index) in bundle.indexes.iter().enumerate() {
+        println!(
+            "  index {id}: n = {}, d = {}, γ = {}, {} scales",
+            index.dataset().len(),
+            index.dataset().dim(),
+            index.family().params().gamma,
+            index.family().top() + 1
+        );
+    }
+    for (name, label) in bundle.registry.listing() {
+        println!("  shard {name}: {label}");
+    }
+    // Smoke-run a few queries per shard through the solo executor so a
+    // load that *parses* but cannot serve is caught here, not in prod.
+    if verify > 0 {
+        let Some(index) = bundle.indexes.first() else {
+            println!("no pooled index: skipping query verification");
+            return;
+        };
+        let queries = hot_set_workload(index, verify, verify, 6, seed);
+        for shard in 0..bundle.registry.len() {
+            let scheme = bundle.registry.scheme(ShardId(shard));
+            let mut within = true;
+            for q in &queries {
+                let (_, ledger) = execute(&SoloServable(scheme), q);
+                within &= scheme.within_budget(&ledger);
+            }
+            println!(
+                "  verify {}: {verify} queries, within budget = {within}",
+                bundle.registry.name(ShardId(shard))
+            );
+            if !within {
+                die("loaded shard exceeded its declared budgets");
+            }
+        }
+    }
+}
+
+fn cmd_inspect(flags: HashMap<String, String>) {
+    let path = required(&flags, "store");
+    let mut reader = anns_store::open_file(&path)
+        .unwrap_or_else(|e| die(&format!("cannot open store {path}: {e}")));
+    let header = *reader.header();
+    let kind_name = if header.kind == anns_store::KIND_BUNDLE {
+        "bundle".to_string()
+    } else {
+        format!(
+            "single-scheme ({})",
+            anns_store::scheme_kind::name(header.kind)
+        )
+    };
+    println!("store      : {path}");
+    println!("format     : v{} {kind_name}", header.version);
+    println!("sections   : {}", header.sections);
+    // Stream the sections: checksums verify as a side effect of reading,
+    // and META yields the shard directory without instantiating indexes.
+    loop {
+        match reader.next_section() {
+            Ok(None) => break,
+            Ok(Some(section)) => {
+                println!(
+                    "  {} {:>10} bytes  crc32 {:#010x}  ok",
+                    String::from_utf8_lossy(&section.tag),
+                    section.payload.len(),
+                    section.crc
+                );
+                if section.tag == anns_store::section_tag::META {
+                    let meta = anns_engine::BundleMeta::from_bytes(&section.payload)
+                        .unwrap_or_else(|e| die(&format!("bad META section: {e}")));
+                    println!("    tool   : {}", meta.tool);
+                    println!("    indexes: {}", meta.indexes);
+                    for shard in &meta.shards {
+                        println!(
+                            "    shard  : {} [{}] {}",
+                            shard.name,
+                            anns_store::scheme_kind::name(shard.kind),
+                            shard.label
+                        );
+                    }
+                }
+            }
+            Err(e) => die(&format!("store damaged: {e}")),
+        }
+    }
+}
+
+/// One gated metric comparison in the `bench-gate` diff summary.
+struct GateRow {
+    batch: usize,
+    metric: &'static str,
+    reference: f64,
+    current: f64,
+    bound: f64,
+    ok: bool,
+}
+
+fn cmd_bench_gate(flags: HashMap<String, String>) {
+    let current_path = required(&flags, "current");
+    let reference_path = required(&flags, "reference");
+    // Coalescing is deterministic in the workload, so its band is tight;
+    // speedup is wall-clock on shared CI runners, so its band only
+    // catches collapses (regression to well under the reference ratio).
+    let tol_coalescing: f64 = flag(&flags, "tol-coalescing", 0.10);
+    let tol_speedup: f64 = flag(&flags, "tol-speedup", 0.90);
+    let read = |path: &str| -> BenchServeReport {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        serde_json::from_str(&json).unwrap_or_else(|e| die(&format!("bad report {path}: {e}")))
+    };
+    let current = read(&current_path);
+    let reference = read(&reference_path);
+
+    // Reports are only comparable when they measured the same workload —
+    // including `threads`, which the baseline wall clock (and therefore
+    // every speedup figure) depends on.
+    let (c, r) = (&current.config, &reference.config);
+    if (
+        c.n, c.d, c.k, c.requests, c.distinct, c.flips, c.threads, c.seed, c.quick,
+    ) != (
+        r.n, r.d, r.k, r.requests, r.distinct, r.flips, r.threads, r.seed, r.quick,
+    ) {
+        eprintln!(
+            "bench-gate: configs differ (current n={} d={} requests={} quick={}, reference n={} d={} requests={} quick={})",
+            c.n, c.d, c.requests, c.quick, r.n, r.d, r.requests, r.quick
+        );
+        die("refusing to compare reports from different workloads");
+    }
+
+    let mut rows: Vec<GateRow> = Vec::new();
+    let mut failed = false;
+    if !(current.audit.rounds_identical && current.audit.transcripts_identical) {
+        println!("FAIL: round-integrity audit failed in {current_path}");
+        failed = true;
+    }
+    let violations: u64 = current.baseline.budget_violations
+        + current
+            .engine
+            .iter()
+            .map(|e| e.report.budget_violations)
+            .sum::<u64>();
+    if violations > 0 {
+        println!("FAIL: {violations} budget violations in {current_path}");
+        failed = true;
+    }
+    for reference_run in &reference.engine {
+        let Some(current_run) = current
+            .engine
+            .iter()
+            .find(|e| e.batch == reference_run.batch)
+        else {
+            println!(
+                "FAIL: reference batch {} missing from {current_path}",
+                reference_run.batch
+            );
+            failed = true;
+            continue;
+        };
+        // Coalescing ratio: executed/submitted, lower is better.
+        let bound = reference_run.report.coalescing_ratio * (1.0 + tol_coalescing) + 1e-9;
+        rows.push(GateRow {
+            batch: reference_run.batch,
+            metric: "coalescing_ratio",
+            reference: reference_run.report.coalescing_ratio,
+            current: current_run.report.coalescing_ratio,
+            bound,
+            ok: current_run.report.coalescing_ratio <= bound,
+        });
+        // Speedup vs baseline: higher is better.
+        let bound = reference_run.speedup_vs_baseline * (1.0 - tol_speedup);
+        rows.push(GateRow {
+            batch: reference_run.batch,
+            metric: "speedup_vs_baseline",
+            reference: reference_run.speedup_vs_baseline,
+            current: current_run.speedup_vs_baseline,
+            bound,
+            ok: current_run.speedup_vs_baseline >= bound,
+        });
+    }
+
+    // The diff summary, markdown so CI step output renders it.
+    println!("| batch | metric | reference | current | allowed | verdict |");
+    println!("|-------|--------|-----------|---------|---------|---------|");
+    for row in &rows {
+        failed |= !row.ok;
+        println!(
+            "| {} | {} | {:.4} | {:.4} | {} {:.4} | {} |",
+            row.batch,
+            row.metric,
+            row.reference,
+            row.current,
+            if row.metric == "coalescing_ratio" {
+                "≤"
+            } else {
+                "≥"
+            },
+            row.bound,
+            if row.ok { "ok" } else { "REGRESSION" }
+        );
+    }
+    if failed {
+        println!(
+            "bench-gate: REGRESSION against {reference_path} (tolerances: coalescing {tol_coalescing}, speedup {tol_speedup})"
+        );
+        std::process::exit(1);
+    }
+    println!("bench-gate: pass ({} comparisons)", rows.len());
+}
+
 fn cmd_lpm(flags: HashMap<String, String>) {
     let sigma: u16 = flag(&flags, "sigma", 4);
     let m: usize = flag(&flags, "m", 8);
@@ -588,8 +957,12 @@ fn main() {
         "query" => cmd_query(flags),
         "lambda" => cmd_lambda(flags),
         "stats" => cmd_stats(flags),
+        "save" => cmd_save(flags),
+        "load" => cmd_load(flags),
+        "inspect" => cmd_inspect(flags),
         "serve" => cmd_serve(flags),
         "bench-serve" => cmd_bench_serve(flags),
+        "bench-gate" => cmd_bench_gate(flags),
         "lpm" => cmd_lpm(flags),
         "lb" => cmd_lb(flags),
         other => die(&format!("unknown subcommand {other}")),

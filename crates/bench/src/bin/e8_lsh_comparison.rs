@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 
-use anns_bench::{experiment_header, trials, MarkdownTable};
+use anns_bench::{experiment_header, quick_mode, trials, MarkdownTable};
 use anns_cellprobe::{execute, Table};
 use anns_core::{Alg1Scheme, AnnIndex, AnnsInstance, BuildOptions};
 use anns_hamming::gen;
@@ -28,7 +28,15 @@ fn main() {
         "LSH O~(n^ρ) vs Algorithm 1 O(log d) (both 1-round), the adaptive baseline and linear scan",
     );
     let reps = trials(16);
-    for n in [1024usize, 4096, 16384] {
+    // Quick mode (CI smoke): the largest instances dominate wall time —
+    // LSH's table count L grows as n^ρ — so shrink the n grid, not just
+    // the repetition count.
+    let n_grid: &[usize] = if quick_mode() {
+        &[256, 1024]
+    } else {
+        &[1024, 4096, 16384]
+    };
+    for &n in n_grid {
         println!("## n = {n}, d = {D}, planted distance {R}, γ = {GAMMA}\n");
         let mut rng = StdRng::seed_from_u64(n as u64);
         let planted = gen::planted(n, D, R, &mut rng);

@@ -1,0 +1,202 @@
+//! End-to-end exercise of the `annsctl` persistence surface: `save` →
+//! `inspect` → `load` → `serve --from-store` → `bench-serve --from-store`
+//! → `bench-gate`, driving the real binary the way CI does. This is the
+//! acceptance check that a stored instance warm-starts the serving stack
+//! and that the perf gate passes against an artifact produced by the
+//! same build.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn annsctl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_annsctl"))
+}
+
+fn tmp_dir(label: &str) -> PathBuf {
+    // Per-test directories: tests run in parallel and clean up after
+    // themselves, so they must not share a tree.
+    let dir = std::env::temp_dir().join(format!("annsctl-store-{label}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("spawn annsctl");
+    assert!(
+        out.status.success(),
+        "{cmd:?} failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+#[test]
+fn save_load_serve_gate_pipeline() {
+    let dir = tmp_dir("pipeline");
+    let store = dir.join("ci.anns");
+    let store_s = store.to_str().unwrap();
+
+    // save: tiny instance, every scheme family.
+    let out = run_ok(annsctl().args([
+        "save",
+        "--n",
+        "128",
+        "--d",
+        "128",
+        "--seed",
+        "5",
+        "--scheme",
+        "all,linear",
+        "--out",
+        store_s,
+    ]));
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("4 shard(s)"), "{stdout}");
+
+    // inspect: header + checksummed sections + shard directory.
+    let out = run_ok(annsctl().args(["inspect", "--store", store_s]));
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    for needle in [
+        "format     : v1 bundle",
+        "META",
+        "IDXP",
+        "SHRD",
+        "alg1-k3",
+        "linear-n128",
+    ] {
+        assert!(
+            stdout.contains(needle),
+            "inspect output missing {needle:?}:\n{stdout}"
+        );
+    }
+
+    // load: summary + per-shard budget verification.
+    let out = run_ok(annsctl().args(["load", "--store", store_s, "--verify-queries", "3"]));
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("within budget = true"), "{stdout}");
+
+    // serve --from-store: exits 0 with the audit passing.
+    let out = run_ok(annsctl().args([
+        "serve",
+        "--from-store",
+        store_s,
+        "--requests",
+        "32",
+        "--batch",
+        "8",
+        "--threads",
+        "2",
+    ]));
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("round-integrity audit passed"), "{stderr}");
+    assert!(stderr.contains("warm start"), "{stderr}");
+
+    // bench-serve --from-store twice (quick mode), then gate one run
+    // against the other: identical workloads must pass the gate.
+    let bench_a = dir.join("bench_a.json");
+    let bench_b = dir.join("bench_b.json");
+    for out_path in [&bench_a, &bench_b] {
+        run_ok(
+            annsctl()
+                .args([
+                    "bench-serve",
+                    "--from-store",
+                    store_s,
+                    "--threads",
+                    "2",
+                    "--out",
+                    out_path.to_str().unwrap(),
+                ])
+                .env("ANNS_QUICK", "1"),
+        );
+    }
+    let out = run_ok(annsctl().args([
+        "bench-gate",
+        "--current",
+        bench_b.to_str().unwrap(),
+        "--reference",
+        bench_a.to_str().unwrap(),
+    ]));
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("bench-gate: pass"), "{stdout}");
+
+    // Gate regression path: demand an impossible coalescing improvement
+    // by doctoring the reference ratios far below anything achievable.
+    let doctored = dir.join("doctored.json");
+    let json = std::fs::read_to_string(&bench_a).unwrap();
+    let tightened = json.replace("\"coalescing_ratio\":1.0", "\"coalescing_ratio\":1e-6");
+    assert_ne!(
+        json, tightened,
+        "expected a 1.0 coalescing ratio to tighten"
+    );
+    std::fs::write(&doctored, tightened).unwrap();
+    let out = annsctl()
+        .args([
+            "bench-gate",
+            "--current",
+            bench_b.to_str().unwrap(),
+            "--reference",
+            doctored.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "doctored gate must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_store_fails_with_typed_error_and_nonzero_exit() {
+    let dir = tmp_dir("corrupt");
+    let store = dir.join("corrupt.anns");
+    let store_s = store.to_str().unwrap();
+    run_ok(annsctl().args([
+        "save", "--n", "64", "--d", "64", "--seed", "2", "--scheme", "alg1", "--out", store_s,
+    ]));
+    let mut bytes = std::fs::read(&store).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x08;
+    std::fs::write(&store, &bytes).unwrap();
+    for subcmd in ["load", "inspect"] {
+        let out = annsctl()
+            .args([subcmd, "--store", store_s])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{subcmd} must fail on corruption");
+        let err = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(
+            err.contains("checksum mismatch") || err.contains("truncated"),
+            "{subcmd} stderr lacks a typed message: {err}"
+        );
+    }
+    let out = annsctl()
+        .args(["serve", "--from-store", store_s, "--requests", "8"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "serve must refuse a damaged store");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn version_skew_is_reported_as_such() {
+    let dir = tmp_dir("skew");
+    let store = dir.join("skew.anns");
+    let store_s = store.to_str().unwrap();
+    run_ok(annsctl().args([
+        "save", "--n", "64", "--d", "64", "--seed", "2", "--scheme", "lambda", "--out", store_s,
+    ]));
+    let mut bytes = std::fs::read(&store).unwrap();
+    bytes[4] = 9; // format version low byte
+    std::fs::write(&store, &bytes).unwrap();
+    let out = annsctl()
+        .args(["load", "--store", store_s])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(err.contains("version 9"), "stderr: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -24,7 +24,7 @@ use crate::instance::{AnnsInstance, AuxGroupSpec};
 use crate::outcome::{decode_aux_cell, decode_t_cell, OutcomeKind, QueryOutcome};
 
 /// Configuration of Algorithm 2.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Alg2Config {
     /// Round budget `k` (the theorem needs `k > 5c²/(c−2)`; smaller `k`
     /// falls back to an Algorithm 1-style grid, documented in `DESIGN.md`).

@@ -345,6 +345,43 @@ impl AnnIndex {
         Self::assemble(snapshot.dataset, snapshot.family, snapshot.db, None)
     }
 
+    /// Reassembles an index from its stored parts — the binary-store
+    /// decode path (`anns_core::store`). Unlike [`AnnIndex::from_snapshot`]
+    /// this carries the erasure model too, so a reloaded fault-injection
+    /// instance probes identically to the freshly built one.
+    pub fn from_parts(
+        dataset: Dataset,
+        family: SketchFamily,
+        db: DbSketches,
+        erasures: Option<ErasureModel>,
+    ) -> Result<Self, String> {
+        if dataset.dim() != family.dim() {
+            return Err(format!(
+                "dataset dimension {} != family dimension {}",
+                dataset.dim(),
+                family.dim()
+            ));
+        }
+        if db.len() != dataset.len() {
+            return Err(format!(
+                "db sketches cover {} points, dataset has {}",
+                db.len(),
+                dataset.len()
+            ));
+        }
+        Ok(Self::assemble(dataset, family, db, erasures))
+    }
+
+    /// The database-side sketches (the store encode path).
+    pub fn db_sketches(&self) -> &DbSketches {
+        &self.inner.db
+    }
+
+    /// The fault-injection model the index was built with, if any.
+    pub fn erasure_model(&self) -> Option<ErasureModel> {
+        self.inner.erasures
+    }
+
     /// The indexed database.
     pub fn dataset(&self) -> &Dataset {
         &self.inner.dataset

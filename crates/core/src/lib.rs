@@ -40,6 +40,7 @@ pub mod instance;
 pub mod lambda;
 pub mod outcome;
 pub mod serve;
+pub mod store;
 pub mod synthetic;
 
 pub use alg1::{alg1, choose_tau_alg1, Alg1Scheme};
@@ -52,4 +53,5 @@ pub use outcome::{OutcomeKind, QueryOutcome};
 pub use serve::{
     Candidate, ServableScheme, ServeAlg1, ServeAlg2, ServeLambda, ServedAnswer, SoloServable,
 };
+pub use store::{SchemeSpec, StoredScheme};
 pub use synthetic::{ErrorModel, SyntheticInstance, SyntheticProfile};

@@ -102,6 +102,14 @@ pub trait ServableScheme: Send + Sync {
 
     /// The query algorithm. All table access must go through `exec`.
     fn serve(&self, query: &Point, exec: &mut RoundExecutor<'_>) -> ServedAnswer;
+
+    /// The scheme's persistent form for the binary store
+    /// ([`crate::store`]), or `None` if it cannot be persisted (ad-hoc
+    /// test schemes). `Registry::save_bundle` fails loudly on `None`
+    /// rather than writing a bundle that silently drops shards.
+    fn stored(&self) -> Option<crate::store::StoredScheme> {
+        None
+    }
 }
 
 /// [`CellProbeScheme`] adapter over a servable instance, so the solo
@@ -169,6 +177,16 @@ impl ServableScheme for ServeAlg1 {
     fn serve(&self, query: &Point, exec: &mut RoundExecutor<'_>) -> ServedAnswer {
         ServedAnswer::Outcome(alg1(&*self.index, query, self.k, self.tau_override, exec))
     }
+
+    fn stored(&self) -> Option<crate::store::StoredScheme> {
+        Some(crate::store::StoredScheme::Core {
+            index: Arc::clone(&self.index),
+            spec: crate::store::SchemeSpec::Alg1 {
+                k: self.k,
+                tau_override: self.tau_override,
+            },
+        })
+    }
 }
 
 /// Algorithm 2 over a built [`AnnIndex`].
@@ -198,6 +216,13 @@ impl ServableScheme for ServeAlg2 {
 
     fn serve(&self, query: &Point, exec: &mut RoundExecutor<'_>) -> ServedAnswer {
         ServedAnswer::Outcome(alg2(&*self.index, query, &self.config, exec))
+    }
+
+    fn stored(&self) -> Option<crate::store::StoredScheme> {
+        Some(crate::store::StoredScheme::Core {
+            index: Arc::clone(&self.index),
+            spec: crate::store::SchemeSpec::Alg2(self.config),
+        })
     }
 }
 
@@ -237,6 +262,15 @@ impl ServableScheme for ServeLambda {
             self.index.family().top(),
         );
         ServedAnswer::Lambda(lambda_ann(&*self.index, query, scale, exec))
+    }
+
+    fn stored(&self) -> Option<crate::store::StoredScheme> {
+        Some(crate::store::StoredScheme::Core {
+            index: Arc::clone(&self.index),
+            spec: crate::store::SchemeSpec::Lambda {
+                lambda: self.lambda,
+            },
+        })
     }
 }
 

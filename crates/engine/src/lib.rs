@@ -55,6 +55,6 @@ pub mod scheduler;
 pub mod stats;
 
 pub use engine::{Engine, EngineOptions, GenerationTrace, QueryRequest, Served};
-pub use registry::{load_index_snapshot, Registry, ShardId};
+pub use registry::{load_index_snapshot, BundleMeta, LoadedBundle, Registry, ShardId, ShardInfo};
 pub use scheduler::{DispatchTrace, Generation};
 pub use stats::{percentile, EngineStats, LatencySummary, ServeReport};

@@ -11,10 +11,12 @@
 //! (the index state is shared); it is the intended way to A/B round
 //! budgets or algorithms on live traffic.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use anns_core::serve::{ServableScheme, ServeAlg1, ServeAlg2, ServeLambda};
-use anns_core::{Alg2Config, AnnIndex};
+use anns_core::{Alg2Config, AnnIndex, SchemeSpec, StoredScheme};
+use anns_store::{ByteReader, ByteWriter, Codec, StoreError, StoreReader, StoreWriter};
 
 /// Identifier of a registered shard; stable for the registry's lifetime.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -140,6 +142,239 @@ pub fn load_index_snapshot(path: &str) -> Result<Arc<AnnIndex>, String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let snapshot = serde_json::from_str(&json).map_err(|e| format!("bad snapshot {path}: {e}"))?;
     Ok(Arc::new(AnnIndex::from_snapshot(snapshot)))
+}
+
+/// One shard's directory entry in a bundle's `META` section.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// Registered shard name.
+    pub name: String,
+    /// Scheme-kind tag (`anns_store::scheme_kind`).
+    pub kind: u8,
+    /// The scheme's display label at save time.
+    pub label: String,
+}
+
+/// Bundle metadata: enough for `annsctl inspect` to describe a store file
+/// without instantiating any index.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BundleMeta {
+    /// The writing tool, e.g. `anns-engine/1`.
+    pub tool: String,
+    /// Number of pooled index payloads in the `IDXP` section.
+    pub indexes: u32,
+    /// Directory of every shard in the `SHRD` section, id order.
+    pub shards: Vec<ShardInfo>,
+}
+
+impl Codec for ShardInfo {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.name.encode(w);
+        w.put_u8(self.kind);
+        self.label.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        Ok(ShardInfo {
+            name: String::decode(r)?,
+            kind: r.u8()?,
+            label: String::decode(r)?,
+        })
+    }
+}
+
+impl Codec for BundleMeta {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.tool.encode(w);
+        w.put_u32(self.indexes);
+        self.shards.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        Ok(BundleMeta {
+            tool: String::decode(r)?,
+            indexes: r.u32()?,
+            shards: Vec::decode(r)?,
+        })
+    }
+}
+
+/// A reloaded bundle: the registry, plus the pooled indexes for callers
+/// (benchmarks, warm-start tooling) that need direct index access.
+pub struct LoadedBundle {
+    /// The registry with every stored shard re-registered, id order
+    /// preserved.
+    pub registry: Registry,
+    /// The deduplicated `AnnIndex` pool, in stored order. Shards that
+    /// shared an index at save time share the same `Arc` again.
+    pub indexes: Vec<Arc<AnnIndex>>,
+    /// The bundle's metadata section.
+    pub meta: BundleMeta,
+}
+
+impl Registry {
+    /// Persists every shard to a binary store bundle.
+    ///
+    /// Indexes shared by several shards (the A/B pattern: one
+    /// `Arc<AnnIndex>` served under Algorithm 1, Algorithm 2 and λ) are
+    /// pooled by pointer identity and written once; shard records
+    /// reference the pool. Fails with [`StoreError::Unsupported`] if any
+    /// scheme has no stored form — a bundle must never silently drop a
+    /// shard.
+    pub fn save_bundle_to(&self, out: &mut impl std::io::Write) -> Result<(), StoreError> {
+        let mut pool: Vec<Arc<AnnIndex>> = Vec::new();
+        let mut pool_ids: HashMap<*const AnnIndex, u32> = HashMap::new();
+        let mut shard_records: Vec<(String, StoredScheme)> = Vec::new();
+        let mut directory = Vec::new();
+        for entry in &self.entries {
+            let stored = entry.scheme.stored().ok_or_else(|| {
+                StoreError::Unsupported(format!(
+                    "shard {:?} ({})",
+                    entry.name,
+                    entry.scheme.label()
+                ))
+            })?;
+            let kind = match &stored {
+                StoredScheme::Core { index, spec } => {
+                    let ptr = Arc::as_ptr(index);
+                    pool_ids.entry(ptr).or_insert_with(|| {
+                        pool.push(Arc::clone(index));
+                        pool.len() as u32 - 1
+                    });
+                    spec.kind()
+                }
+                StoredScheme::Foreign { kind, .. } => *kind,
+            };
+            directory.push(ShardInfo {
+                name: entry.name.clone(),
+                kind,
+                label: entry.scheme.label(),
+            });
+            shard_records.push((entry.name.clone(), stored));
+        }
+
+        let meta = BundleMeta {
+            tool: format!("anns-store/{}", anns_store::FORMAT_VERSION),
+            indexes: pool.len() as u32,
+            shards: directory,
+        };
+        let mut idxp = ByteWriter::new();
+        idxp.put_u32(pool.len() as u32);
+        for index in &pool {
+            idxp.put_bytes(&index.to_bytes());
+        }
+        let mut shrd = ByteWriter::new();
+        shrd.put_u32(shard_records.len() as u32);
+        for (name, stored) in &shard_records {
+            name.encode(&mut shrd);
+            match stored {
+                StoredScheme::Core { index, spec } => {
+                    shrd.put_u8(spec.kind());
+                    shrd.put_u32(pool_ids[&Arc::as_ptr(index)]);
+                    spec.encode_payload(&mut shrd);
+                }
+                StoredScheme::Foreign { kind, payload } => {
+                    shrd.put_u8(*kind);
+                    shrd.put_bytes(payload);
+                }
+            }
+        }
+
+        // Single-scheme files advertise their scheme kind in the header.
+        let container_kind = match &meta.shards[..] {
+            [only] => only.kind,
+            _ => anns_store::KIND_BUNDLE,
+        };
+        let mut writer = StoreWriter::new(container_kind);
+        writer.section(anns_store::section_tag::META, meta.to_bytes());
+        writer.section(anns_store::section_tag::INDEX_POOL, idxp.into_bytes());
+        writer.section(anns_store::section_tag::SHARDS, shrd.into_bytes());
+        writer.write_to(out)
+    }
+
+    /// [`Registry::save_bundle_to`] targeting a file path.
+    pub fn save_bundle(&self, path: impl AsRef<std::path::Path>) -> Result<(), StoreError> {
+        let file = std::fs::File::create(path).map_err(StoreError::Io)?;
+        let mut out = std::io::BufWriter::new(file);
+        self.save_bundle_to(&mut out)?;
+        std::io::Write::flush(&mut out).map_err(StoreError::Io)
+    }
+
+    /// Streams a bundle back into a fresh registry.
+    ///
+    /// Sections are consumed in file order, one at a time — index
+    /// payloads decode straight from the verified section bytes, no
+    /// intermediate JSON or whole-file buffer. Unknown sections are
+    /// skipped (forward compatibility); unknown *scheme kinds* are an
+    /// error, because dropping a shard would change serving behavior.
+    pub fn load_bundle_from(inner: impl std::io::Read) -> Result<LoadedBundle, StoreError> {
+        let mut reader = StoreReader::new(inner)?;
+        let mut meta: Option<BundleMeta> = None;
+        let mut indexes: Vec<Arc<AnnIndex>> = Vec::new();
+        let mut registry = Registry::new();
+        let mut saw_shards = false;
+        while let Some(section) = reader.next_section()? {
+            match section.tag {
+                anns_store::section_tag::META => {
+                    meta = Some(BundleMeta::from_bytes(&section.payload)?);
+                }
+                anns_store::section_tag::INDEX_POOL => {
+                    let mut r = section.reader();
+                    let count = r.u32()?;
+                    for _ in 0..count {
+                        let payload = r.bytes()?;
+                        indexes.push(Arc::new(AnnIndex::from_bytes(payload)?));
+                    }
+                    r.finish()?;
+                }
+                anns_store::section_tag::SHARDS => {
+                    saw_shards = true;
+                    let mut r = section.reader();
+                    let count = r.u32()?;
+                    for _ in 0..count {
+                        let name = String::decode(&mut r)?;
+                        let kind = r.u8()?;
+                        let scheme: Box<dyn ServableScheme> =
+                            if kind < anns_store::scheme_kind::FOREIGN_MIN {
+                                let pool_id = r.u32()? as usize;
+                                let index = indexes.get(pool_id).ok_or_else(|| {
+                                    StoreError::Malformed(format!(
+                                        "shard {name:?} references index {pool_id} of {}",
+                                        indexes.len()
+                                    ))
+                                })?;
+                                let spec = SchemeSpec::decode_kind(kind, &mut r)?;
+                                spec.instantiate(Arc::clone(index))
+                            } else {
+                                anns_lsh::decode_foreign_scheme(kind, r.bytes()?)?
+                            };
+                        if registry.resolve(&name).is_some() {
+                            return Err(StoreError::Malformed(format!(
+                                "duplicate shard name {name:?}"
+                            )));
+                        }
+                        registry.register(name, scheme);
+                    }
+                    r.finish()?;
+                }
+                _ => {} // Unknown section: skip (newer writers may add more).
+            }
+        }
+        if !saw_shards {
+            return Err(StoreError::Malformed("bundle has no SHRD section".into()));
+        }
+        Ok(LoadedBundle {
+            registry,
+            indexes,
+            meta: meta.unwrap_or_default(),
+        })
+    }
+
+    /// [`Registry::load_bundle_from`] over a buffered file.
+    pub fn load_bundle(path: impl AsRef<std::path::Path>) -> Result<LoadedBundle, StoreError> {
+        let file = std::fs::File::open(path).map_err(StoreError::Io)?;
+        Self::load_bundle_from(std::io::BufReader::new(file))
+    }
 }
 
 #[cfg(test)]

@@ -69,7 +69,7 @@ impl EngineStats {
 }
 
 /// Latency summary in microseconds.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
 pub struct LatencySummary {
     /// Median.
     pub p50_us: f64,
@@ -114,8 +114,9 @@ pub fn percentile(sorted: &[u64], p: f64) -> u64 {
 }
 
 /// One serving run, summarized for JSON emission (`annsctl serve` /
-/// `annsctl bench-serve` / CI perf artifacts).
-#[derive(Clone, Debug, serde::Serialize)]
+/// `annsctl bench-serve` / CI perf artifacts). Deserializable so the
+/// `annsctl bench-gate` regression gate can reload committed artifacts.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct ServeReport {
     /// What was served (shard name or comparison label).
     pub label: String,

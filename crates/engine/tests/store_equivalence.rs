@@ -1,0 +1,248 @@
+//! The store's central claim, tested at the bundle level: **a reloaded
+//! registry is observationally identical to the one that was saved** —
+//! answers, probe ledgers and transcripts match byte for byte, for every
+//! scheme kind, under both solo and coalesced execution — and damaged
+//! bundles fail with typed errors instead of serving different content.
+
+use std::sync::{Arc, OnceLock};
+
+use anns_cellprobe::{execute_with, ExecOptions};
+use anns_core::serve::SoloServable;
+use anns_core::{AnnIndex, BuildOptions};
+use anns_engine::{Engine, EngineOptions, QueryRequest, Registry, ShardId};
+use anns_hamming::{gen, Point};
+use anns_lsh::{LinearScan, LshIndex, LshParams, ServeLinear, ServeLsh};
+use anns_sketch::SketchParams;
+use anns_store::StoreError;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 128;
+const D: u32 = 192;
+
+fn shared_index() -> Arc<AnnIndex> {
+    static INDEX: OnceLock<Arc<AnnIndex>> = OnceLock::new();
+    Arc::clone(INDEX.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(777);
+        let ds = gen::clustered(8, 16, D, 0.05, &mut rng);
+        Arc::new(AnnIndex::build(
+            ds,
+            SketchParams::practical(2.0, 777),
+            BuildOptions::default(),
+        ))
+    }))
+}
+
+/// A registry covering every persistable scheme kind, with three shards
+/// sharing one `Arc<AnnIndex>` (the pooling case).
+fn full_registry() -> Registry {
+    let index = shared_index();
+    let mut rng = StdRng::seed_from_u64(778);
+    let mut registry = Registry::new();
+    registry.register_alg1("alg1-k3", Arc::clone(&index), 3);
+    registry.register_alg2(
+        "alg2-k8",
+        Arc::clone(&index),
+        anns_core::Alg2Config::with_k(8),
+    );
+    registry.register_lambda("lambda-8", Arc::clone(&index), 8.0);
+    let params = LshParams::for_radius(N, D, 5.0, 2.0, 8.0);
+    registry.register(
+        "lsh",
+        Box::new(ServeLsh {
+            index: Arc::new(LshIndex::build(index.dataset().clone(), params, &mut rng)),
+        }),
+    );
+    registry.register(
+        "linear",
+        Box::new(ServeLinear {
+            scan: Arc::new(LinearScan::new(index.dataset().clone())),
+        }),
+    );
+    registry
+}
+
+fn saved_bundle_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut bytes = Vec::new();
+        full_registry().save_bundle_to(&mut bytes).unwrap();
+        bytes
+    })
+}
+
+fn workload(seed: u64, count: usize) -> Vec<Point> {
+    let index = shared_index();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            if i % 2 == 0 {
+                let base = rng.gen_range(0..index.dataset().len());
+                gen::point_at_distance(index.dataset().point(base), 5, &mut rng)
+            } else {
+                Point::random(D, &mut rng)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Build → save → load → answers, ledgers and transcripts identical,
+    /// shard by shard, for every scheme kind.
+    #[test]
+    fn reloaded_bundle_is_byte_identical_solo(seed in any::<u64>(), count in 1usize..12) {
+        let original = full_registry();
+        let loaded = Registry::load_bundle_from(saved_bundle_bytes())
+            .expect("bundle reloads");
+        prop_assert_eq!(loaded.registry.len(), original.len());
+        prop_assert_eq!(loaded.registry.listing(), original.listing());
+        for q in workload(seed, count) {
+            for shard in 0..original.len() {
+                let id = ShardId(shard);
+                let (a1, l1, t1) = execute_with(
+                    &SoloServable(original.scheme(id)),
+                    &q,
+                    ExecOptions::with_transcript(),
+                );
+                let (a2, l2, t2) = execute_with(
+                    &SoloServable(loaded.registry.scheme(id)),
+                    &q,
+                    ExecOptions::with_transcript(),
+                );
+                prop_assert_eq!(&a1, &a2, "answer diverged on shard {}", shard);
+                prop_assert_eq!(&l1, &l2, "ledger diverged on shard {}", shard);
+                prop_assert_eq!(&t1, &t2, "transcript diverged on shard {}", shard);
+            }
+        }
+    }
+}
+
+#[test]
+fn reloaded_bundle_serves_identically_through_the_engine() {
+    let loaded = Registry::load_bundle_from(saved_bundle_bytes()).unwrap();
+    let original = full_registry();
+    let queries = workload(42, 24);
+    let reqs: Vec<QueryRequest> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| QueryRequest {
+            shard: ShardId(i % original.len()),
+            query: q.clone(),
+        })
+        .collect();
+    let opts = EngineOptions {
+        generation: 8,
+        exec: ExecOptions::with_transcript(),
+        batch_threads: 2,
+    };
+    let served_orig = Engine::new(original, opts).submit_batch(&reqs);
+    let served_loaded = Engine::new(loaded.registry, opts).submit_batch(&reqs);
+    for (a, b) in served_orig.iter().zip(served_loaded.iter()) {
+        assert_eq!(a.answer, b.answer);
+        assert_eq!(a.ledger, b.ledger);
+        assert_eq!(a.transcript, b.transcript);
+        assert_eq!(a.within_budget, b.within_budget);
+    }
+}
+
+#[test]
+fn index_pool_is_deduplicated_and_shared_on_load() {
+    let loaded = Registry::load_bundle_from(saved_bundle_bytes()).unwrap();
+    // Three core shards shared one index at save time → one pool entry.
+    assert_eq!(loaded.indexes.len(), 1);
+    assert_eq!(loaded.meta.indexes, 1);
+    assert_eq!(loaded.meta.shards.len(), 5);
+    // And the reloaded core shards share one Arc again.
+    let strong = Arc::strong_count(&loaded.indexes[0]);
+    assert!(
+        strong >= 4,
+        "pool + 3 core shards, got strong count {strong}"
+    );
+}
+
+#[test]
+fn bundle_corruption_yields_typed_errors() {
+    let bytes = saved_bundle_bytes().to_vec();
+    // Truncation at several depths.
+    for cut in [2, 9, bytes.len() / 2, bytes.len() - 3] {
+        assert!(
+            matches!(
+                Registry::load_bundle_from(&bytes[..cut]),
+                Err(StoreError::Truncated { .. })
+            ),
+            "cut at {cut}"
+        );
+    }
+    // Flipped magic.
+    let mut corrupt = bytes.clone();
+    corrupt[1] ^= 0xFF;
+    assert!(matches!(
+        Registry::load_bundle_from(&corrupt[..]),
+        Err(StoreError::BadMagic { .. })
+    ));
+    // Version skew.
+    let mut corrupt = bytes.clone();
+    corrupt[4] = 0xEE;
+    assert!(matches!(
+        Registry::load_bundle_from(&corrupt[..]),
+        Err(StoreError::UnsupportedVersion { found: 0xEE, .. })
+    ));
+    // Payload damage deep in the index pool.
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() / 3;
+    corrupt[mid] ^= 0x20;
+    assert!(matches!(
+        Registry::load_bundle_from(&corrupt[..]),
+        Err(StoreError::ChecksumMismatch { .. }) | Err(StoreError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn unsupported_schemes_fail_the_save_loudly() {
+    struct Opaque(Arc<AnnIndex>);
+    impl anns_core::ServableScheme for Opaque {
+        fn label(&self) -> String {
+            "opaque".into()
+        }
+        fn table(&self) -> &dyn anns_cellprobe::Table {
+            anns_core::AnnsInstance::table(&*self.0)
+        }
+        fn word_bits(&self) -> u64 {
+            anns_core::AnnsInstance::word_bits(&*self.0)
+        }
+        fn serve(
+            &self,
+            query: &Point,
+            exec: &mut anns_cellprobe::RoundExecutor<'_>,
+        ) -> anns_core::ServedAnswer {
+            anns_core::ServedAnswer::Outcome(anns_core::alg1(&*self.0, query, 1, None, exec))
+        }
+        // No `stored()` override: the default None marks it unsupported.
+    }
+    let mut registry = Registry::new();
+    registry.register("opaque", Box::new(Opaque(shared_index())));
+    let mut sink = Vec::new();
+    match registry.save_bundle_to(&mut sink) {
+        Err(StoreError::Unsupported(what)) => assert!(what.contains("opaque")),
+        other => panic!("expected Unsupported, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn file_roundtrip_through_disk() {
+    let dir = std::env::temp_dir().join(format!("anns-store-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bundle.anns");
+    full_registry().save_bundle(&path).unwrap();
+    let loaded = Registry::load_bundle(&path).unwrap();
+    assert_eq!(loaded.registry.len(), 5);
+    // Loading a nonexistent path is an Io error, not a panic.
+    assert!(matches!(
+        Registry::load_bundle(dir.join("missing.anns")),
+        Err(StoreError::Io(_))
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}

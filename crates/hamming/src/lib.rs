@@ -25,6 +25,7 @@ pub mod dataset;
 pub mod gen;
 pub mod knn;
 pub mod point;
+pub mod store;
 
 pub use ball::{ball_volume_log2, N1Iter};
 pub use code::GreedyCode;

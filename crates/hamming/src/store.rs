@@ -1,0 +1,151 @@
+//! Binary store codecs for the Hamming substrate ([`Point`], [`Dataset`]).
+//!
+//! Points encode as `dim: u32` followed by their raw little-endian limbs
+//! (the limb count is implied by the dimension). A [`Dataset`] encodes its
+//! shared dimension once, then each point's limbs back to back — the
+//! densest representation the bit-packed invariant allows, decodable in a
+//! single forward pass.
+
+use anns_store::{ByteReader, ByteWriter, Codec, StoreError};
+
+use crate::point::{Point, LIMB_BITS};
+use crate::Dataset;
+
+fn limbs_for(dim: u32) -> usize {
+    dim.div_ceil(LIMB_BITS) as usize
+}
+
+fn encode_limbs(p: &Point, w: &mut ByteWriter) {
+    for limb in p.limbs() {
+        w.put_u64(*limb);
+    }
+}
+
+fn decode_limbs(dim: u32, r: &mut ByteReader<'_>) -> Result<Point, StoreError> {
+    let n_limbs = limbs_for(dim);
+    // Validate the implied byte count before reserving: a hostile dim
+    // must be a typed error, not a half-gigabyte allocation.
+    if n_limbs * 8 > r.remaining() {
+        return Err(StoreError::Malformed(format!(
+            "point of dim {dim} needs {} bytes, {} left",
+            n_limbs * 8,
+            r.remaining()
+        )));
+    }
+    let mut limbs = Vec::with_capacity(n_limbs);
+    for _ in 0..n_limbs {
+        limbs.push(r.u64()?);
+    }
+    Ok(Point::from_limbs(dim, limbs))
+}
+
+fn decode_dim(r: &mut ByteReader<'_>) -> Result<u32, StoreError> {
+    let dim = r.u32()?;
+    if dim == 0 {
+        return Err(StoreError::Malformed("point dimension 0".into()));
+    }
+    Ok(dim)
+}
+
+impl Codec for Point {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.dim());
+        encode_limbs(self, w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let dim = decode_dim(r)?;
+        decode_limbs(dim, r)
+    }
+}
+
+impl Codec for Dataset {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.dim());
+        w.put_u64(self.len() as u64);
+        for p in self.points() {
+            encode_limbs(p, w);
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let dim = decode_dim(r)?;
+        let count = r.count_prefix(limbs_for(dim) * 8)?;
+        if count == 0 {
+            return Err(StoreError::Malformed("empty dataset".into()));
+        }
+        let mut points = Vec::with_capacity(count);
+        for _ in 0..count {
+            points.push(decode_limbs(dim, r)?);
+        }
+        Ok(Dataset::new(points))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn point_roundtrip_across_dims() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for d in [1u32, 63, 64, 65, 300] {
+            let p = Point::random(d, &mut rng);
+            assert_eq!(Point::from_bytes(&p.to_bytes()).unwrap(), p, "d={d}");
+        }
+    }
+
+    #[test]
+    fn dataset_roundtrip_is_exact() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = gen::uniform(40, 130, &mut rng);
+        let back = Dataset::from_bytes(&ds.to_bytes()).unwrap();
+        assert_eq!(back.dim(), ds.dim());
+        assert_eq!(back.len(), ds.len());
+        for (a, b) in back.points().iter().zip(ds.points()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn zero_dim_and_empty_dataset_are_malformed() {
+        let mut w = ByteWriter::new();
+        w.put_u32(0);
+        assert!(matches!(
+            Point::from_bytes(&w.into_bytes()),
+            Err(StoreError::Malformed(_))
+        ));
+        let mut w = ByteWriter::new();
+        w.put_u32(8);
+        w.put_u64(0);
+        assert!(matches!(
+            Dataset::from_bytes(&w.into_bytes()),
+            Err(StoreError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_count_is_rejected_without_allocating() {
+        let mut w = ByteWriter::new();
+        w.put_u32(64);
+        w.put_u64(u64::MAX / 2);
+        assert!(matches!(
+            Dataset::from_bytes(&w.into_bytes()),
+            Err(StoreError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_point_dim_is_rejected_without_allocating() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX); // implies ~512 MiB of limbs
+        w.put_u64(0);
+        assert!(matches!(
+            Point::from_bytes(&w.into_bytes()),
+            Err(StoreError::Malformed(_))
+        ));
+    }
+}

@@ -158,9 +158,69 @@ impl LshIndex {
         }
     }
 
+    /// Reassembles an index from its stored parts (`crate::store`).
+    /// Bucket lists keep their stored order — candidate order decides
+    /// ties, so reordering would change answers. Returns a description of
+    /// the violated invariant on inconsistency.
+    pub fn from_parts(
+        dataset: Dataset,
+        params: LshParams,
+        masks: Vec<Vec<u32>>,
+        bucket_list: Vec<((u32, u64), Vec<usize>)>,
+        overflowed: usize,
+    ) -> Result<Self, String> {
+        if masks.len() != params.l_tables as usize {
+            return Err(format!(
+                "{} masks for L = {} tables",
+                masks.len(),
+                params.l_tables
+            ));
+        }
+        if masks
+            .iter()
+            .any(|m| m.len() != params.k_bits as usize || m.iter().any(|&c| c >= dataset.dim()))
+        {
+            return Err("mask does not sample K in-range coordinates".into());
+        }
+        let mut buckets = HashMap::with_capacity(bucket_list.len());
+        for ((table, key), members) in bucket_list {
+            if table as usize >= masks.len() {
+                return Err(format!("bucket table {table} out of range"));
+            }
+            if members.len() > params.bucket_cap || members.iter().any(|&z| z >= dataset.len()) {
+                return Err("bucket exceeds cap or references a missing point".into());
+            }
+            if buckets.insert((table, key), members).is_some() {
+                return Err(format!("duplicate bucket ({table}, {key:#x})"));
+            }
+        }
+        Ok(LshIndex {
+            params,
+            dataset,
+            masks,
+            buckets,
+            overflowed,
+        })
+    }
+
     /// The build parameters.
     pub fn params(&self) -> &LshParams {
         &self.params
+    }
+
+    /// The sampled coordinate masks, table order (the store encode path).
+    pub fn masks(&self) -> &[Vec<u32>] {
+        &self.masks
+    }
+
+    /// Every populated bucket as `(&(table, key), &members)`, sorted by
+    /// key for a deterministic encoding (member order within a bucket is
+    /// the build's insertion order, preserved exactly). Borrowed — the
+    /// store encoder walks this without cloning the bucket lists.
+    pub fn buckets_by_key(&self) -> Vec<(&(u32, u64), &Vec<usize>)> {
+        let mut out: Vec<_> = self.buckets.iter().collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
     }
 
     /// The indexed database.

@@ -23,8 +23,10 @@ pub mod bitsampling;
 pub mod linear;
 pub mod multiradius;
 pub mod serve;
+pub mod store;
 
 pub use bitsampling::{LshIndex, LshParams};
 pub use linear::LinearScan;
 pub use multiradius::{MultiRadiusLsh, MultiRadiusParams};
 pub use serve::{ServeLinear, ServeLsh};
+pub use store::decode_foreign_scheme;

@@ -59,6 +59,10 @@ impl ServableScheme for ServeLsh {
                 }),
         )
     }
+
+    fn stored(&self) -> Option<anns_core::StoredScheme> {
+        Some(self.stored_scheme())
+    }
 }
 
 /// The exact linear scan behind the serving surface. Non-adaptive: one
@@ -95,6 +99,10 @@ impl ServableScheme for ServeLinear {
             index: best.index as u64,
             distance: best.distance,
         }))
+    }
+
+    fn stored(&self) -> Option<anns_core::StoredScheme> {
+        Some(self.stored_scheme())
     }
 }
 

@@ -1,0 +1,211 @@
+//! Binary store codecs for the baseline schemes (LSH, linear scan).
+//!
+//! These schemes are *foreign* to the core store vocabulary: their
+//! payloads encode here, travel as opaque byte strings tagged
+//! [`scheme_kind::LSH`] / [`scheme_kind::LINEAR`] inside shard records,
+//! and decode back here via [`decode_foreign_scheme`] — the bundle
+//! assembler (`anns_engine::registry`) never needs to know their layout.
+//! LSH buckets are stored sorted by `(table, key)` so the same build
+//! always writes the same bytes, while each bucket's member order is
+//! preserved exactly (it decides ties, so it is part of correctness).
+
+use std::sync::Arc;
+
+use anns_store::{encode_slice, scheme_kind, ByteReader, ByteWriter, Codec, StoreError};
+
+use crate::bitsampling::{LshIndex, LshParams};
+use crate::linear::LinearScan;
+use crate::serve::{ServeLinear, ServeLsh};
+
+impl Codec for LshParams {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.k_bits);
+        w.put_u32(self.l_tables);
+        self.bucket_cap.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        Ok(LshParams {
+            k_bits: r.u32()?,
+            l_tables: r.u32()?,
+            bucket_cap: usize::decode(r)?,
+        })
+    }
+}
+
+impl Codec for LshIndex {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.dataset().encode(w);
+        self.params().encode(w);
+        encode_slice(self.masks(), w);
+        // Sorted by (table, key) for a deterministic byte stream; member
+        // lists are borrowed, not cloned.
+        let buckets = self.buckets_by_key();
+        w.put_u64(buckets.len() as u64);
+        for (&(table, key), members) in &buckets {
+            w.put_u32(table);
+            w.put_u64(key);
+            members.encode(w);
+        }
+        self.overflowed().encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let dataset = anns_hamming::Dataset::decode(r)?;
+        let params = LshParams::decode(r)?;
+        let masks = Vec::decode(r)?;
+        let n_buckets = r.count_prefix(12)?;
+        let mut bucket_list = Vec::with_capacity(n_buckets);
+        for _ in 0..n_buckets {
+            let table = r.u32()?;
+            let key = r.u64()?;
+            bucket_list.push(((table, key), Vec::decode(r)?));
+        }
+        let overflowed = usize::decode(r)?;
+        LshIndex::from_parts(dataset, params, masks, bucket_list, overflowed)
+            .map_err(StoreError::Malformed)
+    }
+}
+
+impl Codec for LinearScan {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.dataset().encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        Ok(LinearScan::new(anns_hamming::Dataset::decode(r)?))
+    }
+}
+
+impl crate::serve::ServeLsh {
+    /// Builds the serving adapter's stored form (an opaque foreign
+    /// payload under [`scheme_kind::LSH`]).
+    pub(crate) fn stored_scheme(&self) -> anns_core::StoredScheme {
+        anns_core::StoredScheme::Foreign {
+            kind: scheme_kind::LSH,
+            payload: self.index.to_bytes(),
+        }
+    }
+}
+
+impl crate::serve::ServeLinear {
+    pub(crate) fn stored_scheme(&self) -> anns_core::StoredScheme {
+        anns_core::StoredScheme::Foreign {
+            kind: scheme_kind::LINEAR,
+            payload: self.scan.to_bytes(),
+        }
+    }
+}
+
+/// Decodes a foreign shard payload written by this crate back into its
+/// servable scheme. The bundle loader dispatches here for kinds ≥ 16.
+pub fn decode_foreign_scheme(
+    kind: u8,
+    payload: &[u8],
+) -> Result<Box<dyn anns_core::ServableScheme>, StoreError> {
+    match kind {
+        scheme_kind::LSH => Ok(Box::new(ServeLsh {
+            index: Arc::new(LshIndex::from_bytes(payload)?),
+        })),
+        scheme_kind::LINEAR => Ok(Box::new(ServeLinear {
+            scan: Arc::new(LinearScan::from_bytes(payload)?),
+        })),
+        other => Err(StoreError::UnknownSchemeKind(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anns_cellprobe::execute;
+    use anns_core::serve::SoloServable;
+    use anns_core::ServableScheme;
+    use anns_hamming::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lsh_roundtrip_is_probe_identical() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let inst = gen::planted(128, 128, 5, &mut rng);
+        let params = LshParams::for_radius(128, 128, 5.0, 2.0, 8.0);
+        let index = LshIndex::build(inst.dataset, params, &mut rng);
+        let back = LshIndex::from_bytes(&index.to_bytes()).unwrap();
+        assert_eq!(back.overflowed(), index.overflowed());
+        assert_eq!(back.populated_buckets(), index.populated_buckets());
+        for query in [&inst.query, index.dataset().point(3)] {
+            let (a1, l1) = index.query(query);
+            let (a2, l2) = back.query(query);
+            assert_eq!(a1, a2);
+            assert_eq!(l1, l2);
+        }
+    }
+
+    #[test]
+    fn linear_roundtrip_is_exact() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let ds = gen::uniform(60, 96, &mut rng);
+        let scan = LinearScan::new(ds);
+        let back = LinearScan::from_bytes(&scan.to_bytes()).unwrap();
+        let q = anns_hamming::Point::random(96, &mut rng);
+        let (a1, l1) = scan.query(&q);
+        let (a2, l2) = back.query(&q);
+        assert_eq!(a1, a2);
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn foreign_payloads_roundtrip_through_stored() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let inst = gen::planted(96, 96, 4, &mut rng);
+        let params = LshParams::for_radius(96, 96, 4.0, 2.0, 8.0);
+        let lsh = ServeLsh {
+            index: Arc::new(LshIndex::build(inst.dataset.clone(), params, &mut rng)),
+        };
+        let linear = ServeLinear {
+            scan: Arc::new(LinearScan::new(inst.dataset)),
+        };
+        for scheme in [&lsh as &dyn ServableScheme, &linear] {
+            let stored = scheme.stored().expect("baselines persist");
+            let anns_core::StoredScheme::Foreign { kind, payload } = stored else {
+                panic!("baselines store as foreign payloads");
+            };
+            let revived = decode_foreign_scheme(kind, &payload).unwrap();
+            assert_eq!(revived.label(), scheme.label());
+            let (a1, l1) = execute(&SoloServable(scheme), &inst.query);
+            let (a2, l2) = execute(&SoloServable(&*revived), &inst.query);
+            assert_eq!(a1, a2);
+            assert_eq!(l1, l2);
+        }
+    }
+
+    #[test]
+    fn unknown_foreign_kind_is_typed() {
+        assert!(matches!(
+            decode_foreign_scheme(250, &[]),
+            Err(StoreError::UnknownSchemeKind(250))
+        ));
+    }
+
+    #[test]
+    fn corrupt_bucket_structure_is_malformed() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let ds = gen::uniform(16, 64, &mut rng);
+        let params = LshParams {
+            k_bits: 4,
+            l_tables: 2,
+            bucket_cap: 4,
+        };
+        // Member index out of range.
+        let bad = LshIndex::from_parts(
+            ds.clone(),
+            params,
+            vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]],
+            vec![((0, 1), vec![99])],
+            0,
+        );
+        assert!(bad.is_err());
+        // Wrong mask count.
+        assert!(LshIndex::from_parts(ds, params, vec![vec![0, 1, 2, 3]], vec![], 0).is_err());
+    }
+}

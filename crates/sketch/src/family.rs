@@ -134,6 +134,82 @@ impl SketchFamily {
         }
     }
 
+    /// Reassembles a family from its sampled parts (the store decode
+    /// path). Validates every structural invariant `generate` establishes;
+    /// returns a description of the violated one on inconsistency.
+    pub fn from_parts(
+        params: SketchParams,
+        dim: u32,
+        n: usize,
+        m_mats: Vec<SketchMatrix>,
+        n_mats: Vec<SketchMatrix>,
+        m_thresholds: Vec<u32>,
+        n_thresholds: Vec<u32>,
+    ) -> Result<Self, String> {
+        if dim < 2 || n < 2 {
+            return Err(format!("family needs d ≥ 2 and n ≥ 2, got d={dim}, n={n}"));
+        }
+        if params.gamma <= 1.0 || params.gamma.is_nan() || params.s < 1.0 {
+            return Err(format!(
+                "family params out of range: gamma={}, s={}",
+                params.gamma, params.s
+            ));
+        }
+        let top = ceil_log_alpha(dim as u64, params.alpha());
+        let scales = top as usize + 1;
+        if m_mats.len() != scales
+            || n_mats.len() != scales
+            || m_thresholds.len() != scales
+            || n_thresholds.len() != scales
+        {
+            return Err(format!(
+                "family scale mismatch: expected {scales} scales, got {}/{}/{}/{} entries",
+                m_mats.len(),
+                n_mats.len(),
+                m_thresholds.len(),
+                n_thresholds.len()
+            ));
+        }
+        if let Some(bad) = m_mats.iter().chain(n_mats.iter()).find(|m| m.dim() != dim) {
+            return Err(format!("matrix dimension {} != family {dim}", bad.dim()));
+        }
+        if m_mats.iter().any(|m| m.rows() != m_mats[0].rows())
+            || n_mats.iter().any(|m| m.rows() != n_mats[0].rows())
+        {
+            return Err("matrices of one kind must share a row count".into());
+        }
+        Ok(SketchFamily {
+            params,
+            dim,
+            n,
+            top,
+            m_mats,
+            n_mats,
+            m_thresholds,
+            n_thresholds,
+        })
+    }
+
+    /// The accurate matrices `M_0 … M_top` (the store encode path).
+    pub fn m_matrices(&self) -> &[SketchMatrix] {
+        &self.m_mats
+    }
+
+    /// The coarse matrices `N_0 … N_top`.
+    pub fn n_matrices(&self) -> &[SketchMatrix] {
+        &self.n_mats
+    }
+
+    /// All accurate acceptance thresholds, scale order.
+    pub fn m_thresholds(&self) -> &[u32] {
+        &self.m_thresholds
+    }
+
+    /// All coarse acceptance thresholds, scale order.
+    pub fn n_thresholds(&self) -> &[u32] {
+        &self.n_thresholds
+    }
+
     /// The parameters the family was generated with.
     pub fn params(&self) -> &SketchParams {
         &self.params
@@ -270,6 +346,33 @@ impl DbSketches {
             m: m.into_iter().map(|v| v.expect("scale not built")).collect(),
             n: n.into_iter().map(|v| v.expect("scale not built")).collect(),
         }
+    }
+
+    /// Reassembles database sketches from stored scale vectors (the store
+    /// decode path). Both kinds must cover the same scales and points.
+    pub fn from_parts(m: Vec<Vec<Sketch>>, n: Vec<Vec<Sketch>>) -> Result<Self, String> {
+        if m.is_empty() || m.len() != n.len() {
+            return Err(format!(
+                "db sketches need matching non-empty scale lists, got {}/{}",
+                m.len(),
+                n.len()
+            ));
+        }
+        let points = m[0].len();
+        if m.iter().any(|v| v.len() != points) || n.iter().any(|v| v.len() != points) {
+            return Err("every scale must sketch every database point".into());
+        }
+        Ok(DbSketches { m, n })
+    }
+
+    /// Per-scale accurate sketches (the store encode path).
+    pub fn m_scales(&self) -> &[Vec<Sketch>] {
+        &self.m
+    }
+
+    /// Per-scale coarse sketches.
+    pub fn n_scales(&self) -> &[Vec<Sketch>] {
+        &self.n
     }
 
     /// `M_i`-sketch of database point `z`.

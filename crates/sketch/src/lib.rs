@@ -27,6 +27,7 @@
 pub mod delta;
 pub mod family;
 pub mod matrix;
+pub mod store;
 pub mod validate;
 
 pub use delta::{delta_gap, mismatch_probability, threshold_fraction, ThresholdMode};

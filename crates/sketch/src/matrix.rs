@@ -82,6 +82,27 @@ impl SketchMatrix {
         }
     }
 
+    /// Reassembles a matrix from its parts (the store decode path).
+    /// Returns a description of the violated invariant on inconsistency.
+    pub fn from_parts(dim: u32, density: f64, rows: Vec<Point>) -> Result<Self, String> {
+        if rows.is_empty() {
+            return Err("sketch matrix needs at least one row".into());
+        }
+        if dim == 0 {
+            return Err("sketch matrix dimension 0".into());
+        }
+        if let Some(bad) = rows.iter().find(|r| r.dim() != dim) {
+            return Err(format!(
+                "matrix row dimension {} != declared {dim}",
+                bad.dim()
+            ));
+        }
+        if !(0.0..=1.0).contains(&density) {
+            return Err(format!("matrix density {density} outside [0, 1]"));
+        }
+        Ok(SketchMatrix { dim, density, rows })
+    }
+
     /// Number of rows (sketch bits produced).
     pub fn rows(&self) -> u32 {
         self.rows.len() as u32

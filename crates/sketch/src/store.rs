@@ -1,0 +1,201 @@
+//! Binary store codecs for the sketching machinery.
+//!
+//! A persisted index must reproduce its sampled randomness *bit for bit*:
+//! the sketch family is the public coins of the instance, and re-sampling
+//! from the seed would tie old artifacts to the private stream of
+//! whatever `rand` ships with a future build. So the matrices, thresholds
+//! and database sketches are all stored literally; the seed rides along
+//! inside [`SketchParams`] as provenance, not as the decode path.
+
+use anns_store::{encode_slice, ByteReader, ByteWriter, Codec, StoreError};
+
+use crate::delta::ThresholdMode;
+use crate::family::{DbSketches, SketchFamily, SketchParams};
+use crate::matrix::{Sketch, SketchMatrix};
+
+impl Codec for ThresholdMode {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(match self {
+            ThresholdMode::Midpoint => 0,
+            ThresholdMode::LiteralDelta => 1,
+        });
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        match r.u8()? {
+            0 => Ok(ThresholdMode::Midpoint),
+            1 => Ok(ThresholdMode::LiteralDelta),
+            other => Err(StoreError::Malformed(format!("threshold mode {other}"))),
+        }
+    }
+}
+
+impl Codec for SketchParams {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_f64(self.gamma);
+        w.put_f64(self.c1);
+        w.put_f64(self.c2);
+        w.put_f64(self.s);
+        self.threshold_mode.encode(w);
+        w.put_u64(self.seed);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        Ok(SketchParams {
+            gamma: r.f64()?,
+            c1: r.f64()?,
+            c2: r.f64()?,
+            s: r.f64()?,
+            threshold_mode: ThresholdMode::decode(r)?,
+            seed: r.u64()?,
+        })
+    }
+}
+
+impl Codec for Sketch {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.as_point().encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        Ok(Sketch::from_point(anns_hamming::Point::decode(r)?))
+    }
+}
+
+impl Codec for SketchMatrix {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.dim());
+        w.put_f64(self.density());
+        encode_slice(self.row_points(), w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let dim = r.u32()?;
+        let density = r.f64()?;
+        let rows = Vec::decode(r)?;
+        SketchMatrix::from_parts(dim, density, rows).map_err(StoreError::Malformed)
+    }
+}
+
+impl Codec for SketchFamily {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.params().encode(w);
+        w.put_u32(self.dim());
+        w.put_u64(self.n() as u64);
+        encode_slice(self.m_matrices(), w);
+        encode_slice(self.n_matrices(), w);
+        encode_slice(self.m_thresholds(), w);
+        encode_slice(self.n_thresholds(), w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let params = SketchParams::decode(r)?;
+        let dim = r.u32()?;
+        let n = usize::decode(r)?;
+        let m_mats = Vec::decode(r)?;
+        let n_mats = Vec::decode(r)?;
+        let m_thresholds = Vec::decode(r)?;
+        let n_thresholds = Vec::decode(r)?;
+        SketchFamily::from_parts(params, dim, n, m_mats, n_mats, m_thresholds, n_thresholds)
+            .map_err(StoreError::Malformed)
+    }
+}
+
+impl Codec for DbSketches {
+    fn encode(&self, w: &mut ByteWriter) {
+        encode_slice(self.m_scales(), w);
+        encode_slice(self.n_scales(), w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let m = Vec::decode(r)?;
+        let n = Vec::decode(r)?;
+        DbSketches::from_parts(m, n).map_err(StoreError::Malformed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anns_hamming::{gen, Point};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn params_roundtrip_preserves_every_field() {
+        let p = SketchParams {
+            gamma: 3.5,
+            c1: 11.25,
+            c2: 7.0,
+            s: 2.5,
+            threshold_mode: ThresholdMode::LiteralDelta,
+            seed: 0xFEED_FACE,
+        };
+        let back = SketchParams::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(back.gamma, p.gamma);
+        assert_eq!(back.c1, p.c1);
+        assert_eq!(back.c2, p.c2);
+        assert_eq!(back.s, p.s);
+        assert_eq!(back.seed, p.seed);
+        assert!(matches!(back.threshold_mode, ThresholdMode::LiteralDelta));
+    }
+
+    #[test]
+    fn family_roundtrip_sketches_identically() {
+        let params = SketchParams::practical(2.0, 99);
+        let family = SketchFamily::generate(128, 64, &params);
+        let back = SketchFamily::from_bytes(&family.to_bytes()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Point::random(128, &mut rng);
+        assert_eq!(back.top(), family.top());
+        for i in 0..=family.top() {
+            assert_eq!(back.sketch_m(i, &x), family.sketch_m(i, &x), "M_{i}");
+            assert_eq!(back.sketch_n(i, &x), family.sketch_n(i, &x), "N_{i}");
+            assert_eq!(back.m_threshold(i), family.m_threshold(i));
+            assert_eq!(back.n_threshold(i), family.n_threshold(i));
+        }
+    }
+
+    #[test]
+    fn db_sketches_roundtrip_exactly() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ds = gen::uniform(24, 96, &mut rng);
+        let params = SketchParams::practical(2.0, 3);
+        let family = SketchFamily::generate(96, 24, &params);
+        let db = DbSketches::build(&family, &ds, 1);
+        let back = DbSketches::from_bytes(&db.to_bytes()).unwrap();
+        for i in 0..=family.top() {
+            for z in 0..ds.len() {
+                assert_eq!(back.m_sketch(i, z), db.m_sketch(i, z));
+                assert_eq!(back.n_sketch(i, z), db.n_sketch(i, z));
+            }
+        }
+    }
+
+    #[test]
+    fn structural_violations_are_malformed() {
+        // A family whose scale lists disagree with its dimension.
+        let params = SketchParams::practical(2.0, 1);
+        let family = SketchFamily::generate(64, 16, &params);
+        let mut w = ByteWriter::new();
+        family.params().encode(&mut w);
+        w.put_u32(2048); // dimension implying far more scales than stored
+        w.put_u64(16);
+        encode_slice(family.m_matrices(), &mut w);
+        encode_slice(family.n_matrices(), &mut w);
+        encode_slice(family.m_thresholds(), &mut w);
+        encode_slice(family.n_thresholds(), &mut w);
+        assert!(matches!(
+            SketchFamily::from_bytes(&w.into_bytes()),
+            Err(StoreError::Malformed(_))
+        ));
+        // Mismatched db-sketch scale lists.
+        let mut w = ByteWriter::new();
+        vec![Vec::<Sketch>::new()].encode(&mut w);
+        Vec::<Vec<Sketch>>::new().encode(&mut w);
+        assert!(matches!(
+            DbSketches::from_bytes(&w.into_bytes()),
+            Err(StoreError::Malformed(_))
+        ));
+    }
+}

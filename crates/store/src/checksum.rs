@@ -1,0 +1,82 @@
+//! CRC-32 (IEEE 802.3) — hand-rolled, table-driven, no dependencies.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, computed at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+fn update(mut crc: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// CRC-32 of `bytes` (IEEE: init `0xFFFF_FFFF`, final xor, reflected).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !update(0xFFFF_FFFF, bytes)
+}
+
+/// CRC-32 of the concatenation `a ++ b` without materializing it.
+/// Sections checksum `tag ++ payload` this way, so a flipped tag byte is
+/// caught by the same mechanism as payload damage.
+pub fn crc32_pair(a: &[u8], b: &[u8]) -> u32 {
+    !update(update(0xFFFF_FFFF, a), b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32/IEEE check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn pair_matches_concatenation() {
+        let (a, b) = (b"META".as_slice(), b"payload bytes".as_slice());
+        let mut concat = a.to_vec();
+        concat.extend_from_slice(b);
+        assert_eq!(crc32_pair(a, b), crc32(&concat));
+        assert_eq!(crc32_pair(b"", b""), crc32(b""));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base = b"anns store section payload".to_vec();
+        let reference = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut corrupt = base.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), reference, "flip at {byte}:{bit}");
+            }
+        }
+    }
+}

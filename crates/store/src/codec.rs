@@ -1,0 +1,402 @@
+//! The hand-rolled byte codec: little-endian primitives over flat buffers.
+//!
+//! Section payloads are encoded with [`ByteWriter`] and decoded with
+//! [`ByteReader`]. [`Codec`] is the trait entity crates implement next to
+//! their types (`anns_hamming::store`, `anns_sketch::store`, …); this
+//! module provides the primitive and container impls they compose.
+//!
+//! Decoding never trusts a length prefix with an allocation: capacities
+//! are capped by the bytes actually remaining, so a corrupted length
+//! yields a typed error instead of an absurd reservation.
+
+use crate::error::StoreError;
+
+/// Growable little-endian byte sink.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u64` length prefix followed by the bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u64(bytes.len() as u64);
+        self.put_raw(bytes);
+    }
+}
+
+/// Cursor over an encoded payload.
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over the whole slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Malformed(format!(
+                "payload underrun: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u64` length prefix and that many bytes.
+    pub fn bytes(&mut self) -> Result<&'a [u8], StoreError> {
+        let len = self.len_prefix()?;
+        self.take(len)
+    }
+
+    /// Reads a `u64` length prefix, validated against the bytes remaining
+    /// (the cap that makes corrupted prefixes an error, not an alloc).
+    pub fn len_prefix(&mut self) -> Result<usize, StoreError> {
+        let len = self.u64()?;
+        let len: usize = len
+            .try_into()
+            .map_err(|_| StoreError::Malformed(format!("length prefix {len} overflows usize")))?;
+        if len > self.remaining() {
+            return Err(StoreError::Malformed(format!(
+                "length prefix {len} exceeds the {} bytes remaining",
+                self.remaining()
+            )));
+        }
+        Ok(len)
+    }
+
+    /// Reads a count prefix for items of at least `min_item_bytes` each,
+    /// validated against the bytes remaining.
+    pub fn count_prefix(&mut self, min_item_bytes: usize) -> Result<usize, StoreError> {
+        let count = self.u64()?;
+        let count: usize = count
+            .try_into()
+            .map_err(|_| StoreError::Malformed(format!("count prefix {count} overflows usize")))?;
+        if count.saturating_mul(min_item_bytes.max(1)) > self.remaining() {
+            return Err(StoreError::Malformed(format!(
+                "count prefix {count} impossible in {} bytes",
+                self.remaining()
+            )));
+        }
+        Ok(count)
+    }
+
+    /// Errors unless every byte was consumed (decoders call this last, so
+    /// stray trailing bytes — a sign of skew — do not pass silently).
+    pub fn finish(&self) -> Result<(), StoreError> {
+        if self.remaining() != 0 {
+            return Err(StoreError::Malformed(format!(
+                "{} trailing bytes after decode",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Binary encode/decode for one entity, composable by field.
+pub trait Codec: Sized {
+    /// Appends this value's encoding.
+    fn encode(&self, w: &mut ByteWriter);
+
+    /// Decodes one value from the cursor.
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError>;
+
+    /// Convenience: encodes to a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Convenience: decodes a full buffer, rejecting trailing bytes.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        let mut r = ByteReader::new(bytes);
+        let value = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(value)
+    }
+}
+
+macro_rules! impl_codec_prim {
+    ($ty:ty, $put:ident, $get:ident) => {
+        impl Codec for $ty {
+            fn encode(&self, w: &mut ByteWriter) {
+                w.$put(*self);
+            }
+            fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+                r.$get()
+            }
+        }
+    };
+}
+
+impl_codec_prim!(u8, put_u8, u8);
+impl_codec_prim!(u16, put_u16, u16);
+impl_codec_prim!(u32, put_u32, u32);
+impl_codec_prim!(u64, put_u64, u64);
+impl_codec_prim!(f64, put_f64, f64);
+
+impl Codec for bool {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(*self as u8);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StoreError::Malformed(format!("bool byte {other}"))),
+        }
+    }
+}
+
+impl Codec for usize {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(*self as u64);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let v = r.u64()?;
+        v.try_into()
+            .map_err(|_| StoreError::Malformed(format!("usize value {v} overflows")))
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_bytes(self.as_bytes());
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let bytes = r.bytes()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| StoreError::Malformed(format!("non-utf8 string: {e}")))
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            other => Err(StoreError::Malformed(format!("option tag {other}"))),
+        }
+    }
+}
+
+/// Encodes a length-prefixed sequence from a borrowed slice — the
+/// non-cloning sibling of `Vec::encode`, for encoders whose data lives
+/// behind accessors (no need to `.to_vec()` just to serialize).
+pub fn encode_slice<T: Codec>(items: &[T], w: &mut ByteWriter) {
+    w.put_u64(items.len() as u64);
+    for item in items {
+        item.encode(w);
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        encode_slice(self, w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let count = r.count_prefix(1)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        let mut w = ByteWriter::new();
+        0xABu8.encode(&mut w);
+        0xBEEFu16.encode(&mut w);
+        0xDEAD_BEEFu32.encode(&mut w);
+        0x0123_4567_89AB_CDEFu64.encode(&mut w);
+        (-1.5f64).encode(&mut w);
+        true.encode(&mut w);
+        42usize.encode(&mut w);
+        "héllo".to_string().encode(&mut w);
+        Some(7u32).encode(&mut w);
+        Option::<u32>::None.encode(&mut w);
+        vec![1u64, 2, 3].encode(&mut w);
+        (9u8, 10u32).encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(u8::decode(&mut r).unwrap(), 0xAB);
+        assert_eq!(u16::decode(&mut r).unwrap(), 0xBEEF);
+        assert_eq!(u32::decode(&mut r).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(u64::decode(&mut r).unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(f64::decode(&mut r).unwrap(), -1.5);
+        assert!(bool::decode(&mut r).unwrap());
+        assert_eq!(usize::decode(&mut r).unwrap(), 42);
+        assert_eq!(String::decode(&mut r).unwrap(), "héllo");
+        assert_eq!(Option::<u32>::decode(&mut r).unwrap(), Some(7));
+        assert_eq!(Option::<u32>::decode(&mut r).unwrap(), None);
+        assert_eq!(Vec::<u64>::decode(&mut r).unwrap(), vec![1, 2, 3]);
+        assert_eq!(<(u8, u32)>::decode(&mut r).unwrap(), (9, 10));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn nan_bit_pattern_survives() {
+        let nan = f64::from_bits(0x7FF8_0000_0000_1234);
+        let back = f64::from_bytes(&nan.to_bytes()).unwrap();
+        assert_eq!(back.to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn underrun_is_malformed() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(matches!(r.u32(), Err(StoreError::Malformed(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = 5u32.to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            u32::from_bytes(&bytes),
+            Err(StoreError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_length_prefix_does_not_allocate() {
+        // A length prefix claiming u64::MAX bytes must error immediately.
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX);
+        w.put_raw(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            String::from_bytes(&bytes),
+            Err(StoreError::Malformed(_))
+        ));
+        assert!(matches!(
+            Vec::<u64>::from_bytes(&bytes),
+            Err(StoreError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn bad_tags_are_malformed() {
+        assert!(matches!(
+            bool::from_bytes(&[2]),
+            Err(StoreError::Malformed(_))
+        ));
+        assert!(matches!(
+            Option::<u8>::from_bytes(&[9, 0]),
+            Err(StoreError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,321 @@
+//! The container: header plus checksummed sections, streamed over `io`.
+
+use std::io::{Read, Write};
+
+use crate::checksum::crc32_pair;
+use crate::codec::ByteReader;
+use crate::error::StoreError;
+use crate::{FORMAT_VERSION, MAGIC};
+
+/// A section's four-byte tag.
+pub type SectionTag = [u8; 4];
+
+/// The fixed-size file header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreHeader {
+    /// Format version stamped in the file.
+    pub version: u16,
+    /// Container kind: [`crate::KIND_BUNDLE`] or a scheme kind for
+    /// single-scheme files.
+    pub kind: u8,
+    /// Number of sections that follow.
+    pub sections: u32,
+}
+
+/// One decoded section: tag, verified payload, and its stored checksum.
+#[derive(Clone, Debug)]
+pub struct Section {
+    /// The section tag.
+    pub tag: SectionTag,
+    /// The payload (checksum already verified).
+    pub payload: Vec<u8>,
+    /// The CRC-32 stored in the file (covers `tag ++ payload`).
+    pub crc: u32,
+}
+
+impl Section {
+    /// A codec cursor over the payload.
+    pub fn reader(&self) -> ByteReader<'_> {
+        ByteReader::new(&self.payload)
+    }
+}
+
+/// Assembles a store file: sections are buffered, then written with the
+/// header in one pass.
+pub struct StoreWriter {
+    kind: u8,
+    sections: Vec<(SectionTag, Vec<u8>)>,
+}
+
+impl StoreWriter {
+    /// A writer for a container of the given kind.
+    pub fn new(kind: u8) -> Self {
+        StoreWriter {
+            kind,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a section.
+    pub fn section(&mut self, tag: SectionTag, payload: Vec<u8>) -> &mut Self {
+        self.sections.push((tag, payload));
+        self
+    }
+
+    /// Writes header and sections to `out`.
+    pub fn write_to(&self, out: &mut impl Write) -> Result<(), StoreError> {
+        out.write_all(&MAGIC).map_err(StoreError::Io)?;
+        out.write_all(&FORMAT_VERSION.to_le_bytes())
+            .map_err(StoreError::Io)?;
+        out.write_all(&[self.kind, 0]).map_err(StoreError::Io)?;
+        out.write_all(&(self.sections.len() as u32).to_le_bytes())
+            .map_err(StoreError::Io)?;
+        for (tag, payload) in &self.sections {
+            // The length field is u32: refuse to write what cannot be
+            // read back rather than silently truncating the prefix.
+            let len: u32 = payload.len().try_into().map_err(|_| {
+                StoreError::Unsupported(format!(
+                    "section {} is {} bytes; the v{FORMAT_VERSION} format caps sections at 4 GiB",
+                    String::from_utf8_lossy(tag),
+                    payload.len()
+                ))
+            })?;
+            out.write_all(tag).map_err(StoreError::Io)?;
+            out.write_all(&len.to_le_bytes()).map_err(StoreError::Io)?;
+            out.write_all(&crc32_pair(tag, payload).to_le_bytes())
+                .map_err(StoreError::Io)?;
+            out.write_all(payload).map_err(StoreError::Io)?;
+        }
+        Ok(())
+    }
+
+    /// The whole container as bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf).expect("Vec write cannot fail");
+        buf
+    }
+
+    /// Writes the container to a file path.
+    pub fn write_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), StoreError> {
+        let file = std::fs::File::create(path).map_err(StoreError::Io)?;
+        let mut out = std::io::BufWriter::new(file);
+        self.write_to(&mut out)?;
+        out.flush().map_err(StoreError::Io)
+    }
+}
+
+fn read_exact(r: &mut impl Read, buf: &mut [u8], context: &'static str) -> Result<(), StoreError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Truncated { context }
+        } else {
+            StoreError::Io(e)
+        }
+    })
+}
+
+/// Streaming reader: validates the header up front, then yields sections
+/// one at a time, each checksum-verified before its payload is exposed.
+/// Nothing beyond the current section is buffered, and no intermediate
+/// representation (JSON or otherwise) is materialized.
+pub struct StoreReader<R: Read> {
+    inner: R,
+    header: StoreHeader,
+    yielded: u32,
+}
+
+impl<R: Read> StoreReader<R> {
+    /// Opens a stream: reads magic, version, kind and section count.
+    pub fn new(mut inner: R) -> Result<Self, StoreError> {
+        let mut magic = [0u8; 4];
+        read_exact(&mut inner, &mut magic, "magic")?;
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic { found: magic });
+        }
+        let mut version = [0u8; 2];
+        read_exact(&mut inner, &mut version, "version")?;
+        let version = u16::from_le_bytes(version);
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let mut kind_reserved = [0u8; 2];
+        read_exact(&mut inner, &mut kind_reserved, "container kind")?;
+        let mut sections = [0u8; 4];
+        read_exact(&mut inner, &mut sections, "section count")?;
+        Ok(StoreReader {
+            inner,
+            header: StoreHeader {
+                version,
+                kind: kind_reserved[0],
+                sections: u32::from_le_bytes(sections),
+            },
+            yielded: 0,
+        })
+    }
+
+    /// The validated header.
+    pub fn header(&self) -> &StoreHeader {
+        &self.header
+    }
+
+    /// Reads the next section, or `None` after the declared count.
+    pub fn next_section(&mut self) -> Result<Option<Section>, StoreError> {
+        if self.yielded == self.header.sections {
+            return Ok(None);
+        }
+        let mut tag = [0u8; 4];
+        read_exact(&mut self.inner, &mut tag, "section tag")?;
+        let mut len = [0u8; 4];
+        read_exact(&mut self.inner, &mut len, "section length")?;
+        let len = u32::from_le_bytes(len) as u64;
+        let mut crc = [0u8; 4];
+        read_exact(&mut self.inner, &mut crc, "section checksum")?;
+        let crc = u32::from_le_bytes(crc);
+        // Read through `take`, growing as bytes arrive: a corrupted length
+        // cannot force a giant up-front allocation.
+        let mut payload = Vec::new();
+        (&mut self.inner)
+            .take(len)
+            .read_to_end(&mut payload)
+            .map_err(StoreError::Io)?;
+        if (payload.len() as u64) < len {
+            return Err(StoreError::Truncated {
+                context: "section payload",
+            });
+        }
+        let computed = crc32_pair(&tag, &payload);
+        if computed != crc {
+            return Err(StoreError::ChecksumMismatch {
+                tag,
+                stored: crc,
+                computed,
+            });
+        }
+        self.yielded += 1;
+        Ok(Some(Section { tag, payload, crc }))
+    }
+
+    /// Drains and returns all remaining sections.
+    pub fn sections(&mut self) -> Result<Vec<Section>, StoreError> {
+        let mut out = Vec::new();
+        while let Some(section) = self.next_section()? {
+            out.push(section);
+        }
+        Ok(out)
+    }
+}
+
+/// Opens a store file for streaming reads.
+pub fn open_file(
+    path: impl AsRef<std::path::Path>,
+) -> Result<StoreReader<std::io::BufReader<std::fs::File>>, StoreError> {
+    let file = std::fs::File::open(path).map_err(StoreError::Io)?;
+    StoreReader::new(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KIND_BUNDLE;
+
+    fn sample() -> Vec<u8> {
+        let mut w = StoreWriter::new(KIND_BUNDLE);
+        w.section(*b"META", b"hello".to_vec());
+        w.section(*b"IDXP", vec![0u8; 300]);
+        w.section(*b"SHRD", Vec::new());
+        w.to_bytes()
+    }
+
+    #[test]
+    fn roundtrip_yields_identical_sections() {
+        let bytes = sample();
+        let mut r = StoreReader::new(&bytes[..]).unwrap();
+        assert_eq!(
+            *r.header(),
+            StoreHeader {
+                version: FORMAT_VERSION,
+                kind: KIND_BUNDLE,
+                sections: 3
+            }
+        );
+        let sections = r.sections().unwrap();
+        assert_eq!(sections.len(), 3);
+        assert_eq!(sections[0].tag, *b"META");
+        assert_eq!(sections[0].payload, b"hello");
+        assert_eq!(sections[1].payload.len(), 300);
+        assert!(sections[2].payload.is_empty());
+        assert!(r.next_section().unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = sample();
+        bytes[0] = b'J';
+        match StoreReader::new(&bytes[..]) {
+            Err(StoreError::BadMagic { found }) => assert_eq!(found[0], b'J'),
+            Err(other) => panic!("expected BadMagic, got {other:?}"),
+            Ok(_) => panic!("expected BadMagic, got a reader"),
+        }
+    }
+
+    #[test]
+    fn version_skew_is_typed() {
+        let mut bytes = sample();
+        bytes[4] = 99;
+        assert!(matches!(
+            StoreReader::new(&bytes[..]),
+            Err(StoreError::UnsupportedVersion {
+                found: 99,
+                supported: FORMAT_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_is_a_checksum_mismatch() {
+        let mut bytes = sample();
+        let last = bytes.len() - 150; // inside IDXP's payload
+        bytes[last] ^= 0x40;
+        let mut r = StoreReader::new(&bytes[..]).unwrap();
+        assert!(r.next_section().is_ok(), "META untouched");
+        assert!(matches!(
+            r.next_section(),
+            Err(StoreError::ChecksumMismatch { tag, .. }) if tag == *b"IDXP"
+        ));
+    }
+
+    #[test]
+    fn truncation_is_typed_at_every_layer() {
+        let bytes = sample();
+        // Header truncations.
+        for cut in [0, 3, 5, 7, 9] {
+            assert!(
+                matches!(
+                    StoreReader::new(&bytes[..cut]),
+                    Err(StoreError::Truncated { .. })
+                ),
+                "cut at {cut}"
+            );
+        }
+        // Mid-section truncation.
+        let mut r = StoreReader::new(&bytes[..bytes.len() - 10]).unwrap();
+        r.next_section().unwrap();
+        r.next_section().unwrap();
+        assert!(matches!(
+            r.next_section(),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_container_roundtrips() {
+        let bytes = StoreWriter::new(7).to_bytes();
+        let mut r = StoreReader::new(&bytes[..]).unwrap();
+        assert_eq!(r.header().kind, 7);
+        assert!(r.sections().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! `anns-store` — the persistent index store's binary container format.
+//!
+//! The paper's schemes are static data structures: preprocessing is the
+//! expensive half, after which a query needs only `k` bounded rounds of
+//! reads. That build-once/serve-many split wants a durable artifact — an
+//! instance built today must load tomorrow (or in a CI job) in
+//! milliseconds and answer *byte-identically*. This crate defines the
+//! container those artifacts live in; the entity codecs themselves sit
+//! next to the types they persist (`anns_hamming::store`,
+//! `anns_sketch::store`, `anns_core::store`, `anns_lsh::store`) and the
+//! bundle assembly in `anns_engine::registry`.
+//!
+//! # Format
+//!
+//! Everything is little-endian. A store file is:
+//!
+//! ```text
+//! magic      [u8; 4]   = b"ANNS"
+//! version    u16       = FORMAT_VERSION
+//! kind       u8        container kind: 0 = registry bundle,
+//!                      1.. = single-scheme file of that scheme kind
+//! reserved   u8        = 0
+//! sections   u32       section count
+//! section*   tag [u8;4], len u32, crc32 u32, payload [u8; len]
+//! ```
+//!
+//! Each section's payload is covered by a CRC-32 (IEEE) checksum, so a
+//! flipped bit anywhere in a payload surfaces as
+//! [`StoreError::ChecksumMismatch`] rather than a silently different
+//! index. Readers stream section by section ([`StoreReader`]) — no
+//! intermediate JSON, no whole-file buffering beyond the section being
+//! decoded. All decode failures are typed ([`StoreError`]): truncation,
+//! foreign magic, version skew, checksum damage, unknown scheme kinds.
+
+mod checksum;
+mod codec;
+mod container;
+mod error;
+
+pub use checksum::{crc32, crc32_pair};
+pub use codec::{encode_slice, ByteReader, ByteWriter, Codec};
+pub use container::{open_file, Section, SectionTag, StoreHeader, StoreReader, StoreWriter};
+pub use error::StoreError;
+
+/// The four magic bytes opening every store file.
+pub const MAGIC: [u8; 4] = *b"ANNS";
+
+/// Current (and only) format version this build reads and writes.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Container kind byte for a registry bundle (several named shards).
+pub const KIND_BUNDLE: u8 = 0;
+
+/// Scheme kind tags, shared by single-scheme headers and shard records.
+///
+/// Kinds `1..=15` are reserved for `anns-core` schemes; `16..` for
+/// foreign (baseline) schemes whose payloads other crates own.
+pub mod scheme_kind {
+    /// Algorithm 1 at a fixed round budget.
+    pub const ALG1: u8 = 1;
+    /// Algorithm 2 under an `Alg2Config`.
+    pub const ALG2: u8 = 2;
+    /// The 1-probe λ-ANNS scheme.
+    pub const LAMBDA: u8 = 3;
+    /// First *foreign* kind: records at or above this tag carry a
+    /// self-contained opaque payload owned by another crate; records
+    /// below it are core specs referencing the bundle's index pool.
+    /// Loaders branch on this constant, not a literal.
+    pub const FOREIGN_MIN: u8 = 16;
+    /// Bit-sampling LSH (payload owned by `anns-lsh`).
+    pub const LSH: u8 = 16;
+    /// Exact linear scan (payload owned by `anns-lsh`).
+    pub const LINEAR: u8 = 17;
+
+    /// Human-readable name of a scheme kind (for `annsctl inspect`).
+    pub fn name(kind: u8) -> &'static str {
+        match kind {
+            ALG1 => "alg1",
+            ALG2 => "alg2",
+            LAMBDA => "lambda",
+            LSH => "lsh",
+            LINEAR => "linear",
+            _ => "unknown",
+        }
+    }
+}
+
+/// Well-known section tags written by the workspace's encoders.
+pub mod section_tag {
+    /// Bundle metadata: tool string, index/shard counts, shard directory.
+    pub const META: [u8; 4] = *b"META";
+    /// Index pool: the deduplicated `AnnIndex` payloads.
+    pub const INDEX_POOL: [u8; 4] = *b"IDXP";
+    /// Shard list: named scheme records referencing the pool.
+    pub const SHARDS: [u8; 4] = *b"SHRD";
+}

@@ -1,0 +1,108 @@
+//! Property tests over damaged store files.
+//!
+//! The container's promise: **no corruption is silent**. Every strict
+//! prefix of a valid file reads as [`StoreError::Truncated`], and every
+//! single-bit flip in the structural or payload bytes (everything except
+//! the two advisory header bytes and the section-count field, whose
+//! damage surfaces as a different typed error or a visibly shorter
+//! section list) yields a typed error rather than different content.
+
+use anns_store::{StoreError, StoreReader, StoreWriter, KIND_BUNDLE};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A container with several sections of pseudo-random payload.
+fn sample_file(seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut writer = StoreWriter::new(KIND_BUNDLE);
+    for (i, tag) in [b"META", b"IDXP", b"SHRD", b"XTRA"].iter().enumerate() {
+        let len = (i * 37) % 200 + 1;
+        let payload: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        writer.section(**tag, payload);
+    }
+    writer.to_bytes()
+}
+
+/// Reads every section; the container-level "load" operation.
+fn read_all(bytes: &[u8]) -> Result<usize, StoreError> {
+    Ok(StoreReader::new(bytes)?.sections()?.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any strict prefix is reported as truncation — never a short-but-
+    /// plausible read, never a panic.
+    #[test]
+    fn every_strict_prefix_is_truncated(seed in any::<u64>(), frac in 0.0f64..1.0) {
+        let bytes = sample_file(seed);
+        let cut = ((bytes.len() as f64) * frac) as usize; // < len since frac < 1
+        prop_assert!(cut < bytes.len());
+        match read_all(&bytes[..cut]) {
+            Err(StoreError::Truncated { .. }) => {}
+            other => prop_assert!(false, "cut at {cut}/{}: got {other:?}", bytes.len()),
+        }
+    }
+
+    /// A single bit flip anywhere outside the advisory bytes (kind,
+    /// reserved) and the section-count field is a typed error.
+    #[test]
+    fn every_bit_flip_is_detected(seed in any::<u64>(), pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut bytes = sample_file(seed);
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        // Bytes 6..12 are the advisory kind/reserved pair and the section
+        // count: kind is uninterpreted, and a *smaller* count legitimately
+        // reads fewer sections (checked separately below).
+        prop_assume!(!(6..12).contains(&pos));
+        bytes[pos] ^= 1 << bit;
+        let got = read_all(&bytes);
+        match (&got, pos) {
+            (Err(StoreError::BadMagic { .. }), 0..=3) => {}
+            (Err(StoreError::UnsupportedVersion { .. }), 4..=5) => {}
+            (Err(StoreError::Truncated { .. }), _)
+            | (Err(StoreError::ChecksumMismatch { .. }), _) if pos >= 12 => {}
+            _ => prop_assert!(false, "flip at {pos}:{bit} gave {got:?}"),
+        }
+    }
+
+    /// Flipping section-count bits can only shrink the visible list or
+    /// truncate — it can never invent content or damage what is read.
+    #[test]
+    fn section_count_damage_is_never_silent_content_change(seed in any::<u64>(), bit in 0u8..8) {
+        let original = sample_file(seed);
+        let mut bytes = original.clone();
+        bytes[8] ^= 1 << bit; // low byte of the u32 section count
+        match read_all(&bytes) {
+            Err(StoreError::Truncated { .. }) => {} // count grew
+            Ok(n) => prop_assert!(n < 4, "count shrank to {n}"),
+            other => prop_assert!(false, "got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn double_flips_in_one_section_are_still_caught() {
+    // CRC-32 detects all 2-bit errors within its span comfortably below
+    // the codeword bound; spot-check pairs inside one payload.
+    let bytes = sample_file(9);
+    for delta in [1usize, 7, 31, 63] {
+        let mut corrupt = bytes.clone();
+        let a = 40; // inside the first section's payload
+        let b = a + delta;
+        corrupt[a] ^= 0x10;
+        corrupt[b] ^= 0x01;
+        assert!(
+            matches!(
+                read_all(&corrupt),
+                Err(StoreError::ChecksumMismatch { .. }) | Err(StoreError::Truncated { .. })
+            ),
+            "double flip at {a},{b} undetected"
+        );
+    }
+}
+
+#[test]
+fn valid_file_reads_fully() {
+    assert_eq!(read_all(&sample_file(3)).unwrap(), 4);
+}

@@ -23,7 +23,11 @@
 //! * [`engine`] — the serving subsystem: a sharded registry of built
 //!   instances behind one trait surface, and a round-synchronous
 //!   scheduler that coalesces each round's probes across all in-flight
-//!   queries into one sorted batch per shard.
+//!   queries into one sorted batch per shard;
+//! * [`store`] — the persistent index store: a versioned binary snapshot
+//!   format (checksummed sections, typed errors) that persists every
+//!   servable scheme and whole registry bundles, so instances build once
+//!   and warm-start in milliseconds.
 //!
 //! ## Quickstart
 //!
@@ -54,3 +58,4 @@ pub use anns_hamming as hamming;
 pub use anns_lpm as lpm;
 pub use anns_lsh as lsh;
 pub use anns_sketch as sketch;
+pub use anns_store as store;
