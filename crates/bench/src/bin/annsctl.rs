@@ -8,8 +8,10 @@
 //! annsctl save        --out bundle.anns [--scheme all] [--n 1024 --d 256 | --index index.json]
 //! annsctl load        --store bundle.anns [--verify-queries 4]
 //! annsctl inspect     --store bundle.anns
-//! annsctl serve       [--from-store bundle.anns | --index index.json] [--scheme all] [--batch 64]
-//! annsctl bench-serve [--from-store bundle.anns | --index index.json] --out BENCH_serve.json
+//! annsctl mount       --mounts a=x.anns,b=y.anns [--verify-queries 4]
+//! annsctl swap        --mounts a=x.anns,b=y.anns --swap a=x2.anns [--requests 256]
+//! annsctl serve       [--from-store bundle.anns | --mounts a=x.anns,… | --index index.json]
+//! annsctl bench-serve [--from-store bundle.anns | --index index.json] [--shards 4] --out BENCH_serve.json
 //! annsctl bench-gate  --current BENCH_new.json --reference BENCH_serve.json [--tol-coalescing 0.1]
 //! annsctl lpm         --sigma 4 --m 8 --n 64 --k 2 --queries 32
 //! annsctl lb          --log2n 1.3e24 --log2d 1.1e12 --gamma 4 --k 3
@@ -20,14 +22,23 @@
 //! `lambda` load it and run the paper's schemes, `stats` prints the space
 //! model, `save` / `load` / `inspect` manage versioned **binary store
 //! bundles** (`anns-store`: checksummed sections holding deduplicated
-//! index payloads plus every registered scheme), `serve` drives the
-//! round-synchronous engine — warm-started from a bundle via
-//! `--from-store` — and exits nonzero on budget violations or a failed
-//! round-integrity audit, `bench-serve` races coalesced engine serving
-//! against per-query `run_batch` and writes `BENCH_serve.json`,
+//! index payloads plus every registered scheme), `mount` assembles a
+//! multi-bundle registry (one namespace per bundle, cross-bundle index
+//! deduplication) and prints each mount's provenance manifest, `swap`
+//! demonstrates the zero-downtime path — it serves a workload *while*
+//! hot-swapping one namespace and exits nonzero unless every query
+//! completed and the old mount fully retired, `serve` drives the
+//! round-synchronous engine — warm-started from one bundle via
+//! `--from-store` or several via `--mounts` — and exits nonzero on budget
+//! violations or a failed round-integrity audit, `bench-serve` races
+//! coalesced engine serving against per-query `run_batch` (optionally
+//! across `--shards N` mounted namespaces) and writes `BENCH_serve.json`,
 //! `bench-gate` compares such a report against a committed reference with
 //! tolerance bands (the CI perf-regression gate), `lpm` runs the trie
 //! scheme end to end, and `lb` invokes the round-elimination calculator.
+//!
+//! The operator-facing walkthrough of these commands lives in
+//! `docs/SERVING.md`; the bundle format itself in `docs/STORE_FORMAT.md`.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -39,7 +50,10 @@ use anns_cellprobe::{
 };
 use anns_core::serve::{ServableScheme, SoloServable};
 use anns_core::{Alg2Config, AnnIndex, AnnsInstance, BuildOptions};
-use anns_engine::{Engine, EngineOptions, QueryRequest, Registry, ServeReport, Served, ShardId};
+use anns_engine::{
+    Engine, EngineOptions, MountManifest, MountTable, NamedRequest, QueryRequest, Registry,
+    ServeReport, Served, ShardId,
+};
 use anns_hamming::{gen, Point};
 use anns_lpm::{certified_lower_bound, lower_bound_form, ElimParams, LpmInstance, TrieLpm};
 use anns_sketch::SketchParams;
@@ -67,9 +81,50 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 fn die(msg: &str) -> ! {
     eprintln!("annsctl: {msg}");
     eprintln!(
-        "usage: annsctl <build|query|lambda|stats|save|load|inspect|serve|bench-serve|bench-gate|lpm|lb> [--flag value]…"
+        "usage: annsctl <build|query|lambda|stats|save|load|inspect|mount|swap|serve|bench-serve|bench-gate|lpm|lb> [--flag value]…"
     );
     std::process::exit(2);
+}
+
+/// Parses `--mounts ns=path[,ns=path…]` into `(namespace, path)` pairs.
+fn parse_mounts(spec: &str) -> Vec<(String, String)> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let (ns, path) = part
+                .split_once('=')
+                .unwrap_or_else(|| die(&format!("--mounts entry {part:?} must be ns=path")));
+            (ns.to_string(), path.to_string())
+        })
+        .collect()
+}
+
+/// Prints one mount's provenance manifest (shared by `mount`/`load`).
+fn print_manifest(m: &MountManifest) {
+    println!("  {}", m.summary());
+    println!(
+        "    format v{}, kind {}, tool {:?}",
+        m.format_version, m.container_kind, m.tool
+    );
+    for digest in &m.sections {
+        println!(
+            "    section {} {:>10} bytes  crc32 {:#010x}",
+            digest.tag_string(),
+            digest.len,
+            digest.crc
+        );
+    }
+    for digest in &m.skipped {
+        println!(
+            "    skipped {} {:>10} bytes (unknown tag; newer writer?)",
+            digest.tag_string(),
+            digest.len
+        );
+    }
+    for shard in &m.shards {
+        println!("    shard   {shard}");
+    }
 }
 
 fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
@@ -262,11 +317,29 @@ fn build_registry(flags: &HashMap<String, String>, index: &Arc<AnnIndex>) -> Reg
     registry
 }
 
-/// The serving surface behind `serve`/`bench-serve`: either a cold-built
-/// registry over a fresh/JSON-snapshot index, or a warm start from an
-/// `anns-store` bundle (`--from-store`).
+/// The serving surface behind `serve`/`bench-serve`: a multi-bundle
+/// mounted registry (`--mounts ns=path,…`), a single-bundle warm start
+/// (`--from-store`), or a cold-built registry over a fresh/JSON-snapshot
+/// index.
 fn registry_and_index(flags: &HashMap<String, String>) -> (Registry, Arc<AnnIndex>) {
-    if let Some(path) = flags.get("from-store") {
+    if let Some(spec) = flags.get("mounts") {
+        let mut registry = Registry::new();
+        for (ns, path) in parse_mounts(spec) {
+            let manifest = registry
+                .mount(&ns, &path)
+                .unwrap_or_else(|e| die(&format!("cannot mount {ns}={path}: {e}")));
+            eprintln!("mounted {}", manifest.summary());
+        }
+        // One workload round-robins over every shard, so every mounted
+        // dataset must share its query dimension.
+        require_one_dimension(&registry);
+        let index = registry
+            .pooled_indexes()
+            .first()
+            .cloned()
+            .unwrap_or_else(|| die("mounted bundles hold no AnnIndex-backed shard"));
+        (registry, index)
+    } else if let Some(path) = flags.get("from-store") {
         let bundle = Registry::load_bundle(path)
             .unwrap_or_else(|e| die(&format!("cannot load store {path}: {e}")));
         let index = bundle
@@ -279,10 +352,206 @@ fn registry_and_index(flags: &HashMap<String, String>) -> (Registry, Arc<AnnInde
             bundle.registry.len(),
             bundle.indexes.len()
         );
+        if !bundle.report.skipped.is_empty() {
+            eprintln!(
+                "warm start: {} unknown section(s) skipped — see `annsctl load` for details",
+                bundle.report.skipped.len()
+            );
+        }
         (bundle.registry, index)
     } else {
         let index = load_or_build_index(flags, 1024, 256);
         (build_registry(flags, &index), index)
+    }
+}
+
+/// Smoke-runs a few queries per shard through the solo executor, dying
+/// if any shard exceeds its declared budgets — the shared post-load
+/// verification behind `load` and `mount`. Queries are generated from
+/// `index`, so it must come from the same bundle as the shards (query
+/// dimension must match the dataset's).
+fn verify_shard_budgets(registry: &Registry, index: &Arc<AnnIndex>, verify: usize, seed: u64) {
+    let queries = hot_set_workload(index, verify, verify, 6, seed);
+    for shard in 0..registry.len() {
+        let scheme = registry.scheme(ShardId(shard));
+        let mut within = true;
+        for q in &queries {
+            let (_, ledger) = execute(&SoloServable(scheme), q);
+            within &= scheme.within_budget(&ledger);
+        }
+        println!(
+            "  verify {}: {verify} queries, within budget = {within}",
+            registry.name(ShardId(shard))
+        );
+        if !within {
+            die("shard exceeded its declared budgets");
+        }
+    }
+}
+
+/// Dies unless every shard declares the same query dimension — the
+/// precondition for generating one query workload that is valid on
+/// every mounted shard (`serve --mounts`, `swap`). Checked per *shard*
+/// (`ServableScheme::query_dim`), so foreign LSH/linear shards count
+/// too, not just pool-backed `AnnIndex` schemes.
+fn require_one_dimension(registry: &Registry) {
+    let dims: std::collections::BTreeSet<u32> = (0..registry.len())
+        .filter_map(|i| registry.scheme(ShardId(i)).query_dim())
+        .collect();
+    if dims.len() > 1 {
+        die(&format!(
+            "mounted bundles span multiple query dimensions {dims:?}; \
+             one workload cannot query them all — mount same-dimension shards"
+        ));
+    }
+}
+
+fn cmd_mount(flags: HashMap<String, String>) {
+    let spec = required(&flags, "mounts");
+    let verify: usize = flag(&flags, "verify-queries", 4);
+    let seed: u64 = flag(&flags, "seed", 99);
+    let mounts = parse_mounts(&spec);
+    let mut registry = Registry::new();
+    let started = Instant::now();
+    for (ns, path) in &mounts {
+        registry
+            .mount(ns, path)
+            .unwrap_or_else(|e| die(&format!("cannot mount {ns}={path}: {e}")));
+    }
+    let mount_ms = started.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "mounted {} bundle(s), {} shard(s), {} distinct pooled index(es) in {mount_ms:.1} ms",
+        registry.mounts().len(),
+        registry.len(),
+        registry.pooled_indexes().len()
+    );
+    for manifest in registry.mounts().to_vec() {
+        print_manifest(&manifest);
+    }
+    // Per-bundle verification: each namespace's shards are queried at
+    // *its own* dataset dimension (bundles of different dimensions mount
+    // fine side by side; one shared workload would not fit them all).
+    if verify > 0 {
+        for (ns, path) in &mounts {
+            let bundle = Registry::load_bundle(path).unwrap_or_else(|e| {
+                die(&format!("cannot reload {ns}={path} for verification: {e}"))
+            });
+            let Some(index) = bundle.indexes.first() else {
+                println!("  verify {ns}: no pooled index, skipping query verification");
+                continue;
+            };
+            println!("  namespace {ns}:");
+            verify_shard_budgets(&bundle.registry, index, verify, seed);
+        }
+    }
+}
+
+fn cmd_swap(flags: HashMap<String, String>) {
+    let spec = required(&flags, "mounts");
+    let swap_spec = required(&flags, "swap");
+    let requests_n: usize = flag(&flags, "requests", 256);
+    let batch: usize = flag(&flags, "batch", 16);
+    let threads: usize = flag(&flags, "threads", 4);
+    let flips: u32 = flag(&flags, "flips", 6);
+    let seed: u64 = flag(&flags, "seed", 99);
+    let swaps = parse_mounts(&swap_spec);
+    let [(swap_ns, swap_path)] = &swaps[..] else {
+        die("--swap takes exactly one ns=path");
+    };
+
+    let mounts = Arc::new(MountTable::new());
+    for (ns, path) in parse_mounts(&spec) {
+        let receipt = mounts
+            .mount(&ns, &path)
+            .unwrap_or_else(|e| die(&format!("cannot mount {ns}={path}: {e}")));
+        eprintln!(
+            "mounted {} (epoch {})",
+            receipt.manifest.as_ref().expect("mount manifest").summary(),
+            receipt.epoch
+        );
+    }
+    let initial = mounts.current();
+    if initial.manifest(swap_ns).is_none() {
+        die(&format!("--swap namespace {swap_ns:?} is not in --mounts"));
+    }
+    // One named workload round-robins over every shard across the swap,
+    // so every mounted dataset must share its query dimension.
+    require_one_dimension(&initial);
+    let index = initial
+        .pooled_indexes()
+        .first()
+        .cloned()
+        .unwrap_or_else(|| die("mounted bundles hold no AnnIndex-backed shard"));
+    let shard_names: Vec<String> = initial
+        .listing()
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect();
+    drop(initial);
+
+    // Serve a workload round-robin over every mounted shard *by name*
+    // while the swap lands: names stay valid across the epoch flip.
+    let queries = hot_set_workload(&index, requests_n, (requests_n / 4).max(1), flips, seed);
+    let reqs: Vec<NamedRequest> = queries
+        .into_iter()
+        .enumerate()
+        .map(|(i, query)| NamedRequest {
+            shard: shard_names[i % shard_names.len()].clone(),
+            query,
+        })
+        .collect();
+    let engine = Engine::over(
+        Arc::clone(&mounts),
+        EngineOptions {
+            generation: batch.max(1),
+            exec: ExecOptions::default(),
+            batch_threads: threads,
+        },
+    );
+    eprintln!(
+        "serving {} requests over {} shard(s) while swapping {swap_ns}={swap_path}…",
+        reqs.len(),
+        shard_names.len()
+    );
+    let started = Instant::now();
+    let (served, receipt) = std::thread::scope(|scope| {
+        let engine = &engine;
+        let reqs = &reqs;
+        let serve = scope.spawn(move || engine.submit_named(reqs));
+        let swap = scope.spawn({
+            let mounts = Arc::clone(&mounts);
+            let (ns, path) = (swap_ns.clone(), swap_path.clone());
+            move || mounts.swap(&ns, &path)
+        });
+        (
+            serve.join().expect("serve thread"),
+            swap.join().expect("swap thread"),
+        )
+    });
+    let wall = started.elapsed();
+    let receipt = receipt.unwrap_or_else(|e| die(&format!("swap failed: {e}")));
+    let failed = served.iter().filter(|r| r.is_err()).count();
+    let ok: Vec<Served> = served.into_iter().filter_map(Result::ok).collect();
+    let old_epoch_queries = ok.iter().filter(|s| s.epoch < receipt.epoch).count();
+    let retired = receipt.wait_retired(std::time::Duration::from_secs(10));
+    let stats = engine.stats();
+    println!(
+        "swap {} → epoch {}: {} queries ok ({} on the old epoch, {} on the new), {} failed, \
+         old mount retired = {retired}, wall {:.1} ms",
+        swap_ns,
+        receipt.epoch,
+        ok.len(),
+        old_epoch_queries,
+        ok.len() - old_epoch_queries,
+        failed,
+        wall.as_secs_f64() * 1e3
+    );
+    println!(
+        "epochs served = {}, budget violations = {}",
+        stats.epochs_served, stats.budget_violations
+    );
+    if failed > 0 || !retired || stats.budget_violations > 0 {
+        die("hot swap must complete with zero failed queries and a fully retired old mount");
     }
 }
 
@@ -448,6 +717,7 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
     let flips: u32 = flag(&flags, "flips", 6);
     let threads: usize = flag(&flags, "threads", 4);
     let seed: u64 = flag(&flags, "seed", 99);
+    let shards_n: usize = flag(&flags, "shards", 1);
     let out = flag(&flags, "out", "BENCH_serve.json".to_string());
     let batches_flag: String = flag(
         &flags,
@@ -519,6 +789,7 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
                 transcript: None,
                 latency_ns,
                 within_budget,
+                epoch: 0,
             }
         })
         .collect();
@@ -536,11 +807,50 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
     baseline.probes_submitted = baseline_probes;
     baseline.probes_executed = baseline_probes;
 
+    // Multi-shard mode: save the single-shard registry once and mount it
+    // N times under namespaces s0..s{N-1}. Cross-bundle deduplication
+    // shares the one index; each namespace is still its own shard, so
+    // every generation-round dispatches one coalesced batch per shard —
+    // the paper's parallel batch surface, scaled by the mount table.
+    let shard_bundle: Option<Vec<u8>> = (shards_n > 1).then(|| {
+        let mut single = Registry::new();
+        single.register_alg1(scheme_name.clone(), Arc::clone(&index), k);
+        let mut bytes = Vec::new();
+        single
+            .save_bundle_to(&mut bytes)
+            .unwrap_or_else(|e| die(&format!("cannot bundle the shard registry: {e}")));
+        bytes
+    });
+    let serving_registry = || -> (Registry, Vec<ShardId>) {
+        match &shard_bundle {
+            None => {
+                let mut registry = Registry::new();
+                let shard = registry.register_alg1(scheme_name.clone(), Arc::clone(&index), k);
+                (registry, vec![shard])
+            }
+            Some(bytes) => {
+                let mut registry = Registry::new();
+                let mut ids = Vec::with_capacity(shards_n);
+                for s in 0..shards_n {
+                    let ns = format!("s{s}");
+                    registry
+                        .mount_from(&ns, &bytes[..], "<bench-serve>")
+                        .unwrap_or_else(|e| die(&format!("cannot mount {ns}: {e}")));
+                    ids.push(
+                        registry
+                            .resolve(&format!("{ns}/{scheme_name}"))
+                            .expect("mounted shard resolves"),
+                    );
+                }
+                (registry, ids)
+            }
+        }
+    };
+
     // Engine runs: one per generation width, same request stream.
     let mut engine_runs = Vec::new();
     for &batch in &batches {
-        let mut registry = Registry::new();
-        let shard = registry.register_alg1(scheme_name.clone(), Arc::clone(&index), k);
+        let (registry, shard_ids) = serving_registry();
         let engine = Engine::new(
             registry,
             EngineOptions {
@@ -551,12 +861,13 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
         );
         let reqs: Vec<QueryRequest> = queries
             .iter()
-            .map(|query| QueryRequest {
-                shard,
+            .enumerate()
+            .map(|(i, query)| QueryRequest {
+                shard: shard_ids[i % shard_ids.len()],
                 query: query.clone(),
             })
             .collect();
-        eprintln!("engine: generation width {batch}…");
+        eprintln!("engine: generation width {batch}, {shards_n} shard(s)…");
         let started = Instant::now();
         let (served, traces) = engine.submit_batch_traced(&reqs);
         let wall = started.elapsed();
@@ -565,8 +876,12 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
             assert_eq!(s.answer, b.answer, "engine answer diverged from run_batch");
             assert_eq!(s.ledger, b.ledger, "engine ledger diverged from run_batch");
         }
-        let report =
-            ServeReport::from_run(format!("engine[batch={batch}]"), &served, &traces, wall);
+        let label = if shards_n > 1 {
+            format!("engine[batch={batch},shards={shards_n}]")
+        } else {
+            format!("engine[batch={batch}]")
+        };
+        let report = ServeReport::from_run(label, &served, &traces, wall);
         engine_runs.push(EngineRun {
             batch,
             speedup_vs_baseline: if report.wall_ms > 0.0 {
@@ -692,6 +1007,25 @@ fn cmd_load(flags: HashMap<String, String>) {
         bundle.indexes.len(),
         bundle.meta.tool
     );
+    println!(
+        "  manifest {}; {} section(s), {} skipped",
+        if bundle.report.manifest_verified {
+            "verified"
+        } else {
+            "absent (pre-manifest bundle)"
+        },
+        bundle.report.sections.len(),
+        bundle.report.skipped.len()
+    );
+    // Version-skew debugging must not be blind: anything the loader
+    // skipped is reported, not silently dropped.
+    for digest in &bundle.report.skipped {
+        println!(
+            "  skipped {} {:>10} bytes (unknown tag; written by a newer build?)",
+            digest.tag_string(),
+            digest.len
+        );
+    }
     for (id, index) in bundle.indexes.iter().enumerate() {
         println!(
             "  index {id}: n = {}, d = {}, γ = {}, {} scales",
@@ -711,22 +1045,7 @@ fn cmd_load(flags: HashMap<String, String>) {
             println!("no pooled index: skipping query verification");
             return;
         };
-        let queries = hot_set_workload(index, verify, verify, 6, seed);
-        for shard in 0..bundle.registry.len() {
-            let scheme = bundle.registry.scheme(ShardId(shard));
-            let mut within = true;
-            for q in &queries {
-                let (_, ledger) = execute(&SoloServable(scheme), q);
-                within &= scheme.within_budget(&ledger);
-            }
-            println!(
-                "  verify {}: {verify} queries, within budget = {within}",
-                bundle.registry.name(ShardId(shard))
-            );
-            if !within {
-                die("loaded shard exceeded its declared budgets");
-            }
-        }
+        verify_shard_budgets(&bundle.registry, index, verify, seed);
     }
 }
 
@@ -769,6 +1088,19 @@ fn cmd_inspect(flags: HashMap<String, String>) {
                             shard.name,
                             anns_store::scheme_kind::name(shard.kind),
                             shard.label
+                        );
+                    }
+                }
+                if section.tag == anns_store::section_tag::MANIFEST {
+                    let manifest = anns_store::Manifest::from_bytes(&section.payload)
+                        .unwrap_or_else(|e| die(&format!("bad MNFT section: {e}")));
+                    println!("    tool   : {}", manifest.tool);
+                    for digest in &manifest.sections {
+                        println!(
+                            "    covers : {} {:>10} bytes  crc32 {:#010x}",
+                            digest.tag_string(),
+                            digest.len,
+                            digest.crc
                         );
                     }
                 }
@@ -960,6 +1292,8 @@ fn main() {
         "save" => cmd_save(flags),
         "load" => cmd_load(flags),
         "inspect" => cmd_inspect(flags),
+        "mount" => cmd_mount(flags),
+        "swap" => cmd_swap(flags),
         "serve" => cmd_serve(flags),
         "bench-serve" => cmd_bench_serve(flags),
         "bench-gate" => cmd_bench_gate(flags),

@@ -1,0 +1,233 @@
+//! `mdcheck` — an offline markdown link checker for CI.
+//!
+//! ```text
+//! mdcheck README.md ROADMAP.md docs
+//! ```
+//!
+//! Walks the given files (and `.md` files under given directories) and
+//! verifies every inline link `[text](target)` and reference definition
+//! `[label]: target`:
+//!
+//! * relative file targets must exist on disk (resolved from the linking
+//!   file's directory);
+//! * `#anchor` fragments — bare or on a `.md` target — must match a
+//!   heading in the target file (GitHub slug rules: lowercase, spaces to
+//!   dashes, punctuation dropped);
+//! * `http(s)://` and `mailto:` targets are skipped (CI has no network);
+//! * fenced code blocks are ignored, so shell snippets with `](` inside
+//!   strings cannot false-positive.
+//!
+//! Exits nonzero listing every broken link. No dependencies, no network —
+//! the checker CI runs over `README.md`, `ROADMAP.md` and `docs/`.
+
+use std::path::{Path, PathBuf};
+
+/// One discovered link: where it was written and what it points at.
+struct Link {
+    file: PathBuf,
+    line: usize,
+    target: String,
+}
+
+fn collect_md_files(arg: &str, out: &mut Vec<PathBuf>) {
+    let path = PathBuf::from(arg);
+    if path.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read dir {arg}: {e}")))
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for entry in entries {
+            if entry.is_dir() {
+                collect_md_files(&entry.display().to_string(), out);
+            } else if entry.extension().is_some_and(|ext| ext == "md") {
+                out.push(entry);
+            }
+        }
+    } else if path.is_file() {
+        out.push(path);
+    } else {
+        fail(&format!("no such file or directory: {arg}"));
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("mdcheck: {msg}");
+    std::process::exit(2);
+}
+
+/// GitHub-style heading slug: lowercase, keep alphanumerics and dashes,
+/// spaces become dashes, everything else is dropped.
+fn slugify(heading: &str) -> String {
+    let mut slug = String::new();
+    for c in heading.trim().chars() {
+        if c.is_alphanumeric() {
+            for lower in c.to_lowercase() {
+                slug.push(lower);
+            }
+        } else if c == ' ' || c == '-' {
+            slug.push('-');
+        }
+        // Other punctuation: dropped.
+    }
+    slug
+}
+
+/// Headings of a markdown file, as anchor slugs (fences excluded).
+fn heading_slugs(path: &Path) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut slugs = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if !in_fence && trimmed.starts_with('#') {
+            let heading = trimmed.trim_start_matches('#');
+            slugs.push(slugify(heading));
+        }
+    }
+    slugs
+}
+
+/// Extracts inline `[text](target)` links and `[label]: target`
+/// reference definitions from one line.
+fn links_in_line(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+            // Inline link: scan to the matching close paren (no nesting
+            // in practice; stop at the first unbalanced `)`).
+            let mut depth = 1usize;
+            let start = i + 2;
+            let mut j = start;
+            while j < bytes.len() && depth > 0 {
+                match bytes[j] {
+                    b'(' => depth += 1,
+                    b')' => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if depth == 0 {
+                let target = line[start..j - 1].trim();
+                // Strip an optional `"title"` suffix.
+                let target = target.split_whitespace().next().unwrap_or("");
+                if !target.is_empty() {
+                    out.push(target.to_string());
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    // Reference definition at line start: `[label]: target`.
+    let trimmed = line.trim_start();
+    if let Some(rest) = trimmed.strip_prefix('[') {
+        if let Some((label, def)) = rest.split_once("]:") {
+            if !label.contains('[') {
+                let target = def.split_whitespace().next().unwrap_or("");
+                if !target.is_empty() {
+                    out.push(target.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+fn check_link(link: &Link) -> Option<String> {
+    let target = link.target.as_str();
+    if target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+    {
+        return None; // External: out of scope for an offline checker.
+    }
+    let (path_part, anchor) = match target.split_once('#') {
+        Some((p, a)) => (p, Some(a)),
+        None => (target, None),
+    };
+    let base = link.file.parent().unwrap_or_else(|| Path::new("."));
+    let resolved = if path_part.is_empty() {
+        link.file.clone()
+    } else {
+        base.join(path_part)
+    };
+    if !resolved.exists() {
+        return Some(format!("target {path_part:?} does not exist"));
+    }
+    if let Some(anchor) = anchor {
+        if resolved.extension().is_some_and(|ext| ext == "md") {
+            let slugs = heading_slugs(&resolved);
+            if !slugs.iter().any(|s| s == anchor) {
+                return Some(format!(
+                    "anchor #{anchor} not found in {} (headings: {})",
+                    resolved.display(),
+                    slugs.join(", ")
+                ));
+            }
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        fail("usage: mdcheck <file.md | dir>…");
+    }
+    let mut files = Vec::new();
+    for arg in &args {
+        collect_md_files(arg, &mut files);
+    }
+    let mut links = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", file.display())));
+        let mut in_fence = false;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("```") {
+                in_fence = !in_fence;
+                continue;
+            }
+            if in_fence {
+                continue;
+            }
+            for target in links_in_line(line) {
+                links.push(Link {
+                    file: file.clone(),
+                    line: lineno + 1,
+                    target,
+                });
+            }
+        }
+    }
+    let mut broken = 0usize;
+    for link in &links {
+        if let Some(problem) = check_link(link) {
+            broken += 1;
+            eprintln!(
+                "{}:{}: [{}] {problem}",
+                link.file.display(),
+                link.line,
+                link.target
+            );
+        }
+    }
+    println!(
+        "mdcheck: {} file(s), {} link(s), {broken} broken",
+        files.len(),
+        links.len()
+    );
+    if broken > 0 {
+        std::process::exit(1);
+    }
+}

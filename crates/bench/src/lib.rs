@@ -6,6 +6,18 @@
 //! outputs. This crate holds the shared glue: markdown rendering, small
 //! statistics, worst-case aggregation over query grids, and the
 //! environment-variable quick mode.
+//!
+//! # Example
+//!
+//! ```
+//! use anns_bench::MarkdownTable;
+//!
+//! let mut table = MarkdownTable::new(&["k", "probes"]);
+//! table.row(vec!["2".into(), "14".into()]);
+//! let rendered = table.render();
+//! assert!(rendered.contains("probes"));
+//! assert!(rendered.lines().count() >= 3, "header, rule, row");
+//! ```
 
 use anns_cellprobe::ProbeLedger;
 use anns_core::AnnIndex;

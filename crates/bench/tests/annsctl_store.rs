@@ -149,6 +149,94 @@ fn save_load_serve_gate_pipeline() {
 }
 
 #[test]
+fn mount_and_hot_swap_pipeline() {
+    let dir = tmp_dir("mount");
+    let a = dir.join("a.anns");
+    let b = dir.join("b.anns");
+    // Same shard names, different seeds: a plausible "next build" pair.
+    for (path, seed) in [(&a, "5"), (&b, "6")] {
+        run_ok(annsctl().args([
+            "save",
+            "--n",
+            "128",
+            "--d",
+            "128",
+            "--seed",
+            seed,
+            "--scheme",
+            "alg1,lambda",
+            "--out",
+            path.to_str().unwrap(),
+        ]));
+    }
+    let mounts = format!("t0={},t1={}", a.display(), b.display());
+
+    // mount: namespaced shards, manifests, per-shard verification.
+    let out = run_ok(annsctl().args(["mount", "--mounts", &mounts, "--verify-queries", "2"]));
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    for needle in [
+        "mounted 2 bundle(s), 4 shard(s)",
+        "t0/alg1-k3",
+        "t1/alg1-k3",
+        "manifest verified",
+        "within budget = true",
+    ] {
+        assert!(
+            stdout.contains(needle),
+            "mount output missing {needle:?}:\n{stdout}"
+        );
+    }
+
+    // serve --mounts: the multi-bundle registry serves with the audit on.
+    let out = run_ok(annsctl().args([
+        "serve",
+        "--mounts",
+        &mounts,
+        "--requests",
+        "32",
+        "--batch",
+        "8",
+        "--threads",
+        "2",
+    ]));
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("round-integrity audit passed"), "{stderr}");
+
+    // swap during active serving: zero failed queries, old mount retired
+    // (the command itself exits nonzero otherwise — this is the
+    // acceptance gate).
+    let out = run_ok(annsctl().args([
+        "swap",
+        "--mounts",
+        &mounts,
+        "--swap",
+        &format!("t0={}", b.display()),
+        "--requests",
+        "96",
+        "--batch",
+        "8",
+    ]));
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("0 failed"), "{stdout}");
+    assert!(stdout.contains("old mount retired = true"), "{stdout}");
+
+    // swap of an unmounted namespace fails loudly.
+    let out = annsctl()
+        .args([
+            "swap",
+            "--mounts",
+            &mounts,
+            "--swap",
+            &format!("nope={}", b.display()),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "swap of unmounted ns must fail");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn corrupted_store_fails_with_typed_error_and_nonzero_exit() {
     let dir = tmp_dir("corrupt");
     let store = dir.join("corrupt.anns");

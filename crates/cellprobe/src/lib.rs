@@ -28,6 +28,40 @@
 //! (crossbeam scoped threads), which is precisely the parallelism the paper
 //! says limited adaptivity exposes ("the ability to be implemented in
 //! parallel", §1).
+//!
+//! # Example
+//!
+//! A two-round scheme (`k = 2`): round 2's address depends on round 1's
+//! contents, and the ledger charges exactly what the model defines:
+//!
+//! ```
+//! use anns_cellprobe::{
+//!     execute, Address, CellProbeScheme, MaterializedTable, RoundExecutor, SpaceModel,
+//!     Table, Word,
+//! };
+//!
+//! struct Chase {
+//!     table: MaterializedTable,
+//! }
+//! impl CellProbeScheme for Chase {
+//!     type Query = u64;
+//!     type Answer = u64;
+//!     fn table(&self) -> &dyn Table { &self.table }
+//!     fn word_bits(&self) -> u64 { 64 }
+//!     fn run(&self, query: &u64, exec: &mut RoundExecutor<'_>) -> u64 {
+//!         let first = exec.round(&[Address::with_u64(0, *query)]);
+//!         let second = exec.round(&[Address::with_u64(0, first[0].to_u64())]);
+//!         second[0].to_u64()
+//!     }
+//! }
+//!
+//! let table = MaterializedTable::new(SpaceModel::from_exact_cells(4, 64));
+//! table.write(Address::with_u64(0, 0), Word::from_u64(1));
+//! table.write(Address::with_u64(0, 1), Word::from_u64(42));
+//! let (answer, ledger) = execute(&Chase { table }, &0);
+//! assert_eq!(answer, 42);
+//! assert_eq!((ledger.rounds(), ledger.total_probes()), (2, 2));
+//! ```
 
 pub mod audit;
 pub mod batch;

@@ -31,6 +31,36 @@
 //! All schemes speak the [`anns_cellprobe`] model: probes go through a
 //! `RoundExecutor`, rounds and probes are charged to a `ProbeLedger`, word
 //! sizes are enforced.
+//!
+//! Where the paper's names live in code: **Algorithm 1** is
+//! [`alg1::alg1`] (served as [`serve::ServeAlg1`], persisted as
+//! `store::SchemeSpec::Alg1`); **Algorithm 2** is [`alg2::alg2`] under an
+//! [`alg2::Alg2Config`] (served as [`serve::ServeAlg2`]); the **λ-ANNS**
+//! 1-probe scheme of Theorem 11 is [`lambda::lambda_ann`] (served as
+//! [`serve::ServeLambda`]).
+//!
+//! # Example
+//!
+//! Build an index over a planted instance and query it with Algorithm 1
+//! at round budget `k = 2`:
+//!
+//! ```
+//! use anns_core::{AnnIndex, BuildOptions};
+//! use anns_hamming::gen;
+//! use anns_sketch::SketchParams;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let planted = gen::planted(64, 128, 4, &mut rng);
+//! let index = AnnIndex::build(
+//!     planted.dataset,
+//!     SketchParams::practical(2.0, 7),
+//!     BuildOptions::default(),
+//! );
+//! let (outcome, ledger) = index.query(&planted.query, 2); // Algorithm 1, k = 2
+//! assert!(index.verify_gamma(&planted.query, &outcome));
+//! assert!(ledger.rounds() <= 2);
+//! ```
 
 pub mod alg1;
 pub mod alg2;

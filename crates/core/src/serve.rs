@@ -78,6 +78,13 @@ pub trait ServableScheme: Send + Sync {
     /// Declared word size `w` in bits; enforced by the executor.
     fn word_bits(&self) -> u64;
 
+    /// The query dimension this scheme expects (`None` if it accepts any
+    /// [`Point`]). Serving layers use it to validate that one workload
+    /// can be routed across a set of shards.
+    fn query_dim(&self) -> Option<u32> {
+        None
+    }
+
     /// Declared round budget (`k`), if the scheme commits to one.
     fn round_budget(&self) -> Option<u32> {
         None
@@ -161,6 +168,10 @@ impl ServableScheme for ServeAlg1 {
         crate::instance::AnnsInstance::word_bits(&*self.index)
     }
 
+    fn query_dim(&self) -> Option<u32> {
+        Some(self.index.dataset().dim())
+    }
+
     fn round_budget(&self) -> Option<u32> {
         Some(self.k)
     }
@@ -210,6 +221,10 @@ impl ServableScheme for ServeAlg2 {
         crate::instance::AnnsInstance::word_bits(&*self.index)
     }
 
+    fn query_dim(&self) -> Option<u32> {
+        Some(self.index.dataset().dim())
+    }
+
     fn round_budget(&self) -> Option<u32> {
         Some(self.config.k)
     }
@@ -245,6 +260,10 @@ impl ServableScheme for ServeLambda {
 
     fn word_bits(&self) -> u64 {
         crate::instance::AnnsInstance::word_bits(&*self.index)
+    }
+
+    fn query_dim(&self) -> Option<u32> {
+        Some(self.index.dataset().dim())
     }
 
     fn round_budget(&self) -> Option<u32> {

@@ -1,11 +1,13 @@
 //! The serving front-end: admission, generations, per-query results.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use anns_cellprobe::{execute_on, ExecOptions, ProbeLedger, Transcript};
 use anns_core::serve::{ServedAnswer, SoloServable};
 use anns_hamming::Point;
 
+use crate::mount::MountTable;
 use crate::registry::{Registry, ShardId};
 use crate::scheduler::{DispatchTrace, Generation};
 use crate::stats::EngineStats;
@@ -35,7 +37,11 @@ impl Default for EngineOptions {
     }
 }
 
-/// One query request: which shard to ask, and the query point.
+/// One query request: which shard to ask (by id), and the query point.
+///
+/// Shard ids are positions *within one epoch's registry*. Under hot
+/// swapping, prefer [`NamedRequest`]: names are the stable addressing
+/// surface across epochs.
 #[derive(Clone, Debug)]
 pub struct QueryRequest {
     /// Target shard.
@@ -43,6 +49,44 @@ pub struct QueryRequest {
     /// The query point.
     pub query: Point,
 }
+
+/// One query request addressed by shard *name* (`ns/shard` for mounted
+/// bundles). Names are resolved against the epoch each generation pins,
+/// so requests admitted after a hot swap are served by the new bundle
+/// while in-flight generations finish on the old one.
+#[derive(Clone, Debug)]
+pub struct NamedRequest {
+    /// Target shard name, e.g. `"tenant-a/alg1-k3"`.
+    pub shard: String,
+    /// The query point.
+    pub query: Point,
+}
+
+/// Why a named request could not be served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The shard name did not resolve in the epoch the request was
+    /// admitted under (e.g. its namespace was unmounted, or a swap
+    /// changed the bundle's shard set).
+    UnknownShard {
+        /// The name that failed to resolve.
+        shard: String,
+        /// The epoch it was resolved against.
+        epoch: u64,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownShard { shard, epoch } => {
+                write!(f, "shard {shard:?} not mounted in epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// One served query: the answer plus its first-class served metrics.
 #[derive(Clone, Debug)]
@@ -60,40 +104,68 @@ pub struct Served {
     /// Whether the query stayed within the shard scheme's declared round
     /// and probe budgets (`true` when no budget is declared).
     pub within_budget: bool,
+    /// Mount-table epoch this query's generation pinned: which snapshot
+    /// of the mounted bundles answered it.
+    pub epoch: u64,
 }
 
 /// The audit log of one generation: its coalesced dispatches in order.
 #[derive(Clone, Debug, serde::Serialize)]
 pub struct GenerationTrace {
+    /// Mount-table epoch the generation pinned at admission.
+    pub epoch: u64,
     /// One entry per generation-round dispatch.
     pub dispatches: Vec<DispatchTrace>,
 }
 
-/// The round-synchronous serving engine over a [`Registry`] of shards.
+/// The round-synchronous serving engine over a [`MountTable`] of epochs.
+///
+/// Each *generation* (a batch of queries admitted together) pins the
+/// mount table's current registry for its whole lifetime: a hot swap
+/// lands between generations, never inside one, so in-flight queries
+/// finish on the epoch that admitted them and the retired epoch is
+/// dropped when its last generation drains.
 pub struct Engine {
-    registry: Registry,
+    mounts: Arc<MountTable>,
     opts: EngineOptions,
     totals: std::sync::Mutex<EngineStats>,
 }
 
 impl Engine {
-    /// An engine over a populated registry.
+    /// An engine over a populated registry (a single-epoch mount table).
     ///
     /// # Panics
     /// If the registry is empty or `opts.generation == 0`.
     pub fn new(registry: Registry, opts: EngineOptions) -> Self {
         assert!(!registry.is_empty(), "engine needs at least one shard");
+        Engine::over(Arc::new(MountTable::with_registry(registry)), opts)
+    }
+
+    /// An engine over a shared mount table — the hot-swap deployment
+    /// shape: the caller keeps the `Arc<MountTable>` and swaps bundles
+    /// while the engine serves.
+    ///
+    /// # Panics
+    /// If `opts.generation == 0`.
+    pub fn over(mounts: Arc<MountTable>, opts: EngineOptions) -> Self {
         assert!(opts.generation >= 1, "generation width must be positive");
         Engine {
-            registry,
+            mounts,
             opts,
             totals: std::sync::Mutex::new(EngineStats::default()),
         }
     }
 
-    /// The shard registry.
-    pub fn registry(&self) -> &Registry {
-        &self.registry
+    /// The mount table this engine serves from.
+    pub fn mounts(&self) -> &Arc<MountTable> {
+        &self.mounts
+    }
+
+    /// A snapshot of the current epoch's registry. Holding the returned
+    /// `Arc` pins that epoch (it cannot retire until the `Arc` drops);
+    /// queries submitted later may be served by a newer epoch.
+    pub fn registry(&self) -> Arc<Registry> {
+        self.mounts.current()
     }
 
     /// The engine configuration.
@@ -126,25 +198,76 @@ impl Engine {
         &self,
         requests: &[QueryRequest],
     ) -> (Vec<Served>, Vec<GenerationTrace>) {
-        // Reject unknown shards before any generation spawns: a bad id
-        // discovered mid-generation would panic one worker while its
-        // peers hold the round barrier.
+        // Shard ids are epoch-relative, so the *whole call* pins the
+        // epoch current at admission: validating ids against one epoch
+        // and then serving chunks from a newer one would misroute (or
+        // panic mid-generation, stranding peers at the round barrier) if
+        // a swap landed between chunks. Name-addressed requests
+        // ([`Engine::submit_named`]) re-pin per generation instead —
+        // names stay valid across the flip, ids do not.
+        let epoch = self.mounts.current();
         for request in requests {
             assert!(
-                request.shard.0 < self.registry.len(),
+                request.shard.0 < epoch.len(),
                 "unknown shard {:?} (registry holds {})",
                 request.shard,
-                self.registry.len()
+                epoch.len()
             );
         }
         let mut served = Vec::with_capacity(requests.len());
         let mut traces = Vec::new();
         for generation_slice in requests.chunks(self.opts.generation) {
-            let (mut results, trace) = self.run_generation(generation_slice);
+            let (mut results, trace) = self.run_generation(&epoch, generation_slice);
             served.append(&mut results);
             traces.push(trace);
         }
         (served, traces)
+    }
+
+    /// Serves name-addressed queries, resolving each generation's names
+    /// against the epoch it pins. A name that does not resolve in its
+    /// epoch yields [`ServeError::UnknownShard`] for that query; the rest
+    /// of its generation is served normally. Results are in request
+    /// order.
+    pub fn submit_named(&self, requests: &[NamedRequest]) -> Vec<Result<Served, ServeError>> {
+        let mut out: Vec<Option<Result<Served, ServeError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        for (chunk_start, chunk) in requests
+            .chunks(self.opts.generation)
+            .enumerate()
+            .map(|(i, c)| (i * self.opts.generation, c))
+        {
+            let epoch = self.mounts.current();
+            let mut slots: Vec<usize> = Vec::with_capacity(chunk.len());
+            let mut generation: Vec<QueryRequest> = Vec::with_capacity(chunk.len());
+            for (offset, request) in chunk.iter().enumerate() {
+                match epoch.resolve(&request.shard) {
+                    Some(shard) => {
+                        slots.push(chunk_start + offset);
+                        generation.push(QueryRequest {
+                            shard,
+                            query: request.query.clone(),
+                        });
+                    }
+                    None => {
+                        out[chunk_start + offset] = Some(Err(ServeError::UnknownShard {
+                            shard: request.shard.clone(),
+                            epoch: epoch.epoch(),
+                        }))
+                    }
+                }
+            }
+            if generation.is_empty() {
+                continue;
+            }
+            let (results, _) = self.run_generation(&epoch, &generation);
+            for (slot, result) in slots.into_iter().zip(results) {
+                out[slot] = Some(Ok(result));
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every request served or errored"))
+            .collect()
     }
 
     /// Cumulative served metrics since the engine was built.
@@ -155,19 +278,36 @@ impl Engine {
             .clone()
     }
 
-    /// Runs one generation: a scoped thread per query, all advanced round
-    /// by round through the generation barrier.
-    fn run_generation(&self, requests: &[QueryRequest]) -> (Vec<Served>, GenerationTrace) {
-        let tables = (0..self.registry.len())
-            .map(|i| self.registry.scheme(ShardId(i)).table())
+    /// Runs one generation against a pinned epoch: a scoped thread per
+    /// query, all advanced round by round through the generation barrier.
+    fn run_generation(
+        &self,
+        epoch: &Arc<Registry>,
+        requests: &[QueryRequest],
+    ) -> (Vec<Served>, GenerationTrace) {
+        let tables = (0..epoch.len())
+            .map(|i| epoch.scheme(ShardId(i)).table())
             .collect();
-        let generation = Generation::new(tables, requests.len(), self.opts.batch_threads);
+        let generation = Generation::new(
+            tables,
+            requests.len(),
+            self.opts.batch_threads,
+            epoch.epoch(),
+        );
         let mut slots: Vec<Option<Served>> = (0..requests.len()).map(|_| None).collect();
         crossbeam::thread::scope(|scope| {
             for ((slot, request), out) in requests.iter().enumerate().zip(slots.iter_mut()) {
                 let generation = &generation;
-                let scheme = self.registry.scheme(request.shard);
+                assert!(
+                    request.shard.0 < epoch.len(),
+                    "unknown shard {:?} in epoch {} (registry holds {})",
+                    request.shard,
+                    epoch.epoch(),
+                    epoch.len()
+                );
+                let scheme = epoch.scheme(request.shard);
                 let exec = self.opts.exec;
+                let mount_epoch = epoch.epoch();
                 scope.spawn(move |_| {
                     let started = Instant::now();
                     let source = generation.source(slot, request.shard.0);
@@ -186,6 +326,7 @@ impl Engine {
                         transcript,
                         latency_ns: started.elapsed().as_nanos() as u64,
                         within_budget,
+                        epoch: mount_epoch,
                     });
                 });
             }
@@ -196,6 +337,7 @@ impl Engine {
             .map(|s| s.expect("query not served"))
             .collect();
         let trace = GenerationTrace {
+            epoch: epoch.epoch(),
             dispatches: generation.into_traces(),
         };
         self.totals

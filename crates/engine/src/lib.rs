@@ -22,7 +22,18 @@
 //! * [`registry`] — the **sharded index registry**: built instances
 //!   (Algorithm 1/2 at chosen round budgets, λ-ANNS, LSH/linear
 //!   baselines) behind the object-safe `anns_core::serve::ServableScheme`
-//!   surface, each shard owning its own table oracle;
+//!   surface, each shard owning its own table oracle. Registries persist
+//!   to store bundles and restore from N of them at once:
+//!   [`registry::Registry::mount`] loads a bundle under a namespace
+//!   (`ns/shard` ids) with cross-bundle deduplication of identical index
+//!   payloads;
+//! * [`mount`] — the **atomically swappable mount table**:
+//!   [`mount::MountTable::swap`] builds a replacement registry off to the
+//!   side and flips it in with a pointer exchange at a generation
+//!   boundary — in-flight generations finish on the epoch that admitted
+//!   them, new admissions see the new bundle, and the old mount retires
+//!   (observably, via [`mount::SwapReceipt`]) when its last generation
+//!   drains;
 //! * [`scheduler`] — the **generation barrier**: queries admitted
 //!   together advance one round at a time; the last query to park a round
 //!   leads the coalesced dispatch (sort + dedup + one
@@ -48,13 +59,53 @@
 //! coalesced serving.
 //!
 //! [`ProbeLedger`]: anns_cellprobe::ProbeLedger
+//!
+//! # Example
+//!
+//! Build a tiny index, register the paper's Algorithm 1
+//! (`anns_core::ServeAlg1`) and λ-ANNS schemes over it as shards, and
+//! serve a coalesced batch:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use anns_core::{AnnIndex, BuildOptions};
+//! use anns_engine::{Engine, EngineOptions, QueryRequest, Registry};
+//! use anns_hamming::{gen, Point};
+//! use anns_sketch::SketchParams;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let index = Arc::new(AnnIndex::build(
+//!     gen::uniform(64, 64, &mut rng),
+//!     SketchParams::practical(2.0, 7),
+//!     BuildOptions::default(),
+//! ));
+//! let mut registry = Registry::new();
+//! let alg1 = registry.register_alg1("alg1-k2", Arc::clone(&index), 2);
+//! registry.register_lambda("lambda-6", index, 6.0);
+//!
+//! let engine = Engine::new(registry, EngineOptions::default());
+//! let query = Point::random(64, &mut rng);
+//! let served = engine.submit_batch(&[
+//!     QueryRequest { shard: alg1, query: query.clone() },
+//!     QueryRequest { shard: alg1, query: query.clone() },
+//! ]);
+//! assert_eq!(served.len(), 2);
+//! assert!(served.iter().all(|s| s.within_budget));
+//! // The identical queries coalesced: fewer probes executed than submitted.
+//! assert!(engine.stats().coalescing_ratio() <= 0.5);
+//! ```
 
 pub mod engine;
+pub mod mount;
 pub mod registry;
 pub mod scheduler;
 pub mod stats;
 
-pub use engine::{Engine, EngineOptions, GenerationTrace, QueryRequest, Served};
+pub use engine::{
+    Engine, EngineOptions, GenerationTrace, NamedRequest, QueryRequest, ServeError, Served,
+};
+pub use mount::{MountError, MountManifest, MountTable, SwapReceipt};
 pub use registry::{load_index_snapshot, BundleMeta, LoadedBundle, Registry, ShardId, ShardInfo};
 pub use scheduler::{DispatchTrace, Generation};
 pub use stats::{percentile, EngineStats, LatencySummary, ServeReport};

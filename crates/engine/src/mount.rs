@@ -1,0 +1,328 @@
+//! The mount table: N bundles served side by side, replaced atomically.
+//!
+//! A serving tier for real traffic holds more than one bundle: one per
+//! data shard, mounted under a *namespace*, and replaced without downtime
+//! when a new build lands. [`MountTable`] is that layer. It holds the
+//! current [`Registry`] behind an `ArcSwap`-style pointer
+//! (`RwLock<Arc<Registry>>` — readers clone the `Arc`, never block on a
+//! build), and every mutation follows the same discipline:
+//!
+//! 1. **build off to the side** — fork the current registry (entries are
+//!    `Arc`-shared, so a fork is cheap and does not touch serving state),
+//!    apply the mount/swap/unmount to the fork;
+//! 2. **flip** — exchange the pointer under a write lock that is held for
+//!    the duration of one pointer store, nothing more. In-flight
+//!    generations keep the old `Arc` and finish on the old epoch; new
+//!    admissions see the new one ([`crate::Engine`] pins one epoch per
+//!    generation);
+//! 3. **retire** — when the last in-flight generation drains, the old
+//!    registry's `Arc` count hits zero and it is dropped. The returned
+//!    [`SwapReceipt`] holds a `Weak` to the old epoch so operators (and
+//!    tests) can *observe* retirement instead of assuming it.
+//!
+//! A failed load — corrupt bundle, version skew, duplicate shard — errors
+//! out of step 1, so the old mount keeps serving untouched; there is no
+//! window in which queries can observe a half-mounted table.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, Weak};
+
+use anns_store::{SectionDigest, StoreError};
+
+use crate::registry::Registry;
+
+/// Everything that can go wrong mounting, swapping or unmounting.
+#[derive(Debug)]
+pub enum MountError {
+    /// Namespaces must be non-empty and must not contain `/`.
+    InvalidNamespace(String),
+    /// `mount` refuses to replace an existing namespace (use `swap`).
+    AlreadyMounted(String),
+    /// `swap`/`unmount` require the namespace to exist (use `mount`).
+    NotMounted(String),
+    /// The bundle itself failed to load; serving state is untouched.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for MountError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MountError::InvalidNamespace(ns) => {
+                write!(
+                    f,
+                    "invalid namespace {ns:?}: must be non-empty, without '/'"
+                )
+            }
+            MountError::AlreadyMounted(ns) => {
+                write!(
+                    f,
+                    "namespace {ns:?} is already mounted (swap to replace it)"
+                )
+            }
+            MountError::NotMounted(ns) => write!(f, "namespace {ns:?} is not mounted"),
+            MountError::Store(e) => write!(f, "bundle failed to load: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MountError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MountError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for MountError {
+    fn from(e: StoreError) -> Self {
+        MountError::Store(e)
+    }
+}
+
+/// Provenance and load report of one mounted bundle: where it came from,
+/// what the file contained, and what the loader did with it. This is the
+/// registry's answer to "what exactly is serving right now?" — and the
+/// record that makes version-skew debugging possible (skipped sections
+/// are counted here, not dropped silently).
+#[derive(Clone, Debug)]
+pub struct MountManifest {
+    /// The namespace the bundle is mounted under (`""` for a bundle
+    /// loaded without namespacing via `Registry::load_bundle`).
+    pub namespace: String,
+    /// Source path (or a caller-supplied label for in-memory loads).
+    pub source: String,
+    /// Format version stamped in the file.
+    pub format_version: u16,
+    /// Container kind byte from the header.
+    pub container_kind: u8,
+    /// The writing tool recorded in the `META` section (empty if absent).
+    pub tool: String,
+    /// Digest of every section in the file, in order (including `MNFT`).
+    pub sections: Vec<SectionDigest>,
+    /// Sections with tags this build does not know. They are skipped for
+    /// forward compatibility — a newer writer may add sections — but
+    /// *recorded*, so an operator can tell "new-format extras ignored"
+    /// from "nothing unusual".
+    pub skipped: Vec<SectionDigest>,
+    /// Namespaced names of every shard the bundle registered, id order.
+    pub shards: Vec<String>,
+    /// Index payloads decoded fresh into the pool by this mount.
+    pub pooled: u32,
+    /// Index payloads deduplicated against an already-pooled index (byte
+    /// identical payload → the shards share one `Arc<AnnIndex>` across
+    /// bundles).
+    pub shared: u32,
+    /// Whether the file carried a `MNFT` manifest section and its digests
+    /// matched the sections actually read. `false` for pre-manifest
+    /// bundles (they still load).
+    pub manifest_verified: bool,
+}
+
+impl MountManifest {
+    /// One-line summary for logs and CLI output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{ns}: {shards} shard(s), {pooled} pooled + {shared} shared index(es), \
+             {sections} section(s), {skipped} skipped, manifest {verified} [{source}]",
+            ns = if self.namespace.is_empty() {
+                "<root>"
+            } else {
+                &self.namespace
+            },
+            shards = self.shards.len(),
+            pooled = self.pooled,
+            shared = self.shared,
+            sections = self.sections.len(),
+            skipped = self.skipped.len(),
+            verified = if self.manifest_verified {
+                "verified"
+            } else {
+                "absent"
+            },
+            source = self.source,
+        )
+    }
+}
+
+/// Receipt of one mount-table mutation: the epoch it created and a watch
+/// on the epoch it replaced.
+pub struct SwapReceipt {
+    /// The namespace that was mounted / swapped / unmounted.
+    pub namespace: String,
+    /// Epoch sequence number of the *new* current registry.
+    pub epoch: u64,
+    /// The new mount's load report (`None` for `unmount`).
+    pub manifest: Option<MountManifest>,
+    retired: Weak<Registry>,
+}
+
+impl SwapReceipt {
+    /// Whether the replaced epoch has fully retired — every in-flight
+    /// generation that pinned it has drained and its registry is dropped.
+    pub fn retired(&self) -> bool {
+        self.retired.upgrade().is_none()
+    }
+
+    /// Blocks until the replaced epoch retires, or the timeout elapses.
+    /// Returns the final [`SwapReceipt::retired`] verdict.
+    pub fn wait_retired(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while !self.retired() {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(500));
+        }
+        true
+    }
+}
+
+/// The atomically swappable mount table behind a serving [`crate::Engine`].
+pub struct MountTable {
+    current: RwLock<Arc<Registry>>,
+    /// Serializes builders (mount/swap/unmount). Readers never take it.
+    swap_lock: Mutex<()>,
+    /// Epoch sequence; bumped once per flip.
+    seq: AtomicU64,
+}
+
+impl Default for MountTable {
+    fn default() -> Self {
+        MountTable::new()
+    }
+}
+
+impl MountTable {
+    /// An empty mount table (epoch 0, no shards).
+    pub fn new() -> Self {
+        MountTable::with_registry(Registry::new())
+    }
+
+    /// A mount table whose initial epoch is a pre-built registry.
+    pub fn with_registry(mut registry: Registry) -> Self {
+        registry.set_epoch(0);
+        MountTable {
+            current: RwLock::new(Arc::new(registry)),
+            swap_lock: Mutex::new(()),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The current epoch's registry. Callers that hold the returned `Arc`
+    /// keep that epoch alive; generations pin exactly one.
+    pub fn current(&self) -> Arc<Registry> {
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Epoch sequence number of the current registry. Read from the
+    /// registry pointer itself (not the internal counter), so callers
+    /// polling `epoch()` and then calling [`MountTable::current`] can
+    /// never observe a newer epoch number than the registry they get.
+    pub fn epoch(&self) -> u64 {
+        self.current().epoch()
+    }
+
+    /// Mounts a bundle file under a new namespace. Fails if the namespace
+    /// is already mounted.
+    pub fn mount(
+        &self,
+        namespace: &str,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<SwapReceipt, MountError> {
+        let path = path.as_ref();
+        let file = std::fs::File::open(path).map_err(StoreError::Io)?;
+        self.mount_from(
+            namespace,
+            std::io::BufReader::new(file),
+            path.display().to_string(),
+        )
+    }
+
+    /// [`MountTable::mount`] over any byte stream, with a caller-supplied
+    /// source label for the manifest.
+    pub fn mount_from(
+        &self,
+        namespace: &str,
+        inner: impl std::io::Read,
+        source: impl Into<String>,
+    ) -> Result<SwapReceipt, MountError> {
+        let _build = self.swap_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let base = self.current();
+        if base.manifest(namespace).is_some() {
+            return Err(MountError::AlreadyMounted(namespace.to_string()));
+        }
+        let mut next = base.fork();
+        let manifest = next.mount_from(namespace, inner, source)?;
+        Ok(self.flip(namespace, next, Some(manifest)))
+    }
+
+    /// Replaces an existing namespace with a new bundle, atomically: the
+    /// new mount is built off to the side, the pointer flips at a
+    /// generation boundary, in-flight generations finish on the old
+    /// epoch, and the old mount retires when the last of them drains. A
+    /// failing load leaves the old mount serving untouched.
+    pub fn swap(
+        &self,
+        namespace: &str,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<SwapReceipt, MountError> {
+        let path = path.as_ref();
+        let file = std::fs::File::open(path).map_err(StoreError::Io)?;
+        self.swap_from(
+            namespace,
+            std::io::BufReader::new(file),
+            path.display().to_string(),
+        )
+    }
+
+    /// [`MountTable::swap`] over any byte stream.
+    pub fn swap_from(
+        &self,
+        namespace: &str,
+        inner: impl std::io::Read,
+        source: impl Into<String>,
+    ) -> Result<SwapReceipt, MountError> {
+        let _build = self.swap_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let base = self.current();
+        if base.manifest(namespace).is_none() {
+            return Err(MountError::NotMounted(namespace.to_string()));
+        }
+        let mut next = base.fork_without(namespace);
+        let manifest = next.mount_from(namespace, inner, source)?;
+        Ok(self.flip(namespace, next, Some(manifest)))
+    }
+
+    /// Removes a namespace's shards from serving.
+    pub fn unmount(&self, namespace: &str) -> Result<SwapReceipt, MountError> {
+        let _build = self.swap_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let base = self.current();
+        if base.manifest(namespace).is_none() {
+            return Err(MountError::NotMounted(namespace.to_string()));
+        }
+        let next = base.fork_without(namespace);
+        Ok(self.flip(namespace, next, None))
+    }
+
+    /// The pointer exchange. Called with the swap lock held.
+    fn flip(
+        &self,
+        namespace: &str,
+        mut next: Registry,
+        manifest: Option<MountManifest>,
+    ) -> SwapReceipt {
+        let epoch = self.seq.fetch_add(1, Ordering::AcqRel) + 1;
+        next.set_epoch(epoch);
+        let next = Arc::new(next);
+        let old = {
+            let mut current = self.current.write().unwrap_or_else(|e| e.into_inner());
+            std::mem::replace(&mut *current, next)
+        };
+        SwapReceipt {
+            namespace: namespace.to_string(),
+            epoch,
+            manifest,
+            retired: Arc::downgrade(&old),
+        }
+    }
+}

@@ -10,27 +10,64 @@
 //! Registering the same `Arc<AnnIndex>` under several schemes is cheap
 //! (the index state is shared); it is the intended way to A/B round
 //! budgets or algorithms on live traffic.
+//!
+//! # Bundles and mounts
+//!
+//! A registry persists to — and restores from — a binary *bundle*
+//! (`anns-store` container). [`Registry::load_bundle`] restores one
+//! bundle as a standalone registry; [`Registry::mount`] loads a bundle
+//! *into* an existing registry under a **namespace**, prefixing every
+//! shard name with `ns/`. Mounting is how a serving tier assembles N
+//! data shards side by side: each mount records a [`MountManifest`]
+//! (source, section digests, skipped sections, dedup counts), and index
+//! payloads that are byte
+//! identical across bundles are pooled once — the shards share one
+//! `Arc<AnnIndex>` no matter which bundle they arrived in. Atomic
+//! replacement of a live mount is the [`crate::MountTable`]'s job.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use anns_core::serve::{ServableScheme, ServeAlg1, ServeAlg2, ServeLambda};
 use anns_core::{Alg2Config, AnnIndex, SchemeSpec, StoredScheme};
-use anns_store::{ByteReader, ByteWriter, Codec, StoreError, StoreReader, StoreWriter};
+use anns_store::{
+    ByteReader, ByteWriter, Codec, Manifest, ManifestTracker, SectionDigest, StoreError,
+    StoreReader, StoreWriter,
+};
+
+use crate::mount::{MountError, MountManifest};
 
 /// Identifier of a registered shard; stable for the registry's lifetime.
+///
+/// Across a hot swap the new epoch is a *different* registry: ids are
+/// only meaningful against the epoch they were resolved from (route by
+/// name — [`crate::NamedRequest`] — when swaps are in play).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct ShardId(pub usize);
 
+#[derive(Clone)]
 struct Entry {
     name: String,
-    scheme: Box<dyn ServableScheme>,
+    scheme: Arc<dyn ServableScheme>,
+}
+
+/// One pooled index payload: content digest plus a weak handle, so the
+/// pool can deduplicate across mounts without keeping retired indexes
+/// alive (the strong references live in the scheme objects).
+#[derive(Clone)]
+struct PoolSlot {
+    len: usize,
+    crc: u32,
+    index: Weak<AnnIndex>,
 }
 
 /// Holds every servable instance, addressable by name or [`ShardId`].
 #[derive(Default)]
 pub struct Registry {
     entries: Vec<Entry>,
+    mounts: Vec<MountManifest>,
+    pool: Vec<PoolSlot>,
+    epoch: u64,
 }
 
 impl Registry {
@@ -54,7 +91,10 @@ impl Registry {
             self.resolve(&name).is_none(),
             "shard name {name:?} already registered"
         );
-        self.entries.push(Entry { name, scheme });
+        self.entries.push(Entry {
+            name,
+            scheme: Arc::from(scheme),
+        });
         ShardId(self.entries.len() - 1)
     }
 
@@ -134,6 +174,102 @@ impl Registry {
             .map(|e| (e.name.clone(), e.scheme.label()))
             .collect()
     }
+
+    /// The epoch sequence number stamped by the owning
+    /// [`crate::MountTable`] (0 for standalone registries).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Load report of every mounted bundle, mount order.
+    pub fn mounts(&self) -> &[MountManifest] {
+        &self.mounts
+    }
+
+    /// The mount manifest of one namespace, if mounted.
+    pub fn manifest(&self, namespace: &str) -> Option<&MountManifest> {
+        self.mounts.iter().find(|m| m.namespace == namespace)
+    }
+
+    /// Every distinct `AnnIndex` currently alive in the dedup pool.
+    /// Shards that share an index (same bundle or byte-identical payloads
+    /// across bundles) contribute it once.
+    pub fn pooled_indexes(&self) -> Vec<Arc<AnnIndex>> {
+        self.pool.iter().filter_map(|s| s.index.upgrade()).collect()
+    }
+
+    /// A cheap structural copy sharing every scheme `Arc` — the "build
+    /// the new mount off to the side" primitive behind
+    /// [`crate::MountTable`] mutations. Serving state is never mutated in
+    /// place.
+    pub fn fork(&self) -> Registry {
+        Registry {
+            entries: self.entries.clone(),
+            mounts: self.mounts.clone(),
+            pool: self.pool.clone(),
+            epoch: self.epoch,
+        }
+    }
+
+    /// [`Registry::fork`] minus one namespace's shards and manifest.
+    pub(crate) fn fork_without(&self, namespace: &str) -> Registry {
+        let dropped: std::collections::HashSet<&str> = self
+            .manifest(namespace)
+            .map(|m| m.shards.iter().map(String::as_str).collect())
+            .unwrap_or_default();
+        Registry {
+            entries: self
+                .entries
+                .iter()
+                .filter(|e| !dropped.contains(e.name.as_str()))
+                .cloned()
+                .collect(),
+            mounts: self
+                .mounts
+                .iter()
+                .filter(|m| m.namespace != namespace)
+                .cloned()
+                .collect(),
+            pool: self.pool.clone(),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Interns one index payload into the dedup pool: byte-identical
+    /// payloads (same length, same CRC-32, same bytes) resolve to the
+    /// already-decoded `Arc<AnnIndex>`, so N bundles saved from one build
+    /// cost one index in memory. Returns the index and whether it was
+    /// shared.
+    fn intern(&mut self, payload: &[u8]) -> Result<(Arc<AnnIndex>, bool), StoreError> {
+        self.pool.retain(|slot| slot.index.strong_count() > 0);
+        let crc = anns_store::crc32(payload);
+        for slot in &self.pool {
+            if slot.crc == crc && slot.len == payload.len() {
+                if let Some(existing) = slot.index.upgrade() {
+                    // CRC collisions exist (and store files may be
+                    // adversarial), so only byte equality may share. The
+                    // re-encode is O(index size), but it runs on the
+                    // cold mount path and is still cheaper than the
+                    // alternative on a dedup hit: decoding a whole
+                    // duplicate index.
+                    if existing.to_bytes() == payload {
+                        return Ok((existing, true));
+                    }
+                }
+            }
+        }
+        let index = Arc::new(AnnIndex::from_bytes(payload)?);
+        self.pool.push(PoolSlot {
+            len: payload.len(),
+            crc,
+            index: Arc::downgrade(&index),
+        });
+        Ok((index, false))
+    }
 }
 
 /// Loads an [`AnnIndex`] snapshot from a JSON file (the format written by
@@ -159,7 +295,7 @@ pub struct ShardInfo {
 /// without instantiating any index.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BundleMeta {
-    /// The writing tool, e.g. `anns-engine/1`.
+    /// The writing tool, e.g. `anns-store/1`.
     pub tool: String,
     /// Number of pooled index payloads in the `IDXP` section.
     pub indexes: u32,
@@ -210,6 +346,17 @@ pub struct LoadedBundle {
     pub indexes: Vec<Arc<AnnIndex>>,
     /// The bundle's metadata section.
     pub meta: BundleMeta,
+    /// The load report: provenance, section digests, and — crucially for
+    /// version-skew debugging — every section that was *skipped* because
+    /// this build does not know its tag.
+    pub report: MountManifest,
+}
+
+/// Everything one bundle ingest produced.
+struct Ingested {
+    manifest: MountManifest,
+    indexes: Vec<Arc<AnnIndex>>,
+    meta: BundleMeta,
 }
 
 impl Registry {
@@ -218,9 +365,10 @@ impl Registry {
     /// Indexes shared by several shards (the A/B pattern: one
     /// `Arc<AnnIndex>` served under Algorithm 1, Algorithm 2 and λ) are
     /// pooled by pointer identity and written once; shard records
-    /// reference the pool. Fails with [`StoreError::Unsupported`] if any
-    /// scheme has no stored form — a bundle must never silently drop a
-    /// shard.
+    /// reference the pool. The file closes with a `MNFT` manifest section
+    /// pinning the digest of every section before it. Fails with
+    /// [`StoreError::Unsupported`] if any scheme has no stored form — a
+    /// bundle must never silently drop a shard.
     pub fn save_bundle_to(&self, out: &mut impl std::io::Write) -> Result<(), StoreError> {
         let mut pool: Vec<Arc<AnnIndex>> = Vec::new();
         let mut pool_ids: HashMap<*const AnnIndex, u32> = HashMap::new();
@@ -289,6 +437,11 @@ impl Registry {
         writer.section(anns_store::section_tag::META, meta.to_bytes());
         writer.section(anns_store::section_tag::INDEX_POOL, idxp.into_bytes());
         writer.section(anns_store::section_tag::SHARDS, shrd.into_bytes());
+        let manifest = Manifest {
+            tool: meta.tool.clone(),
+            sections: writer.digests(),
+        };
+        writer.section(anns_store::section_tag::MANIFEST, manifest.to_bytes());
         writer.write_to(out)
     }
 
@@ -300,80 +453,203 @@ impl Registry {
         std::io::Write::flush(&mut out).map_err(StoreError::Io)
     }
 
+    /// Mounts a bundle file into this registry under a namespace: every
+    /// shard registers as `namespace/name`, index payloads deduplicate
+    /// against the pool, and the returned [`MountManifest`] records the
+    /// bundle's provenance (it is also kept in [`Registry::mounts`]).
+    pub fn mount(
+        &mut self,
+        namespace: &str,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<MountManifest, MountError> {
+        let path = path.as_ref();
+        let file = std::fs::File::open(path).map_err(StoreError::Io)?;
+        self.mount_from(
+            namespace,
+            std::io::BufReader::new(file),
+            path.display().to_string(),
+        )
+    }
+
+    /// [`Registry::mount`] over any byte stream, with a caller-supplied
+    /// source label for the manifest.
+    pub fn mount_from(
+        &mut self,
+        namespace: &str,
+        inner: impl std::io::Read,
+        source: impl Into<String>,
+    ) -> Result<MountManifest, MountError> {
+        if namespace.is_empty() || namespace.contains('/') {
+            return Err(MountError::InvalidNamespace(namespace.to_string()));
+        }
+        if self.manifest(namespace).is_some() {
+            return Err(MountError::AlreadyMounted(namespace.to_string()));
+        }
+        let ingested = self.ingest(namespace, inner, source.into())?;
+        Ok(ingested.manifest)
+    }
+
     /// Streams a bundle back into a fresh registry.
     ///
     /// Sections are consumed in file order, one at a time — index
     /// payloads decode straight from the verified section bytes, no
     /// intermediate JSON or whole-file buffer. Unknown sections are
-    /// skipped (forward compatibility); unknown *scheme kinds* are an
-    /// error, because dropping a shard would change serving behavior.
+    /// skipped for forward compatibility but recorded in the returned
+    /// [`LoadedBundle::report`]; unknown *scheme kinds* are an error,
+    /// because dropping a shard would change serving behavior.
     pub fn load_bundle_from(inner: impl std::io::Read) -> Result<LoadedBundle, StoreError> {
-        let mut reader = StoreReader::new(inner)?;
-        let mut meta: Option<BundleMeta> = None;
-        let mut indexes: Vec<Arc<AnnIndex>> = Vec::new();
+        Self::load_bundle_labeled(inner, "<stream>")
+    }
+
+    /// [`Registry::load_bundle_from`] with a source label for the report.
+    pub fn load_bundle_labeled(
+        inner: impl std::io::Read,
+        source: impl Into<String>,
+    ) -> Result<LoadedBundle, StoreError> {
         let mut registry = Registry::new();
-        let mut saw_shards = false;
-        while let Some(section) = reader.next_section()? {
-            match section.tag {
-                anns_store::section_tag::META => {
-                    meta = Some(BundleMeta::from_bytes(&section.payload)?);
-                }
-                anns_store::section_tag::INDEX_POOL => {
-                    let mut r = section.reader();
-                    let count = r.u32()?;
-                    for _ in 0..count {
-                        let payload = r.bytes()?;
-                        indexes.push(Arc::new(AnnIndex::from_bytes(payload)?));
-                    }
-                    r.finish()?;
-                }
-                anns_store::section_tag::SHARDS => {
-                    saw_shards = true;
-                    let mut r = section.reader();
-                    let count = r.u32()?;
-                    for _ in 0..count {
-                        let name = String::decode(&mut r)?;
-                        let kind = r.u8()?;
-                        let scheme: Box<dyn ServableScheme> =
-                            if kind < anns_store::scheme_kind::FOREIGN_MIN {
-                                let pool_id = r.u32()? as usize;
-                                let index = indexes.get(pool_id).ok_or_else(|| {
-                                    StoreError::Malformed(format!(
-                                        "shard {name:?} references index {pool_id} of {}",
-                                        indexes.len()
-                                    ))
-                                })?;
-                                let spec = SchemeSpec::decode_kind(kind, &mut r)?;
-                                spec.instantiate(Arc::clone(index))
-                            } else {
-                                anns_lsh::decode_foreign_scheme(kind, r.bytes()?)?
-                            };
-                        if registry.resolve(&name).is_some() {
-                            return Err(StoreError::Malformed(format!(
-                                "duplicate shard name {name:?}"
-                            )));
-                        }
-                        registry.register(name, scheme);
-                    }
-                    r.finish()?;
-                }
-                _ => {} // Unknown section: skip (newer writers may add more).
-            }
-        }
-        if !saw_shards {
-            return Err(StoreError::Malformed("bundle has no SHRD section".into()));
-        }
+        let ingested = registry.ingest("", inner, source.into())?;
         Ok(LoadedBundle {
             registry,
-            indexes,
-            meta: meta.unwrap_or_default(),
+            indexes: ingested.indexes,
+            meta: ingested.meta,
+            report: ingested.manifest,
         })
     }
 
     /// [`Registry::load_bundle_from`] over a buffered file.
     pub fn load_bundle(path: impl AsRef<std::path::Path>) -> Result<LoadedBundle, StoreError> {
+        let path = path.as_ref();
         let file = std::fs::File::open(path).map_err(StoreError::Io)?;
-        Self::load_bundle_from(std::io::BufReader::new(file))
+        Self::load_bundle_labeled(std::io::BufReader::new(file), path.display().to_string())
+    }
+
+    /// The shared bundle reader behind both `load_bundle` (namespace `""`,
+    /// fresh registry) and `mount` (non-empty namespace, existing
+    /// registry). Registers shards in `SHRD` order, interns index
+    /// payloads, collects section digests, and cross-checks the `MNFT`
+    /// manifest when present.
+    fn ingest(
+        &mut self,
+        namespace: &str,
+        inner: impl std::io::Read,
+        source: String,
+    ) -> Result<Ingested, StoreError> {
+        let prefix = if namespace.is_empty() {
+            String::new()
+        } else {
+            format!("{namespace}/")
+        };
+        let mut reader = StoreReader::new(inner)?;
+        let header = *reader.header();
+        let mut meta: Option<BundleMeta> = None;
+        let mut indexes: Vec<Arc<AnnIndex>> = Vec::new();
+        let mut saw_shards = false;
+        let mut sections: Vec<SectionDigest> = Vec::new();
+        let mut skipped: Vec<SectionDigest> = Vec::new();
+        let mut tracker = ManifestTracker::new();
+        let mut shard_names: Vec<String> = Vec::new();
+        let mut pooled = 0u32;
+        let mut shared = 0u32;
+        let first_new_entry = self.entries.len();
+        let result: Result<(), StoreError> = (|| {
+            while let Some(section) = reader.next_section()? {
+                let digest = SectionDigest::of(&section);
+                sections.push(digest);
+                // One state machine owns the normative MNFT rules
+                // (manifest-is-final, coverage match, duplicates) —
+                // shared with `anns_store::manifest::scan`.
+                if tracker.observe(&section)? {
+                    continue;
+                }
+                match section.tag {
+                    anns_store::section_tag::META => {
+                        meta = Some(BundleMeta::from_bytes(&section.payload)?);
+                    }
+                    anns_store::section_tag::INDEX_POOL => {
+                        let mut r = section.reader();
+                        let count = r.u32()?;
+                        for _ in 0..count {
+                            let payload = r.bytes()?;
+                            let (index, was_shared) = self.intern(payload)?;
+                            if was_shared {
+                                shared += 1;
+                            } else {
+                                pooled += 1;
+                            }
+                            indexes.push(index);
+                        }
+                        r.finish()?;
+                    }
+                    anns_store::section_tag::SHARDS => {
+                        saw_shards = true;
+                        let mut r = section.reader();
+                        let count = r.u32()?;
+                        for _ in 0..count {
+                            let name = String::decode(&mut r)?;
+                            let kind = r.u8()?;
+                            let scheme: Box<dyn ServableScheme> =
+                                if kind < anns_store::scheme_kind::FOREIGN_MIN {
+                                    let pool_id = r.u32()? as usize;
+                                    let index = indexes.get(pool_id).ok_or_else(|| {
+                                        StoreError::Malformed(format!(
+                                            "shard {name:?} references index {pool_id} of {}",
+                                            indexes.len()
+                                        ))
+                                    })?;
+                                    let spec = SchemeSpec::decode_kind(kind, &mut r)?;
+                                    spec.instantiate(Arc::clone(index))
+                                } else {
+                                    anns_lsh::decode_foreign_scheme(kind, r.bytes()?)?
+                                };
+                            let full = format!("{prefix}{name}");
+                            if self.resolve(&full).is_some() {
+                                return Err(StoreError::Malformed(format!(
+                                    "duplicate shard name {full:?}"
+                                )));
+                            }
+                            shard_names.push(full.clone());
+                            self.register(full, scheme);
+                        }
+                        r.finish()?;
+                    }
+                    _ => skipped.push(digest), // Unknown: skip, but on the record.
+                }
+            }
+            if !saw_shards {
+                return Err(StoreError::Malformed("bundle has no SHRD section".into()));
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            // A failed ingest must leave the registry exactly as it was:
+            // mount errors never half-apply. Dropping the partial entries
+            // and local index handles lets the pool prune to the slots
+            // that were alive before this ingest started.
+            self.entries.truncate(first_new_entry);
+            indexes.clear();
+            self.pool.retain(|slot| slot.index.strong_count() > 0);
+            return Err(e);
+        }
+        let meta = meta.unwrap_or_default();
+        let manifest = MountManifest {
+            namespace: namespace.to_string(),
+            source,
+            format_version: header.version,
+            container_kind: header.kind,
+            tool: meta.tool.clone(),
+            sections,
+            skipped,
+            shards: shard_names,
+            pooled,
+            shared,
+            manifest_verified: tracker.verified(),
+        };
+        self.mounts.push(manifest.clone());
+        Ok(Ingested {
+            manifest,
+            indexes,
+            meta,
+        })
     }
 }
 
@@ -426,5 +702,43 @@ mod tests {
     #[test]
     fn snapshot_loading_reports_errors() {
         assert!(load_index_snapshot("/nonexistent/index.json").is_err());
+    }
+
+    #[test]
+    fn fork_shares_schemes_and_serves_identically() {
+        let index = small_index();
+        let mut reg = Registry::new();
+        let id = reg.register_alg1("a", Arc::clone(&index), 2);
+        let fork = reg.fork();
+        assert_eq!(fork.len(), 1);
+        assert_eq!(fork.resolve("a"), Some(id));
+        // Same trait object, not a copy.
+        assert!(std::ptr::eq(reg.scheme(id), fork.scheme(id)));
+    }
+
+    #[test]
+    fn invalid_namespaces_are_rejected() {
+        let mut reg = Registry::new();
+        let bytes = {
+            let mut inner = Registry::new();
+            inner.register_alg1("a", small_index(), 2);
+            let mut out = Vec::new();
+            inner.save_bundle_to(&mut out).unwrap();
+            out
+        };
+        assert!(matches!(
+            reg.mount_from("", &bytes[..], "<mem>"),
+            Err(MountError::InvalidNamespace(_))
+        ));
+        assert!(matches!(
+            reg.mount_from("a/b", &bytes[..], "<mem>"),
+            Err(MountError::InvalidNamespace(_))
+        ));
+        reg.mount_from("ns", &bytes[..], "<mem>").unwrap();
+        assert!(matches!(
+            reg.mount_from("ns", &bytes[..], "<mem>"),
+            Err(MountError::AlreadyMounted(_))
+        ));
+        assert_eq!(reg.resolve("ns/a"), Some(ShardId(0)));
     }
 }

@@ -46,6 +46,10 @@ struct Pending {
 /// Audit record of one coalesced dispatch (one generation-round).
 #[derive(Clone, Debug, serde::Serialize)]
 pub struct DispatchTrace {
+    /// Mount-table epoch the generation pinned at admission; every
+    /// dispatch of one generation carries the same epoch (a hot swap
+    /// never lands mid-generation).
+    pub epoch: u64,
     /// Probe addresses submitted by all participants.
     pub submitted: usize,
     /// Unique addresses executed after per-shard sort + dedup.
@@ -79,11 +83,19 @@ pub struct Generation<'a> {
     parked: Condvar,
     /// Worker threads per coalesced shard batch.
     batch_threads: usize,
+    /// Mount-table epoch pinned at admission (stamped on every trace).
+    mount_epoch: u64,
 }
 
 impl<'a> Generation<'a> {
-    /// A generation of `slots` queries over the given shard tables.
-    pub fn new(tables: Vec<&'a dyn Table>, slots: usize, batch_threads: usize) -> Self {
+    /// A generation of `slots` queries over the given shard tables,
+    /// pinned to one mount-table epoch.
+    pub fn new(
+        tables: Vec<&'a dyn Table>,
+        slots: usize,
+        batch_threads: usize,
+        mount_epoch: u64,
+    ) -> Self {
         Generation {
             tables,
             state: Mutex::new(GenState {
@@ -96,6 +108,7 @@ impl<'a> Generation<'a> {
             }),
             parked: Condvar::new(),
             batch_threads,
+            mount_epoch,
         }
     }
 
@@ -203,6 +216,7 @@ impl<'a> Generation<'a> {
             st.results[p.slot] = Some(round_words);
         }
         st.traces.push(DispatchTrace {
+            epoch: self.mount_epoch,
             submitted,
             executed,
             shards: batches.len(),
@@ -292,7 +306,7 @@ mod tests {
     #[test]
     fn two_queries_coalesce_shared_addresses() {
         let t = table(7);
-        let generation = Generation::new(vec![&t as &dyn Table], 2, 1);
+        let generation = Generation::new(vec![&t as &dyn Table], 2, 1, 0);
         let generation_ref = &generation;
         let answers = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -333,7 +347,7 @@ mod tests {
     #[test]
     fn departing_query_releases_the_barrier() {
         let t = table(3);
-        let generation = Generation::new(vec![&t as &dyn Table], 2, 1);
+        let generation = Generation::new(vec![&t as &dyn Table], 2, 1, 0);
         let generation_ref = &generation;
         let sums = crossbeam::thread::scope(|scope| {
             let long = {
@@ -375,7 +389,7 @@ mod tests {
     #[test]
     fn per_slot_rounds_advance_monotonically_in_traces() {
         let t = table(11);
-        let generation = Generation::new(vec![&t as &dyn Table], 3, 1);
+        let generation = Generation::new(vec![&t as &dyn Table], 3, 1, 0);
         let generation_ref = &generation;
         crossbeam::thread::scope(|scope| {
             for slot in 0..3usize {

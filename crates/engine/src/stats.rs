@@ -31,6 +31,16 @@ pub struct EngineStats {
     pub probes_max: u64,
     /// Queries that exceeded their shard scheme's declared budgets.
     pub budget_violations: u64,
+    /// Mount-table epochs the engine has progressed through (1 when no
+    /// hot swap happened; each swap observed by a generation adds one).
+    /// Counted at the monotonic high-water mark: a straggler generation
+    /// finishing on an *older* epoch after a newer one was absorbed is
+    /// part of an already-counted epoch and does not change the count —
+    /// so under interleaved absorption this is "epochs advanced to",
+    /// not a census of every epoch any generation ever pinned.
+    pub epochs_served: u64,
+    /// Newest epoch any generation has pinned.
+    pub last_epoch: u64,
     /// Aggregate ledger over all served queries (element-wise per-round
     /// sums — the engine's total bill, not the paper's worst case).
     pub merged_ledger: ProbeLedger,
@@ -39,6 +49,10 @@ pub struct EngineStats {
 impl EngineStats {
     /// Folds one generation's results into the totals.
     pub(crate) fn absorb(&mut self, served: &[Served], trace: &GenerationTrace) {
+        if self.generations == 0 || trace.epoch > self.last_epoch {
+            self.epochs_served += 1;
+            self.last_epoch = trace.epoch;
+        }
         self.queries += served.len() as u64;
         self.generations += 1;
         self.dispatches += trace.dispatches.len() as u64;
@@ -239,5 +253,21 @@ mod tests {
     fn empty_stats_have_unit_coalescing_ratio() {
         let stats = EngineStats::default();
         assert_eq!(stats.coalescing_ratio(), 1.0);
+    }
+
+    #[test]
+    fn epochs_served_counts_distinct_epochs_not_transitions() {
+        let trace = |epoch| GenerationTrace {
+            epoch,
+            dispatches: Vec::new(),
+        };
+        let mut stats = EngineStats::default();
+        // Generations on old and new epochs interleave around a swap:
+        // a straggler on epoch 1 after epoch 2 was seen must not count.
+        for epoch in [1, 1, 2, 1, 2] {
+            stats.absorb(&[], &trace(epoch));
+        }
+        assert_eq!(stats.epochs_served, 2);
+        assert_eq!(stats.last_epoch, 2);
     }
 }

@@ -104,8 +104,9 @@ proptest! {
             .collect();
         let served = engine.submit_batch(&requests);
         prop_assert_eq!(served.len(), requests.len());
+        let registry = engine.registry();
         for (request, s) in requests.iter().zip(served.iter()) {
-            let scheme = engine.registry().scheme(request.shard);
+            let scheme = registry.scheme(request.shard);
             let (answer, ledger, _) = execute_with(
                 &SoloServable(scheme),
                 &request.query,
@@ -134,8 +135,9 @@ fn transcripts_survive_coalescing_and_rounds_never_merge() {
 
     // (a) Per-query transcript replay: the full (round, address, word)
     // record under coalesced serving equals the solo record.
+    let registry = engine.registry();
     for (request, s) in requests.iter().zip(served.iter()) {
-        let scheme = engine.registry().scheme(request.shard);
+        let scheme = registry.scheme(request.shard);
         let (_, _, solo_transcript) = execute_with(
             &SoloServable(scheme),
             &request.query,

@@ -18,6 +18,28 @@
 //!
 //! All randomness is taken from caller-provided [`rand::Rng`] instances so
 //! every experiment in the workspace is reproducible from a seed.
+//!
+//! # Example
+//!
+//! Plant a near neighbor at a known distance and recover it with the
+//! exact ground-truth oracle (the reference every scheme in the
+//! workspace — Algorithm 1/2, λ-ANNS, LSH — is checked against):
+//!
+//! ```
+//! use anns_hamming::{gen, Point};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! // 32 points in {0,1}^64, one planted neighbor at distance 3.
+//! let planted = gen::planted(32, 64, 3, &mut rng);
+//! let nn = planted.dataset.exact_nn(&planted.query);
+//! assert_eq!(nn.index, planted.planted_index);
+//! assert_eq!(nn.distance, 3);
+//!
+//! // Bit-packed distance: XOR + popcount over u64 limbs.
+//! let x = Point::zeros(64);
+//! assert_eq!(x.distance(&x.flipped(5)), 1);
+//! ```
 
 pub mod ball;
 pub mod code;

@@ -17,6 +17,27 @@
 //!    reports whether a `t`-probe `k`-round scheme survives to the
 //!    impossible zero-communication `LPM(Σ, 1, 1)` protocol (Claim 26) —
 //!    i.e. whether `t` is *certifiably below* the lower bound.
+//!
+//! # Example
+//!
+//! Solve longest prefix match through the `k`-round trie scheme and
+//! check it against the exhaustive reference solver:
+//!
+//! ```
+//! use anns_cellprobe::execute;
+//! use anns_lpm::{LpmInstance, TrieLpm};
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//! let instance = LpmInstance::random(4, 6, 32, &mut rng); // Σ = 4, m = 6, n = 32
+//! let trie = TrieLpm::build(instance.clone(), 2);         // k = 2 rounds
+//!
+//! let query: Vec<u16> = (0..6).map(|_| rng.gen_range(0..4)).collect();
+//! let ((idx, lcp), ledger) = execute(&trie, &query);
+//! assert!(instance.is_correct(&query, idx));
+//! assert_eq!(lcp, instance.solve(&query).1);
+//! assert!(ledger.rounds() <= 2);
+//! ```
 
 pub mod balltree;
 pub mod problem;

@@ -18,6 +18,30 @@
 //! [`serve`] adapts both baselines to the engine's
 //! `anns_core::serve::ServableScheme` surface, so serving deployments can
 //! A/B them against the round-bounded schemes on the same dispatch path.
+//!
+//! # Example
+//!
+//! The exact linear-scan baseline (1 round, `n` probes) recovering a
+//! planted neighbor, and a non-adaptive LSH index over the same data:
+//!
+//! ```
+//! use anns_hamming::gen;
+//! use anns_lsh::{LinearScan, LshIndex, LshParams};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let planted = gen::planted(64, 128, 3, &mut rng);
+//!
+//! let exact = LinearScan::new(planted.dataset.clone());
+//! let (nn, ledger) = exact.query(&planted.query);
+//! assert_eq!(nn.index, planted.planted_index);
+//! assert_eq!((ledger.rounds(), ledger.total_probes()), (1, 64));
+//!
+//! let params = LshParams::for_radius(64, 128, 3.0, 2.0, 8.0);
+//! let lsh = LshIndex::build(planted.dataset.clone(), params, &mut rng);
+//! let (_candidate, lsh_ledger) = lsh.query(&planted.query);
+//! assert_eq!(lsh_ledger.rounds(), 1, "LSH is non-adaptive");
+//! ```
 
 pub mod bitsampling;
 pub mod linear;

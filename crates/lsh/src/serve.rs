@@ -41,6 +41,10 @@ impl ServableScheme for ServeLsh {
         CellProbeScheme::word_bits(&*self.index)
     }
 
+    fn query_dim(&self) -> Option<u32> {
+        Some(self.index.dataset().dim())
+    }
+
     fn round_budget(&self) -> Option<u32> {
         Some(1)
     }
@@ -83,6 +87,10 @@ impl ServableScheme for ServeLinear {
 
     fn word_bits(&self) -> u64 {
         CellProbeScheme::word_bits(&*self.scan)
+    }
+
+    fn query_dim(&self) -> Option<u32> {
+        Some(self.scan.dataset().dim())
     }
 
     fn round_budget(&self) -> Option<u32> {

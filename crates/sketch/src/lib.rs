@@ -23,6 +23,27 @@
 //!   precomputed database sketches and the `C_i` / `D_{i,j}` membership
 //!   oracles the lazy tables are built from;
 //! * [`validate`] — empirical validation of Lemma 8 (experiment E5).
+//!
+//! # Example
+//!
+//! Generate the family `{M_i}, {N_j}` for an instance and sketch a point
+//! at the finest scale:
+//!
+//! ```
+//! use anns_hamming::Point;
+//! use anns_sketch::{SketchFamily, SketchParams};
+//!
+//! let params = SketchParams::practical(2.0, 7);
+//! // d = 64, n = 128: one accurate matrix M_i per scale 0..=top.
+//! let family = SketchFamily::generate(64, 128, &params);
+//! assert!(family.top() >= 1);
+//!
+//! let x = Point::zeros(64);
+//! let sketch = family.sketch_m(0, &x);
+//! assert_eq!(sketch.bits(), family.m_rows());
+//! // Identical sketches always pass the C_i membership threshold.
+//! assert!(family.m_passes(0, &sketch, &sketch));
+//! ```
 
 pub mod delta;
 pub mod family;

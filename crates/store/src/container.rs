@@ -62,6 +62,20 @@ impl StoreWriter {
         self
     }
 
+    /// Digests (tag, length, CRC-32) of every section appended so far, in
+    /// order — what a writer embeds in a trailing `MNFT` manifest section
+    /// (see [`crate::manifest`]).
+    pub fn digests(&self) -> Vec<crate::manifest::SectionDigest> {
+        self.sections
+            .iter()
+            .map(|(tag, payload)| crate::manifest::SectionDigest {
+                tag: *tag,
+                len: payload.len() as u32,
+                crc: crc32_pair(tag, payload),
+            })
+            .collect()
+    }
+
     /// Writes header and sections to `out`.
     pub fn write_to(&self, out: &mut impl Write) -> Result<(), StoreError> {
         out.write_all(&MAGIC).map_err(StoreError::Io)?;

@@ -31,16 +31,43 @@
 //! intermediate JSON, no whole-file buffering beyond the section being
 //! decoded. All decode failures are typed ([`StoreError`]): truncation,
 //! foreign magic, version skew, checksum damage, unknown scheme kinds.
+//! Writers may close a file with a [`manifest`] (`MNFT`) section pinning
+//! the digest of every section before it; readers that see one
+//! cross-check it, and readers that predate it skip it — the normative
+//! rules (including unknown-section and forward-compatibility semantics)
+//! live in `docs/STORE_FORMAT.md`.
+//!
+//! # Example
+//!
+//! Write a two-section container and stream it back, checksums verified:
+//!
+//! ```
+//! use anns_store::{StoreReader, StoreWriter, KIND_BUNDLE};
+//!
+//! let mut writer = StoreWriter::new(KIND_BUNDLE);
+//! writer.section(*b"META", b"hello".to_vec());
+//! writer.section(*b"BODY", vec![1, 2, 3]);
+//! let bytes = writer.to_bytes();
+//!
+//! let mut reader = StoreReader::new(&bytes[..])?;
+//! assert_eq!(reader.header().kind, KIND_BUNDLE);
+//! let sections = reader.sections()?;
+//! assert_eq!(sections.len(), 2);
+//! assert_eq!(sections[0].payload, b"hello");
+//! # Ok::<(), anns_store::StoreError>(())
+//! ```
 
 mod checksum;
 mod codec;
 mod container;
 mod error;
+pub mod manifest;
 
 pub use checksum::{crc32, crc32_pair};
 pub use codec::{encode_slice, ByteReader, ByteWriter, Codec};
 pub use container::{open_file, Section, SectionTag, StoreHeader, StoreReader, StoreWriter};
 pub use error::StoreError;
+pub use manifest::{Manifest, ManifestTracker, SectionDigest};
 
 /// The four magic bytes opening every store file.
 pub const MAGIC: [u8; 4] = *b"ANNS";
@@ -93,4 +120,7 @@ pub mod section_tag {
     pub const INDEX_POOL: [u8; 4] = *b"IDXP";
     /// Shard list: named scheme records referencing the pool.
     pub const SHARDS: [u8; 4] = *b"SHRD";
+    /// Trailing manifest: tool string plus the digest of every preceding
+    /// section (see [`crate::manifest`]). Must be the final section.
+    pub const MANIFEST: [u8; 4] = *b"MNFT";
 }

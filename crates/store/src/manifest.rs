@@ -1,0 +1,294 @@
+//! The self-describing `MNFT` manifest section.
+//!
+//! A bundle's last section is a manifest listing the digest — tag, length
+//! and CRC-32 — of every section written before it, plus the writing
+//! tool. It exists for *operators*, not for the decoder (each section is
+//! already individually checksummed): `annsctl inspect` and the mount
+//! tooling can state the exact provenance of a mounted bundle, and a
+//! reader that finds a manifest cross-checks it against the sections it
+//! actually saw, so a file spliced together from two half-bundles fails
+//! loudly even though every individual section checksum passes.
+//!
+//! Readers from before the manifest existed skip the unknown `MNFT` tag;
+//! bundles from before it load with `manifest_verified = false` in their
+//! mount report. See `docs/STORE_FORMAT.md` for the normative rules.
+
+use std::io::Read;
+
+use crate::codec::{ByteReader, ByteWriter, Codec};
+use crate::container::{Section, StoreHeader, StoreReader};
+use crate::error::StoreError;
+
+/// Digest of one section: its tag, payload length, and CRC-32 (the same
+/// CRC the section header stores, covering `tag ++ payload`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SectionDigest {
+    /// The section's four-byte tag.
+    pub tag: [u8; 4],
+    /// Payload length in bytes.
+    pub len: u32,
+    /// CRC-32 over `tag ++ payload`.
+    pub crc: u32,
+}
+
+impl SectionDigest {
+    /// The digest of a decoded [`Section`].
+    pub fn of(section: &Section) -> Self {
+        SectionDigest {
+            tag: section.tag,
+            len: section.payload.len() as u32,
+            crc: section.crc,
+        }
+    }
+
+    /// The section tag as ASCII where printable (for reports).
+    pub fn tag_string(&self) -> String {
+        String::from_utf8_lossy(&self.tag).into_owned()
+    }
+}
+
+impl Codec for SectionDigest {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_raw(&self.tag);
+        w.put_u32(self.len);
+        w.put_u32(self.crc);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let tag: [u8; 4] = r.take(4)?.try_into().expect("len 4");
+        Ok(SectionDigest {
+            tag,
+            len: r.u32()?,
+            crc: r.u32()?,
+        })
+    }
+}
+
+/// The decoded payload of a `MNFT` section.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// The writing tool, e.g. `anns-store/1`.
+    pub tool: String,
+    /// Digest of every section written before the manifest, in file
+    /// order.
+    pub sections: Vec<SectionDigest>,
+}
+
+impl Manifest {
+    /// Checks the manifest against the digests of the sections actually
+    /// read (excluding the manifest section itself). Order matters: the
+    /// manifest pins the exact section layout, not just the set.
+    pub fn matches(&self, observed: &[SectionDigest]) -> bool {
+        self.sections == observed
+    }
+}
+
+impl Codec for Manifest {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.tool.encode(w);
+        self.sections.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        Ok(Manifest {
+            tool: String::decode(r)?,
+            sections: Vec::decode(r)?,
+        })
+    }
+}
+
+/// The incremental `MNFT` state machine: the single implementation of
+/// the normative manifest rules (manifest must be final, must cover all
+/// preceding sections in order, duplicates rejected), shared by
+/// [`scan`] and bundle loaders so the two can never diverge.
+#[derive(Default)]
+pub struct ManifestTracker {
+    covered: Vec<SectionDigest>,
+    manifest: Option<Manifest>,
+}
+
+impl ManifestTracker {
+    /// A tracker with no sections observed yet.
+    pub fn new() -> Self {
+        ManifestTracker::default()
+    }
+
+    /// Feeds the next section, in file order. Returns `true` when the
+    /// section *was* the manifest (callers skip decoding it as payload).
+    ///
+    /// Fails with [`StoreError::Malformed`] on any section after the
+    /// manifest (including a second manifest), or on a manifest whose
+    /// digests do not match the sections that preceded it.
+    pub fn observe(&mut self, section: &Section) -> Result<bool, StoreError> {
+        // The manifest, when present, must be the final section — any
+        // section after it is outside its coverage.
+        if self.manifest.is_some() {
+            return Err(StoreError::Malformed(
+                "sections after the manifest are not covered by it".into(),
+            ));
+        }
+        if section.tag == crate::section_tag::MANIFEST {
+            let decoded = Manifest::from_bytes(&section.payload)?;
+            if !decoded.matches(&self.covered) {
+                return Err(StoreError::Malformed(
+                    "manifest does not match the sections preceding it".into(),
+                ));
+            }
+            self.manifest = Some(decoded);
+            return Ok(true);
+        }
+        self.covered.push(SectionDigest::of(section));
+        Ok(false)
+    }
+
+    /// Digests of the payload sections observed so far (the manifest
+    /// section itself excluded).
+    pub fn covered(&self) -> &[SectionDigest] {
+        &self.covered
+    }
+
+    /// Whether a manifest was observed (and therefore verified).
+    pub fn verified(&self) -> bool {
+        self.manifest.is_some()
+    }
+
+    /// Consumes the tracker: covered digests plus the manifest, if any.
+    pub fn into_parts(self) -> (Vec<SectionDigest>, Option<Manifest>) {
+        (self.covered, self.manifest)
+    }
+}
+
+/// Streams a whole container, returning its header, the digest of every
+/// section, and the decoded manifest if one is present — without decoding
+/// any payload. The cheap "what is this file?" primitive behind
+/// `annsctl inspect` and multi-bundle mount tooling; every section
+/// checksum is verified as a side effect of the streaming read.
+///
+/// Fails with [`StoreError::Malformed`] if a manifest is present but does
+/// not match the sections that precede it.
+pub fn scan(
+    inner: impl Read,
+) -> Result<(StoreHeader, Vec<SectionDigest>, Option<Manifest>), StoreError> {
+    let mut reader = StoreReader::new(inner)?;
+    let header = *reader.header();
+    let mut tracker = ManifestTracker::new();
+    while let Some(section) = reader.next_section()? {
+        tracker.observe(&section)?;
+    }
+    let (digests, manifest) = tracker.into_parts();
+    Ok((header, digests, manifest))
+}
+
+/// [`scan`] over a buffered file.
+pub fn scan_file(
+    path: impl AsRef<std::path::Path>,
+) -> Result<(StoreHeader, Vec<SectionDigest>, Option<Manifest>), StoreError> {
+    let file = std::fs::File::open(path).map_err(StoreError::Io)?;
+    scan(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::StoreWriter;
+    use crate::KIND_BUNDLE;
+
+    fn bundle_with_manifest() -> Vec<u8> {
+        let mut w = StoreWriter::new(KIND_BUNDLE);
+        w.section(*b"META", b"meta".to_vec());
+        w.section(*b"SHRD", b"shards".to_vec());
+        let manifest = Manifest {
+            tool: "test/1".into(),
+            sections: w.digests(),
+        };
+        w.section(crate::section_tag::MANIFEST, manifest.to_bytes());
+        w.to_bytes()
+    }
+
+    #[test]
+    fn scan_returns_digests_and_verified_manifest() {
+        let bytes = bundle_with_manifest();
+        let (header, digests, manifest) = scan(&bytes[..]).unwrap();
+        assert_eq!(header.sections, 3);
+        assert_eq!(digests.len(), 2);
+        assert_eq!(digests[0].tag, *b"META");
+        assert_eq!(digests[0].len, 4);
+        assert_eq!(digests[1].tag_string(), "SHRD");
+        let manifest = manifest.expect("manifest present");
+        assert_eq!(manifest.tool, "test/1");
+        assert!(manifest.matches(&digests));
+    }
+
+    #[test]
+    fn scan_without_manifest_is_fine() {
+        let mut w = StoreWriter::new(KIND_BUNDLE);
+        w.section(*b"META", b"x".to_vec());
+        let (_, digests, manifest) = scan(&w.to_bytes()[..]).unwrap();
+        assert_eq!(digests.len(), 1);
+        assert!(manifest.is_none());
+    }
+
+    #[test]
+    fn spliced_sections_fail_the_manifest_check() {
+        // Write a manifest over META only, then append an extra section
+        // *before* it by rebuilding the file with a stale manifest.
+        let mut w = StoreWriter::new(KIND_BUNDLE);
+        w.section(*b"META", b"meta".to_vec());
+        let stale = Manifest {
+            tool: "test/1".into(),
+            sections: w.digests(),
+        };
+        w.section(*b"EVIL", b"spliced-in".to_vec());
+        w.section(crate::section_tag::MANIFEST, stale.to_bytes());
+        match scan(&w.to_bytes()[..]) {
+            Err(StoreError::Malformed(msg)) => assert!(msg.contains("manifest")),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_manifests_are_rejected() {
+        let mut w = StoreWriter::new(KIND_BUNDLE);
+        w.section(*b"META", b"meta".to_vec());
+        let manifest = Manifest {
+            tool: "test/1".into(),
+            sections: w.digests(),
+        };
+        let payload = manifest.to_bytes();
+        w.section(crate::section_tag::MANIFEST, payload.clone());
+        w.section(crate::section_tag::MANIFEST, payload);
+        assert!(matches!(
+            scan(&w.to_bytes()[..]),
+            Err(StoreError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn sections_after_the_manifest_are_rejected() {
+        let mut w = StoreWriter::new(KIND_BUNDLE);
+        w.section(*b"META", b"meta".to_vec());
+        let manifest = Manifest {
+            tool: "test/1".into(),
+            sections: w.digests(),
+        };
+        w.section(crate::section_tag::MANIFEST, manifest.to_bytes());
+        w.section(*b"LATE", b"trailing".to_vec());
+        assert!(matches!(
+            scan(&w.to_bytes()[..]),
+            Err(StoreError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn digest_codec_roundtrips() {
+        let digest = SectionDigest {
+            tag: *b"IDXP",
+            len: 123,
+            crc: 0xDEAD_BEEF,
+        };
+        assert_eq!(
+            SectionDigest::from_bytes(&digest.to_bytes()).unwrap(),
+            digest
+        );
+    }
+}
