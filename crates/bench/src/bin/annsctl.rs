@@ -11,6 +11,7 @@
 //! annsctl mount       --mounts a=x.anns,b=y.anns [--verify-queries 4]
 //! annsctl swap        --mounts a=x.anns,b=y.anns --swap a=x2.anns [--requests 256]
 //! annsctl serve       [--from-store bundle.anns | --mounts a=x.anns,… | --index index.json]
+//! annsctl serve       --online 1 [--rate 4000] [--window 16] [--max-wait-us 500] [--queue-cap 256]
 //! annsctl bench-serve [--from-store bundle.anns | --index index.json] [--shards 4] --out BENCH_serve.json
 //! annsctl bench-gate  --current BENCH_new.json --reference BENCH_serve.json [--tol-coalescing 0.1]
 //! annsctl lpm         --sigma 4 --m 8 --n 64 --k 2 --queries 32
@@ -30,9 +31,15 @@
 //! completed and the old mount fully retired, `serve` drives the
 //! round-synchronous engine — warm-started from one bundle via
 //! `--from-store` or several via `--mounts` — and exits nonzero on budget
-//! violations or a failed round-integrity audit, `bench-serve` races
-//! coalesced engine serving against per-query `run_batch` (optionally
-//! across `--shards N` mounted namespaces) and writes `BENCH_serve.json`,
+//! violations or a failed round-integrity audit (`serve --online 1`
+//! instead drives the *admission queue* with a Poisson-ish arrival stream
+//! at `--rate` q/s, windows sealing at `--window` queries or the
+//! `--max-wait-us` deadline, and reports admission-wait and latency
+//! percentiles, exiting nonzero on any shed arrival, failed query, or
+//! budget violation), `bench-serve` races coalesced engine serving
+//! against per-query `run_batch` (optionally across `--shards N` mounted
+//! namespaces), appends a deterministic admission-queue run on a virtual
+//! clock, and writes `BENCH_serve.json`,
 //! `bench-gate` compares such a report against a committed reference with
 //! tolerance bands (the CI perf-regression gate), `lpm` runs the trie
 //! scheme end to end, and `lb` invokes the round-elimination calculator.
@@ -42,7 +49,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use anns_bench::{hot_set_workload, quick_mode};
 use anns_cellprobe::{
@@ -51,8 +58,9 @@ use anns_cellprobe::{
 use anns_core::serve::{ServableScheme, SoloServable};
 use anns_core::{Alg2Config, AnnIndex, AnnsInstance, BuildOptions};
 use anns_engine::{
-    Engine, EngineOptions, MountManifest, MountTable, NamedRequest, QueryRequest, Registry,
-    ServeReport, Served, ShardId,
+    AdmissionOptions, AdmissionQueue, Engine, EngineOptions, MountManifest, MountTable,
+    NamedRequest, QueryRequest, RealClock, Registry, Resolution, ServeReport, Served, ShardId,
+    Ticket, VirtualClock,
 };
 use anns_hamming::{gen, Point};
 use anns_lpm::{certified_lower_bound, lower_bound_form, ElimParams, LpmInstance, TrieLpm};
@@ -555,7 +563,222 @@ fn cmd_swap(flags: HashMap<String, String>) {
     }
 }
 
+/// An online (admission-queue) serving run, JSON-emitted by
+/// `serve --online` and embedded in the `bench-serve` report.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct OnlineReport {
+    /// Window width (`max_generation`).
+    window: usize,
+    /// Window deadline in microseconds.
+    max_wait_us: u64,
+    /// Queue capacity (backpressure bound).
+    capacity: usize,
+    /// Target arrival rate in q/s (0 = open loop: enqueue immediately).
+    rate_qps: f64,
+    /// Arrivals shed with `Overloaded` (must be 0 for a clean exit).
+    shed: u64,
+    /// Enqueued requests that resolved to an error.
+    failed: u64,
+    /// Windows sealed.
+    windows: u64,
+    /// … because they reached `window` queries.
+    sealed_by_fill: u64,
+    /// … because the oldest waiter hit the deadline.
+    sealed_by_deadline: u64,
+    /// … because the queue was closed (final flush).
+    sealed_by_drain: u64,
+    /// Mean queries per sealed window.
+    mean_fill: f64,
+    /// The serving metrics of the resolved queries. `wait` holds the
+    /// admission-wait percentiles; `latency` the in-generation latency.
+    report: ServeReport,
+}
+
+/// Runs a request stream through an [`AdmissionQueue`], returning the
+/// per-ticket resolutions in enqueue order plus locally-observed sheds.
+/// `pace` is called before each enqueue (arrival-process hook).
+fn drive_admission_queue(
+    queue: &Arc<AdmissionQueue>,
+    requests: Vec<NamedRequest>,
+    mut pace: impl FnMut(usize),
+) -> (Vec<Resolution>, u64) {
+    std::thread::scope(|scope| {
+        let driver = {
+            let queue = Arc::clone(queue);
+            scope.spawn(move || queue.run())
+        };
+        let mut tickets: Vec<Ticket> = Vec::with_capacity(requests.len());
+        let mut shed = 0u64;
+        for (i, request) in requests.into_iter().enumerate() {
+            pace(i);
+            match queue.enqueue(request) {
+                Ok(ticket) => tickets.push(ticket),
+                Err(e) => {
+                    eprintln!("online: arrival {i} shed: {e}");
+                    shed += 1;
+                }
+            }
+        }
+        queue.close();
+        let resolutions: Vec<Resolution> = tickets.into_iter().map(Ticket::wait).collect();
+        driver.join().expect("admission driver thread");
+        (resolutions, shed)
+    })
+}
+
+/// Builds the [`OnlineReport`] for one finished admission-queue run,
+/// patching in the engine-side coalescing accounting (the queue path has
+/// no per-call `GenerationTrace`s; the cumulative stats carry them).
+fn online_report(
+    label: String,
+    engine: &Engine,
+    queue: &AdmissionQueue,
+    resolutions: &[Resolution],
+    rate_qps: f64,
+    wall: Duration,
+) -> OnlineReport {
+    let ok: Vec<Served> = resolutions
+        .iter()
+        .filter_map(|r| r.result.as_ref().ok().cloned())
+        .collect();
+    let failed = (resolutions.len() - ok.len()) as u64;
+    let waits: Vec<u64> = resolutions.iter().map(|r| r.wait_ns).collect();
+    let stats = engine.stats();
+    let mut report = ServeReport::from_run(label, &ok, &[], wall)
+        .with_options(engine.options())
+        .with_wait(&waits);
+    report.probes_submitted = stats.probes_submitted;
+    report.probes_executed = stats.probes_executed;
+    report.coalescing_ratio = stats.coalescing_ratio();
+    OnlineReport {
+        window: queue.options().max_generation,
+        max_wait_us: queue.options().max_wait.as_micros() as u64,
+        capacity: queue.options().capacity,
+        rate_qps,
+        shed: stats.online.shed,
+        failed,
+        windows: stats.online.windows,
+        sealed_by_fill: stats.online.sealed_by_fill,
+        sealed_by_deadline: stats.online.sealed_by_deadline,
+        sealed_by_drain: stats.online.sealed_by_drain,
+        mean_fill: stats.online.fill_hist.mean(),
+        report,
+    }
+}
+
+/// `serve --online 1`: the admission-queue serving loop under a
+/// Poisson-ish arrival stream on the real clock. Exits nonzero on any
+/// shed arrival, failed query, or budget violation — the CI smoke
+/// contract.
+fn cmd_serve_online(flags: HashMap<String, String>) {
+    let (registry, index) = registry_and_index(&flags);
+    let requests_n: usize = flag(&flags, "requests", 256);
+    let distinct: usize = flag(&flags, "distinct", requests_n / 4);
+    let flips: u32 = flag(&flags, "flips", 6);
+    let window: usize = flag(&flags, "window", 16);
+    let threads: usize = flag(&flags, "threads", 4);
+    let seed: u64 = flag(&flags, "seed", 99);
+    let max_wait_us: u64 = flag(&flags, "max-wait-us", 500);
+    let capacity: usize = flag(&flags, "queue-cap", requests_n.max(1));
+    let rate: f64 = flag(&flags, "rate", 4000.0);
+
+    let engine = Arc::new(Engine::new(
+        registry,
+        EngineOptions {
+            generation: window.max(1),
+            exec: ExecOptions::default(),
+            batch_threads: threads,
+        },
+    ));
+    let shard_names: Vec<String> = engine
+        .registry()
+        .listing()
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect();
+    if shard_names.is_empty() {
+        die("nothing to serve: registry is empty");
+    }
+    let queue = Arc::new(AdmissionQueue::new(
+        Arc::clone(&engine),
+        AdmissionOptions {
+            max_generation: window.max(1),
+            max_wait: Duration::from_micros(max_wait_us),
+            capacity,
+        },
+        Arc::new(RealClock::new()),
+    ));
+    let queries = hot_set_workload(&index, requests_n, distinct.max(1), flips, seed);
+    let requests: Vec<NamedRequest> = queries
+        .into_iter()
+        .enumerate()
+        .map(|(i, query)| NamedRequest {
+            shard: shard_names[i % shard_names.len()].clone(),
+            query,
+        })
+        .collect();
+    eprintln!(
+        "online: {requests_n} arrivals at ~{rate:.0} q/s over {} shard(s), \
+         window {window}, deadline {max_wait_us} µs, capacity {capacity}…",
+        shard_names.len()
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA771);
+    let started = Instant::now();
+    let (resolutions, _) = drive_admission_queue(&queue, requests, |_| {
+        if rate > 0.0 {
+            // Exponential inter-arrival times: a Poisson-ish open loop,
+            // capped so one extreme draw cannot stall the stream.
+            let u: f64 = rng.gen();
+            let dt = (-(1.0 - u).ln() / rate).min(0.050);
+            std::thread::sleep(Duration::from_secs_f64(dt));
+        }
+    });
+    let wall = started.elapsed();
+    let online = online_report(
+        format!("online[window={window},rate={rate:.0}]"),
+        &engine,
+        &queue,
+        &resolutions,
+        rate,
+        wall,
+    );
+    let json = serde_json::to_string(&online).expect("serialize online report");
+    println!("{json}");
+    if let Some(out) = flags.get("out") {
+        std::fs::write(out, &json).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+        eprintln!("report → {out}");
+    }
+    eprintln!(
+        "online: {} ok, {} failed, {} shed; {} windows (fill {}, deadline {}, drain {}), \
+         mean fill {:.1}; wait p50/p99 {:.0}/{:.0} µs; latency p50/p99 {:.0}/{:.0} µs",
+        online.report.queries,
+        online.failed,
+        online.shed,
+        online.windows,
+        online.sealed_by_fill,
+        online.sealed_by_deadline,
+        online.sealed_by_drain,
+        online.mean_fill,
+        online.report.wait.p50_us,
+        online.report.wait.p99_us,
+        online.report.latency.p50_us,
+        online.report.latency.p99_us,
+    );
+    if online.shed > 0 || online.failed > 0 || online.report.budget_violations > 0 {
+        die("online serve must complete with zero shed arrivals, zero failures and zero budget violations");
+    }
+}
+
 fn cmd_serve(flags: HashMap<String, String>) {
+    // Every annsctl flag takes a value, so honor it: `--online 0` (or
+    // `false`) is the batch path, anything else switches online.
+    let online = flags
+        .get("online")
+        .is_some_and(|v| v != "0" && v != "false");
+    if online {
+        return cmd_serve_online(flags);
+    }
     let (registry, index) = registry_and_index(&flags);
     let requests_n: usize = flag(&flags, "requests", 256);
     let distinct: usize = flag(&flags, "distinct", requests_n / 4);
@@ -600,7 +823,8 @@ fn cmd_serve(flags: HashMap<String, String>) {
     let started = Instant::now();
     let (served, traces) = engine.submit_batch_traced(&reqs);
     let wall = started.elapsed();
-    let report = ServeReport::from_run(format!("engine[batch={batch}]"), &served, &traces, wall);
+    let report = ServeReport::from_run(format!("engine[batch={batch}]"), &served, &traces, wall)
+        .with_options(engine.options());
     let json = serde_json::to_string(&report).expect("serialize serve report");
     println!("{json}");
     if let Some(out) = flags.get("out") {
@@ -641,13 +865,18 @@ fn cmd_serve(flags: HashMap<String, String>) {
 }
 
 /// `bench-serve` output: config, the per-query `run_batch` baseline, one
-/// engine run per generation width, and the round-integrity audit.
-/// Deserializable so `bench-gate` can reload committed artifacts.
+/// engine run per generation width, a deterministic admission-queue run,
+/// and the round-integrity audit. Deserializable so `bench-gate` can
+/// reload committed artifacts.
 #[derive(serde::Serialize, serde::Deserialize)]
 struct BenchServeReport {
     config: BenchServeConfig,
     baseline: ServeReport,
     engine: Vec<EngineRun>,
+    /// The same request stream through the admission queue on a *virtual*
+    /// clock, pre-enqueued so every window fill-seals at the widest batch
+    /// width: its coalescing is deterministic and gated tightly.
+    online: OnlineReport,
     audit: AuditReport,
 }
 
@@ -881,7 +1110,8 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
         } else {
             format!("engine[batch={batch}]")
         };
-        let report = ServeReport::from_run(label, &served, &traces, wall);
+        let report =
+            ServeReport::from_run(label, &served, &traces, wall).with_options(engine.options());
         engine_runs.push(EngineRun {
             batch,
             speedup_vs_baseline: if report.wall_ms > 0.0 {
@@ -892,6 +1122,69 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
             report,
         });
     }
+
+    // Online admission run: same stream, pre-enqueued behind a parked
+    // driver on a virtual clock, so every window fill-seals at the widest
+    // batch width — the coalescing must be byte-for-byte the batch
+    // engine's at that width, making it CI-gateable without wall-clock
+    // noise (the deadline exists but virtual time never reaches it).
+    let online = {
+        let window = batches.last().copied().unwrap_or(16).max(1);
+        let (registry, shard_ids) = serving_registry();
+        let engine = Arc::new(Engine::new(
+            registry,
+            EngineOptions {
+                generation: window,
+                exec: ExecOptions::default(),
+                batch_threads: threads,
+            },
+        ));
+        let names: Vec<String> = shard_ids
+            .iter()
+            .map(|id| engine.registry().name(*id).to_string())
+            .collect();
+        let queue = Arc::new(AdmissionQueue::new(
+            Arc::clone(&engine),
+            AdmissionOptions {
+                max_generation: window,
+                max_wait: Duration::from_millis(1),
+                capacity: queries.len().max(1),
+            },
+            Arc::new(VirtualClock::new()),
+        ));
+        let requests: Vec<NamedRequest> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, query)| NamedRequest {
+                shard: names[i % names.len()].clone(),
+                query: query.clone(),
+            })
+            .collect();
+        eprintln!("online: admission queue, window {window} (virtual clock, saturated)…");
+        let started = Instant::now();
+        let (resolutions, shed) = drive_admission_queue(&queue, requests, |_| {});
+        let wall = started.elapsed();
+        if shed > 0 {
+            die("bench-serve online run shed arrivals with capacity = request count");
+        }
+        // Correctness cross-check against the baseline run.
+        for (r, b) in resolutions.iter().zip(baseline_served.iter()) {
+            let s = r
+                .result
+                .as_ref()
+                .unwrap_or_else(|e| die(&format!("online query failed: {e}")));
+            assert_eq!(s.answer, b.answer, "online answer diverged from run_batch");
+            assert_eq!(s.ledger, b.ledger, "online ledger diverged from run_batch");
+        }
+        online_report(
+            format!("online[window={window}]"),
+            &engine,
+            &queue,
+            &resolutions,
+            0.0,
+            wall,
+        )
+    };
 
     // Round-integrity audit: coalesced execution must use identical round
     // counts (and transcripts) per query versus solo execution.
@@ -940,6 +1233,7 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
         },
         baseline,
         engine: engine_runs,
+        online,
         audit: AuditReport {
             queries: audit_n,
             rounds_identical,
@@ -960,6 +1254,16 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
             ))
             .collect::<Vec<_>>()
             .join("; ")
+    );
+    println!(
+        "online window {}: {:.0} qps (coalescing {:.2}), {} windows ({} fill / {} drain), {} shed",
+        report.online.window,
+        report.online.report.qps,
+        report.online.report.coalescing_ratio,
+        report.online.windows,
+        report.online.sealed_by_fill,
+        report.online.sealed_by_drain,
+        report.online.shed
     );
     println!(
         "audit over {} queries: rounds identical = {}, transcripts identical = {}",
@@ -1159,6 +1463,7 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
         failed = true;
     }
     let violations: u64 = current.baseline.budget_violations
+        + current.online.report.budget_violations
         + current
             .engine
             .iter()
@@ -1166,6 +1471,15 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
             .sum::<u64>();
     if violations > 0 {
         println!("FAIL: {violations} budget violations in {current_path}");
+        failed = true;
+    }
+    // The online run is saturated with capacity = request count: any shed
+    // arrival or failed query is a queue bug, not load.
+    if current.online.shed > 0 || current.online.failed > 0 {
+        println!(
+            "FAIL: online run shed {} / failed {} in {current_path}",
+            current.online.shed, current.online.failed
+        );
         failed = true;
     }
     for reference_run in &reference.engine {
@@ -1202,6 +1516,25 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
             ok: current_run.speedup_vs_baseline >= bound,
         });
     }
+    // Online admission: the saturated virtual-clock run is deterministic
+    // in the workload, so its coalescing gets the same tight band.
+    if current.online.window != reference.online.window {
+        println!(
+            "FAIL: online window differs (current {}, reference {})",
+            current.online.window, reference.online.window
+        );
+        failed = true;
+    } else {
+        let bound = reference.online.report.coalescing_ratio * (1.0 + tol_coalescing) + 1e-9;
+        rows.push(GateRow {
+            batch: reference.online.window,
+            metric: "online_coalescing_ratio",
+            reference: reference.online.report.coalescing_ratio,
+            current: current.online.report.coalescing_ratio,
+            bound,
+            ok: current.online.report.coalescing_ratio <= bound,
+        });
+    }
 
     // The diff summary, markdown so CI step output renders it.
     println!("| batch | metric | reference | current | allowed | verdict |");
@@ -1214,7 +1547,7 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
             row.metric,
             row.reference,
             row.current,
-            if row.metric == "coalescing_ratio" {
+            if row.metric.ends_with("coalescing_ratio") {
                 "≤"
             } else {
                 "≥"

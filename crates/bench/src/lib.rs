@@ -20,10 +20,12 @@
 //! ```
 
 use anns_cellprobe::ProbeLedger;
-use anns_core::AnnIndex;
-use anns_hamming::{gen, Point};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// The shared hot-set workload generator, re-exported from
+/// `anns_engine::testkit` so the engine's equivalence tests, `annsctl
+/// serve`/`bench-serve`, and the criterion benches all draw the *same*
+/// traffic shape from the same seed.
+pub use anns_engine::testkit::hot_set_workload;
 
 /// A printable markdown table.
 pub struct MarkdownTable {
@@ -143,37 +145,6 @@ pub fn experiment_header(id: &str, reproduces: &str) {
     println!();
 }
 
-/// A hot-set serving workload over a built index: `requests` queries drawn
-/// round-robin from a pool of `distinct` points — half near database
-/// points at distance `flips`, half uniform. The repetition models the
-/// hot-query traffic a serving tier sees, which is what the engine's
-/// cross-query probe coalescing feeds on; used by `annsctl serve` /
-/// `bench-serve` and the `serve_throughput` criterion bench so all three
-/// measure the same traffic shape.
-pub fn hot_set_workload(
-    index: &AnnIndex,
-    requests: usize,
-    distinct: usize,
-    flips: u32,
-    seed: u64,
-) -> Vec<Point> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let d = index.dataset().dim();
-    let pool: Vec<Point> = (0..distinct.max(1))
-        .map(|i| {
-            if i % 2 == 0 {
-                let base = rng.gen_range(0..index.dataset().len());
-                gen::point_at_distance(index.dataset().point(base), flips.min(d), &mut rng)
-            } else {
-                Point::random(d, &mut rng)
-            }
-        })
-        .collect();
-    (0..requests)
-        .map(|i| pool[i % pool.len()].clone())
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,26 +196,6 @@ mod tests {
         assert_eq!(probes, 5);
         assert_eq!(rounds, 2);
         assert_eq!(width, 4);
-    }
-
-    #[test]
-    fn hot_set_workload_repeats_its_pool() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let ds = gen::uniform(32, 64, &mut rng);
-        let index = AnnIndex::build(
-            ds,
-            anns_sketch::SketchParams::practical(2.0, 3),
-            anns_core::BuildOptions::default(),
-        );
-        let w = hot_set_workload(&index, 12, 4, 5, 9);
-        assert_eq!(w.len(), 12);
-        for (i, q) in w.iter().enumerate() {
-            assert_eq!(q, &w[i % 4], "round-robin over the pool");
-            assert_eq!(q.dim(), 64);
-        }
-        assert_ne!(w[0], w[1], "pool members are distinct");
-        // Deterministic in the seed.
-        assert_eq!(hot_set_workload(&index, 12, 4, 5, 9), w);
     }
 
     #[test]

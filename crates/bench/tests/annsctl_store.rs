@@ -5,19 +5,18 @@
 //! and that the perf gate passes against an artifact produced by the
 //! same build.
 
-use std::path::PathBuf;
 use std::process::{Command, Output};
+
+use anns_engine::testkit::TempDir;
 
 fn annsctl() -> Command {
     Command::new(env!("CARGO_BIN_EXE_annsctl"))
 }
 
-fn tmp_dir(label: &str) -> PathBuf {
-    // Per-test directories: tests run in parallel and clean up after
-    // themselves, so they must not share a tree.
-    let dir = std::env::temp_dir().join(format!("annsctl-store-{label}-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
+/// Per-test scratch directories: tests run in parallel and must not
+/// share a tree; the testkit guard removes them on drop (pass or fail).
+fn tmp_dir(label: &str) -> TempDir {
+    TempDir::new(&format!("annsctl-store-{label}"))
 }
 
 fn run_ok(cmd: &mut Command) -> Output {
@@ -34,7 +33,7 @@ fn run_ok(cmd: &mut Command) -> Output {
 #[test]
 fn save_load_serve_gate_pipeline() {
     let dir = tmp_dir("pipeline");
-    let store = dir.join("ci.anns");
+    let store = dir.file("ci.anns");
     let store_s = store.to_str().unwrap();
 
     // save: tiny instance, every scheme family.
@@ -94,8 +93,8 @@ fn save_load_serve_gate_pipeline() {
 
     // bench-serve --from-store twice (quick mode), then gate one run
     // against the other: identical workloads must pass the gate.
-    let bench_a = dir.join("bench_a.json");
-    let bench_b = dir.join("bench_b.json");
+    let bench_a = dir.file("bench_a.json");
+    let bench_b = dir.file("bench_b.json");
     for out_path in [&bench_a, &bench_b] {
         run_ok(
             annsctl()
@@ -123,7 +122,7 @@ fn save_load_serve_gate_pipeline() {
 
     // Gate regression path: demand an impossible coalescing improvement
     // by doctoring the reference ratios far below anything achievable.
-    let doctored = dir.join("doctored.json");
+    let doctored = dir.file("doctored.json");
     let json = std::fs::read_to_string(&bench_a).unwrap();
     let tightened = json.replace("\"coalescing_ratio\":1.0", "\"coalescing_ratio\":1e-6");
     assert_ne!(
@@ -144,15 +143,13 @@ fn save_load_serve_gate_pipeline() {
     assert_eq!(out.status.code(), Some(1), "doctored gate must fail");
     let stdout = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(stdout.contains("REGRESSION"), "{stdout}");
-
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn mount_and_hot_swap_pipeline() {
     let dir = tmp_dir("mount");
-    let a = dir.join("a.anns");
-    let b = dir.join("b.anns");
+    let a = dir.file("a.anns");
+    let b = dir.file("b.anns");
     // Same shard names, different seeds: a plausible "next build" pair.
     for (path, seed) in [(&a, "5"), (&b, "6")] {
         run_ok(annsctl().args([
@@ -232,14 +229,12 @@ fn mount_and_hot_swap_pipeline() {
         .output()
         .unwrap();
     assert!(!out.status.success(), "swap of unmounted ns must fail");
-
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn corrupted_store_fails_with_typed_error_and_nonzero_exit() {
     let dir = tmp_dir("corrupt");
-    let store = dir.join("corrupt.anns");
+    let store = dir.file("corrupt.anns");
     let store_s = store.to_str().unwrap();
     run_ok(annsctl().args([
         "save", "--n", "64", "--d", "64", "--seed", "2", "--scheme", "alg1", "--out", store_s,
@@ -265,13 +260,12 @@ fn corrupted_store_fails_with_typed_error_and_nonzero_exit() {
         .output()
         .unwrap();
     assert!(!out.status.success(), "serve must refuse a damaged store");
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn version_skew_is_reported_as_such() {
     let dir = tmp_dir("skew");
-    let store = dir.join("skew.anns");
+    let store = dir.file("skew.anns");
     let store_s = store.to_str().unwrap();
     run_ok(annsctl().args([
         "save", "--n", "64", "--d", "64", "--seed", "2", "--scheme", "lambda", "--out", store_s,
@@ -286,5 +280,66 @@ fn version_skew_is_reported_as_such() {
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr).to_string();
     assert!(err.contains("version 9"), "stderr: {err}");
-    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn online_serve_smoke_exits_clean_with_zero_shed() {
+    let dir = tmp_dir("online");
+    let store = dir.file("online.anns");
+    let store_s = store.to_str().unwrap();
+    run_ok(annsctl().args([
+        "save", "--n", "128", "--d", "128", "--seed", "7", "--scheme", "alg1", "--out", store_s,
+    ]));
+
+    // Open-loop arrivals (--rate 0): the queue saturates and windows
+    // fill-seal; capacity defaults to the request count, so a clean run
+    // must shed nothing. The command exits nonzero on any shed arrival,
+    // failed query, or budget violation — that exit code *is* the CI
+    // smoke assertion.
+    let out = run_ok(annsctl().args([
+        "serve",
+        "--online",
+        "1",
+        "--from-store",
+        store_s,
+        "--requests",
+        "48",
+        "--window",
+        "8",
+        "--rate",
+        "0",
+        "--threads",
+        "2",
+    ]));
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("\"shed\":0"), "{stdout}");
+    assert!(stdout.contains("\"failed\":0"), "{stdout}");
+    assert!(stdout.contains("\"budget_violations\":0"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("48 ok, 0 failed, 0 shed"), "{stderr}");
+
+    // A capacity of 1 under open-loop arrivals must shed — and that is a
+    // nonzero exit with the typed overload message on stderr, not a
+    // panic.
+    let out = annsctl()
+        .args([
+            "serve",
+            "--online",
+            "1",
+            "--from-store",
+            store_s,
+            "--requests",
+            "48",
+            "--window",
+            "8",
+            "--rate",
+            "0",
+            "--queue-cap",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "shedding run must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("overloaded"), "{stderr}");
 }

@@ -74,6 +74,19 @@ pub enum ServeError {
         /// The epoch it was resolved against.
         epoch: u64,
     },
+    /// The admission queue was at capacity and shed this request — the
+    /// backpressure signal of [`crate::AdmissionQueue`], telling the
+    /// caller to retry later (or route elsewhere) instead of queueing
+    /// unbounded work behind a deadline it can no longer meet.
+    Overloaded {
+        /// Requests already waiting when this one arrived.
+        depth: usize,
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
+    /// The admission queue was closed before this request could be
+    /// admitted — or its driver unwound before resolving the ticket.
+    Closed,
 }
 
 impl std::fmt::Display for ServeError {
@@ -82,6 +95,13 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownShard { shard, epoch } => {
                 write!(f, "shard {shard:?} not mounted in epoch {epoch}")
             }
+            ServeError::Overloaded { depth, capacity } => {
+                write!(
+                    f,
+                    "admission queue overloaded: {depth} of {capacity} slots in use"
+                )
+            }
+            ServeError::Closed => write!(f, "admission queue closed"),
         }
     }
 }
@@ -145,10 +165,19 @@ impl Engine {
     /// shape: the caller keeps the `Arc<MountTable>` and swaps bundles
     /// while the engine serves.
     ///
+    /// `opts.batch_threads` is clamped to `1..=available_parallelism()`:
+    /// the default of 4 would otherwise spawn three idle workers per
+    /// coalesced dispatch on a 1-core container. The clamped value is
+    /// what [`Engine::options`] reports and what `ServeReport` records.
+    ///
     /// # Panics
     /// If `opts.generation == 0`.
-    pub fn over(mounts: Arc<MountTable>, opts: EngineOptions) -> Self {
+    pub fn over(mounts: Arc<MountTable>, mut opts: EngineOptions) -> Self {
         assert!(opts.generation >= 1, "generation width must be positive");
+        let available = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        opts.batch_threads = opts.batch_threads.clamp(1, available);
         Engine {
             mounts,
             opts,
@@ -276,6 +305,12 @@ impl Engine {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clone()
+    }
+
+    /// Folds an update into the online-admission slice of the totals
+    /// (the [`crate::AdmissionQueue`]'s accounting hook).
+    pub(crate) fn absorb_online(&self, fold: impl FnOnce(&mut crate::stats::OnlineStats)) {
+        fold(&mut self.totals.lock().unwrap_or_else(|e| e.into_inner()).online)
     }
 
     /// Runs one generation against a pinned epoch: a scoped thread per

@@ -44,6 +44,16 @@
 //!   per-query results carry the answer, the probe [`ProbeLedger`]
 //!   (byte-identical to solo execution), an optional `Transcript`, the
 //!   observed latency, and a budget-adherence verdict;
+//! * [`admission`] — the **online admission queue**: clients
+//!   [`admission::AdmissionQueue::enqueue`] one request at a time; a
+//!   drive loop seals the continuously filling window into the next
+//!   generation at `max_generation` queries or a `max_wait` deadline,
+//!   whichever first, sheds arrivals beyond a bounded capacity with a
+//!   typed `ServeError::Overloaded`, and resolves [`admission::Ticket`]s
+//!   epoch-pinned — requests enqueued around a hot swap are served by
+//!   the epoch that admitted their window. Time is injectable
+//!   ([`clock`]): production uses [`clock::RealClock`], tests prove
+//!   deadline behavior deterministically with a [`clock::VirtualClock`];
 //! * [`stats`] — **served metrics**: cumulative engine counters (merged
 //!   ledgers, coalescing ratio, budget violations) and the JSON
 //!   [`stats::ServeReport`] emitted by `annsctl serve` /
@@ -96,16 +106,23 @@
 //! assert!(engine.stats().coalescing_ratio() <= 0.5);
 //! ```
 
+pub mod admission;
+pub mod clock;
 pub mod engine;
 pub mod mount;
 pub mod registry;
 pub mod scheduler;
 pub mod stats;
+pub mod testkit;
 
+pub use admission::{
+    AdmissionOptions, AdmissionQueue, Resolution, SealReason, Ticket, WindowTrace,
+};
+pub use clock::{Clock, RealClock, VirtualClock};
 pub use engine::{
     Engine, EngineOptions, GenerationTrace, NamedRequest, QueryRequest, ServeError, Served,
 };
 pub use mount::{MountError, MountManifest, MountTable, SwapReceipt};
 pub use registry::{load_index_snapshot, BundleMeta, LoadedBundle, Registry, ShardId, ShardInfo};
 pub use scheduler::{DispatchTrace, Generation};
-pub use stats::{percentile, EngineStats, LatencySummary, ServeReport};
+pub use stats::{percentile, EngineStats, Histogram, LatencySummary, OnlineStats, ServeReport};

@@ -8,7 +8,118 @@
 
 use anns_cellprobe::ProbeLedger;
 
-use crate::engine::{GenerationTrace, Served};
+use crate::engine::{EngineOptions, GenerationTrace, Served};
+
+/// A power-of-two bucket histogram over `u64` samples.
+///
+/// Bucket 0 counts the value 0; bucket `i ≥ 1` counts values in
+/// `[2^(i-1), 2^i)`. Coarse on purpose: the online admission path records
+/// one sample per enqueue and per served query, so the histogram must be
+/// O(1) to update and small to serialize, and queue-depth / wait-time
+/// distributions are read at order-of-magnitude resolution anyway.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize)]
+pub struct Histogram {
+    /// Bucket counts; trailing empty buckets are not materialized.
+    pub buckets: Vec<u64>,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (for the exact mean).
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Exact arithmetic mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper edge of the bucket holding the `p`-quantile sample — an
+    /// upper bound on the true percentile, exact for `p = 1.0` (which
+    /// returns [`Histogram::max`]).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if p >= 1.0 {
+            return self.max;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper edge of bucket i: 0 for bucket 0, else 2^i − 1 —
+                // saturating at bucket 64 (samples ≥ 2^63), where the
+                // edge is the whole u64 range.
+                let edge = match i {
+                    0 => 0,
+                    1..=63 => (1u64 << i) - 1,
+                    _ => u64::MAX,
+                };
+                return edge.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Cumulative metrics of the online admission path (all zero when the
+/// engine is only driven through `submit_batch`/`submit_named`). Updated
+/// by [`crate::AdmissionQueue`]; read through [`crate::Engine::stats`].
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct OnlineStats {
+    /// Requests accepted into the admission window.
+    pub enqueued: u64,
+    /// Requests shed with `ServeError::Overloaded` (the backpressure
+    /// path; never silently dropped).
+    pub shed: u64,
+    /// Windows sealed into generations.
+    pub windows: u64,
+    /// Windows sealed because they reached `max_generation` queries.
+    pub sealed_by_fill: u64,
+    /// Windows sealed because the oldest waiter hit `max_wait`.
+    pub sealed_by_deadline: u64,
+    /// Partial windows flushed by queue shutdown.
+    pub sealed_by_drain: u64,
+    /// Queue depth observed after each successful enqueue.
+    pub depth_hist: Histogram,
+    /// Window fill (queries per sealed window).
+    pub fill_hist: Histogram,
+    /// Per-query admission wait in nanoseconds (enqueue → seal), on the
+    /// queue's [`crate::clock::Clock`] — virtual time in tests.
+    pub wait_hist: Histogram,
+}
 
 /// Cumulative counters since the engine was built.
 #[derive(Clone, Debug, Default, serde::Serialize)]
@@ -44,6 +155,9 @@ pub struct EngineStats {
     /// Aggregate ledger over all served queries (element-wise per-round
     /// sums — the engine's total bill, not the paper's worst case).
     pub merged_ledger: ProbeLedger,
+    /// Online admission metrics (queue depth, window fill, admission
+    /// wait); all zero for batch-submitted serving.
+    pub online: OnlineStats,
 }
 
 impl EngineStats {
@@ -136,6 +250,13 @@ pub struct ServeReport {
     pub label: String,
     /// Queries in the run.
     pub queries: u64,
+    /// Generation width the engine ran with (0 for non-engine baselines).
+    pub generation: u64,
+    /// Worker threads per coalesced shard batch, *as clamped by
+    /// `Engine::new` to the machine's available parallelism* — the
+    /// effective value, not the requested one (0 for non-engine
+    /// baselines).
+    pub batch_threads: u64,
     /// Wall-clock for the whole run, milliseconds.
     pub wall_ms: f64,
     /// Queries per second over the run.
@@ -161,6 +282,9 @@ pub struct ServeReport {
     pub budget_violations: u64,
     /// Queries whose answer carried a database point.
     pub answered: u64,
+    /// Admission-wait summary (enqueue → window seal) for online runs;
+    /// all-zero for batch runs, where requests never wait in a queue.
+    pub wait: LatencySummary,
 }
 
 impl ServeReport {
@@ -186,6 +310,8 @@ impl ServeReport {
         ServeReport {
             label: label.into(),
             queries,
+            generation: 0,
+            batch_threads: 0,
             wall_ms: wall_s * 1e3,
             qps: if wall_s > 0.0 {
                 queries as f64 / wall_s
@@ -222,7 +348,22 @@ impl ServeReport {
             },
             budget_violations: served.iter().filter(|s| !s.within_budget).count() as u64,
             answered: served.iter().filter(|s| s.answer.index().is_some()).count() as u64,
+            wait: LatencySummary::from_ns(&[]),
         }
+    }
+
+    /// Stamps the effective engine options into the report (after the
+    /// `Engine::new` parallelism clamp — what actually ran).
+    pub fn with_options(mut self, opts: &EngineOptions) -> Self {
+        self.generation = opts.generation as u64;
+        self.batch_threads = opts.batch_threads as u64;
+        self
+    }
+
+    /// Stamps the admission-wait summary from per-query waits (ns).
+    pub fn with_wait(mut self, wait_ns: &[u64]) -> Self {
+        self.wait = LatencySummary::from_ns(wait_ns);
+        self
     }
 }
 
@@ -253,6 +394,64 @@ mod tests {
     fn empty_stats_have_unit_coalescing_ratio() {
         let stats = EngineStats::default();
         assert_eq!(stats.coalescing_ratio(), 1.0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1010);
+        assert_eq!(h.max, 1000);
+        // 0 → bucket 0, 1 → bucket 1, 2..4 → bucket 2, 4..8 → bucket 3,
+        // 1000 → bucket 10.
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 2);
+        assert_eq!(h.buckets[3], 1);
+        assert_eq!(h.buckets[10], 1);
+        assert_eq!(h.mean(), 1010.0 / 6.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_bound_the_samples() {
+        let mut h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // p50 of 1..=100 lives in bucket 6 ([32, 64)); the reported upper
+        // edge bounds the true percentile from above.
+        assert!(h.percentile(0.5) >= 50);
+        assert!(h.percentile(0.5) <= 63);
+        assert_eq!(h.percentile(1.0), 100);
+        assert_eq!(Histogram::default().percentile(0.9), 0);
+        // Top bucket (samples ≥ 2^63): the edge saturates, no overflow.
+        let mut top = Histogram::default();
+        top.record(u64::MAX);
+        top.record(u64::MAX);
+        assert_eq!(top.percentile(0.5), u64::MAX);
+        // All-zero samples stay in bucket 0.
+        let mut zeros = Histogram::default();
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn histogram_merge_is_elementwise() {
+        let mut a = Histogram::default();
+        a.record(1);
+        a.record(100);
+        let mut b = Histogram::default();
+        b.record(3);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.sum, 104);
+        assert_eq!(merged.max, 100);
+        assert_eq!(merged.buckets[2], 1, "b's sample landed");
     }
 
     #[test]

@@ -12,32 +12,25 @@
 //!    each.
 
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use anns_cellprobe::{execute_with, ExecOptions};
 use anns_core::serve::SoloServable;
-use anns_core::{AnnIndex, BuildOptions};
+use anns_core::AnnIndex;
+use anns_engine::testkit::{clustered_index, hot_set_workload};
 use anns_engine::{Engine, EngineOptions, QueryRequest, Registry};
-use anns_hamming::{gen, Point};
+use anns_hamming::Point;
 use anns_lsh::{LshIndex, LshParams, ServeLsh};
-use anns_sketch::SketchParams;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 const N: usize = 192;
 const D: u32 = 256;
 
 fn shared_index() -> Arc<AnnIndex> {
     static INDEX: OnceLock<Arc<AnnIndex>> = OnceLock::new();
-    Arc::clone(INDEX.get_or_init(|| {
-        let mut rng = StdRng::seed_from_u64(4242);
-        let ds = gen::clustered(12, 16, D, 0.04, &mut rng);
-        Arc::new(AnnIndex::build(
-            ds,
-            SketchParams::practical(2.0, 4242),
-            BuildOptions::default(),
-        ))
-    }))
+    Arc::clone(INDEX.get_or_init(|| clustered_index(12, 16, D, 0.04, 4242)))
 }
 
 fn engine_over_shared_index(exec: ExecOptions, generation: usize) -> Engine {
@@ -64,19 +57,7 @@ fn engine_over_shared_index(exec: ExecOptions, generation: usize) -> Engine {
 /// A query workload mixing near-planted and uniform points, with
 /// repetition (`distinct < count`) so coalescing has something to merge.
 fn workload(seed: u64, count: usize, distinct: usize) -> Vec<Point> {
-    let index = shared_index();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let pool: Vec<Point> = (0..distinct.max(1))
-        .map(|i| {
-            if i % 2 == 0 {
-                let base = rng.gen_range(0..index.dataset().len());
-                gen::point_at_distance(index.dataset().point(base), 5, &mut rng)
-            } else {
-                Point::random(D, &mut rng)
-            }
-        })
-        .collect();
-    (0..count).map(|i| pool[i % pool.len()].clone()).collect()
+    hot_set_workload(&shared_index(), count, distinct, 5, seed)
 }
 
 proptest! {
@@ -339,6 +320,52 @@ fn unknown_shard_is_rejected_before_any_query_runs() {
     }));
     assert!(result.is_err(), "unknown shard must be rejected");
     assert_eq!(engine.stats().queries, 0, "nothing may have been served");
+}
+
+#[test]
+fn batch_threads_clamp_round_trips_through_serve_report() {
+    // The container default of 4 threads is meaningless on a 1-core box:
+    // Engine::new clamps to available parallelism, and the clamped value
+    // is what `options()` exposes and ServeReport records.
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let index = shared_index();
+    let mut registry = Registry::new();
+    registry.register_alg1("alg1-k1", Arc::clone(&index), 1);
+    let engine = Engine::new(
+        registry,
+        EngineOptions {
+            generation: 8,
+            exec: ExecOptions::default(),
+            batch_threads: 4096,
+        },
+    );
+    let clamped = engine.options().batch_threads;
+    assert_eq!(clamped, available, "4096 clamps down to the machine");
+    assert!(clamped >= 1);
+
+    // And a zero request clamps *up* — the engine never runs threadless.
+    let mut registry = Registry::new();
+    registry.register_alg1("alg1-k1", index, 1);
+    let engine_zero = Engine::new(
+        registry,
+        EngineOptions {
+            generation: 8,
+            exec: ExecOptions::default(),
+            batch_threads: 0,
+        },
+    );
+    assert_eq!(engine_zero.options().batch_threads, 1);
+
+    // Round trip: the effective options survive serialization, so a
+    // committed ServeReport records what actually ran.
+    let report = anns_engine::ServeReport::from_run("clamp", &[], &[], Duration::from_millis(1))
+        .with_options(engine.options());
+    let json = serde_json::to_string(&report).unwrap();
+    let back: anns_engine::ServeReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.generation, 8);
+    assert_eq!(back.batch_threads, clamped as u64);
 }
 
 #[test]

@@ -14,37 +14,25 @@ use std::sync::{Arc, OnceLock};
 
 use anns_cellprobe::{execute_with, ExecOptions};
 use anns_core::serve::SoloServable;
-use anns_core::{AnnIndex, BuildOptions};
+use anns_core::AnnIndex;
+use anns_engine::testkit::{bundle_bytes, clustered_index, hot_set_workload};
 use anns_engine::{
     Engine, EngineOptions, MountError, MountTable, NamedRequest, QueryRequest, Registry, ShardId,
 };
-use anns_hamming::{gen, Point};
-use anns_sketch::SketchParams;
+use anns_hamming::Point;
 use anns_store::StoreError;
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const D: u32 = 192;
 
-fn build_index(seed: u64) -> Arc<AnnIndex> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let ds = gen::clustered(8, 12, D, 0.05, &mut rng);
-    Arc::new(AnnIndex::build(
-        ds,
-        SketchParams::practical(2.0, seed),
-        BuildOptions::default(),
-    ))
-}
-
 fn index_a() -> Arc<AnnIndex> {
     static INDEX: OnceLock<Arc<AnnIndex>> = OnceLock::new();
-    Arc::clone(INDEX.get_or_init(|| build_index(901)))
+    Arc::clone(INDEX.get_or_init(|| clustered_index(8, 12, D, 0.05, 901)))
 }
 
 fn index_b() -> Arc<AnnIndex> {
     static INDEX: OnceLock<Arc<AnnIndex>> = OnceLock::new();
-    Arc::clone(INDEX.get_or_init(|| build_index(902)))
+    Arc::clone(INDEX.get_or_init(|| clustered_index(8, 12, D, 0.05, 902)))
 }
 
 /// Registry serving index A under two schemes (the "tenant-a" build).
@@ -67,12 +55,6 @@ fn registry_b() -> Registry {
     registry
 }
 
-fn bundle_bytes(registry: &Registry) -> Vec<u8> {
-    let mut bytes = Vec::new();
-    registry.save_bundle_to(&mut bytes).unwrap();
-    bytes
-}
-
 fn bytes_a() -> &'static [u8] {
     static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
     BYTES.get_or_init(|| bundle_bytes(&registry_a()))
@@ -84,18 +66,7 @@ fn bytes_b() -> &'static [u8] {
 }
 
 fn workload(seed: u64, count: usize) -> Vec<Point> {
-    let index = index_a();
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..count)
-        .map(|i| {
-            if i % 2 == 0 {
-                let base = rng.gen_range(0..index.dataset().len());
-                gen::point_at_distance(index.dataset().point(base), 5, &mut rng)
-            } else {
-                Point::random(D, &mut rng)
-            }
-        })
-        .collect()
+    hot_set_workload(&index_a(), count, count, 5, seed)
 }
 
 proptest! {

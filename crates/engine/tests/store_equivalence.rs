@@ -8,30 +8,22 @@ use std::sync::{Arc, OnceLock};
 
 use anns_cellprobe::{execute_with, ExecOptions};
 use anns_core::serve::SoloServable;
-use anns_core::{AnnIndex, BuildOptions};
+use anns_core::AnnIndex;
+use anns_engine::testkit::{clustered_index, hot_set_workload, TempDir};
 use anns_engine::{Engine, EngineOptions, QueryRequest, Registry, ShardId};
-use anns_hamming::{gen, Point};
+use anns_hamming::Point;
 use anns_lsh::{LinearScan, LshIndex, LshParams, ServeLinear, ServeLsh};
-use anns_sketch::SketchParams;
 use anns_store::StoreError;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 const N: usize = 128;
 const D: u32 = 192;
 
 fn shared_index() -> Arc<AnnIndex> {
     static INDEX: OnceLock<Arc<AnnIndex>> = OnceLock::new();
-    Arc::clone(INDEX.get_or_init(|| {
-        let mut rng = StdRng::seed_from_u64(777);
-        let ds = gen::clustered(8, 16, D, 0.05, &mut rng);
-        Arc::new(AnnIndex::build(
-            ds,
-            SketchParams::practical(2.0, 777),
-            BuildOptions::default(),
-        ))
-    }))
+    Arc::clone(INDEX.get_or_init(|| clustered_index(8, 16, D, 0.05, 777)))
 }
 
 /// A registry covering every persistable scheme kind, with three shards
@@ -73,18 +65,7 @@ fn saved_bundle_bytes() -> &'static [u8] {
 }
 
 fn workload(seed: u64, count: usize) -> Vec<Point> {
-    let index = shared_index();
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..count)
-        .map(|i| {
-            if i % 2 == 0 {
-                let base = rng.gen_range(0..index.dataset().len());
-                gen::point_at_distance(index.dataset().point(base), 5, &mut rng)
-            } else {
-                Point::random(D, &mut rng)
-            }
-        })
-        .collect()
+    hot_set_workload(&shared_index(), count, count, 5, seed)
 }
 
 proptest! {
@@ -163,6 +144,80 @@ fn index_pool_is_deduplicated_and_shared_on_load() {
     );
 }
 
+/// Rebuilds the saved bundle with `mutate` applied to its payload
+/// sections and a *fresh, matching* `MNFT` appended — the adversarial
+/// shape: every container checksum and the manifest verify, so the
+/// mutated bytes reach the IDXP/SHRD decoders themselves.
+fn remanifested(mutate: impl FnOnce(&mut Vec<anns_store::Section>)) -> Vec<u8> {
+    use anns_store::Codec;
+    let mut reader = anns_store::StoreReader::new(saved_bundle_bytes()).unwrap();
+    let mut sections = reader.sections().unwrap();
+    sections.retain(|s| s.tag != anns_store::section_tag::MANIFEST);
+    mutate(&mut sections);
+    let mut writer = anns_store::StoreWriter::new(anns_store::KIND_BUNDLE);
+    for section in &sections {
+        writer.section(section.tag, section.payload.clone());
+    }
+    let manifest = anns_store::Manifest {
+        tool: "fuzz/1".into(),
+        sections: writer.digests(),
+    };
+    writer.section(anns_store::section_tag::MANIFEST, manifest.to_bytes());
+    writer.to_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Structure-aware fuzz at the bundle layer: hostile *nested* length
+    /// and count prefixes inside the `IDXP` / `SHRD` payloads — the
+    /// values a corrupted-but-checksummed (or adversarial) file would
+    /// present to the decoders — always yield a typed [`StoreError`],
+    /// never a panic and never an attacker-sized allocation (decode
+    /// capacities are capped by the bytes actually present).
+    #[test]
+    fn nested_length_prefix_mutations_yield_typed_errors(
+        target_shrd in any::<bool>(),
+        kind in 0u8..3,
+        delta in 1u64..1 << 40,
+    ) {
+        let tag = if target_shrd {
+            anns_store::section_tag::SHARDS
+        } else {
+            anns_store::section_tag::INDEX_POOL
+        };
+        let bytes = remanifested(|sections| {
+            let section = sections
+                .iter_mut()
+                .find(|s| s.tag == tag)
+                .expect("bundle has the section");
+            match kind {
+                // The first entry's u64 length prefix (after the u32
+                // count): claim more bytes than the payload holds.
+                0 => {
+                    let huge = section.payload.len() as u64 + delta;
+                    section.payload[4..12].copy_from_slice(&huge.to_le_bytes());
+                }
+                // The same prefix at u64::MAX — the "allocate everything"
+                // probe.
+                1 => {
+                    section.payload[4..12].copy_from_slice(&u64::MAX.to_le_bytes());
+                }
+                // The u32 entry count itself: a count the payload cannot
+                // possibly satisfy must run out of bytes, not memory.
+                _ => {
+                    section.payload[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+                }
+            }
+        });
+        match Registry::load_bundle_from(&bytes[..]) {
+            Err(StoreError::Malformed(_)) | Err(StoreError::Truncated { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+            Ok(_) => prop_assert!(false, "hostile prefix decoded successfully"),
+        }
+    }
+}
+
 #[test]
 fn bundle_corruption_yields_typed_errors() {
     let bytes = saved_bundle_bytes().to_vec();
@@ -233,16 +288,14 @@ fn unsupported_schemes_fail_the_save_loudly() {
 
 #[test]
 fn file_roundtrip_through_disk() {
-    let dir = std::env::temp_dir().join(format!("anns-store-test-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join("bundle.anns");
+    let dir = TempDir::new("store-equivalence");
+    let path = dir.file("bundle.anns");
     full_registry().save_bundle(&path).unwrap();
     let loaded = Registry::load_bundle(&path).unwrap();
     assert_eq!(loaded.registry.len(), 5);
     // Loading a nonexistent path is an Io error, not a panic.
     assert!(matches!(
-        Registry::load_bundle(dir.join("missing.anns")),
+        Registry::load_bundle(dir.file("missing.anns")),
         Err(StoreError::Io(_))
     ));
-    std::fs::remove_dir_all(&dir).ok();
 }

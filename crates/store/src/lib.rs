@@ -67,7 +67,7 @@ pub use checksum::{crc32, crc32_pair};
 pub use codec::{encode_slice, ByteReader, ByteWriter, Codec};
 pub use container::{open_file, Section, SectionTag, StoreHeader, StoreReader, StoreWriter};
 pub use error::StoreError;
-pub use manifest::{Manifest, ManifestTracker, SectionDigest};
+pub use manifest::{scan, scan_file, Manifest, ManifestTracker, SectionDigest};
 
 /// The four magic bytes opening every store file.
 pub const MAGIC: [u8; 4] = *b"ANNS";
