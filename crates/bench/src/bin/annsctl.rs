@@ -13,7 +13,9 @@
 //! annsctl serve       [--from-store bundle.anns | --mounts a=x.anns,… | --index index.json]
 //! annsctl serve       --online 1 [--rate 4000] [--window 16] [--max-wait-us 500] [--queue-cap 256]
 //! annsctl bench-serve [--from-store bundle.anns | --index index.json] [--shards 4] --out BENCH_serve.json
+//! annsctl bench-kernels [--dims 64,256,512] [--n 16384] --out BENCH_kernels.json
 //! annsctl bench-gate  --current BENCH_new.json --reference BENCH_serve.json [--tol-coalescing 0.1]
+//! annsctl bench-gate  --kernels-current BENCH_k.json --kernels-reference BENCH_kernels_quick.json
 //! annsctl lpm         --sigma 4 --m 8 --n 64 --k 2 --queries 32
 //! annsctl lb          --log2n 1.3e24 --log2d 1.1e12 --gamma 4 --k 3
 //! ```
@@ -40,9 +42,12 @@
 //! against per-query `run_batch` (optionally across `--shards N` mounted
 //! namespaces), appends a deterministic admission-queue run on a virtual
 //! clock, and writes `BENCH_serve.json`,
-//! `bench-gate` compares such a report against a committed reference with
-//! tolerance bands (the CI perf-regression gate), `lpm` runs the trie
-//! scheme end to end, and `lb` invokes the round-elimination calculator.
+//! `bench-kernels` times the scalar per-`Point` distance loop against the
+//! limb-major `PackedBlock` kernels and writes `BENCH_kernels.json`,
+//! `bench-gate` compares such reports (serve and/or kernel) against
+//! committed references with tolerance bands (the CI perf-regression and
+//! microbench gates), `lpm` runs the trie scheme end to end, and `lb`
+//! invokes the round-elimination calculator.
 //!
 //! The operator-facing walkthrough of these commands lives in
 //! `docs/SERVING.md`; the bundle format itself in `docs/STORE_FORMAT.md`.
@@ -89,7 +94,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 fn die(msg: &str) -> ! {
     eprintln!("annsctl: {msg}");
     eprintln!(
-        "usage: annsctl <build|query|lambda|stats|save|load|inspect|mount|swap|serve|bench-serve|bench-gate|lpm|lb> [--flag value]…"
+        "usage: annsctl <build|query|lambda|stats|save|load|inspect|mount|swap|serve|bench-serve|bench-kernels|bench-gate|lpm|lb> [--flag value]…"
     );
     std::process::exit(2);
 }
@@ -1275,6 +1280,155 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
     }
 }
 
+/// `bench-kernels` output: one row per dimension comparing the scalar
+/// per-`Point` distance loop against the limb-major `PackedBlock`
+/// kernels. Deserializable so `bench-gate` can reload the committed
+/// `BENCH_kernels_quick.json` reference.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct BenchKernelsReport {
+    config: BenchKernelsConfig,
+    rows: Vec<KernelRow>,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct BenchKernelsConfig {
+    n: usize,
+    queries: usize,
+    reps: usize,
+    seed: u64,
+    quick: bool,
+    dims: Vec<u32>,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct KernelRow {
+    d: u32,
+    /// Best-of-reps ns per distance, scalar `Point::distance` loop.
+    scalar_ns: f64,
+    /// Best-of-reps ns per distance, one-vs-many `distances_into`.
+    one_vs_many_ns: f64,
+    /// Best-of-reps ns per distance, `many_distances_into`.
+    many_vs_many_ns: f64,
+    /// `scalar_ns / one_vs_many_ns`.
+    one_vs_many_speedup: f64,
+    /// `scalar_ns / many_vs_many_ns`.
+    many_vs_many_speedup: f64,
+}
+
+fn cmd_bench_kernels(flags: HashMap<String, String>) {
+    use std::hint::black_box;
+    let quick = quick_mode();
+    let n: usize = flag(&flags, "n", if quick { 2048 } else { 16384 });
+    let queries_n: usize = flag(&flags, "queries", if quick { 8 } else { 16 });
+    let reps: usize = flag(&flags, "reps", if quick { 3 } else { 5 });
+    let seed: u64 = flag(&flags, "seed", 7);
+    let out = flag(&flags, "out", "BENCH_kernels.json".to_string());
+    let dims_flag: String = flag(&flags, "dims", "64,256,512".to_string());
+    let dims: Vec<u32> = dims_flag
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| die(&format!("--dims: cannot parse {s:?}")))
+        })
+        .collect();
+
+    /// Best-of-`reps` wall clock of `work`, as ns per distance over
+    /// `pairs` evaluations (best-of: minimum over reps is the standard
+    /// noise floor estimator on shared runners).
+    fn best_ns_per_dist(reps: usize, pairs: usize, mut work: impl FnMut() -> u64) -> (f64, u64) {
+        let mut best = f64::INFINITY;
+        let mut checksum = 0u64;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            checksum = work();
+            let ns = t0.elapsed().as_nanos() as f64;
+            best = best.min(ns / pairs as f64);
+        }
+        (best, checksum)
+    }
+
+    let mut rows = Vec::with_capacity(dims.len());
+    for &d in &dims {
+        let mut rng = StdRng::seed_from_u64(seed ^ u64::from(d));
+        let ds = gen::uniform(n, d, &mut rng);
+        let queries: Vec<Point> = (0..queries_n).map(|_| Point::random(d, &mut rng)).collect();
+        let pairs = n * queries_n;
+
+        let (scalar_ns, scalar_sum) = best_ns_per_dist(reps, pairs, || {
+            let mut sum = 0u64;
+            for q in &queries {
+                for p in ds.points() {
+                    sum += u64::from(black_box(q.distance(p)));
+                }
+            }
+            sum
+        });
+
+        let block = ds.packed();
+        let mut buf = vec![0u32; n];
+        let (one_ns, one_sum) = best_ns_per_dist(reps, pairs, || {
+            let mut sum = 0u64;
+            for q in &queries {
+                block.distances_into(q, &mut buf);
+                sum += black_box(&buf).iter().map(|&x| u64::from(x)).sum::<u64>();
+            }
+            sum
+        });
+
+        let mut many_buf = vec![0u32; n * queries_n];
+        let (many_ns, many_sum) = best_ns_per_dist(reps, pairs, || {
+            block.many_distances_into(&queries, &mut many_buf);
+            black_box(&many_buf).iter().map(|&x| u64::from(x)).sum()
+        });
+
+        // The kernels are byte-identical to the scalar path; a checksum
+        // mismatch here means the benchmark itself is broken.
+        assert_eq!(
+            scalar_sum, one_sum,
+            "one-vs-many checksum diverged at d={d}"
+        );
+        assert_eq!(
+            scalar_sum, many_sum,
+            "many-vs-many checksum diverged at d={d}"
+        );
+
+        let row = KernelRow {
+            d,
+            scalar_ns,
+            one_vs_many_ns: one_ns,
+            many_vs_many_ns: many_ns,
+            one_vs_many_speedup: scalar_ns / one_ns,
+            many_vs_many_speedup: scalar_ns / many_ns,
+        };
+        println!(
+            "d={:>5}: scalar {:.2} ns/dist, one-vs-many {:.2} ({:.2}x), many-vs-many {:.2} ({:.2}x)",
+            row.d,
+            row.scalar_ns,
+            row.one_vs_many_ns,
+            row.one_vs_many_speedup,
+            row.many_vs_many_ns,
+            row.many_vs_many_speedup
+        );
+        rows.push(row);
+    }
+
+    let report = BenchKernelsReport {
+        config: BenchKernelsConfig {
+            n,
+            queries: queries_n,
+            reps,
+            seed,
+            quick,
+            dims,
+        },
+        rows,
+    };
+    let json = serde_json::to_string(&report).expect("serialize bench-kernels report");
+    std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    println!("report → {out}");
+}
+
 fn cmd_save(flags: HashMap<String, String>) {
     let out = required(&flags, "out");
     let index = load_or_build_index(&flags, 1024, 256);
@@ -1414,31 +1568,112 @@ fn cmd_inspect(flags: HashMap<String, String>) {
     }
 }
 
-/// One gated metric comparison in the `bench-gate` diff summary.
+/// One gated metric comparison in the `bench-gate` diff summary. `key` is
+/// the engine batch width for serve metrics, the dimension `d` for kernel
+/// metrics; `lower` says which direction of `bound` is passing.
 struct GateRow {
-    batch: usize,
+    key: usize,
     metric: &'static str,
     reference: f64,
     current: f64,
     bound: f64,
+    lower: bool,
     ok: bool,
 }
 
 fn cmd_bench_gate(flags: HashMap<String, String>) {
-    let current_path = required(&flags, "current");
-    let reference_path = required(&flags, "reference");
+    let current_path = flags.get("current").cloned();
+    let reference_path = flags.get("reference").cloned();
+    let kernels_current_path = flags.get("kernels-current").cloned();
+    let kernels_reference_path = flags.get("kernels-reference").cloned();
+    if current_path.is_some() != reference_path.is_some() {
+        die("--current and --reference must be given together");
+    }
+    if kernels_current_path.is_some() != kernels_reference_path.is_some() {
+        die("--kernels-current and --kernels-reference must be given together");
+    }
+    if current_path.is_none() && kernels_current_path.is_none() {
+        die("nothing to gate: pass --current/--reference and/or --kernels-current/--kernels-reference");
+    }
     // Coalescing is deterministic in the workload, so its band is tight;
     // speedup is wall-clock on shared CI runners, so its band only
     // catches collapses (regression to well under the reference ratio).
     let tol_coalescing: f64 = flag(&flags, "tol-coalescing", 0.10);
     let tol_speedup: f64 = flag(&flags, "tol-speedup", 0.90);
+    // Kernel-vs-scalar speedup is a ratio of two timings on the *same*
+    // machine in the same process, so hardware variance mostly cancels:
+    // its band is the tight one. Absolute ns/distance varies with the
+    // runner's silicon, so its band is loose and only catches collapses.
+    let tol_kernel_ratio: f64 = flag(&flags, "tol-kernel-ratio", 0.35);
+    let tol_kernel_wall: f64 = flag(&flags, "tol-kernel-wall", 4.0);
+
+    let mut rows: Vec<GateRow> = Vec::new();
+    let mut failed = false;
+
+    if let (Some(current_path), Some(reference_path)) = (&current_path, &reference_path) {
+        serve_gate_rows(
+            current_path,
+            reference_path,
+            tol_coalescing,
+            tol_speedup,
+            &mut rows,
+            &mut failed,
+        );
+    }
+    if let (Some(kernels_current), Some(kernels_reference)) =
+        (&kernels_current_path, &kernels_reference_path)
+    {
+        kernel_gate_rows(
+            kernels_current,
+            kernels_reference,
+            tol_kernel_ratio,
+            tol_kernel_wall,
+            &mut rows,
+            &mut failed,
+        );
+    }
+
+    // The diff summary, markdown so CI step output renders it.
+    println!("| key | metric | reference | current | allowed | verdict |");
+    println!("|-----|--------|-----------|---------|---------|---------|");
+    for row in &rows {
+        failed |= !row.ok;
+        println!(
+            "| {} | {} | {:.4} | {:.4} | {} {:.4} | {} |",
+            row.key,
+            row.metric,
+            row.reference,
+            row.current,
+            if row.lower { "≤" } else { "≥" },
+            row.bound,
+            if row.ok { "ok" } else { "REGRESSION" }
+        );
+    }
+    if failed {
+        println!(
+            "bench-gate: REGRESSION (tolerances: coalescing {tol_coalescing}, speedup {tol_speedup}, kernel-ratio {tol_kernel_ratio}, kernel-wall {tol_kernel_wall})"
+        );
+        std::process::exit(1);
+    }
+    println!("bench-gate: pass ({} comparisons)", rows.len());
+}
+
+/// Serve-report comparisons (`bench-serve` artifacts) for `bench-gate`.
+fn serve_gate_rows(
+    current_path: &str,
+    reference_path: &str,
+    tol_coalescing: f64,
+    tol_speedup: f64,
+    rows: &mut Vec<GateRow>,
+    failed: &mut bool,
+) {
     let read = |path: &str| -> BenchServeReport {
         let json = std::fs::read_to_string(path)
             .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
         serde_json::from_str(&json).unwrap_or_else(|e| die(&format!("bad report {path}: {e}")))
     };
-    let current = read(&current_path);
-    let reference = read(&reference_path);
+    let current = read(current_path);
+    let reference = read(reference_path);
 
     // Reports are only comparable when they measured the same workload —
     // including `threads`, which the baseline wall clock (and therefore
@@ -1456,11 +1691,9 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
         die("refusing to compare reports from different workloads");
     }
 
-    let mut rows: Vec<GateRow> = Vec::new();
-    let mut failed = false;
     if !(current.audit.rounds_identical && current.audit.transcripts_identical) {
         println!("FAIL: round-integrity audit failed in {current_path}");
-        failed = true;
+        *failed = true;
     }
     let violations: u64 = current.baseline.budget_violations
         + current.online.report.budget_violations
@@ -1471,7 +1704,7 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
             .sum::<u64>();
     if violations > 0 {
         println!("FAIL: {violations} budget violations in {current_path}");
-        failed = true;
+        *failed = true;
     }
     // The online run is saturated with capacity = request count: any shed
     // arrival or failed query is a queue bug, not load.
@@ -1480,7 +1713,7 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
             "FAIL: online run shed {} / failed {} in {current_path}",
             current.online.shed, current.online.failed
         );
-        failed = true;
+        *failed = true;
     }
     for reference_run in &reference.engine {
         let Some(current_run) = current
@@ -1492,27 +1725,29 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
                 "FAIL: reference batch {} missing from {current_path}",
                 reference_run.batch
             );
-            failed = true;
+            *failed = true;
             continue;
         };
         // Coalescing ratio: executed/submitted, lower is better.
         let bound = reference_run.report.coalescing_ratio * (1.0 + tol_coalescing) + 1e-9;
         rows.push(GateRow {
-            batch: reference_run.batch,
+            key: reference_run.batch,
             metric: "coalescing_ratio",
             reference: reference_run.report.coalescing_ratio,
             current: current_run.report.coalescing_ratio,
             bound,
+            lower: true,
             ok: current_run.report.coalescing_ratio <= bound,
         });
         // Speedup vs baseline: higher is better.
         let bound = reference_run.speedup_vs_baseline * (1.0 - tol_speedup);
         rows.push(GateRow {
-            batch: reference_run.batch,
+            key: reference_run.batch,
             metric: "speedup_vs_baseline",
             reference: reference_run.speedup_vs_baseline,
             current: current_run.speedup_vs_baseline,
             bound,
+            lower: false,
             ok: current_run.speedup_vs_baseline >= bound,
         });
     }
@@ -1523,46 +1758,91 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
             "FAIL: online window differs (current {}, reference {})",
             current.online.window, reference.online.window
         );
-        failed = true;
+        *failed = true;
     } else {
         let bound = reference.online.report.coalescing_ratio * (1.0 + tol_coalescing) + 1e-9;
         rows.push(GateRow {
-            batch: reference.online.window,
+            key: reference.online.window,
             metric: "online_coalescing_ratio",
             reference: reference.online.report.coalescing_ratio,
             current: current.online.report.coalescing_ratio,
             bound,
+            lower: true,
             ok: current.online.report.coalescing_ratio <= bound,
         });
     }
+}
 
-    // The diff summary, markdown so CI step output renders it.
-    println!("| batch | metric | reference | current | allowed | verdict |");
-    println!("|-------|--------|-----------|---------|---------|---------|");
-    for row in &rows {
-        failed |= !row.ok;
-        println!(
-            "| {} | {} | {:.4} | {:.4} | {} {:.4} | {} |",
-            row.batch,
-            row.metric,
-            row.reference,
-            row.current,
-            if row.metric.ends_with("coalescing_ratio") {
-                "≤"
-            } else {
-                "≥"
-            },
-            row.bound,
-            if row.ok { "ok" } else { "REGRESSION" }
+/// Kernel-report comparisons (`bench-kernels` artifacts) for `bench-gate`:
+/// the microbench gate. Speedup ratios get the tight band, absolute
+/// ns/distance the loose one.
+fn kernel_gate_rows(
+    current_path: &str,
+    reference_path: &str,
+    tol_ratio: f64,
+    tol_wall: f64,
+    rows: &mut Vec<GateRow>,
+    failed: &mut bool,
+) {
+    let read = |path: &str| -> BenchKernelsReport {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        serde_json::from_str(&json).unwrap_or_else(|e| die(&format!("bad report {path}: {e}")))
+    };
+    let current = read(current_path);
+    let reference = read(reference_path);
+    let (c, r) = (&current.config, &reference.config);
+    if (c.n, c.queries, c.reps, c.seed, c.quick, &c.dims)
+        != (r.n, r.queries, r.reps, r.seed, r.quick, &r.dims)
+    {
+        eprintln!(
+            "bench-gate: kernel configs differ (current n={} queries={} reps={} quick={} dims={:?}, reference n={} queries={} reps={} quick={} dims={:?})",
+            c.n, c.queries, c.reps, c.quick, c.dims, r.n, r.queries, r.reps, r.quick, r.dims
         );
+        die("refusing to compare kernel reports from different workloads");
     }
-    if failed {
-        println!(
-            "bench-gate: REGRESSION against {reference_path} (tolerances: coalescing {tol_coalescing}, speedup {tol_speedup})"
-        );
-        std::process::exit(1);
+    for reference_row in &reference.rows {
+        let Some(current_row) = current.rows.iter().find(|x| x.d == reference_row.d) else {
+            println!(
+                "FAIL: reference dimension {} missing from {current_path}",
+                reference_row.d
+            );
+            *failed = true;
+            continue;
+        };
+        // Kernel-vs-scalar speedups: same-process ratios, tight band.
+        let bound = reference_row.many_vs_many_speedup * (1.0 - tol_ratio);
+        rows.push(GateRow {
+            key: reference_row.d as usize,
+            metric: "kernel_many_vs_many_speedup",
+            reference: reference_row.many_vs_many_speedup,
+            current: current_row.many_vs_many_speedup,
+            bound,
+            lower: false,
+            ok: current_row.many_vs_many_speedup >= bound,
+        });
+        let bound = reference_row.one_vs_many_speedup * (1.0 - tol_ratio);
+        rows.push(GateRow {
+            key: reference_row.d as usize,
+            metric: "kernel_one_vs_many_speedup",
+            reference: reference_row.one_vs_many_speedup,
+            current: current_row.one_vs_many_speedup,
+            bound,
+            lower: false,
+            ok: current_row.one_vs_many_speedup >= bound,
+        });
+        // Absolute wall clock per distance: loose band, collapse detector.
+        let bound = reference_row.many_vs_many_ns * (1.0 + tol_wall);
+        rows.push(GateRow {
+            key: reference_row.d as usize,
+            metric: "kernel_many_vs_many_ns",
+            reference: reference_row.many_vs_many_ns,
+            current: current_row.many_vs_many_ns,
+            bound,
+            lower: true,
+            ok: current_row.many_vs_many_ns <= bound,
+        });
     }
-    println!("bench-gate: pass ({} comparisons)", rows.len());
 }
 
 fn cmd_lpm(flags: HashMap<String, String>) {
@@ -1629,6 +1909,7 @@ fn main() {
         "swap" => cmd_swap(flags),
         "serve" => cmd_serve(flags),
         "bench-serve" => cmd_bench_serve(flags),
+        "bench-kernels" => cmd_bench_kernels(flags),
         "bench-gate" => cmd_bench_gate(flags),
         "lpm" => cmd_lpm(flags),
         "lb" => cmd_lb(flags),

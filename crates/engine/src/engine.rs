@@ -327,6 +327,7 @@ impl Engine {
             tables,
             requests.len(),
             self.opts.batch_threads,
+            self.opts.exec.probe_tile,
             epoch.epoch(),
         );
         let mut slots: Vec<Option<Served>> = (0..requests.len()).map(|_| None).collect();

@@ -28,7 +28,7 @@ use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::sync::{Condvar, Mutex, MutexGuard};
 
-use anns_cellprobe::{chunked_parallel_map, read_batch, Address, RoundSource, Table, Word};
+use anns_cellprobe::{chunked_parallel_map, read_batch_tiled, Address, RoundSource, Table, Word};
 
 /// Total order on addresses: shard batches are dispatched sorted so the
 /// table oracle sees cache-friendly, deterministic access patterns.
@@ -83,17 +83,21 @@ pub struct Generation<'a> {
     parked: Condvar,
     /// Worker threads per coalesced shard batch.
     batch_threads: usize,
+    /// Cache-block tile size for each shard batch (0 = untiled).
+    probe_tile: usize,
     /// Mount-table epoch pinned at admission (stamped on every trace).
     mount_epoch: u64,
 }
 
 impl<'a> Generation<'a> {
     /// A generation of `slots` queries over the given shard tables,
-    /// pinned to one mount-table epoch.
+    /// pinned to one mount-table epoch. `probe_tile` cache-blocks each
+    /// shard's coalesced batch (see `anns_cellprobe::read_batch_tiled`).
     pub fn new(
         tables: Vec<&'a dyn Table>,
         slots: usize,
         batch_threads: usize,
+        probe_tile: usize,
         mount_epoch: u64,
     ) -> Self {
         Generation {
@@ -108,6 +112,7 @@ impl<'a> Generation<'a> {
             }),
             parked: Condvar::new(),
             batch_threads,
+            probe_tile,
             mount_epoch,
         }
     }
@@ -175,9 +180,14 @@ impl<'a> Generation<'a> {
             }
             // Shard tables are independent oracles, so their batches read
             // concurrently (one worker per shard, each fanning its own
-            // batch out over `batch_threads`).
+            // batch out over `batch_threads`, cache-blocked per tile).
             let shard_words = chunked_parallel_map(&prepared, prepared.len(), |(shard, addrs)| {
-                read_batch(self.tables[*shard], addrs, self.batch_threads)
+                read_batch_tiled(
+                    self.tables[*shard],
+                    addrs,
+                    self.batch_threads,
+                    self.probe_tile,
+                )
             });
             let batches: BTreeMap<usize, (Vec<Address>, Vec<Word>)> = prepared
                 .into_iter()
@@ -306,7 +316,7 @@ mod tests {
     #[test]
     fn two_queries_coalesce_shared_addresses() {
         let t = table(7);
-        let generation = Generation::new(vec![&t as &dyn Table], 2, 1, 0);
+        let generation = Generation::new(vec![&t as &dyn Table], 2, 1, 64, 0);
         let generation_ref = &generation;
         let answers = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -347,7 +357,7 @@ mod tests {
     #[test]
     fn departing_query_releases_the_barrier() {
         let t = table(3);
-        let generation = Generation::new(vec![&t as &dyn Table], 2, 1, 0);
+        let generation = Generation::new(vec![&t as &dyn Table], 2, 1, 64, 0);
         let generation_ref = &generation;
         let sums = crossbeam::thread::scope(|scope| {
             let long = {
@@ -389,7 +399,7 @@ mod tests {
     #[test]
     fn per_slot_rounds_advance_monotonically_in_traces() {
         let t = table(11);
-        let generation = Generation::new(vec![&t as &dyn Table], 3, 1, 0);
+        let generation = Generation::new(vec![&t as &dyn Table], 3, 1, 64, 0);
         let generation_ref = &generation;
         crossbeam::thread::scope(|scope| {
             for slot in 0..3usize {

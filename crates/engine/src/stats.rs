@@ -257,6 +257,9 @@ pub struct ServeReport {
     /// effective value, not the requested one (0 for non-engine
     /// baselines).
     pub batch_threads: u64,
+    /// Cache-block tile size of the engine's batched table reads
+    /// (`ExecOptions::probe_tile`; 0 for untiled or non-engine baselines).
+    pub probe_tile: u64,
     /// Wall-clock for the whole run, milliseconds.
     pub wall_ms: f64,
     /// Queries per second over the run.
@@ -312,6 +315,7 @@ impl ServeReport {
             queries,
             generation: 0,
             batch_threads: 0,
+            probe_tile: 0,
             wall_ms: wall_s * 1e3,
             qps: if wall_s > 0.0 {
                 queries as f64 / wall_s
@@ -357,6 +361,7 @@ impl ServeReport {
     pub fn with_options(mut self, opts: &EngineOptions) -> Self {
         self.generation = opts.generation as u64;
         self.batch_threads = opts.batch_threads as u64;
+        self.probe_tile = opts.exec.probe_tile as u64;
         self
     }
 

@@ -1,0 +1,122 @@
+//! Engine-level kernel equivalence: the bit-sliced distance kernels and
+//! the cache-blocked batch read path must be *unobservable* from the
+//! serving surface. Whatever `probe_tile` the executor runs with — tiling
+//! disabled, degenerate one-probe tiles, or the default L1-sized blocks —
+//! answers and ledgers stay byte-identical to each other and to solo
+//! sequential execution, and every reported distance agrees with a scalar
+//! `Point::distance` recomputation that never touches a `PackedBlock`.
+
+use std::sync::{Arc, OnceLock};
+
+use anns_cellprobe::{execute_with, ExecOptions};
+use anns_core::serve::{ServedAnswer, SoloServable};
+use anns_core::AnnIndex;
+use anns_engine::testkit::{clustered_index, hot_set_workload};
+use anns_engine::{Engine, EngineOptions, QueryRequest, Registry, ShardId};
+use anns_hamming::Point;
+use proptest::prelude::*;
+
+const D: u32 = 256;
+
+fn shared_index() -> Arc<AnnIndex> {
+    static INDEX: OnceLock<Arc<AnnIndex>> = OnceLock::new();
+    Arc::clone(INDEX.get_or_init(|| clustered_index(12, 16, D, 0.04, 31337)))
+}
+
+fn engine_with_tile(probe_tile: usize, generation: usize) -> Engine {
+    let index = shared_index();
+    let mut registry = Registry::new();
+    registry.register_alg1("alg1-k1", Arc::clone(&index), 1);
+    registry.register_alg1("alg1-k3", Arc::clone(&index), 3);
+    registry.register_alg2(
+        "alg2-k8",
+        Arc::clone(&index),
+        anns_core::Alg2Config::with_k(8),
+    );
+    registry.register_lambda("lambda-8", index, 8.0);
+    Engine::new(
+        registry,
+        EngineOptions {
+            generation,
+            exec: ExecOptions {
+                probe_tile,
+                ..ExecOptions::default()
+            },
+            batch_threads: 2,
+        },
+    )
+}
+
+/// Scalar consistency: any answer naming a database point must report a
+/// distance (where the answer carries one) equal to the scalar
+/// recomputation against the raw dataset.
+fn assert_scalar_consistent(query: &Point, answer: &ServedAnswer) {
+    let index = shared_index();
+    let dataset = index.dataset();
+    if let Some(i) = answer.index() {
+        let scalar = query.distance(dataset.point(i as usize));
+        if let ServedAnswer::Candidate(Some(c)) = answer {
+            assert_eq!(
+                c.distance, scalar,
+                "candidate distance must be scalar-exact"
+            );
+        }
+        assert!((i as usize) < dataset.len());
+        let _ = scalar;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Serving is invariant in the probe tile size: answers and ledgers are
+    /// byte-identical across tiles (0 = untiled, 1 = degenerate, 7 = odd,
+    /// 64 = default) and match untiled solo execution query by query.
+    #[test]
+    fn serving_is_probe_tile_invariant(
+        seed in any::<u64>(),
+        generation in 1usize..16,
+        count in 1usize..24,
+    ) {
+        let index = shared_index();
+        let queries = hot_set_workload(&index, count, (count / 2).max(1), 5, seed);
+        let shards = 4usize;
+        let requests: Vec<QueryRequest> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| QueryRequest {
+                shard: ShardId((seed as usize + i) % shards),
+                query: q.clone(),
+            })
+            .collect();
+
+        let reference = engine_with_tile(0, generation).submit_batch(&requests);
+        for tile in [1usize, 7, 64] {
+            let served = engine_with_tile(tile, generation).submit_batch(&requests);
+            prop_assert_eq!(served.len(), reference.len());
+            for (a, b) in reference.iter().zip(served.iter()) {
+                prop_assert_eq!(&a.answer, &b.answer, "tile {} changed an answer", tile);
+                prop_assert_eq!(&a.ledger, &b.ledger, "tile {} changed a ledger", tile);
+            }
+        }
+
+        // Solo sequential execution (no generation scheduler, untiled
+        // executor) serves the same answers and ledgers.
+        let engine = engine_with_tile(64, generation);
+        let registry = engine.registry();
+        for (request, s) in requests.iter().zip(reference.iter()) {
+            let scheme = registry.scheme(request.shard);
+            let (answer, ledger, _) = execute_with(
+                &SoloServable(scheme),
+                &request.query,
+                ExecOptions {
+                    probe_tile: 0,
+                    ..ExecOptions::default()
+                },
+            );
+            prop_assert_eq!(&s.answer, &answer);
+            prop_assert_eq!(&s.ledger, &ledger);
+            assert_scalar_consistent(&request.query, &s.answer);
+        }
+    }
+}

@@ -10,9 +10,12 @@
 //!   eq. (1)), which drives both the correctness proofs and the synthetic
 //!   instance backend.
 
-use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+use serde::{obj_get, Deserialize, Serialize, Value};
 
 use crate::ceil_log_alpha;
+use crate::kernel::PackedBlock;
 use crate::point::Point;
 
 /// An exact nearest neighbor: index into the dataset plus its distance.
@@ -52,10 +55,43 @@ impl BallProfile {
 }
 
 /// A database of `n` points in `{0,1}^d`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Carries a lazily built limb-major [`PackedBlock`] view so the batch
+/// kernels (exact NN, kNN, histograms, ball profiles) pay the transpose
+/// once per database instead of once per query. The cache is derived
+/// state: it is skipped by serialization (hand-written impls below — the
+/// vendored serde shim has no `#[serde(skip)]`) and rebuilt on demand,
+/// which is sound because points are immutable after construction.
+#[derive(Clone, Debug)]
 pub struct Dataset {
     dim: u32,
     points: Vec<Point>,
+    packed: OnceLock<PackedBlock>,
+}
+
+/// Serializes as the plain `{dim, points}` object the former derived impl
+/// produced — committed JSON artifacts stay readable; the packed cache is
+/// never written.
+impl Serialize for Dataset {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("dim".to_string(), self.dim.to_value()),
+            ("points".to_string(), self.points.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Dataset {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let Value::Object(fields) = v else {
+            return Err(serde::Error::custom("expected object for Dataset"));
+        };
+        Ok(Dataset {
+            dim: u32::from_value(obj_get(fields, "dim")?)?,
+            points: Vec::<Point>::from_value(obj_get(fields, "points")?)?,
+            packed: OnceLock::new(),
+        })
+    }
 }
 
 impl Dataset {
@@ -70,7 +106,18 @@ impl Dataset {
             points.iter().all(|p| p.dim() == dim),
             "all database points must share one dimension"
         );
-        Dataset { dim, points }
+        Dataset {
+            dim,
+            points,
+            packed: OnceLock::new(),
+        }
+    }
+
+    /// The limb-major kernel view of the database, built on first use and
+    /// cached for the dataset's lifetime.
+    pub fn packed(&self) -> &PackedBlock {
+        self.packed
+            .get_or_init(|| PackedBlock::from_points(self.dim, &self.points))
     }
 
     /// Ambient dimension `d`.
@@ -103,14 +150,16 @@ impl Dataset {
         &self.points[i]
     }
 
-    /// Exact nearest neighbor by brute force (ties broken by lowest index).
+    /// Exact nearest neighbor by brute force over the batched kernel
+    /// distances (ties broken by lowest index — the first strict minimum
+    /// in index order, exactly as the scalar scan resolved them).
     pub fn exact_nn(&self, query: &Point) -> ExactNeighbor {
+        let dists = self.packed().distances(query);
         let mut best = ExactNeighbor {
             index: 0,
             distance: u32::MAX,
         };
-        for (i, p) in self.points.iter().enumerate() {
-            let dist = query.distance(p);
+        for (i, &dist) in dists.iter().enumerate() {
             if dist < best.distance {
                 best = ExactNeighbor {
                     index: i,
@@ -125,14 +174,9 @@ impl Dataset {
     }
 
     /// All indices within distance `r` of the query (the ball `B` at radius
-    /// `r`), ascending.
+    /// `r`), ascending — the kernel's threshold-early-exit radius filter.
     pub fn within(&self, query: &Point, r: u32) -> Vec<usize> {
-        self.points
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| query.distance(p) <= r)
-            .map(|(i, _)| i)
-            .collect()
+        self.packed().within_indices(query, r)
     }
 
     /// The paper's ball profile `i ↦ |B_i|` for `B_i = {y : dist ≤ α^i}`,
@@ -141,8 +185,7 @@ impl Dataset {
         let top = ceil_log_alpha(self.dim as u64, alpha) as usize;
         let mut sizes = vec![0usize; top + 1];
         let mut nn = u32::MAX;
-        for p in &self.points {
-            let dist = query.distance(p);
+        for &dist in &self.packed().distances(query) {
             nn = nn.min(dist);
             // Smallest scale i with scale_radius(i) ≥ dist (see
             // `crate::scale_radius` for the integer-radius convention):

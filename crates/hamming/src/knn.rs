@@ -6,6 +6,8 @@
 //! ball profile fills — the shape that decides which algorithm branch
 //! fires), and pairwise-distance summaries for dataset characterization.
 
+use std::collections::BinaryHeap;
+
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::{Dataset, ExactNeighbor};
@@ -13,26 +15,32 @@ use crate::point::Point;
 
 /// The `k` exact nearest neighbors of a query, ascending by distance (ties
 /// broken by index).
+///
+/// Distances come from one batched kernel pass over the dataset's
+/// [`crate::PackedBlock`]; selection is a bounded max-heap keyed
+/// `(distance, index)` — O(n log k) with no per-candidate clones or
+/// shifts, replacing the former O(n·k) sorted-insert. The `(distance,
+/// index)` key is a total order, so the ascending unload is exactly the
+/// full sort-and-truncate reference answer.
 pub fn k_nearest(dataset: &Dataset, query: &Point, k: usize) -> Vec<ExactNeighbor> {
     assert!(k >= 1, "k must be positive");
     let k = k.min(dataset.len());
-    // Bounded insertion into a sorted buffer: O(n·k) worst case but k is
-    // small everywhere we use this, and the constant is tiny.
-    let mut best: Vec<ExactNeighbor> = Vec::with_capacity(k + 1);
-    for (index, p) in dataset.points().iter().enumerate() {
-        let distance = query.distance(p);
-        if best.len() == k && distance >= best[k - 1].distance {
-            continue;
-        }
-        let pos = best.partition_point(|b| {
-            b.distance < distance || (b.distance == distance && b.index < index)
-        });
-        best.insert(pos, ExactNeighbor { index, distance });
-        if best.len() > k {
-            best.pop();
+    let dists = dataset.packed().distances(query);
+    let mut heap: BinaryHeap<(u32, usize)> = BinaryHeap::with_capacity(k + 1);
+    for (index, &distance) in dists.iter().enumerate() {
+        if heap.len() < k {
+            heap.push((distance, index));
+        } else if let Some(&worst) = heap.peek() {
+            if (distance, index) < worst {
+                heap.pop();
+                heap.push((distance, index));
+            }
         }
     }
-    best
+    heap.into_sorted_vec()
+        .into_iter()
+        .map(|(distance, index)| ExactNeighbor { index, distance })
+        .collect()
 }
 
 /// Histogram of query-to-database distances with fixed-width buckets.
@@ -50,15 +58,14 @@ pub struct DistanceHistogram {
 
 impl DistanceHistogram {
     /// Builds the histogram of distances from `query` to every database
-    /// point.
+    /// point (one batched kernel pass over the packed view).
     pub fn build(dataset: &Dataset, query: &Point, bucket_width: u32) -> Self {
         assert!(bucket_width >= 1);
         let n_buckets = (dataset.dim() / bucket_width + 1) as usize;
         let mut counts = vec![0usize; n_buckets];
         let mut min = u32::MAX;
         let mut max = 0u32;
-        for p in dataset.points() {
-            let d = query.distance(p);
+        for &d in &dataset.packed().distances(query) {
             counts[(d / bucket_width) as usize] += 1;
             min = min.min(d);
             max = max.max(d);

@@ -9,6 +9,9 @@
 //! * [`Dataset`] — a database of points with exact nearest-neighbor ground
 //!   truth and ball-profile queries (the `B_i = {y : dist(x,y) ≤ α^i}` sets
 //!   of the paper, §3 eq. (1));
+//! * [`kernel`] — limb-major [`PackedBlock`] batch distance kernels: the
+//!   bit-sliced SoA layer the exact-NN, kNN and LSH candidate hot paths
+//!   route through, byte-identical to the scalar distances;
 //! * [`gen`] — seeded workload generators (uniform, planted-neighbor,
 //!   clustered, exact-distance shells);
 //! * [`ball`] — Hamming balls, 1-neighborhoods `N1(B)` (used by the paper's
@@ -45,6 +48,7 @@ pub mod ball;
 pub mod code;
 pub mod dataset;
 pub mod gen;
+pub mod kernel;
 pub mod knn;
 pub mod point;
 pub mod store;
@@ -52,6 +56,7 @@ pub mod store;
 pub use ball::{ball_volume_log2, N1Iter};
 pub use code::GreedyCode;
 pub use dataset::{BallProfile, Dataset, ExactNeighbor};
+pub use kernel::PackedBlock;
 pub use knn::{k_nearest, DistanceHistogram, PairwiseStats};
 pub use point::Point;
 

@@ -25,7 +25,7 @@ use anns_cellprobe::{
     execute_with, Address, CellProbeScheme, ExecOptions, ProbeLedger, RoundExecutor, SpaceModel,
     Table, Word,
 };
-use anns_hamming::{Dataset, Point};
+use anns_hamming::{Dataset, PackedBlock, Point};
 
 /// LSH configuration.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -262,6 +262,42 @@ pub fn decode_bucket_word(word: &Word) -> Vec<(u64, Point)> {
     decode_bucket(word)
 }
 
+/// Candidate batches below this length stay on the scalar path — packing
+/// a [`PackedBlock`] costs one pass over the points, which only pays off
+/// once the kernel gets a few cache lines of contiguous limbs to stream.
+const KERNEL_MIN_CANDIDATES: usize = 16;
+
+/// Folds a batch of decoded bucket candidates into the running best
+/// `(index, distance)`, keeping the scalar path's exact tie-break: the
+/// *first* candidate (in slice order) attaining a strictly smaller
+/// distance wins. Large batches are evaluated through the limb-major
+/// [`PackedBlock`] kernel; the distances are byte-identical to
+/// `Point::distance`, so only the evaluation order of the arithmetic
+/// changes, never the answer.
+pub(crate) fn best_candidate(
+    query: &Point,
+    candidates: &[(u64, Point)],
+    mut best: Option<(usize, u32)>,
+) -> Option<(usize, u32)> {
+    if candidates.len() < KERNEL_MIN_CANDIDATES {
+        for (idx, point) in candidates {
+            let dist = query.distance(point);
+            if best.is_none_or(|(_, b)| dist < b) {
+                best = Some((*idx as usize, dist));
+            }
+        }
+        return best;
+    }
+    let refs: Vec<&Point> = candidates.iter().map(|(_, p)| p).collect();
+    let block = PackedBlock::from_refs(query.dim(), &refs);
+    for (dist, (idx, _)) in block.distances(query).into_iter().zip(candidates) {
+        if best.is_none_or(|(_, b)| dist < b) {
+            best = Some((*idx as usize, dist));
+        }
+    }
+    best
+}
+
 /// Packs the masked coordinates of `p` into a bucket key.
 fn hash_key(p: &Point, mask: &[u32]) -> u64 {
     let mut key = 0u64;
@@ -315,16 +351,11 @@ impl CellProbeScheme for LshIndex {
         // One non-adaptive round: all bucket addresses from the query alone.
         let addrs = self.bucket_addresses(query);
         let words = exec.round(&addrs);
-        let mut best: Option<(usize, u32)> = None;
-        for word in &words {
-            for (idx, point) in decode_bucket(word) {
-                let dist = query.distance(&point);
-                if best.is_none_or(|(_, b)| dist < b) {
-                    best = Some((idx as usize, dist));
-                }
-            }
-        }
-        best
+        // Decode every bucket in word order, then fold the whole round's
+        // candidate list through the batched kernel in that same order.
+        let candidates: Vec<(u64, Point)> =
+            words.iter().flat_map(decode_bucket).collect();
+        best_candidate(query, &candidates, None)
     }
 }
 
@@ -473,5 +504,36 @@ mod tests {
         let index = LshIndex::build(ds, params, &mut rng);
         let model = index.space_model();
         assert!((model.cells_log2 - (3.0 + 10.0)).abs() < 1e-9);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// The kernelized candidate fold equals the scalar first-wins
+        /// strict-min fold for every batch size — below, at, and above
+        /// [`KERNEL_MIN_CANDIDATES`] — every dimension, and every running
+        /// best carried in from a previous bucket group.
+        #[test]
+        fn best_candidate_matches_scalar_fold(
+            seed in proptest::prelude::any::<u64>(),
+            n in 0usize..48,
+            d in 1u32..300,
+            carry_in in (proptest::prelude::any::<bool>(), 0usize..1000, 0u32..300),
+        ) {
+            let carry = carry_in.0.then_some((carry_in.1, carry_in.2));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let query = Point::random(d, &mut rng);
+            let candidates: Vec<(u64, Point)> = (0..n)
+                .map(|i| ((i * 3 + 5) as u64, Point::random(d, &mut rng)))
+                .collect();
+            let mut expect = carry;
+            for (idx, point) in &candidates {
+                let dist = query.distance(point);
+                if expect.is_none_or(|(_, b)| dist < b) {
+                    expect = Some((*idx as usize, dist));
+                }
+            }
+            proptest::prop_assert_eq!(best_candidate(&query, &candidates, carry), expect);
+        }
     }
 }

@@ -89,21 +89,13 @@ impl CellProbeScheme for LinearScan {
             .map(|i| Address::with_u64(0, i as u64))
             .collect();
         let words = exec.round(&addrs);
-        let mut best = ExactNeighbor {
-            index: 0,
-            distance: u32::MAX,
-        };
-        for word in &words {
-            let (idx, point) = decode_point_cell(word);
-            let dist = query.distance(&point);
-            if dist < best.distance {
-                best = ExactNeighbor {
-                    index: idx as usize,
-                    distance: dist,
-                };
-            }
-        }
-        best
+        // Decode all cells, then take the strict minimum over one batched
+        // kernel pass (every decoded distance is < u32::MAX, so the fold
+        // resolves ties exactly like the former per-cell scalar loop).
+        let cells: Vec<(u64, Point)> = words.iter().map(decode_point_cell).collect();
+        let (index, distance) = crate::bitsampling::best_candidate(query, &cells, None)
+            .expect("linear scan over a non-empty database yields a candidate");
+        ExactNeighbor { index, distance }
     }
 }
 

@@ -156,14 +156,14 @@ impl CellProbeScheme for MultiRadiusLsh {
                 }
             }
             let words = exec.round(&addrs);
-            for word in &words {
-                for (idx, point) in crate::bitsampling::decode_bucket_word(word) {
-                    let dist = query.distance(&point);
-                    if best.is_none_or(|(_, b)| dist < b) {
-                        best = Some((idx as usize, dist));
-                    }
-                }
-            }
+            // Decode the group's buckets in word order and fold them through
+            // the batched kernel, carrying the running best across groups —
+            // same strict-min tie-break as the scalar per-candidate loop.
+            let candidates: Vec<(u64, Point)> = words
+                .iter()
+                .flat_map(crate::bitsampling::decode_bucket_word)
+                .collect();
+            best = crate::bitsampling::best_candidate(query, &candidates, best);
             // Early exit once certified against the group's largest radius.
             if let Some((_, dist)) = best {
                 let r_max = f64::from(self.rungs[group_end - 1].0);
