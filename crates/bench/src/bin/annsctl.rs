@@ -12,10 +12,14 @@
 //! annsctl swap        --mounts a=x.anns,b=y.anns --swap a=x2.anns [--requests 256]
 //! annsctl serve       [--from-store bundle.anns | --mounts a=x.anns,… | --index index.json]
 //! annsctl serve       --online 1 [--rate 4000] [--window 16] [--max-wait-us 500] [--queue-cap 256]
+//! annsctl serve       --trace-out trace.jsonl [--trace-cap 4096] […]
+//! annsctl trace       inspect --trace trace.jsonl [--limit 12]
 //! annsctl bench-serve [--from-store bundle.anns | --index index.json] [--shards 4] --out BENCH_serve.json
 //! annsctl bench-kernels [--dims 64,256,512] [--n 16384] --out BENCH_kernels.json
+//! annsctl bench-obs   [--events 2000000] [--capacity 4096] --out BENCH_obs.json
 //! annsctl bench-gate  --current BENCH_new.json --reference BENCH_serve.json [--tol-coalescing 0.1]
 //! annsctl bench-gate  --kernels-current BENCH_k.json --kernels-reference BENCH_kernels_quick.json
+//! annsctl bench-gate  --obs-current BENCH_o.json --obs-reference BENCH_obs_quick.json
 //! annsctl lpm         --sigma 4 --m 8 --n 64 --k 2 --queries 32
 //! annsctl lb          --log2n 1.3e24 --log2d 1.1e12 --gamma 4 --k 3
 //! ```
@@ -38,7 +42,14 @@
 //! at `--rate` q/s, windows sealing at `--window` queries or the
 //! `--max-wait-us` deadline, and reports admission-wait and latency
 //! percentiles, exiting nonzero on any shed arrival, failed query, or
-//! budget violation), `bench-serve` races coalesced engine serving
+//! budget violation; either mode takes `--trace-out` to install a
+//! flight-recording ring of `anns_obs::TraceEvent`s — the final ring is
+//! written to the given path as JSON lines, and anomalies dump
+//! mid-flight snapshots to `<path>.flight`), `trace inspect` summarizes
+//! such a trace offline (event counts, sealed windows, per-generation
+//! coalescing, per-query timelines, queue depth),
+//! `bench-obs` times the recorder fast path (`NullRecorder` vs ring)
+//! and writes `BENCH_obs.json`, `bench-serve` races coalesced engine serving
 //! against per-query `run_batch` (optionally across `--shards N` mounted
 //! namespaces), appends a deterministic admission-queue run on a virtual
 //! clock, and writes `BENCH_serve.json`,
@@ -56,16 +67,17 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use anns_bench::{hot_set_workload, quick_mode};
+use anns_bench::{hot_set_workload, quick_mode, MarkdownTable};
 use anns_cellprobe::{
     execute, execute_with, run_batch, CellProbeScheme, ExecOptions, RoundExecutor, Table,
 };
 use anns_core::serve::{ServableScheme, SoloServable};
 use anns_core::{Alg2Config, AnnIndex, AnnsInstance, BuildOptions};
 use anns_engine::{
-    AdmissionOptions, AdmissionQueue, Engine, EngineOptions, MountManifest, MountTable,
-    NamedRequest, QueryRequest, RealClock, Registry, Resolution, ServeReport, Served, ShardId,
-    Ticket, VirtualClock,
+    AdmissionOptions, AdmissionQueue, Clock, Engine, EngineOptions, FlightRecorder, MountManifest,
+    MountTable, NamedRequest, NullRecorder, QueryRequest, RealClock, Recorder, Registry,
+    Resolution, RingRecorder, ServeReport, Served, ShardId, Ticket, TraceCounters, TraceEvent,
+    VirtualClock,
 };
 use anns_hamming::{gen, Point};
 use anns_lpm::{certified_lower_bound, lower_bound_form, ElimParams, LpmInstance, TrieLpm};
@@ -94,7 +106,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 fn die(msg: &str) -> ! {
     eprintln!("annsctl: {msg}");
     eprintln!(
-        "usage: annsctl <build|query|lambda|stats|save|load|inspect|mount|swap|serve|bench-serve|bench-kernels|bench-gate|lpm|lb> [--flag value]…"
+        "usage: annsctl <build|query|lambda|stats|save|load|inspect|mount|swap|serve|trace|bench-serve|bench-kernels|bench-obs|bench-gate|lpm|lb> [--flag value]…"
     );
     std::process::exit(2);
 }
@@ -671,6 +683,35 @@ fn online_report(
     }
 }
 
+/// Builds the `--trace-out` flight recorder for a serve run: a bounded
+/// ring of `--trace-cap` events on the real clock, with anomaly dumps
+/// going to `<trace-out>.flight`. `None` when tracing is off.
+fn trace_recorder(flags: &HashMap<String, String>) -> Option<(String, Arc<FlightRecorder>)> {
+    let path = flags.get("trace-out")?.clone();
+    let cap: usize = flag(flags, "trace-cap", 4096);
+    let flight = Arc::new(FlightRecorder::new(
+        cap,
+        Arc::new(RealClock::new()) as Arc<dyn Clock>,
+        format!("{path}.flight"),
+    ));
+    Some((path, flight))
+}
+
+/// Writes the final ring to `path` as JSON lines and returns the trace
+/// counters for the report.
+fn finish_trace(path: &str, flight: &FlightRecorder) -> TraceCounters {
+    let jsonl = flight.ring().to_jsonl();
+    std::fs::write(path, &jsonl).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    let counters = flight.counters();
+    eprintln!(
+        "trace → {path} ({} event(s), {} dropped, {} flight dump(s))",
+        counters.events,
+        counters.dropped,
+        flight.dumps()
+    );
+    counters
+}
+
 /// `serve --online 1`: the admission-queue serving loop under a
 /// Poisson-ish arrival stream on the real clock. Exits nonzero on any
 /// shed arrival, failed query, or budget violation — the CI smoke
@@ -687,14 +728,19 @@ fn cmd_serve_online(flags: HashMap<String, String>) {
     let capacity: usize = flag(&flags, "queue-cap", requests_n.max(1));
     let rate: f64 = flag(&flags, "rate", 4000.0);
 
-    let engine = Arc::new(Engine::new(
+    let trace = trace_recorder(&flags);
+    let mut engine = Engine::new(
         registry,
         EngineOptions {
             generation: window.max(1),
             exec: ExecOptions::default(),
             batch_threads: threads,
         },
-    ));
+    );
+    if let Some((_, flight)) = &trace {
+        engine = engine.recorded(Arc::clone(flight) as Arc<dyn Recorder>);
+    }
+    let engine = Arc::new(engine);
     let shard_names: Vec<String> = engine
         .registry()
         .listing()
@@ -740,7 +786,7 @@ fn cmd_serve_online(flags: HashMap<String, String>) {
         }
     });
     let wall = started.elapsed();
-    let online = online_report(
+    let mut online = online_report(
         format!("online[window={window},rate={rate:.0}]"),
         &engine,
         &queue,
@@ -748,6 +794,11 @@ fn cmd_serve_online(flags: HashMap<String, String>) {
         rate,
         wall,
     );
+    if let Some((path, flight)) = &trace {
+        let counters = finish_trace(path, flight);
+        online.report.trace_events = counters.events;
+        online.report.trace_dropped = counters.dropped;
+    }
     let json = serde_json::to_string(&online).expect("serialize online report");
     println!("{json}");
     if let Some(out) = flags.get("out") {
@@ -795,7 +846,8 @@ fn cmd_serve(flags: HashMap<String, String>) {
 
     // Transcripts stay on so the round-integrity audit below can compare
     // the engine's execution against solo replay, query for query.
-    let engine = Engine::new(
+    let trace = trace_recorder(&flags);
+    let mut engine = Engine::new(
         registry,
         EngineOptions {
             generation: batch.max(1),
@@ -803,6 +855,10 @@ fn cmd_serve(flags: HashMap<String, String>) {
             batch_threads: threads,
         },
     );
+    if let Some((_, flight)) = &trace {
+        engine = engine.recorded(Arc::clone(flight) as Arc<dyn Recorder>);
+    }
+    let engine = engine;
     let queries = hot_set_workload(&index, requests_n, distinct, flips, seed);
     let shards = engine.registry().len();
     if shards == 0 {
@@ -828,8 +884,12 @@ fn cmd_serve(flags: HashMap<String, String>) {
     let started = Instant::now();
     let (served, traces) = engine.submit_batch_traced(&reqs);
     let wall = started.elapsed();
-    let report = ServeReport::from_run(format!("engine[batch={batch}]"), &served, &traces, wall)
-        .with_options(engine.options());
+    let mut report =
+        ServeReport::from_run(format!("engine[batch={batch}]"), &served, &traces, wall)
+            .with_options(engine.options());
+    if let Some((path, flight)) = &trace {
+        report = report.with_trace(finish_trace(path, flight));
+    }
     let json = serde_json::to_string(&report).expect("serialize serve report");
     println!("{json}");
     if let Some(out) = flags.get("out") {
@@ -869,6 +929,181 @@ fn cmd_serve(flags: HashMap<String, String>) {
     }
 }
 
+/// `trace inspect`: offline summary of a JSON-lines trace written by
+/// `serve --trace-out` (or dumped mid-flight to `<path>.flight`).
+/// Renders event counts, the sealed-window history, per-generation
+/// coalescing, per-query timelines, and the admission-queue depth the
+/// arrivals observed — the debugging views the ring exists for.
+fn cmd_trace(args: &[String]) {
+    if args.first().map(String::as_str) != Some("inspect") {
+        die("trace needs an action: annsctl trace inspect --trace <trace.jsonl> [--limit 12]");
+    }
+    let flags = parse_flags(&args[1..]);
+    let path = required(&flags, "trace");
+    let limit: usize = flag(&flags, "limit", 12);
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let records = anns_obs::parse_jsonl(&text)
+        .unwrap_or_else(|(line, e)| die(&format!("{path}:{line}: bad trace record: {e}")));
+    let Some(last) = records.last() else {
+        println!("{path}: empty trace");
+        return;
+    };
+    let anomalies = records
+        .iter()
+        .filter(|r| r.event.is_flight_trigger())
+        .count();
+    println!(
+        "trace {path}: {} record(s), seq {}..{}, ts {}..{} ns, {anomalies} anomal{}",
+        records.len(),
+        records[0].seq,
+        last.seq,
+        records[0].ts_ns,
+        last.ts_ns,
+        if anomalies == 1 { "y" } else { "ies" }
+    );
+
+    // Event vocabulary: what happened, how often.
+    let mut kinds: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for r in &records {
+        *kinds.entry(r.event.kind()).or_insert(0) += 1;
+    }
+    let mut table = MarkdownTable::new(&["event", "count"]);
+    for (kind, count) in &kinds {
+        table.row(vec![kind.to_string(), count.to_string()]);
+    }
+    println!("\nevents:");
+    table.print();
+
+    // Sealed windows: why each generation window closed, how full it
+    // was, and how long its oldest arrival waited.
+    let windows: Vec<_> = records
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::GenerationSealed {
+                window,
+                reason,
+                fill,
+                wait_ns,
+            } => Some((*window, reason.clone(), *fill, *wait_ns)),
+            _ => None,
+        })
+        .collect();
+    if !windows.is_empty() {
+        let mut table = MarkdownTable::new(&["window", "reason", "fill", "wait µs"]);
+        for (window, reason, fill, wait_ns) in windows.iter().take(limit) {
+            table.row(vec![
+                window.to_string(),
+                reason.clone(),
+                fill.to_string(),
+                format!("{:.1}", *wait_ns as f64 / 1e3),
+            ]);
+        }
+        println!(
+            "\nsealed windows (first {} of {}):",
+            limit.min(windows.len()),
+            windows.len()
+        );
+        table.print();
+    }
+
+    // Per-generation coalescing: submitted vs deduped across every
+    // round dispatch of each generation.
+    let mut gens: std::collections::BTreeMap<u64, (u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    for r in &records {
+        if let TraceEvent::RoundDispatched {
+            gen,
+            submitted,
+            deduped,
+            ..
+        } = &r.event
+        {
+            let e = gens.entry(*gen).or_insert((0, 0, 0));
+            e.0 += 1;
+            e.1 += submitted;
+            e.2 += deduped;
+        }
+    }
+    if !gens.is_empty() {
+        let mut table = MarkdownTable::new(&["gen", "dispatches", "submitted", "deduped", "ratio"]);
+        for (gen, (dispatches, submitted, deduped)) in gens.iter().take(limit) {
+            table.row(vec![
+                gen.to_string(),
+                dispatches.to_string(),
+                submitted.to_string(),
+                deduped.to_string(),
+                if *submitted > 0 {
+                    format!("{:.3}", *deduped as f64 / *submitted as f64)
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
+        println!(
+            "\ncoalescing per generation (first {} of {}):",
+            limit.min(gens.len()),
+            gens.len()
+        );
+        table.print();
+    }
+
+    // Per-query timeline: one row per completion, in completion order.
+    let served: Vec<_> = records
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::QueryServed {
+                gen,
+                slot,
+                rounds,
+                probes,
+                wait_ns,
+                within_budget,
+            } => Some((*gen, *slot, *rounds, *probes, *wait_ns, *within_budget)),
+            _ => None,
+        })
+        .collect();
+    if !served.is_empty() {
+        let mut table =
+            MarkdownTable::new(&["gen", "slot", "rounds", "probes", "wait µs", "in budget"]);
+        for (gen, slot, rounds, probes, wait_ns, within) in served.iter().take(limit) {
+            table.row(vec![
+                gen.to_string(),
+                slot.to_string(),
+                rounds.to_string(),
+                probes.to_string(),
+                format!("{:.1}", *wait_ns as f64 / 1e3),
+                within.to_string(),
+            ]);
+        }
+        println!(
+            "\nquery timeline (first {} of {}):",
+            limit.min(served.len()),
+            served.len()
+        );
+        table.print();
+    }
+
+    // Queue depth over time, as each arrival observed it.
+    let depths: Vec<u64> = records
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::QueryAdmitted { depth } | TraceEvent::Shed { depth, .. } => Some(*depth),
+            _ => None,
+        })
+        .collect();
+    if !depths.is_empty() {
+        let shed = kinds.get("shed").copied().unwrap_or(0);
+        println!(
+            "\nqueue depth over {} arrival(s): max {}, mean {:.1}, {} shed",
+            depths.len(),
+            depths.iter().max().unwrap(),
+            depths.iter().sum::<u64>() as f64 / depths.len() as f64,
+            shed
+        );
+    }
+}
+
 /// `bench-serve` output: config, the per-query `run_batch` baseline, one
 /// engine run per generation width, a deterministic admission-queue run,
 /// and the round-integrity audit. Deserializable so `bench-gate` can
@@ -878,11 +1113,29 @@ struct BenchServeReport {
     config: BenchServeConfig,
     baseline: ServeReport,
     engine: Vec<EngineRun>,
+    /// The widest engine run repeated with a ring recorder installed:
+    /// results must stay identical, the event count is a pure function
+    /// of the workload (gated exactly), and the wall-clock overhead
+    /// versus the untraced run at the same width is gated loosely.
+    traced: TracedRun,
     /// The same request stream through the admission queue on a *virtual*
     /// clock, pre-enqueued so every window fill-seals at the widest batch
     /// width: its coalescing is deterministic and gated tightly.
     online: OnlineReport,
     audit: AuditReport,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct TracedRun {
+    batch: usize,
+    /// Traced wall clock / untraced wall clock at the same batch width.
+    overhead_vs_untraced: f64,
+    /// Ring counters after the run. `trace_events` is deterministic in
+    /// the workload; `trace_dropped` must be 0 (the ring is sized for
+    /// the whole run).
+    trace_events: u64,
+    trace_dropped: u64,
+    report: ServeReport,
 }
 
 #[derive(serde::Serialize, serde::Deserialize)]
@@ -1128,6 +1381,72 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
         });
     }
 
+    // Traced re-run at the widest width: the observability layer's serve
+    // contract, measured. Answers and ledgers must match the baseline
+    // (tracing cannot perturb serving), and the wall-clock ratio against
+    // the untraced run at the same width is the recorder's real cost.
+    let traced = {
+        let batch = batches.last().copied().unwrap_or(16).max(1);
+        let untraced_wall_ms = engine_runs
+            .iter()
+            .find(|r| r.batch == batch)
+            .map(|r| r.report.wall_ms)
+            .unwrap_or(0.0);
+        let (registry, shard_ids) = serving_registry();
+        let ring = Arc::new(RingRecorder::new(
+            65_536,
+            Arc::new(RealClock::new()) as Arc<dyn Clock>,
+        ));
+        let engine = Engine::new(
+            registry,
+            EngineOptions {
+                generation: batch,
+                exec: ExecOptions::default(),
+                batch_threads: threads,
+            },
+        )
+        .recorded(Arc::clone(&ring) as Arc<dyn Recorder>);
+        let reqs: Vec<QueryRequest> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, query)| QueryRequest {
+                shard: shard_ids[i % shard_ids.len()],
+                query: query.clone(),
+            })
+            .collect();
+        eprintln!(
+            "traced: generation width {batch}, ring capacity {}…",
+            ring.capacity()
+        );
+        let started = Instant::now();
+        let (served, traces) = engine.submit_batch_traced(&reqs);
+        let wall = started.elapsed();
+        for (s, b) in served.iter().zip(baseline_served.iter()) {
+            assert_eq!(s.answer, b.answer, "traced answer diverged from run_batch");
+            assert_eq!(s.ledger, b.ledger, "traced ledger diverged from run_batch");
+        }
+        let counters = ring.counters();
+        let report = ServeReport::from_run(
+            format!("engine[batch={batch},traced]"),
+            &served,
+            &traces,
+            wall,
+        )
+        .with_options(engine.options())
+        .with_trace(counters);
+        TracedRun {
+            batch,
+            overhead_vs_untraced: if untraced_wall_ms > 0.0 {
+                report.wall_ms / untraced_wall_ms
+            } else {
+                0.0
+            },
+            trace_events: counters.events,
+            trace_dropped: counters.dropped,
+            report,
+        }
+    };
+
     // Online admission run: same stream, pre-enqueued behind a parked
     // driver on a virtual clock, so every window fill-seals at the widest
     // batch width — the coalescing must be byte-for-byte the batch
@@ -1238,6 +1557,7 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
         },
         baseline,
         engine: engine_runs,
+        traced,
         online,
         audit: AuditReport {
             queries: audit_n,
@@ -1259,6 +1579,14 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
             ))
             .collect::<Vec<_>>()
             .join("; ")
+    );
+    println!(
+        "traced batch {}: {:.0} qps, {:.2}x vs untraced, {} event(s), {} dropped",
+        report.traced.batch,
+        report.traced.report.qps,
+        report.traced.overhead_vs_untraced,
+        report.traced.trace_events,
+        report.traced.trace_dropped
     );
     println!(
         "online window {}: {:.0} qps (coalescing {:.2}), {} windows ({} fill / {} drain), {} shed",
@@ -1429,6 +1757,92 @@ fn cmd_bench_kernels(flags: HashMap<String, String>) {
     println!("report → {out}");
 }
 
+/// `bench-obs` output: the recorder fast-path microbenchmark.
+/// Deserializable so `bench-gate` can reload the committed
+/// `BENCH_obs_quick.json` reference.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct BenchObsReport {
+    config: BenchObsConfig,
+    /// Best-of-reps ns per emission site with the `NullRecorder`: one
+    /// virtual `enabled()` call, no event construction. This is what
+    /// every instrumented hot loop pays when tracing is off.
+    null_ns_per_event: f64,
+    /// Best-of-reps ns per recorded event through a full `RingRecorder`
+    /// (clock stamp + mutex + drop-oldest at capacity).
+    ring_ns_per_event: f64,
+    /// Ring counters after the run — a pure function of the config
+    /// (`reps × events` recorded, all but `capacity` dropped), so the
+    /// gate compares them exactly.
+    ring_events: u64,
+    ring_dropped: u64,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct BenchObsConfig {
+    events: u64,
+    reps: usize,
+    capacity: usize,
+    quick: bool,
+}
+
+fn cmd_bench_obs(flags: HashMap<String, String>) {
+    use std::hint::black_box;
+    let quick = quick_mode();
+    let events: u64 = flag(&flags, "events", if quick { 200_000 } else { 2_000_000 });
+    let reps: usize = flag(&flags, "reps", if quick { 3 } else { 5 });
+    let capacity: usize = flag(&flags, "capacity", 4096);
+    let out = flag(&flags, "out", "BENCH_obs.json".to_string());
+
+    // Measures through `&dyn Recorder` behind the same guarded emission
+    // site the engine uses, so the number is what instrumented code
+    // actually pays — virtual dispatch included, event construction
+    // skipped when disabled.
+    let measure = |recorder: &dyn Recorder| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            for i in 0..events {
+                if recorder.enabled() {
+                    recorder.record(TraceEvent::ProbeBatchRead {
+                        gen: i,
+                        shard: 0,
+                        tile: 64,
+                        len: 8,
+                    });
+                }
+                black_box(&recorder);
+            }
+            best = best.min(t0.elapsed().as_nanos() as f64 / events as f64);
+        }
+        best
+    };
+    eprintln!("bench-obs: {events} events × {reps} reps, ring capacity {capacity}…");
+    let null_ns = measure(&NullRecorder);
+    let ring = RingRecorder::new(capacity, Arc::new(RealClock::new()) as Arc<dyn Clock>);
+    let ring_ns = measure(&ring);
+    let counters = ring.counters();
+
+    let report = BenchObsReport {
+        config: BenchObsConfig {
+            events,
+            reps,
+            capacity,
+            quick,
+        },
+        null_ns_per_event: null_ns,
+        ring_ns_per_event: ring_ns,
+        ring_events: counters.events,
+        ring_dropped: counters.dropped,
+    };
+    let json = serde_json::to_string(&report).expect("serialize bench-obs report");
+    std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    println!(
+        "null {null_ns:.2} ns/event, ring {ring_ns:.2} ns/event ({} recorded, {} dropped)",
+        counters.events, counters.dropped
+    );
+    println!("report → {out}");
+}
+
 fn cmd_save(flags: HashMap<String, String>) {
     let out = required(&flags, "out");
     let index = load_or_build_index(&flags, 1024, 256);
@@ -1586,14 +2000,19 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
     let reference_path = flags.get("reference").cloned();
     let kernels_current_path = flags.get("kernels-current").cloned();
     let kernels_reference_path = flags.get("kernels-reference").cloned();
+    let obs_current_path = flags.get("obs-current").cloned();
+    let obs_reference_path = flags.get("obs-reference").cloned();
     if current_path.is_some() != reference_path.is_some() {
         die("--current and --reference must be given together");
     }
     if kernels_current_path.is_some() != kernels_reference_path.is_some() {
         die("--kernels-current and --kernels-reference must be given together");
     }
-    if current_path.is_none() && kernels_current_path.is_none() {
-        die("nothing to gate: pass --current/--reference and/or --kernels-current/--kernels-reference");
+    if obs_current_path.is_some() != obs_reference_path.is_some() {
+        die("--obs-current and --obs-reference must be given together");
+    }
+    if current_path.is_none() && kernels_current_path.is_none() && obs_current_path.is_none() {
+        die("nothing to gate: pass --current/--reference, --kernels-current/--kernels-reference and/or --obs-current/--obs-reference");
     }
     // Coalescing is deterministic in the workload, so its band is tight;
     // speedup is wall-clock on shared CI runners, so its band only
@@ -1606,6 +2025,12 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
     // runner's silicon, so its band is loose and only catches collapses.
     let tol_kernel_ratio: f64 = flag(&flags, "tol-kernel-ratio", 0.35);
     let tol_kernel_wall: f64 = flag(&flags, "tol-kernel-wall", 4.0);
+    // Traced-run overhead is a same-process wall-clock ratio (traced /
+    // untraced at one batch width) on a shared runner: loose band.
+    let tol_trace_overhead: f64 = flag(&flags, "tol-trace-overhead", 1.0);
+    // Recorder ns/event is absolute wall clock: loose collapse detector,
+    // like the kernel wall band.
+    let tol_obs_wall: f64 = flag(&flags, "tol-obs-wall", 4.0);
 
     let mut rows: Vec<GateRow> = Vec::new();
     let mut failed = false;
@@ -1616,6 +2041,7 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
             reference_path,
             tol_coalescing,
             tol_speedup,
+            tol_trace_overhead,
             &mut rows,
             &mut failed,
         );
@@ -1628,6 +2054,15 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
             kernels_reference,
             tol_kernel_ratio,
             tol_kernel_wall,
+            &mut rows,
+            &mut failed,
+        );
+    }
+    if let (Some(obs_current), Some(obs_reference)) = (&obs_current_path, &obs_reference_path) {
+        obs_gate_rows(
+            obs_current,
+            obs_reference,
+            tol_obs_wall,
             &mut rows,
             &mut failed,
         );
@@ -1651,7 +2086,7 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
     }
     if failed {
         println!(
-            "bench-gate: REGRESSION (tolerances: coalescing {tol_coalescing}, speedup {tol_speedup}, kernel-ratio {tol_kernel_ratio}, kernel-wall {tol_kernel_wall})"
+            "bench-gate: REGRESSION (tolerances: coalescing {tol_coalescing}, speedup {tol_speedup}, kernel-ratio {tol_kernel_ratio}, kernel-wall {tol_kernel_wall}, trace-overhead {tol_trace_overhead}, obs-wall {tol_obs_wall})"
         );
         std::process::exit(1);
     }
@@ -1664,6 +2099,7 @@ fn serve_gate_rows(
     reference_path: &str,
     tol_coalescing: f64,
     tol_speedup: f64,
+    tol_trace_overhead: f64,
     rows: &mut Vec<GateRow>,
     failed: &mut bool,
 ) {
@@ -1749,6 +2185,57 @@ fn serve_gate_rows(
             bound,
             lower: false,
             ok: current_run.speedup_vs_baseline >= bound,
+        });
+    }
+    // Traced run: serving equivalence is asserted inside bench-serve
+    // itself; here the gate holds tracing to its own contract — the
+    // event count is a pure function of the workload (exact), nothing
+    // may fall out of the ring, coalescing is unchanged (tight band),
+    // and the recorder's wall-clock cost stays bounded (loose band).
+    if current.traced.batch != reference.traced.batch {
+        println!(
+            "FAIL: traced batch differs (current {}, reference {})",
+            current.traced.batch, reference.traced.batch
+        );
+        *failed = true;
+    } else {
+        if current.traced.trace_events != reference.traced.trace_events {
+            println!(
+                "FAIL: traced event count drifted (current {}, reference {}) — \
+                 an emission site changed without regenerating the reference",
+                current.traced.trace_events, reference.traced.trace_events
+            );
+            *failed = true;
+        }
+        if current.traced.trace_dropped != 0 {
+            println!(
+                "FAIL: traced run dropped {} event(s); the bench ring must hold the whole run",
+                current.traced.trace_dropped
+            );
+            *failed = true;
+        }
+        let bound = reference.traced.report.coalescing_ratio * (1.0 + tol_coalescing) + 1e-9;
+        rows.push(GateRow {
+            key: reference.traced.batch,
+            metric: "traced_coalescing_ratio",
+            reference: reference.traced.report.coalescing_ratio,
+            current: current.traced.report.coalescing_ratio,
+            bound,
+            lower: true,
+            ok: current.traced.report.coalescing_ratio <= bound,
+        });
+        // A reference ratio under 1.0 is wall-clock noise (the traced
+        // run happened to beat the untraced one); clamping keeps the
+        // bound meaning "tracing may cost at most (1+tol)× a run".
+        let bound = reference.traced.overhead_vs_untraced.max(1.0) * (1.0 + tol_trace_overhead);
+        rows.push(GateRow {
+            key: reference.traced.batch,
+            metric: "traced_overhead",
+            reference: reference.traced.overhead_vs_untraced,
+            current: current.traced.overhead_vs_untraced,
+            bound,
+            lower: true,
+            ok: current.traced.overhead_vs_untraced <= bound,
         });
     }
     // Online admission: the saturated virtual-clock run is deterministic
@@ -1845,6 +2332,68 @@ fn kernel_gate_rows(
     }
 }
 
+/// Recorder-overhead comparisons (`bench-obs` artifacts) for
+/// `bench-gate`. The ring counters are a pure function of the config
+/// and compare exactly; the ns/event figures are absolute wall clock
+/// on shared runners, so they get the loose collapse-detector band.
+fn obs_gate_rows(
+    current_path: &str,
+    reference_path: &str,
+    tol_wall: f64,
+    rows: &mut Vec<GateRow>,
+    failed: &mut bool,
+) {
+    let read = |path: &str| -> BenchObsReport {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        serde_json::from_str(&json).unwrap_or_else(|e| die(&format!("bad report {path}: {e}")))
+    };
+    let current = read(current_path);
+    let reference = read(reference_path);
+    let (c, r) = (&current.config, &reference.config);
+    if (c.events, c.reps, c.capacity, c.quick) != (r.events, r.reps, r.capacity, r.quick) {
+        eprintln!(
+            "bench-gate: obs configs differ (current events={} reps={} capacity={} quick={}, reference events={} reps={} capacity={} quick={})",
+            c.events, c.reps, c.capacity, c.quick, r.events, r.reps, r.capacity, r.quick
+        );
+        die("refusing to compare obs reports from different workloads");
+    }
+    if current.ring_events != reference.ring_events {
+        println!(
+            "FAIL: obs ring recorded {} event(s), reference {} — same config must record the same count",
+            current.ring_events, reference.ring_events
+        );
+        *failed = true;
+    }
+    if current.ring_dropped != reference.ring_dropped {
+        println!(
+            "FAIL: obs ring dropped {} event(s), reference {} — drop-oldest accounting drifted",
+            current.ring_dropped, reference.ring_dropped
+        );
+        *failed = true;
+    }
+    let bound = reference.null_ns_per_event * (1.0 + tol_wall);
+    rows.push(GateRow {
+        key: current.config.capacity,
+        metric: "obs_null_ns_per_event",
+        reference: reference.null_ns_per_event,
+        current: current.null_ns_per_event,
+        bound,
+        lower: true,
+        ok: current.null_ns_per_event <= bound,
+    });
+    let bound = reference.ring_ns_per_event * (1.0 + tol_wall);
+    rows.push(GateRow {
+        key: current.config.capacity,
+        metric: "obs_ring_ns_per_event",
+        reference: reference.ring_ns_per_event,
+        current: current.ring_ns_per_event,
+        bound,
+        lower: true,
+        ok: current.ring_ns_per_event <= bound,
+    });
+}
+
 fn cmd_lpm(flags: HashMap<String, String>) {
     let sigma: u16 = flag(&flags, "sigma", 4);
     let m: usize = flag(&flags, "m", 8);
@@ -1896,6 +2445,10 @@ fn main() {
     let Some(cmd) = args.first() else {
         die("missing subcommand");
     };
+    // `trace` takes a positional action (`inspect`) before its flags.
+    if cmd == "trace" {
+        return cmd_trace(&args[1..]);
+    }
     let flags = parse_flags(&args[1..]);
     match cmd.as_str() {
         "build" => cmd_build(flags),
@@ -1910,6 +2463,7 @@ fn main() {
         "serve" => cmd_serve(flags),
         "bench-serve" => cmd_bench_serve(flags),
         "bench-kernels" => cmd_bench_kernels(flags),
+        "bench-obs" => cmd_bench_obs(flags),
         "bench-gate" => cmd_bench_gate(flags),
         "lpm" => cmd_lpm(flags),
         "lb" => cmd_lb(flags),

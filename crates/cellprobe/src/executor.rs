@@ -252,6 +252,34 @@ pub fn read_batch_tiled(
     per_tile.into_iter().flatten().collect()
 }
 
+/// [`read_batch_tiled`] with a [`ProbeBatchRead`] trace event emitted
+/// before the read: the engine's observed dispatch path. `shard` and
+/// `gen` label the event with the caller's shard index and generation
+/// id; the read itself is byte-identical to the untraced variant, and
+/// with a disabled recorder (`enabled() == false`) the only extra cost
+/// is the guard branch.
+///
+/// [`ProbeBatchRead`]: anns_obs::TraceEvent::ProbeBatchRead
+pub fn read_batch_observed(
+    table: &dyn Table,
+    addrs: &[Address],
+    threads: usize,
+    tile: usize,
+    obs: &dyn anns_obs::Recorder,
+    shard: u64,
+    gen: u64,
+) -> Vec<Word> {
+    if obs.enabled() {
+        obs.record(anns_obs::TraceEvent::ProbeBatchRead {
+            gen,
+            shard,
+            tile: tile as u64,
+            len: addrs.len() as u64,
+        });
+    }
+    read_batch_tiled(table, addrs, threads, tile)
+}
+
 /// Maps `f` over `items` on up to `threads` crossbeam scoped threads
 /// (contiguous chunks, never an empty-range worker), results in item
 /// order; runs inline when `threads <= 1` or there is at most one item.

@@ -74,8 +74,8 @@ pub mod word;
 pub use audit::{CountingTable, PurityAuditTable};
 pub use batch::{run_batch, run_one, worst_case_ledger, BatchItem};
 pub use executor::{
-    chunked_parallel_map, read_batch, read_batch_tiled, ExecOptions, ProbeLedger, RoundExecutor,
-    RoundSource, Transcript, TranscriptEntry, DEFAULT_PROBE_TILE,
+    chunked_parallel_map, read_batch, read_batch_observed, read_batch_tiled, ExecOptions,
+    ProbeLedger, RoundExecutor, RoundSource, Transcript, TranscriptEntry, DEFAULT_PROBE_TILE,
 };
 pub use scheme::{execute, execute_on, execute_with, CellProbeScheme};
 pub use space::{newman_private_coin_cells_log2, SpaceModel};

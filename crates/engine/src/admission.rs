@@ -89,6 +89,8 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::time::Duration;
 
+use anns_obs::TraceEvent;
+
 use crate::clock::Clock;
 use crate::engine::{Engine, NamedRequest, ServeError, Served};
 
@@ -126,6 +128,17 @@ pub enum SealReason {
     Deadline,
     /// The queue was closed; the partial window was flushed.
     Drain,
+}
+
+impl SealReason {
+    /// Stable lowercase label, used by `GenerationSealed` trace events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SealReason::Fill => "fill",
+            SealReason::Deadline => "deadline",
+            SealReason::Drain => "drain",
+        }
+    }
 }
 
 /// Audit record of one sealed window.
@@ -347,15 +360,30 @@ impl AdmissionQueue {
     /// is at capacity and [`ServeError::Closed`] after a close; neither
     /// failure leaves a dangling ticket.
     pub fn enqueue(&self, request: NamedRequest) -> Result<Ticket, ServeError> {
+        let obs = Arc::clone(self.engine.recorder());
         let slot = {
             let mut st = self.lock();
             if st.closed {
+                let depth = st.open.len();
+                drop(st);
+                if obs.enabled() {
+                    obs.record(TraceEvent::Shed {
+                        reason: "closed".to_string(),
+                        depth: depth as u64,
+                    });
+                }
                 return Err(ServeError::Closed);
             }
             if st.open.len() >= self.opts.capacity {
                 let depth = st.open.len();
                 drop(st);
                 self.engine.absorb_online(|o| o.shed += 1);
+                if obs.enabled() {
+                    obs.record(TraceEvent::Shed {
+                        reason: "overloaded".to_string(),
+                        depth: depth as u64,
+                    });
+                }
                 return Err(ServeError::Overloaded {
                     depth,
                     capacity: self.opts.capacity,
@@ -377,6 +405,11 @@ impl AdmissionQueue {
                 o.enqueued += 1;
                 o.depth_hist.record(depth as u64);
             });
+            if obs.enabled() {
+                obs.record(TraceEvent::QueryAdmitted {
+                    depth: depth as u64,
+                });
+            }
             slot
         };
         Ok(Ticket { slot })
@@ -482,10 +515,23 @@ impl AdmissionQueue {
         let queries: Vec<Waiting> = st.open.drain(..take).collect();
         let seq = st.next_window;
         st.next_window += 1;
+        let opened_at_ns = queries.first().map(|w| w.enqueued_at_ns).unwrap_or(now_ns);
+        let obs = self.engine.recorder();
+        if obs.enabled() {
+            // Emitted with the state lock held: the ring mutex is a leaf
+            // lock, and sealing under the lock is what keeps the event's
+            // position deterministic relative to later admissions.
+            obs.record(TraceEvent::GenerationSealed {
+                window: seq,
+                reason: seal.label().to_string(),
+                fill: queries.len() as u64,
+                wait_ns: now_ns.saturating_sub(opened_at_ns),
+            });
+        }
         SealedWindow {
             seq,
             seal,
-            opened_at_ns: queries.first().map(|w| w.enqueued_at_ns).unwrap_or(now_ns),
+            opened_at_ns,
             sealed_at_ns: now_ns,
             queries,
         }

@@ -1,11 +1,13 @@
 //! The serving front-end: admission, generations, per-query results.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use anns_cellprobe::{execute_on, ExecOptions, ProbeLedger, Transcript};
 use anns_core::serve::{ServedAnswer, SoloServable};
 use anns_hamming::Point;
+use anns_obs::{NullRecorder, Recorder, TraceEvent};
 
 use crate::mount::MountTable;
 use crate::registry::{Registry, ShardId};
@@ -149,6 +151,13 @@ pub struct Engine {
     mounts: Arc<MountTable>,
     opts: EngineOptions,
     totals: std::sync::Mutex<EngineStats>,
+    /// Trace sink, threaded through every generation, dispatch, and
+    /// batch read. Defaults to [`NullRecorder`]: one branch per
+    /// emission site, no events constructed.
+    obs: Arc<dyn Recorder>,
+    /// Monotonic generation id, labeling trace events so a flat ring
+    /// reconstructs per-generation timelines.
+    gen_seq: AtomicU64,
 }
 
 impl Engine {
@@ -182,7 +191,26 @@ impl Engine {
             mounts,
             opts,
             totals: std::sync::Mutex::new(EngineStats::default()),
+            obs: Arc::new(NullRecorder),
+            gen_seq: AtomicU64::new(0),
         }
+    }
+
+    /// Installs a trace recorder on this engine *and* its mount table
+    /// (so swap events share the same ring). The default is
+    /// [`NullRecorder`]; with it installed, answers, ledgers, and
+    /// transcripts are byte-identical to an engine built without this
+    /// call — the observability equivalence test asserts exactly that.
+    pub fn recorded(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.mounts.set_recorder(Arc::clone(&recorder));
+        self.obs = recorder;
+        self
+    }
+
+    /// The installed trace recorder (the admission queue emits its
+    /// events through this same sink).
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.obs
     }
 
     /// The mount table this engine serves from.
@@ -323,12 +351,17 @@ impl Engine {
         let tables = (0..epoch.len())
             .map(|i| epoch.scheme(ShardId(i)).table())
             .collect();
+        let obs = self.obs.as_ref();
+        let gen_id = self.gen_seq.fetch_add(1, Ordering::Relaxed);
+        let gen_started_ns = if obs.enabled() { obs.now_ns() } else { 0 };
         let generation = Generation::new(
             tables,
             requests.len(),
             self.opts.batch_threads,
             self.opts.exec.probe_tile,
             epoch.epoch(),
+            gen_id,
+            obs,
         );
         let mut slots: Vec<Option<Served>> = (0..requests.len()).map(|_| None).collect();
         crossbeam::thread::scope(|scope| {
@@ -372,6 +405,25 @@ impl Engine {
             .into_iter()
             .map(|s| s.expect("query not served"))
             .collect();
+        if obs.enabled() {
+            // Emit completions here — sequentially, in slot order, after
+            // the barrier — rather than from the worker threads, whose
+            // finish order is scheduler-dependent. This is what makes a
+            // VirtualClock trace byte-stable across runs. `wait_ns` is
+            // the generation's wall time on the recorder's clock (per-
+            // query latency_ns stays on `Instant`, as before).
+            let wait_ns = obs.now_ns().saturating_sub(gen_started_ns);
+            for (slot, query) in served.iter().enumerate() {
+                obs.record(TraceEvent::QueryServed {
+                    gen: gen_id,
+                    slot: slot as u64,
+                    rounds: query.ledger.rounds() as u64,
+                    probes: query.ledger.total_probes() as u64,
+                    wait_ns,
+                    within_budget: query.within_budget,
+                });
+            }
+        }
         let trace = GenerationTrace {
             epoch: epoch.epoch(),
             dispatches: generation.into_traces(),

@@ -57,7 +57,15 @@
 //! * [`stats`] — **served metrics**: cumulative engine counters (merged
 //!   ledgers, coalescing ratio, budget violations) and the JSON
 //!   [`stats::ServeReport`] emitted by `annsctl serve` /
-//!   `annsctl bench-serve`.
+//!   `annsctl bench-serve`;
+//! * **observability** (the `anns-obs` crate, threaded through all of
+//!   the above): install a recorder with [`engine::Engine::recorded`]
+//!   and every admission, window seal, coalesced dispatch, batch read,
+//!   completion, shed, and epoch flip becomes a typed
+//!   `anns_obs::TraceEvent` in a bounded ring — deterministic under a
+//!   [`clock::VirtualClock`], dumped automatically on anomalies by the
+//!   flight recorder, free (one guarded branch per site) under the
+//!   default `anns_obs::NullRecorder`. See `docs/OBSERVABILITY.md`.
 //!
 //! Within-round non-adaptivity is preserved *by construction*: every
 //! query still reads cells only through its own `RoundExecutor`, which
@@ -117,6 +125,9 @@ pub mod testkit;
 
 pub use admission::{
     AdmissionOptions, AdmissionQueue, Resolution, SealReason, Ticket, WindowTrace,
+};
+pub use anns_obs::{
+    FlightRecorder, NullRecorder, Recorder, RingRecorder, TraceCounters, TraceEvent, TraceRecord,
 };
 pub use clock::{Clock, RealClock, VirtualClock};
 pub use engine::{

@@ -27,6 +27,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, Weak};
 
+use anns_obs::{NullRecorder, Recorder, TraceEvent};
 use anns_store::{SectionDigest, StoreError};
 
 use crate::registry::Registry;
@@ -185,6 +186,10 @@ pub struct MountTable {
     swap_lock: Mutex<()>,
     /// Epoch sequence; bumped once per flip.
     seq: AtomicU64,
+    /// Trace sink for `SwapEpoch` / `SwapFailed` events. Installed by
+    /// [`crate::Engine::recorded`] (or directly); defaults to the
+    /// [`NullRecorder`].
+    obs: RwLock<Arc<dyn Recorder>>,
 }
 
 impl Default for MountTable {
@@ -206,6 +211,30 @@ impl MountTable {
             current: RwLock::new(Arc::new(registry)),
             swap_lock: Mutex::new(()),
             seq: AtomicU64::new(0),
+            obs: RwLock::new(Arc::new(NullRecorder)),
+        }
+    }
+
+    /// Installs a trace recorder; swap-plane events flow into it from
+    /// now on. Usually called through [`crate::Engine::recorded`], so
+    /// the data plane and the swap plane share one ring.
+    pub fn set_recorder(&self, recorder: Arc<dyn Recorder>) {
+        *self.obs.write().unwrap_or_else(|e| e.into_inner()) = recorder;
+    }
+
+    fn recorder(&self) -> Arc<dyn Recorder> {
+        Arc::clone(&self.obs.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Records a failed mount/swap/unmount — the flight-recorder trigger
+    /// for "a deploy went wrong but the old epoch kept serving".
+    fn swap_failed(&self, namespace: &str, error: &MountError) {
+        let obs = self.recorder();
+        if obs.enabled() {
+            obs.record(TraceEvent::SwapFailed {
+                namespace: namespace.to_string(),
+                error: error.to_string(),
+            });
         }
     }
 
@@ -223,6 +252,20 @@ impl MountTable {
         self.current().epoch()
     }
 
+    /// Threads a mutation's outcome past the recorder: every failed
+    /// mount/swap/unmount becomes a `SwapFailed` trace event (and a
+    /// flight-recorder trigger) on its way back to the caller.
+    fn observed(
+        &self,
+        namespace: &str,
+        result: Result<SwapReceipt, MountError>,
+    ) -> Result<SwapReceipt, MountError> {
+        if let Err(e) = &result {
+            self.swap_failed(namespace, e);
+        }
+        result
+    }
+
     /// Mounts a bundle file under a new namespace. Fails if the namespace
     /// is already mounted.
     pub fn mount(
@@ -231,17 +274,31 @@ impl MountTable {
         path: impl AsRef<std::path::Path>,
     ) -> Result<SwapReceipt, MountError> {
         let path = path.as_ref();
-        let file = std::fs::File::open(path).map_err(StoreError::Io)?;
-        self.mount_from(
-            namespace,
-            std::io::BufReader::new(file),
-            path.display().to_string(),
-        )
+        let result = std::fs::File::open(path)
+            .map_err(|e| MountError::Store(StoreError::Io(e)))
+            .and_then(|file| {
+                self.mount_from_inner(
+                    namespace,
+                    std::io::BufReader::new(file),
+                    path.display().to_string(),
+                )
+            });
+        self.observed(namespace, result)
     }
 
     /// [`MountTable::mount`] over any byte stream, with a caller-supplied
     /// source label for the manifest.
     pub fn mount_from(
+        &self,
+        namespace: &str,
+        inner: impl std::io::Read,
+        source: impl Into<String>,
+    ) -> Result<SwapReceipt, MountError> {
+        let result = self.mount_from_inner(namespace, inner, source);
+        self.observed(namespace, result)
+    }
+
+    fn mount_from_inner(
         &self,
         namespace: &str,
         inner: impl std::io::Read,
@@ -268,16 +325,30 @@ impl MountTable {
         path: impl AsRef<std::path::Path>,
     ) -> Result<SwapReceipt, MountError> {
         let path = path.as_ref();
-        let file = std::fs::File::open(path).map_err(StoreError::Io)?;
-        self.swap_from(
-            namespace,
-            std::io::BufReader::new(file),
-            path.display().to_string(),
-        )
+        let result = std::fs::File::open(path)
+            .map_err(|e| MountError::Store(StoreError::Io(e)))
+            .and_then(|file| {
+                self.swap_from_inner(
+                    namespace,
+                    std::io::BufReader::new(file),
+                    path.display().to_string(),
+                )
+            });
+        self.observed(namespace, result)
     }
 
     /// [`MountTable::swap`] over any byte stream.
     pub fn swap_from(
+        &self,
+        namespace: &str,
+        inner: impl std::io::Read,
+        source: impl Into<String>,
+    ) -> Result<SwapReceipt, MountError> {
+        let result = self.swap_from_inner(namespace, inner, source);
+        self.observed(namespace, result)
+    }
+
+    fn swap_from_inner(
         &self,
         namespace: &str,
         inner: impl std::io::Read,
@@ -295,13 +366,16 @@ impl MountTable {
 
     /// Removes a namespace's shards from serving.
     pub fn unmount(&self, namespace: &str) -> Result<SwapReceipt, MountError> {
-        let _build = self.swap_lock.lock().unwrap_or_else(|e| e.into_inner());
-        let base = self.current();
-        if base.manifest(namespace).is_none() {
-            return Err(MountError::NotMounted(namespace.to_string()));
-        }
-        let next = base.fork_without(namespace);
-        Ok(self.flip(namespace, next, None))
+        let result = (|| {
+            let _build = self.swap_lock.lock().unwrap_or_else(|e| e.into_inner());
+            let base = self.current();
+            if base.manifest(namespace).is_none() {
+                return Err(MountError::NotMounted(namespace.to_string()));
+            }
+            let next = base.fork_without(namespace);
+            Ok(self.flip(namespace, next, None))
+        })();
+        self.observed(namespace, result)
     }
 
     /// The pointer exchange. Called with the swap lock held.
@@ -318,6 +392,13 @@ impl MountTable {
             let mut current = self.current.write().unwrap_or_else(|e| e.into_inner());
             std::mem::replace(&mut *current, next)
         };
+        let obs = self.recorder();
+        if obs.enabled() {
+            obs.record(TraceEvent::SwapEpoch {
+                namespace: namespace.to_string(),
+                epoch,
+            });
+        }
         SwapReceipt {
             namespace: namespace.to_string(),
             epoch,

@@ -28,7 +28,10 @@ use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::sync::{Condvar, Mutex, MutexGuard};
 
-use anns_cellprobe::{chunked_parallel_map, read_batch_tiled, Address, RoundSource, Table, Word};
+use anns_cellprobe::{
+    chunked_parallel_map, read_batch_observed, Address, RoundSource, Table, Word,
+};
+use anns_obs::{Recorder, TraceEvent};
 
 /// Total order on addresses: shard batches are dispatched sorted so the
 /// table oracle sees cache-friendly, deterministic access patterns.
@@ -87,6 +90,10 @@ pub struct Generation<'a> {
     probe_tile: usize,
     /// Mount-table epoch pinned at admission (stamped on every trace).
     mount_epoch: u64,
+    /// Engine-wide generation id (labels trace events, not dispatches).
+    gen_id: u64,
+    /// Trace sink; `RoundDispatched` / `ProbeBatchRead` events flow here.
+    obs: &'a dyn Recorder,
 }
 
 impl<'a> Generation<'a> {
@@ -99,6 +106,8 @@ impl<'a> Generation<'a> {
         batch_threads: usize,
         probe_tile: usize,
         mount_epoch: u64,
+        gen_id: u64,
+        obs: &'a dyn Recorder,
     ) -> Self {
         Generation {
             tables,
@@ -114,6 +123,8 @@ impl<'a> Generation<'a> {
             batch_threads,
             probe_tile,
             mount_epoch,
+            gen_id,
+            obs,
         }
     }
 
@@ -171,28 +182,48 @@ impl<'a> Generation<'a> {
         }
         let batch_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut executed = 0usize;
-            let mut prepared: Vec<(usize, Vec<Address>)> = Vec::with_capacity(by_shard.len());
+            // Per shard: (shard, pre-dedup submitted count, unique addrs).
+            let mut prepared: Vec<(usize, usize, Vec<Address>)> =
+                Vec::with_capacity(by_shard.len());
             for (shard, mut addrs) in by_shard {
+                let shard_submitted = addrs.len();
                 addrs.sort_by(addr_cmp);
                 addrs.dedup();
                 executed += addrs.len();
-                prepared.push((shard, addrs));
+                prepared.push((shard, shard_submitted, addrs));
+            }
+            if self.obs.enabled() {
+                // One event per shard, emitted in shard order *before*
+                // the parallel reads, so dispatch events sit at a
+                // deterministic position in the trace.
+                for (shard, shard_submitted, addrs) in &prepared {
+                    self.obs.record(TraceEvent::RoundDispatched {
+                        gen: self.gen_id,
+                        shard: *shard as u64,
+                        submitted: *shard_submitted as u64,
+                        deduped: addrs.len() as u64,
+                    });
+                }
             }
             // Shard tables are independent oracles, so their batches read
             // concurrently (one worker per shard, each fanning its own
             // batch out over `batch_threads`, cache-blocked per tile).
-            let shard_words = chunked_parallel_map(&prepared, prepared.len(), |(shard, addrs)| {
-                read_batch_tiled(
-                    self.tables[*shard],
-                    addrs,
-                    self.batch_threads,
-                    self.probe_tile,
-                )
-            });
+            let shard_words =
+                chunked_parallel_map(&prepared, prepared.len(), |(shard, _, addrs)| {
+                    read_batch_observed(
+                        self.tables[*shard],
+                        addrs,
+                        self.batch_threads,
+                        self.probe_tile,
+                        self.obs,
+                        *shard as u64,
+                        self.gen_id,
+                    )
+                });
             let batches: BTreeMap<usize, (Vec<Address>, Vec<Word>)> = prepared
                 .into_iter()
                 .zip(shard_words)
-                .map(|((shard, addrs), words)| (shard, (addrs, words)))
+                .map(|((shard, _, addrs), words)| (shard, (addrs, words)))
                 .collect();
             (executed, batches)
         }));
@@ -290,6 +321,7 @@ mod tests {
     use super::*;
     use anns_cellprobe::{ExecOptions, RoundExecutor, SpaceModel};
     use anns_cellprobe::{MaterializedTable, Table};
+    use anns_obs::NullRecorder;
 
     fn table(seed: u64) -> MaterializedTable {
         let t = MaterializedTable::new(SpaceModel::from_exact_cells(64, 64));
@@ -316,7 +348,7 @@ mod tests {
     #[test]
     fn two_queries_coalesce_shared_addresses() {
         let t = table(7);
-        let generation = Generation::new(vec![&t as &dyn Table], 2, 1, 64, 0);
+        let generation = Generation::new(vec![&t as &dyn Table], 2, 1, 64, 0, 0, &NullRecorder);
         let generation_ref = &generation;
         let answers = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -357,7 +389,7 @@ mod tests {
     #[test]
     fn departing_query_releases_the_barrier() {
         let t = table(3);
-        let generation = Generation::new(vec![&t as &dyn Table], 2, 1, 64, 0);
+        let generation = Generation::new(vec![&t as &dyn Table], 2, 1, 64, 0, 0, &NullRecorder);
         let generation_ref = &generation;
         let sums = crossbeam::thread::scope(|scope| {
             let long = {
@@ -399,7 +431,7 @@ mod tests {
     #[test]
     fn per_slot_rounds_advance_monotonically_in_traces() {
         let t = table(11);
-        let generation = Generation::new(vec![&t as &dyn Table], 3, 1, 64, 0);
+        let generation = Generation::new(vec![&t as &dyn Table], 3, 1, 64, 0, 0, &NullRecorder);
         let generation_ref = &generation;
         crossbeam::thread::scope(|scope| {
             for slot in 0..3usize {

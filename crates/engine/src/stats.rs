@@ -23,10 +23,16 @@ pub struct Histogram {
     pub buckets: Vec<u64>,
     /// Samples recorded.
     pub count: u64,
-    /// Sum of all samples (for the exact mean).
+    /// Sum of all samples (for the exact mean). Saturates at `u64::MAX`
+    /// instead of overflowing; [`Histogram::saturated`] records that it
+    /// happened.
     pub sum: u64,
     /// Largest sample seen.
     pub max: u64,
+    /// Whether `sum` hit `u64::MAX` and clamped: the mean is a lower
+    /// bound from then on, and the report says so instead of silently
+    /// serving a wrapped/stuck number as exact.
+    pub saturated: bool,
 }
 
 impl Histogram {
@@ -38,7 +44,9 @@ impl Histogram {
         }
         self.buckets[bucket] += 1;
         self.count += 1;
-        self.sum = self.sum.saturating_add(value);
+        let (sum, overflowed) = self.sum.overflowing_add(value);
+        self.sum = if overflowed { u64::MAX } else { sum };
+        self.saturated |= overflowed;
         self.max = self.max.max(value);
     }
 
@@ -89,7 +97,9 @@ impl Histogram {
             *mine += theirs;
         }
         self.count += other.count;
-        self.sum = self.sum.saturating_add(other.sum);
+        let (sum, overflowed) = self.sum.overflowing_add(other.sum);
+        self.sum = if overflowed { u64::MAX } else { sum };
+        self.saturated |= overflowed || other.saturated;
         self.max = self.max.max(other.max);
     }
 }
@@ -288,6 +298,11 @@ pub struct ServeReport {
     /// Admission-wait summary (enqueue → window seal) for online runs;
     /// all-zero for batch runs, where requests never wait in a queue.
     pub wait: LatencySummary,
+    /// Trace events the run's recorder accepted (0 with tracing off).
+    pub trace_events: u64,
+    /// Trace events the bounded ring evicted (drop-oldest; 0 means the
+    /// trace artifact is complete).
+    pub trace_dropped: u64,
 }
 
 impl ServeReport {
@@ -353,6 +368,8 @@ impl ServeReport {
             budget_violations: served.iter().filter(|s| !s.within_budget).count() as u64,
             answered: served.iter().filter(|s| s.answer.index().is_some()).count() as u64,
             wait: LatencySummary::from_ns(&[]),
+            trace_events: 0,
+            trace_dropped: 0,
         }
     }
 
@@ -368,6 +385,14 @@ impl ServeReport {
     /// Stamps the admission-wait summary from per-query waits (ns).
     pub fn with_wait(mut self, wait_ns: &[u64]) -> Self {
         self.wait = LatencySummary::from_ns(wait_ns);
+        self
+    }
+
+    /// Stamps the run's trace-recorder totals (events accepted, events
+    /// the bounded ring dropped).
+    pub fn with_trace(mut self, counters: anns_obs::TraceCounters) -> Self {
+        self.trace_events = counters.events;
+        self.trace_dropped = counters.dropped;
         self
     }
 }
@@ -442,6 +467,31 @@ mod tests {
         zeros.record(0);
         zeros.record(0);
         assert_eq!(zeros.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn histogram_sum_saturates_and_reports_it() {
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        assert!(!h.saturated, "one huge sample fits exactly");
+        assert_eq!(h.sum, u64::MAX);
+        h.record(1);
+        assert!(h.saturated, "the next sample clamps and flags");
+        assert_eq!(h.sum, u64::MAX, "clamped, not wrapped");
+        assert_eq!(h.count, 2, "counts keep advancing past saturation");
+
+        // merge saturates the same way...
+        let mut a = Histogram::default();
+        a.record(u64::MAX);
+        let mut b = Histogram::default();
+        b.record(2);
+        a.merge(&b);
+        assert!(a.saturated);
+        assert_eq!(a.sum, u64::MAX);
+        // ...and carries an already-set flag even without overflowing.
+        let mut c = Histogram::default();
+        c.merge(&h);
+        assert!(c.saturated, "merge propagates the flag");
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Property tests for the served-metrics layer:
+//!
+//! 1. **Histogram percentiles** — `Histogram::percentile` against the
+//!    exact nearest-rank percentile of the same samples: exact at the
+//!    endpoints, monotone in `p`, and an upper bound everywhere (the
+//!    histogram only ever rounds a sample *up* to its bucket edge).
+//! 2. **`ServeReport` schema lock** — a fully populated report (trace
+//!    counters included) survives a JSON round trip value-identical.
+//!    The committed `BENCH_serve*.json` artifacts and the CI perf gate
+//!    both live on this schema, so a field rename or type change must
+//!    fail a test, not silently skew the gate.
+
+use anns_engine::{percentile, Histogram, LatencySummary, ServeReport};
+use proptest::prelude::*;
+
+fn histogram_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// p = 0.0 stays within the smallest sample's bucket; p = 1.0 is
+    /// exactly the maximum.
+    #[test]
+    fn percentile_endpoints(samples in prop::collection::vec(any::<u64>(), 1..64)) {
+        let h = histogram_of(&samples);
+        let max = *samples.iter().max().unwrap();
+        let min = *samples.iter().min().unwrap();
+        prop_assert_eq!(h.percentile(1.0), max, "p=1.0 is the exact max");
+        // p=0.0 resolves to the first sample's bucket edge: at least the
+        // true minimum, never above the overall max.
+        let p0 = h.percentile(0.0);
+        prop_assert!(p0 >= min);
+        prop_assert!(p0 <= max);
+    }
+
+    /// percentile(p) never decreases as p grows.
+    #[test]
+    fn percentile_is_monotone_in_p(
+        samples in prop::collection::vec(any::<u64>(), 1..64),
+        mut ps in prop::collection::vec(0.0f64..=1.0, 2..8),
+    ) {
+        let h = histogram_of(&samples);
+        ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let values: Vec<u64> = ps.iter().map(|&p| h.percentile(p)).collect();
+        for pair in values.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "{:?} not monotone", values);
+        }
+    }
+
+    /// The bucketed percentile bounds the exact nearest-rank percentile
+    /// from above — the histogram may round a sample up to its bucket's
+    /// upper edge (capped at the true max), never down past it.
+    #[test]
+    fn percentile_upper_bounds_exact_samples(
+        samples in prop::collection::vec(any::<u64>(), 1..64),
+        p in 0.0f64..=1.0,
+    ) {
+        let h = histogram_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let exact = percentile(&sorted, p);
+        let bucketed = h.percentile(p);
+        prop_assert!(
+            bucketed >= exact,
+            "bucketed p{p} = {bucketed} under-reports exact {exact}"
+        );
+        // And it never exceeds the largest sample.
+        prop_assert!(bucketed <= *sorted.last().unwrap());
+    }
+
+    /// The histogram's exact fields agree with the samples, and the mean
+    /// is exact whenever the sum fits in u64 (saturated stays false).
+    #[test]
+    fn histogram_exact_fields(samples in prop::collection::vec(0u64..=(u64::MAX >> 8), 1..64)) {
+        let h = histogram_of(&samples);
+        prop_assert_eq!(h.count, samples.len() as u64);
+        prop_assert_eq!(h.max, *samples.iter().max().unwrap());
+        prop_assert_eq!(h.sum, samples.iter().sum::<u64>());
+        prop_assert!(!h.saturated);
+    }
+}
+
+/// A report with every field populated and distinct, so a swapped pair
+/// of fields cannot cancel out in the comparison.
+fn full_report() -> ServeReport {
+    let latency = |base: f64| LatencySummary {
+        p50_us: base,
+        p90_us: base + 1.0,
+        p99_us: base + 2.0,
+        max_us: base + 3.0,
+        mean_us: base + 0.5,
+    };
+    let mut report =
+        ServeReport::from_run("round-trip", &[], &[], std::time::Duration::from_millis(12));
+    report.queries = 256;
+    report.generation = 64;
+    report.batch_threads = 4;
+    report.probe_tile = 64;
+    report.wall_ms = 12.5;
+    report.qps = 20_480.0;
+    report.latency = latency(10.0);
+    report.probes_per_query = 9.25;
+    report.probes_max = 17;
+    report.rounds_per_query = 3.0;
+    report.rounds_max = 3;
+    report.probes_submitted = 2368;
+    report.probes_executed = 913;
+    report.coalescing_ratio = 913.0 / 2368.0;
+    report.budget_violations = 1;
+    report.answered = 255;
+    report.wait = latency(2.0);
+    report.trace_events = 4096;
+    report.trace_dropped = 7;
+    report
+}
+
+#[test]
+fn serve_report_round_trips_through_json() {
+    use serde::Serialize;
+
+    let report = full_report();
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    let back: ServeReport = serde_json::from_str(&json).expect("parse");
+
+    // Value-level equality covers every field at once (ServeReport has
+    // no PartialEq); the spot checks below keep the failure message
+    // readable for the fields the perf gate actually compares.
+    assert_eq!(back.to_value(), report.to_value());
+    assert_eq!(back.label, report.label);
+    assert_eq!(back.queries, report.queries);
+    assert_eq!(back.coalescing_ratio, report.coalescing_ratio);
+    assert_eq!(back.trace_events, 4096);
+    assert_eq!(back.trace_dropped, 7);
+
+    // And the rendered JSON names the trace fields: the committed
+    // BENCH_serve*.json artifacts carry them from this PR on.
+    assert!(json.contains("\"trace_events\""));
+    assert!(json.contains("\"trace_dropped\""));
+}
+
+#[test]
+fn serve_report_json_field_set_is_locked() {
+    use serde::{Serialize, Value};
+
+    let value = full_report().to_value();
+    let Value::Object(fields) = value else {
+        panic!("ServeReport serializes as an object");
+    };
+    let names: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+    // The normative schema of BENCH_serve*.json entries. Adding a field
+    // here is fine (extend the list); renaming or dropping one breaks
+    // committed artifacts and must be a conscious, gated change.
+    assert_eq!(
+        names,
+        vec![
+            "label",
+            "queries",
+            "generation",
+            "batch_threads",
+            "probe_tile",
+            "wall_ms",
+            "qps",
+            "latency",
+            "probes_per_query",
+            "probes_max",
+            "rounds_per_query",
+            "rounds_max",
+            "probes_submitted",
+            "probes_executed",
+            "coalescing_ratio",
+            "budget_violations",
+            "answered",
+            "wait",
+            "trace_events",
+            "trace_dropped",
+        ]
+    );
+}

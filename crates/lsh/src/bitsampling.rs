@@ -353,8 +353,7 @@ impl CellProbeScheme for LshIndex {
         let words = exec.round(&addrs);
         // Decode every bucket in word order, then fold the whole round's
         // candidate list through the batched kernel in that same order.
-        let candidates: Vec<(u64, Point)> =
-            words.iter().flat_map(decode_bucket).collect();
+        let candidates: Vec<(u64, Point)> = words.iter().flat_map(decode_bucket).collect();
         best_candidate(query, &candidates, None)
     }
 }

@@ -1,0 +1,185 @@
+//! Injectable time: the one seam between the serving stack and the
+//! wall clock.
+//!
+//! Everything time-dependent in the online serving path — window
+//! deadlines, admission-wait accounting, arrival timestamps, trace
+//! record timestamps — reads time through the [`Clock`] trait instead
+//! of `Instant::now()`, so tests can
+//! substitute a [`VirtualClock`] and *prove* deadline behavior
+//! deterministically: time moves only when the test calls
+//! [`VirtualClock::advance`], and a parked driver is woken through the
+//! registered tick hooks rather than by a timer. Production code uses
+//! [`RealClock`], where time passes on its own and drivers may park on
+//! plain timed waits.
+//!
+//! The trait is deliberately tiny (monotonic nanoseconds since an
+//! arbitrary origin + a tick hook); richer scheduling stays in the
+//! admission queue, where it is testable.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source with an injectable notion of "now".
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since the clock's origin. Monotonic: never decreases.
+    fn now_ns(&self) -> u64;
+
+    /// Whether time passes on its own (real clocks). Drivers waiting for
+    /// a deadline on a realtime clock use timed waits; on a virtual clock
+    /// (`false`) they park untimed and rely on [`Clock::on_tick`] hooks
+    /// firing when the test advances time.
+    fn realtime(&self) -> bool {
+        true
+    }
+
+    /// Registers a hook fired after every explicit time jump. A hook
+    /// returns `false` once its target is gone, and the clock drops it —
+    /// a long-lived clock shared by many short-lived queues does not
+    /// accumulate dead registrations. Real clocks never fire hooks (time
+    /// needs no announcements when it passes on its own), so the default
+    /// implementation drops the hook immediately.
+    fn on_tick(&self, hook: Box<dyn Fn() -> bool + Send + Sync>) {
+        drop(hook);
+    }
+}
+
+/// Wall-clock time, measured from the instant the clock was created.
+#[derive(Debug)]
+pub struct RealClock {
+    origin: Instant,
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        RealClock::new()
+    }
+}
+
+impl RealClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        RealClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Clock for RealClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// Deterministic test time: starts at 0 and moves only via
+/// [`VirtualClock::advance`] / [`VirtualClock::advance_ns`].
+///
+/// Every advance fires the registered tick hooks *after* the new time is
+/// visible, so a driver parked on a condition variable (the admission
+/// queue's deadline wait) is woken exactly when — and only when — the
+/// test says time passed. No test built on this clock ever sleeps.
+#[derive(Default)]
+pub struct VirtualClock {
+    now_ns: Mutex<u64>,
+    hooks: Mutex<Vec<Box<dyn Fn() -> bool + Send + Sync>>>,
+}
+
+impl VirtualClock {
+    /// A clock frozen at t = 0.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Moves time forward and fires the tick hooks.
+    pub fn advance(&self, by: Duration) {
+        self.advance_ns(by.as_nanos() as u64);
+    }
+
+    /// [`VirtualClock::advance`] in raw nanoseconds.
+    pub fn advance_ns(&self, ns: u64) {
+        {
+            let mut now = self.now_ns.lock().unwrap_or_else(|e| e.into_inner());
+            *now += ns;
+        }
+        // Fire every hook; drop the ones whose targets are gone.
+        self.hooks
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|hook| hook());
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        *self.now_ns.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn realtime(&self) -> bool {
+        false
+    }
+
+    fn on_tick(&self, hook: Box<dyn Fn() -> bool + Send + Sync>) {
+        self.hooks
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(hook);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let clock = RealClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+        assert!(clock.realtime());
+    }
+
+    #[test]
+    fn virtual_clock_moves_only_on_advance() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now_ns(), 0);
+        assert!(!clock.realtime());
+        clock.advance(Duration::from_micros(3));
+        assert_eq!(clock.now_ns(), 3_000);
+        clock.advance_ns(7);
+        assert_eq!(clock.now_ns(), 3_007);
+    }
+
+    #[test]
+    fn tick_hooks_fire_after_time_is_visible() {
+        let clock = Arc::new(VirtualClock::new());
+        let seen = Arc::new(AtomicU64::new(0));
+        let hook_clock = Arc::clone(&clock);
+        let hook_seen = Arc::clone(&seen);
+        clock.on_tick(Box::new(move || {
+            // The hook observes the already-advanced time.
+            hook_seen.store(hook_clock.now_ns(), Ordering::SeqCst);
+            true
+        }));
+        clock.advance_ns(42);
+        assert_eq!(seen.load(Ordering::SeqCst), 42);
+        clock.advance_ns(8);
+        assert_eq!(seen.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn dead_tick_hooks_are_pruned() {
+        let clock = VirtualClock::new();
+        let calls = Arc::new(AtomicU64::new(0));
+        let hook_calls = Arc::clone(&calls);
+        clock.on_tick(Box::new(move || {
+            // A hook whose target died: fires once, then is dropped.
+            hook_calls.fetch_add(1, Ordering::SeqCst);
+            false
+        }));
+        clock.advance_ns(1);
+        clock.advance_ns(1);
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "dead hook pruned");
+    }
+}

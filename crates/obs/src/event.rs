@@ -1,0 +1,173 @@
+//! The trace event vocabulary: one typed variant per serving-path
+//! transition worth explaining after the fact.
+//!
+//! Events carry their own context (generation id, shard, window
+//! sequence) instead of relying on an ambient span, so a single flat
+//! ring of [`TraceRecord`]s reconstructs per-query timelines, per-round
+//! coalescing, and queue depth without any join against engine state.
+//! Field meanings are normative and documented in
+//! `docs/OBSERVABILITY.md`; renaming a field or variant is a trace
+//! schema change and must bump that document.
+
+use serde::{Deserialize, Serialize};
+
+/// One structured serving-path event.
+///
+/// Variants are ordered roughly by where they fire on the query path:
+/// admission → window sealing → round dispatch → probe reads → query
+/// completion, plus the control-plane events (shedding, mount swaps).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A query passed admission and entered the bounded window.
+    /// `depth` is the window fill *after* this arrival.
+    QueryAdmitted { depth: u64 },
+    /// An admission window sealed and became a generation.
+    /// `reason` is `"fill"`, `"deadline"`, or `"drain"`; `fill` is the
+    /// number of queries sealed; `wait_ns` is how long the window was
+    /// open (sealed-at minus opened-at, on the queue's clock).
+    GenerationSealed {
+        window: u64,
+        reason: String,
+        fill: u64,
+        wait_ns: u64,
+    },
+    /// One shard's share of a coalesced round: `submitted` addresses
+    /// arrived from parked queries, `deduped` survived sort + dedup and
+    /// were actually read. `submitted - deduped` probes were saved by
+    /// cross-query coalescing.
+    RoundDispatched {
+        gen: u64,
+        shard: u64,
+        submitted: u64,
+        deduped: u64,
+    },
+    /// A tiled batch read hit a shard's table: `len` unique addresses,
+    /// cache-blocked into tiles of `tile`.
+    ProbeBatchRead {
+        gen: u64,
+        shard: u64,
+        tile: u64,
+        len: u64,
+    },
+    /// A query finished: `slot` is its position in the generation,
+    /// `wait_ns` the generation's wall time on the recorder's clock.
+    /// `within_budget: false` is a flight-recorder trigger.
+    QueryServed {
+        gen: u64,
+        slot: u64,
+        rounds: u64,
+        probes: u64,
+        wait_ns: u64,
+        within_budget: bool,
+    },
+    /// Admission rejected a query. `reason` is `"overloaded"` (window
+    /// at capacity) or `"closed"`; `depth` is the fill observed at
+    /// rejection. Always a flight-recorder trigger.
+    Shed { reason: String, depth: u64 },
+    /// A namespace atomically flipped to a new registry at `epoch`.
+    SwapEpoch { namespace: String, epoch: u64 },
+    /// A mount or swap failed before any flip happened; the previous
+    /// registry (if any) is still serving. Always a flight-recorder
+    /// trigger.
+    SwapFailed { namespace: String, error: String },
+}
+
+impl TraceEvent {
+    /// Short stable name for summaries (`"query_served"` etc.).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::QueryAdmitted { .. } => "query_admitted",
+            TraceEvent::GenerationSealed { .. } => "generation_sealed",
+            TraceEvent::RoundDispatched { .. } => "round_dispatched",
+            TraceEvent::ProbeBatchRead { .. } => "probe_batch_read",
+            TraceEvent::QueryServed { .. } => "query_served",
+            TraceEvent::Shed { .. } => "shed",
+            TraceEvent::SwapEpoch { .. } => "swap_epoch",
+            TraceEvent::SwapFailed { .. } => "swap_failed",
+        }
+    }
+
+    /// Whether this event should make a flight recorder dump its ring:
+    /// shedding, a budget violation, or a failed mount/swap.
+    pub fn is_flight_trigger(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::Shed { .. }
+                | TraceEvent::SwapFailed { .. }
+                | TraceEvent::QueryServed {
+                    within_budget: false,
+                    ..
+                }
+        )
+    }
+}
+
+/// A [`TraceEvent`] as it sits in the ring: stamped with the recorder's
+/// clock and a ring-assigned sequence number.
+///
+/// `seq` is monotonic across the whole run (it keeps counting through
+/// drops), so record order survives even a frozen [`VirtualClock`]
+/// where every `ts_ns` is identical.
+///
+/// [`VirtualClock`]: crate::VirtualClock
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Position in the recorder's total event order (0-based).
+    pub seq: u64,
+    /// Recorder-clock nanoseconds at record time.
+    pub ts_ns: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flight_triggers_are_exactly_shed_swapfail_and_blown_budget() {
+        assert!(TraceEvent::Shed {
+            reason: "overloaded".into(),
+            depth: 4
+        }
+        .is_flight_trigger());
+        assert!(TraceEvent::SwapFailed {
+            namespace: "live".into(),
+            error: "splice".into()
+        }
+        .is_flight_trigger());
+        let served = |within_budget| TraceEvent::QueryServed {
+            gen: 0,
+            slot: 0,
+            rounds: 3,
+            probes: 9,
+            wait_ns: 0,
+            within_budget,
+        };
+        assert!(served(false).is_flight_trigger());
+        assert!(!served(true).is_flight_trigger());
+        assert!(!TraceEvent::QueryAdmitted { depth: 1 }.is_flight_trigger());
+        assert!(!TraceEvent::SwapEpoch {
+            namespace: "live".into(),
+            epoch: 2
+        }
+        .is_flight_trigger());
+    }
+
+    #[test]
+    fn record_serde_round_trips_through_jsonl() {
+        let record = TraceRecord {
+            seq: 7,
+            ts_ns: 42,
+            event: TraceEvent::RoundDispatched {
+                gen: 1,
+                shard: 0,
+                submitted: 12,
+                deduped: 9,
+            },
+        };
+        let line = serde_json::to_string(&record).expect("serialize");
+        let back: TraceRecord = serde_json::from_str(&line).expect("parse");
+        assert_eq!(back, record);
+    }
+}

@@ -1,0 +1,65 @@
+//! # anns-obs
+//!
+//! Structured observability for the limited-adaptivity serving stack:
+//! typed trace events, a bounded drop-oldest ring recorder, a flight
+//! recorder that snapshots the ring on anomalies, and the injectable
+//! [`Clock`] the rest of the workspace tells time by.
+//!
+//! The design goals, in order:
+//!
+//! 1. **Free when off.** Every emission site in `anns-engine` /
+//!    `anns-cellprobe` guards with [`Recorder::enabled`]; with the
+//!    default [`NullRecorder`] the cost is one devirtualized call and a
+//!    branch — no event is ever constructed. `annsctl bench-obs`
+//!    measures this and CI gates it.
+//! 2. **Deterministic when testable.** Recorders stamp timestamps from
+//!    their own [`Clock`]; over a [`VirtualClock`] the same workload
+//!    produces a byte-identical JSON-lines trace, which the engine's
+//!    snapshot test asserts. [`TraceRecord::seq`] preserves total order
+//!    even when every timestamp is identical.
+//! 3. **Bounded when on.** The [`RingRecorder`] never grows past its
+//!    capacity; overflow evicts oldest and counts the eviction
+//!    ([`TraceCounters::dropped`]), so a truncated trace is always
+//!    labeled as such.
+//!
+//! This crate sits below `anns-cellprobe` and `anns-engine` and depends
+//! only on the vendored serde shims.
+//!
+//! ```
+//! use anns_obs::{
+//!     parse_jsonl, Recorder, RingRecorder, TraceEvent, VirtualClock,
+//! };
+//! use std::sync::Arc;
+//!
+//! let clock = Arc::new(VirtualClock::new());
+//! let ring = RingRecorder::new(1024, Arc::clone(&clock) as Arc<dyn anns_obs::Clock>);
+//!
+//! // Emission sites guard on `enabled()` so a NullRecorder costs nothing.
+//! if ring.enabled() {
+//!     ring.record(TraceEvent::QueryAdmitted { depth: 1 });
+//! }
+//! clock.advance_ns(250);
+//! ring.record(TraceEvent::QueryServed {
+//!     gen: 0,
+//!     slot: 0,
+//!     rounds: 3,
+//!     probes: 9,
+//!     wait_ns: 250,
+//!     within_budget: true,
+//! });
+//!
+//! let trace = parse_jsonl(&ring.to_jsonl()).unwrap();
+//! assert_eq!(trace.len(), 2);
+//! assert_eq!(trace[1].ts_ns, 250);
+//! assert_eq!(ring.counters().dropped, 0);
+//! ```
+
+pub mod clock;
+pub mod event;
+pub mod recorder;
+
+pub use clock::{Clock, RealClock, VirtualClock};
+pub use event::{TraceEvent, TraceRecord};
+pub use recorder::{
+    parse_jsonl, render_jsonl, FlightRecorder, NullRecorder, Recorder, RingRecorder, TraceCounters,
+};

@@ -1,0 +1,348 @@
+//! Recorder implementations: the disabled default, the bounded ring,
+//! and the flight recorder that dumps the ring on anomalies.
+//!
+//! The contract every emission site follows is
+//! `if recorder.enabled() { recorder.record(event) }` — with the
+//! [`NullRecorder`] the whole observability layer costs one virtual
+//! call and a branch per site, with no event construction at all. That
+//! disabled cost is measured by `annsctl bench-obs` and gated in CI.
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::Clock;
+use crate::event::{TraceEvent, TraceRecord};
+
+/// Lifetime totals for a recorder: how many events it accepted and how
+/// many a bounded buffer evicted to make room.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TraceCounters {
+    /// Events accepted by `record` (including ones later evicted).
+    pub events: u64,
+    /// Events evicted by the drop-oldest policy.
+    pub dropped: u64,
+}
+
+/// A sink for [`TraceEvent`]s.
+///
+/// Implementations stamp each event with their own clock, so traces
+/// recorded over a `VirtualClock` are deterministic. Emission sites
+/// must guard with [`Recorder::enabled`] before building an event;
+/// `record` on a disabled recorder is a no-op, not an error.
+pub trait Recorder: Send + Sync {
+    /// Whether emission sites should construct and submit events.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Accepts one event. Never blocks on I/O in the ring path.
+    fn record(&self, event: TraceEvent);
+
+    /// Recorder-clock nanoseconds, for callers that want to measure a
+    /// span on the same timeline the trace uses. Disabled recorders
+    /// return 0.
+    fn now_ns(&self) -> u64 {
+        0
+    }
+
+    /// Lifetime accepted/dropped totals.
+    fn counters(&self) -> TraceCounters {
+        TraceCounters::default()
+    }
+}
+
+/// The always-off recorder: every engine starts with one installed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: TraceEvent) {}
+}
+
+struct RingState {
+    records: VecDeque<TraceRecord>,
+    seq: u64,
+    dropped: u64,
+}
+
+/// Bounded in-memory trace buffer: fixed capacity, drop-oldest, with
+/// the eviction count exposed so a truncated trace is never mistaken
+/// for a complete one.
+///
+/// One mutex guards the ring; `record` does a clock read, a stamp, and
+/// at most one `VecDeque` rotation under it — cheap enough that the
+/// serving path keeps it inline rather than handing events to a
+/// drainage thread (which would reorder them and break trace
+/// determinism).
+pub struct RingRecorder {
+    clock: Arc<dyn Clock>,
+    capacity: usize,
+    state: Mutex<RingState>,
+}
+
+impl RingRecorder {
+    /// A ring holding at most `capacity` records, stamping timestamps
+    /// from `clock`. Panics if `capacity` is 0 (an all-drop recorder is
+    /// a misconfiguration, not a mode).
+    pub fn new(capacity: usize, clock: Arc<dyn Clock>) -> Self {
+        assert!(capacity > 0, "ring capacity must be nonzero");
+        RingRecorder {
+            clock,
+            capacity,
+            state: Mutex::new(RingState {
+                records: VecDeque::with_capacity(capacity),
+                seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A copy of the ring contents, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.records.iter().cloned().collect()
+    }
+
+    /// The ring rendered as JSON lines (one [`TraceRecord`] per line,
+    /// oldest first, trailing newline when nonempty).
+    pub fn to_jsonl(&self) -> String {
+        render_jsonl(&self.snapshot())
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&self, event: TraceEvent) {
+        let ts_ns = self.clock.now_ns();
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = st.seq;
+        st.seq += 1;
+        if st.records.len() == self.capacity {
+            st.records.pop_front();
+            st.dropped += 1;
+        }
+        st.records.push_back(TraceRecord { seq, ts_ns, event });
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    fn counters(&self) -> TraceCounters {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        TraceCounters {
+            events: st.seq,
+            dropped: st.dropped,
+        }
+    }
+}
+
+/// A [`RingRecorder`] that automatically snapshots itself to a
+/// JSON-lines file whenever a trigger event lands: a shed, a failed
+/// mount/swap, or a query served over budget
+/// ([`TraceEvent::is_flight_trigger`]).
+///
+/// Each dump overwrites the previous one, so the artifact always holds
+/// the ring as of the *latest* anomaly — the one an operator is
+/// debugging. Writes are best-effort: a full disk must not take the
+/// serving path down, so I/O errors are swallowed and visible only as
+/// `dumps()` not advancing.
+pub struct FlightRecorder {
+    ring: RingRecorder,
+    path: PathBuf,
+    dumps: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A flight recorder over a fresh ring of `capacity`, dumping to
+    /// `path` on each trigger.
+    pub fn new(capacity: usize, clock: Arc<dyn Clock>, path: impl Into<PathBuf>) -> Self {
+        FlightRecorder {
+            ring: RingRecorder::new(capacity, clock),
+            path: path.into(),
+            dumps: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying ring (for final-snapshot extraction at run end).
+    pub fn ring(&self) -> &RingRecorder {
+        &self.ring
+    }
+
+    /// Where trigger dumps land.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Completed trigger dumps (failed writes do not count).
+    pub fn dumps(&self) -> u64 {
+        self.dumps.load(Ordering::Relaxed)
+    }
+}
+
+impl Recorder for FlightRecorder {
+    fn record(&self, event: TraceEvent) {
+        let trigger = event.is_flight_trigger();
+        self.ring.record(event);
+        if trigger && std::fs::write(&self.path, self.ring.to_jsonl()).is_ok() {
+            self.dumps.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.ring.now_ns()
+    }
+
+    fn counters(&self) -> TraceCounters {
+        self.ring.counters()
+    }
+}
+
+/// Renders records as JSON lines, oldest first.
+pub fn render_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for record in records {
+        out.push_str(&serde_json::to_string(record).expect("trace records always serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSON-lines trace back into records, skipping blank lines.
+/// Returns the offending line's 1-based number alongside the parse
+/// error so a truncated artifact is diagnosable.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, (usize, serde_json::Error)> {
+    let mut records = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<TraceRecord>(line) {
+            Ok(record) => records.push(record),
+            Err(e) => return Err((idx + 1, e)),
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    fn admitted(depth: u64) -> TraceEvent {
+        TraceEvent::QueryAdmitted { depth }
+    }
+
+    #[test]
+    fn null_recorder_is_disabled_and_counts_nothing() {
+        let null = NullRecorder;
+        assert!(!null.enabled());
+        null.record(admitted(1));
+        assert_eq!(null.counters(), TraceCounters::default());
+        assert_eq!(null.now_ns(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts_evictions() {
+        let ring = RingRecorder::new(3, Arc::new(VirtualClock::new()));
+        for depth in 0..5 {
+            ring.record(admitted(depth));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 3);
+        // Oldest two (seq 0, 1) were evicted; the survivors keep their
+        // original monotonic seq.
+        assert_eq!(
+            snap.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(
+            ring.counters(),
+            TraceCounters {
+                events: 5,
+                dropped: 2
+            }
+        );
+    }
+
+    #[test]
+    fn ring_stamps_the_injected_clock() {
+        let clock = Arc::new(VirtualClock::new());
+        let ring = RingRecorder::new(8, Arc::clone(&clock) as Arc<dyn Clock>);
+        ring.record(admitted(1));
+        clock.advance_ns(40);
+        ring.record(admitted(2));
+        let snap = ring.snapshot();
+        assert_eq!(snap[0].ts_ns, 0);
+        assert_eq!(snap[1].ts_ns, 40);
+        assert_eq!(ring.now_ns(), 40);
+    }
+
+    #[test]
+    fn jsonl_round_trips_the_snapshot() {
+        let ring = RingRecorder::new(8, Arc::new(VirtualClock::new()));
+        ring.record(admitted(1));
+        ring.record(TraceEvent::SwapEpoch {
+            namespace: "live".into(),
+            epoch: 2,
+        });
+        let parsed = parse_jsonl(&ring.to_jsonl()).expect("parse");
+        assert_eq!(parsed, ring.snapshot());
+    }
+
+    #[test]
+    fn parse_jsonl_reports_the_bad_line() {
+        let err = parse_jsonl(
+            "{\"seq\":0,\"ts_ns\":0,\"event\":{\"QueryAdmitted\":{\"depth\":1}}}\nnot json\n",
+        );
+        assert_eq!(err.err().map(|(line, _)| line), Some(2));
+    }
+
+    #[test]
+    fn flight_recorder_dumps_on_triggers_only() {
+        let dir = std::env::temp_dir().join(format!("anns-obs-flight-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.flight.jsonl");
+        let flight = FlightRecorder::new(8, Arc::new(VirtualClock::new()), &path);
+
+        flight.record(admitted(1));
+        assert_eq!(flight.dumps(), 0, "admission is not a trigger");
+        assert!(!path.exists());
+
+        flight.record(TraceEvent::Shed {
+            reason: "overloaded".into(),
+            depth: 8,
+        });
+        assert_eq!(flight.dumps(), 1);
+        let dumped = parse_jsonl(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            dumped.len(),
+            2,
+            "dump holds the full ring, trigger included"
+        );
+        assert_eq!(dumped[1].event.kind(), "shed");
+
+        // A later trigger overwrites with the larger ring.
+        flight.record(admitted(2));
+        flight.record(TraceEvent::SwapFailed {
+            namespace: "live".into(),
+            error: "splice".into(),
+        });
+        assert_eq!(flight.dumps(), 2);
+        let dumped = parse_jsonl(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(dumped.len(), 4);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

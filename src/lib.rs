@@ -20,6 +20,9 @@
 //! * [`lsh`] — the baselines: bit-sampling LSH and linear scan;
 //! * [`lpm`] — the lower-bound side: longest prefix match, the
 //!   ball-tree reduction, and the round-elimination calculator;
+//! * [`obs`] — structured observability: typed trace events, the
+//!   bounded ring / flight recorders, and the injectable clock the
+//!   serving stack tells time by;
 //! * [`engine`] — the serving subsystem: a sharded registry of built
 //!   instances behind one trait surface, and a round-synchronous
 //!   scheduler that coalesces each round's probes across all in-flight
@@ -57,5 +60,6 @@ pub use anns_engine as engine;
 pub use anns_hamming as hamming;
 pub use anns_lpm as lpm;
 pub use anns_lsh as lsh;
+pub use anns_obs as obs;
 pub use anns_sketch as sketch;
 pub use anns_store as store;
