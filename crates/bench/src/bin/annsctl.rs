@@ -13,13 +13,17 @@
 //! annsctl serve       [--from-store bundle.anns | --mounts a=x.anns,… | --index index.json]
 //! annsctl serve       --online 1 [--rate 4000] [--window 16] [--max-wait-us 500] [--queue-cap 256]
 //! annsctl serve       --trace-out trace.jsonl [--trace-cap 4096] […]
-//! annsctl trace       inspect --trace trace.jsonl [--limit 12]
+//! annsctl server      --listen 127.0.0.1:0 [--addr-file addr.txt] [--tenants hot:0:8,…] [--out report.json]
+//! annsctl client      --addr 127.0.0.1:PORT [--tenant acme] [--count 4] [--shutdown 1]
+//! annsctl trace       inspect --trace trace.jsonl [--limit 12] [--server-report report.json]
 //! annsctl bench-serve [--from-store bundle.anns | --index index.json] [--shards 4] --out BENCH_serve.json
 //! annsctl bench-kernels [--dims 64,256,512] [--n 16384] --out BENCH_kernels.json
 //! annsctl bench-obs   [--events 2000000] [--capacity 4096] --out BENCH_obs.json
+//! annsctl bench-server --addr 127.0.0.1:PORT [--hot-requests 40] [--requests 12] --out BENCH_server.json
 //! annsctl bench-gate  --current BENCH_new.json --reference BENCH_serve.json [--tol-coalescing 0.1]
 //! annsctl bench-gate  --kernels-current BENCH_k.json --kernels-reference BENCH_kernels_quick.json
 //! annsctl bench-gate  --obs-current BENCH_o.json --obs-reference BENCH_obs_quick.json
+//! annsctl bench-gate  --server-current BENCH_s.json --server-reference BENCH_server_quick.json
 //! annsctl lpm         --sigma 4 --m 8 --n 64 --k 2 --queries 32
 //! annsctl lb          --log2n 1.3e24 --log2d 1.1e12 --gamma 4 --k 3
 //! ```
@@ -47,7 +51,19 @@
 //! written to the given path as JSON lines, and anomalies dump
 //! mid-flight snapshots to `<path>.flight`), `trace inspect` summarizes
 //! such a trace offline (event counts, sealed windows, per-generation
-//! coalescing, per-query timelines, queue depth),
+//! coalescing, per-query timelines, queue depth — and with
+//! `--server-report` it reconciles the trace's per-tenant
+//! `tenant_decision` events against a server drain report by exact
+//! equality), `server` binds the framed TCP front (`anns-server`) over
+//! the same serving surface with per-tenant token-bucket policies
+//! (`--tenants name:rate:burst,…`) and serves until a `Shutdown` frame
+//! drains it, `client` speaks the wire protocol from the other side —
+//! each refusal class exits with its own code (3 overloaded, 4 closed,
+//! 5 throttled, 6 transport, 7 other) so scripts can branch on the
+//! verdict — `bench-server` drives a three-tenant workload (one hot,
+//! two compliant) against a running server and records per-tenant
+//! outcome counters plus socket-to-ticket / socket-to-answer latency
+//! splits,
 //! `bench-obs` times the recorder fast path (`NullRecorder` vs ring)
 //! and writes `BENCH_obs.json`, `bench-serve` races coalesced engine serving
 //! against per-query `run_batch` (optionally across `--shards N` mounted
@@ -67,6 +83,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use anns_bench::server_bench::{
+    rtt_pct_us, BenchServerConfig, BenchServerReport, TenantBenchRow, TenantWorkloadSpec,
+};
 use anns_bench::{hot_set_workload, quick_mode, MarkdownTable};
 use anns_cellprobe::{
     execute, execute_with, run_batch, CellProbeScheme, ExecOptions, RoundExecutor, Table,
@@ -81,6 +100,9 @@ use anns_engine::{
 };
 use anns_hamming::{gen, Point};
 use anns_lpm::{certified_lower_bound, lower_bound_form, ElimParams, LpmInstance, TrieLpm};
+use anns_server::{
+    AnnsServer, Client, ClientError, ErrorCode, ServerOptions, ServerReport, TenantPolicy,
+};
 use anns_sketch::SketchParams;
 use anns_store::Codec;
 use rand::rngs::StdRng;
@@ -106,7 +128,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 fn die(msg: &str) -> ! {
     eprintln!("annsctl: {msg}");
     eprintln!(
-        "usage: annsctl <build|query|lambda|stats|save|load|inspect|mount|swap|serve|trace|bench-serve|bench-kernels|bench-obs|bench-gate|lpm|lb> [--flag value]…"
+        "usage: annsctl <build|query|lambda|stats|save|load|inspect|mount|swap|serve|server|client|trace|bench-serve|bench-kernels|bench-obs|bench-server|bench-gate|lpm|lb> [--flag value]…"
     );
     std::process::exit(2);
 }
@@ -929,6 +951,224 @@ fn cmd_serve(flags: HashMap<String, String>) {
     }
 }
 
+/// Parses `--tenants name:rate:burst[,name:rate:burst…]` into
+/// per-tenant token-bucket policies (`rate` tokens/s refill, `burst`
+/// bucket capacity; rate 0 means the tenant gets exactly `burst`
+/// tokens, ever).
+fn parse_tenants(spec: &str) -> Vec<(String, TenantPolicy)> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let fields: Vec<&str> = part.split(':').collect();
+            let [name, rate, burst] = fields[..] else {
+                die(&format!("--tenants entry {part:?} must be name:rate:burst"));
+            };
+            let rate: f64 = rate
+                .parse()
+                .unwrap_or_else(|_| die(&format!("--tenants {name}: cannot parse rate {rate:?}")));
+            let burst: f64 = burst.parse().unwrap_or_else(|_| {
+                die(&format!("--tenants {name}: cannot parse burst {burst:?}"))
+            });
+            (
+                name.to_string(),
+                TenantPolicy {
+                    rate_per_sec: rate,
+                    burst,
+                },
+            )
+        })
+        .collect()
+}
+
+/// `annsctl server`: binds the framed TCP front (`anns-server`) over an
+/// engine built from the usual serving surface (`--from-store`,
+/// `--mounts`, or a cold build) and serves until a `Shutdown` frame (or
+/// signal-less drain via `annsctl client --shutdown 1`) arrives. The
+/// bound address goes to stdout and — for scripts that must not parse
+/// logs — to `--addr-file`; the drain report (global admission counters
+/// plus per-tenant usage rows) is written as JSON to `--out`, and
+/// `--trace-out` installs the same flight-recording ring `serve` takes.
+fn cmd_server(flags: HashMap<String, String>) {
+    let (registry, _index) = registry_and_index(&flags);
+    let listen: String = flag(&flags, "listen", "127.0.0.1:0".to_string());
+    let window: usize = flag(&flags, "window", 16);
+    let max_wait_us: u64 = flag(&flags, "max-wait-us", 2_000);
+    let capacity: usize = flag(&flags, "queue-cap", 256);
+    let drivers: usize = flag(&flags, "drivers", 0);
+    let threads: usize = flag(&flags, "threads", 2);
+    let rate: f64 = flag(&flags, "rate", 1_000.0);
+    let burst: f64 = flag(&flags, "burst", 256.0);
+    // The arrival-rate deadline adapter is on by default; `--adapt 0`
+    // pins the configured cap (what the deterministic CI runs want).
+    let adapt = flags.get("adapt").is_none_or(|v| v != "0" && v != "false");
+    let policies = flags
+        .get("tenants")
+        .map(|s| parse_tenants(s))
+        .unwrap_or_default();
+
+    let trace = trace_recorder(&flags);
+    let mut engine = Engine::new(
+        registry,
+        EngineOptions {
+            generation: window.max(1),
+            exec: ExecOptions::default(),
+            batch_threads: threads,
+        },
+    );
+    if let Some((_, flight)) = &trace {
+        engine = engine.recorded(Arc::clone(flight) as Arc<dyn Recorder>);
+    }
+    let opts = ServerOptions {
+        admission: AdmissionOptions {
+            max_generation: window.max(1),
+            max_wait: Duration::from_micros(max_wait_us),
+            capacity,
+        },
+        drivers,
+        default_policy: TenantPolicy {
+            rate_per_sec: rate,
+            burst,
+        },
+        policies: policies.clone(),
+        adapt_max_wait: adapt,
+    };
+    let server = AnnsServer::bind(&listen, Arc::new(engine), opts, Arc::new(RealClock::new()))
+        .unwrap_or_else(|e| die(&format!("cannot bind {listen}: {e}")));
+    let addr = server.local_addr();
+    println!("listening {addr}");
+    if let Some(path) = flags.get("addr-file") {
+        std::fs::write(path, addr.to_string())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    }
+    eprintln!(
+        "server: {} shard(s), {} driver(s), window {window}, deadline cap {max_wait_us} µs \
+         ({}), capacity {capacity}, default policy {rate}/s burst {burst}, {} tenant override(s)",
+        server.engine().registry().len(),
+        server.drivers(),
+        if adapt { "adaptive" } else { "pinned" },
+        policies.len()
+    );
+    server.run();
+    let report = server.report();
+    if let Some((path, flight)) = &trace {
+        finish_trace(path, flight);
+    }
+    let json = serde_json::to_string(&report).expect("serialize server report");
+    if let Some(out) = flags.get("out") {
+        std::fs::write(out, &json).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+        eprintln!("report → {out}");
+    } else {
+        println!("{json}");
+    }
+    eprintln!(
+        "server: drained; {} served, {} enqueued, {} shed, {} window(s), {} tenant(s), \
+         max_wait settled at {} µs",
+        report.queries,
+        report.enqueued,
+        report.shed,
+        report.windows,
+        report.tenants.len(),
+        report.max_wait_us
+    );
+}
+
+/// `annsctl client` exit codes: each refusal class is distinct so
+/// scripts branch on the verdict, never on stderr text. (2 is `die`'s
+/// usage-error code; 0 is success.)
+const EXIT_OVERLOADED: i32 = 3;
+const EXIT_CLOSED: i32 = 4;
+const EXIT_THROTTLED: i32 = 5;
+const EXIT_TRANSPORT: i32 = 6;
+const EXIT_SERVER_OTHER: i32 = 7;
+
+/// Prints the typed failure and exits with its class's code.
+fn client_fail(context: &str, e: &ClientError) -> ! {
+    eprintln!("annsctl client: {context}: {e}");
+    let code = match e {
+        ClientError::Server(fault) => match fault.code {
+            ErrorCode::Overloaded => EXIT_OVERLOADED,
+            ErrorCode::Closed => EXIT_CLOSED,
+            ErrorCode::Throttled => EXIT_THROTTLED,
+            _ => EXIT_SERVER_OTHER,
+        },
+        ClientError::Transport(_) | ClientError::Frame(_) | ClientError::Protocol(_) => {
+            EXIT_TRANSPORT
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Resolves the server address from `--addr`, or from the `--addr-file`
+/// that `annsctl server` writes once bound.
+fn client_addr(flags: &HashMap<String, String>) -> String {
+    if let Some(addr) = flags.get("addr") {
+        return addr.clone();
+    }
+    if let Some(path) = flags.get("addr-file") {
+        return std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")))
+            .trim()
+            .to_string();
+    }
+    die("--addr (or --addr-file) is required")
+}
+
+/// `annsctl client`: one framed TCP session against a running server —
+/// handshake, `--count` queries as `--tenant`, and optionally a
+/// `Shutdown` (`--shutdown 1`). Query points are random at the listed
+/// shard's dimension: the client has no dataset; it exercises the
+/// protocol and the admission tier, not recall.
+fn cmd_client(flags: HashMap<String, String>) {
+    let addr = client_addr(&flags);
+    let tenant: String = flag(&flags, "tenant", "default".to_string());
+    let count: usize = flag(&flags, "count", 1);
+    let seed: u64 = flag(&flags, "seed", 99);
+    let shutdown = flags
+        .get("shutdown")
+        .is_some_and(|v| v != "0" && v != "false");
+
+    let (mut client, shards) = match Client::connect(addr.as_str()) {
+        Ok(ok) => ok,
+        Err(e) => client_fail("connect", &e),
+    };
+    let first = shards
+        .first()
+        .unwrap_or_else(|| die("server has no mounted shards"));
+    let shard: String = flag(&flags, "shard", first.name.clone());
+    // An unknown --shard still queries (the refusal must arrive typed,
+    // that's the point); generate at the first shard's dimension then.
+    let dim = shards
+        .iter()
+        .find(|s| s.name == shard)
+        .map(|s| s.dim)
+        .filter(|&d| d > 0)
+        .unwrap_or(first.dim);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..count {
+        let point = Point::random(dim, &mut rng);
+        match client.query(&tenant, &shard, &point) {
+            Ok(reply) => println!(
+                "query {i}: index {:?}, {} round(s), {} probe(s), depth {}, \
+                 ticket {:.1} µs, answer {:.1} µs",
+                reply.answer.index,
+                reply.answer.rounds,
+                reply.answer.probes,
+                reply.depth,
+                reply.ticket_rtt_ns as f64 / 1e3,
+                reply.answer_rtt_ns as f64 / 1e3,
+            ),
+            Err(e) => client_fail(&format!("query {i}"), &e),
+        }
+    }
+    if shutdown {
+        match client.shutdown_server() {
+            Ok(served) => println!("shutdown: server drained after {served} served"),
+            Err(e) => client_fail("shutdown", &e),
+        }
+    }
+}
+
 /// `trace inspect`: offline summary of a JSON-lines trace written by
 /// `serve --trace-out` (or dumped mid-flight to `<path>.flight`).
 /// Renders event counts, the sealed-window history, per-generation
@@ -1101,6 +1341,78 @@ fn cmd_trace(args: &[String]) {
             depths.iter().sum::<u64>() as f64 / depths.len() as f64,
             shed
         );
+    }
+
+    // `--server-report`: reconcile the trace's per-tenant
+    // `tenant_decision` events against a server drain report, by exact
+    // equality. Both sides are pure functions of the workload — one
+    // event per decision, one counter bump per decision — so any drift
+    // is an accounting bug, and this dies on it (the CI smoke step).
+    if let Some(report_path) = flags.get("server-report") {
+        let json = std::fs::read_to_string(report_path)
+            .unwrap_or_else(|e| die(&format!("cannot read {report_path}: {e}")));
+        let report: ServerReport = serde_json::from_str(&json)
+            .unwrap_or_else(|e| die(&format!("bad server report {report_path}: {e}")));
+        if report.trace_dropped != 0 {
+            die(&format!(
+                "{report_path}: {} trace event(s) dropped — a lossy ring cannot reconcile; \
+                 raise --trace-cap on the server",
+                report.trace_dropped
+            ));
+        }
+        let mut counts: std::collections::BTreeMap<(String, String), u64> =
+            std::collections::BTreeMap::new();
+        for r in &records {
+            if let TraceEvent::TenantDecision {
+                tenant, decision, ..
+            } = &r.event
+            {
+                *counts
+                    .entry((tenant.clone(), decision.clone()))
+                    .or_insert(0) += 1;
+            }
+        }
+        let mut table = MarkdownTable::new(&["tenant", "decision", "trace", "report", "ok"]);
+        let mut mismatches = 0u64;
+        for row in &report.tenants {
+            for (decision, expected) in [
+                ("admitted", row.enqueued),
+                ("throttled", row.throttled),
+                ("shed", row.shed),
+            ] {
+                let got = counts
+                    .remove(&(row.tenant.clone(), decision.to_string()))
+                    .unwrap_or(0);
+                let ok = got == expected;
+                mismatches += u64::from(!ok);
+                table.row(vec![
+                    row.tenant.clone(),
+                    decision.to_string(),
+                    got.to_string(),
+                    expected.to_string(),
+                    ok.to_string(),
+                ]);
+            }
+        }
+        // Decisions for tenants the report does not list are drift too.
+        for ((tenant, decision), got) in counts {
+            mismatches += 1;
+            table.row(vec![
+                tenant,
+                decision,
+                got.to_string(),
+                "-".into(),
+                "false".into(),
+            ]);
+        }
+        println!("\ntenant decisions vs {report_path}:");
+        table.print();
+        if mismatches > 0 {
+            die(&format!(
+                "{mismatches} tenant-decision mismatch(es): trace and report must reconcile exactly"
+            ));
+        }
+        println!("tenant decisions reconcile exactly with {report_path}");
     }
 }
 
@@ -1843,6 +2155,188 @@ fn cmd_bench_obs(flags: HashMap<String, String>) {
     println!("report → {out}");
 }
 
+/// `bench-server`: the multi-tenant workload against a *running*
+/// `annsctl server` (CI starts one on a loopback ephemeral port).
+/// Three tenants on three connections, submitted round-robin from one
+/// thread — hot first each step, the worst case for the compliant
+/// tenants' queue position: "hot" offers far beyond its token budget
+/// (the server's `--tenants` policy for it should be `hot:0:8`-shaped
+/// so its admitted count is `burst`, exactly, timing-free), while
+/// "tenant-a"/"tenant-b" offer within their burst — any refusal they
+/// see is a fairness bug, and `bench-gate` hard-fails on it.
+fn cmd_bench_server(flags: HashMap<String, String>) {
+    let quick = quick_mode();
+    let addr = client_addr(&flags);
+    let seed: u64 = flag(&flags, "seed", 99);
+    let out = flag(&flags, "out", "BENCH_server.json".to_string());
+    let hot_offered: u64 = flag(&flags, "hot-requests", if quick { 40 } else { 160 });
+    let steady_offered: u64 = flag(&flags, "requests", if quick { 12 } else { 48 });
+    let specs = [
+        ("hot", hot_offered, true),
+        ("tenant-a", steady_offered, false),
+        ("tenant-b", steady_offered, false),
+    ];
+
+    struct TenantRun {
+        name: &'static str,
+        offered: u64,
+        sent: u64,
+        served: u64,
+        throttled: u64,
+        overloaded: u64,
+        closed: u64,
+        failed: u64,
+        ticket_ns: Vec<u64>,
+        answer_ns: Vec<u64>,
+        client: Client,
+        rng: StdRng,
+    }
+
+    let mut shard_dim: Option<(String, u32)> = None;
+    let mut runs: Vec<TenantRun> = Vec::with_capacity(specs.len());
+    for (i, (name, offered, _)) in specs.iter().enumerate() {
+        let (client, shards) = match Client::connect(addr.as_str()) {
+            Ok(ok) => ok,
+            Err(e) => die(&format!("cannot connect to {addr}: {e}")),
+        };
+        if shard_dim.is_none() {
+            let first = shards
+                .first()
+                .unwrap_or_else(|| die("server has no mounted shards"));
+            let shard: String = flag(&flags, "shard", first.name.clone());
+            let dim = shards
+                .iter()
+                .find(|s| s.name == shard)
+                .map(|s| s.dim)
+                .filter(|&d| d > 0)
+                .unwrap_or_else(|| die(&format!("shard {shard:?} is not in the server's listing")));
+            shard_dim = Some((shard, dim));
+        }
+        runs.push(TenantRun {
+            name,
+            offered: *offered,
+            sent: 0,
+            served: 0,
+            throttled: 0,
+            overloaded: 0,
+            closed: 0,
+            failed: 0,
+            ticket_ns: Vec::new(),
+            answer_ns: Vec::new(),
+            client,
+            rng: StdRng::seed_from_u64(seed ^ ((i as u64 + 1) << 32)),
+        });
+    }
+    let (shard, dim) = shard_dim.expect("at least one tenant");
+    eprintln!(
+        "bench-server: {addr}, shard {shard} (d = {dim}), tenants {}…",
+        specs
+            .iter()
+            .map(|(n, o, hot)| format!("{n}×{o}{}", if *hot { " (hot)" } else { "" }))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let max_offered = specs.iter().map(|(_, o, _)| *o).max().unwrap_or(0);
+    for _step in 0..max_offered {
+        for run in &mut runs {
+            if run.sent >= run.offered {
+                continue;
+            }
+            run.sent += 1;
+            let point = Point::random(dim, &mut run.rng);
+            match run.client.query(run.name, &shard, &point) {
+                Ok(reply) => {
+                    run.served += 1;
+                    run.ticket_ns.push(reply.ticket_rtt_ns);
+                    run.answer_ns.push(reply.answer_rtt_ns);
+                }
+                Err(ClientError::Server(fault)) => match fault.code {
+                    ErrorCode::Throttled => run.throttled += 1,
+                    ErrorCode::Overloaded => run.overloaded += 1,
+                    ErrorCode::Closed => run.closed += 1,
+                    _ => run.failed += 1,
+                },
+                // Transport/frame/protocol failures are harness
+                // breakage, not a measurable outcome: die loudly.
+                Err(e) => die(&format!("bench-server: {} query failed: {e}", run.name)),
+            }
+        }
+    }
+
+    let mut table = MarkdownTable::new(&[
+        "tenant",
+        "offered",
+        "served",
+        "throttled",
+        "overloaded",
+        "failed",
+        "ticket p50 µs",
+        "answer p50 µs",
+        "answer p99 µs",
+    ]);
+    let mut rows = Vec::with_capacity(runs.len());
+    for run in &mut runs {
+        run.ticket_ns.sort_unstable();
+        run.answer_ns.sort_unstable();
+        // Structural invariant of the loop above, kept as a real check:
+        // every offer lands in exactly one outcome bucket.
+        assert_eq!(
+            run.served + run.throttled + run.overloaded + run.closed + run.failed,
+            run.offered,
+            "{}: outcomes must partition offered load",
+            run.name
+        );
+        let row = TenantBenchRow {
+            tenant: run.name.to_string(),
+            offered: run.offered,
+            served: run.served,
+            throttled: run.throttled,
+            overloaded: run.overloaded,
+            closed: run.closed,
+            failed: run.failed,
+            ticket_p50_us: rtt_pct_us(&run.ticket_ns, 0.50),
+            ticket_p99_us: rtt_pct_us(&run.ticket_ns, 0.99),
+            ticket_max_us: rtt_pct_us(&run.ticket_ns, 1.0),
+            answer_p50_us: rtt_pct_us(&run.answer_ns, 0.50),
+            answer_p99_us: rtt_pct_us(&run.answer_ns, 0.99),
+            answer_max_us: rtt_pct_us(&run.answer_ns, 1.0),
+        };
+        table.row(vec![
+            row.tenant.clone(),
+            row.offered.to_string(),
+            row.served.to_string(),
+            row.throttled.to_string(),
+            row.overloaded.to_string(),
+            row.failed.to_string(),
+            format!("{:.1}", row.ticket_p50_us),
+            format!("{:.1}", row.answer_p50_us),
+            format!("{:.1}", row.answer_p99_us),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+
+    let report = BenchServerReport {
+        config: BenchServerConfig {
+            tenants: specs
+                .iter()
+                .map(|(name, offered, hot)| TenantWorkloadSpec {
+                    name: name.to_string(),
+                    offered: *offered,
+                    hot: *hot,
+                })
+                .collect(),
+            seed,
+            quick,
+        },
+        tenants: rows,
+    };
+    let json = serde_json::to_string(&report).expect("serialize bench-server report");
+    std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    println!("report → {out}");
+}
+
 fn cmd_save(flags: HashMap<String, String>) {
     let out = required(&flags, "out");
     let index = load_or_build_index(&flags, 1024, 256);
@@ -2002,6 +2496,8 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
     let kernels_reference_path = flags.get("kernels-reference").cloned();
     let obs_current_path = flags.get("obs-current").cloned();
     let obs_reference_path = flags.get("obs-reference").cloned();
+    let server_current_path = flags.get("server-current").cloned();
+    let server_reference_path = flags.get("server-reference").cloned();
     if current_path.is_some() != reference_path.is_some() {
         die("--current and --reference must be given together");
     }
@@ -2011,8 +2507,15 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
     if obs_current_path.is_some() != obs_reference_path.is_some() {
         die("--obs-current and --obs-reference must be given together");
     }
-    if current_path.is_none() && kernels_current_path.is_none() && obs_current_path.is_none() {
-        die("nothing to gate: pass --current/--reference, --kernels-current/--kernels-reference and/or --obs-current/--obs-reference");
+    if server_current_path.is_some() != server_reference_path.is_some() {
+        die("--server-current and --server-reference must be given together");
+    }
+    if current_path.is_none()
+        && kernels_current_path.is_none()
+        && obs_current_path.is_none()
+        && server_current_path.is_none()
+    {
+        die("nothing to gate: pass --current/--reference, --kernels-current/--kernels-reference, --obs-current/--obs-reference and/or --server-current/--server-reference");
     }
     // Coalescing is deterministic in the workload, so its band is tight;
     // speedup is wall-clock on shared CI runners, so its band only
@@ -2031,6 +2534,13 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
     // Recorder ns/event is absolute wall clock: loose collapse detector,
     // like the kernel wall band.
     let tol_obs_wall: f64 = flag(&flags, "tol-obs-wall", 4.0);
+    // Server outcome counters are deterministic in the workload and the
+    // server's tenant policies (exact when the hot tenant's refill rate
+    // is 0), so the hot throttle counter gets a tight band; the
+    // client-observed latency splits are wall clock over loopback on
+    // shared runners, so they get the loose collapse-detector band.
+    let tol_server_counter: f64 = flag(&flags, "tol-server-counter", 0.10);
+    let tol_server_wall: f64 = flag(&flags, "tol-server-wall", 4.0);
 
     let mut rows: Vec<GateRow> = Vec::new();
     let mut failed = false;
@@ -2067,6 +2577,18 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
             &mut failed,
         );
     }
+    if let (Some(server_current), Some(server_reference)) =
+        (&server_current_path, &server_reference_path)
+    {
+        server_gate_rows(
+            server_current,
+            server_reference,
+            tol_server_counter,
+            tol_server_wall,
+            &mut rows,
+            &mut failed,
+        );
+    }
 
     // The diff summary, markdown so CI step output renders it.
     println!("| key | metric | reference | current | allowed | verdict |");
@@ -2086,7 +2608,7 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
     }
     if failed {
         println!(
-            "bench-gate: REGRESSION (tolerances: coalescing {tol_coalescing}, speedup {tol_speedup}, kernel-ratio {tol_kernel_ratio}, kernel-wall {tol_kernel_wall}, trace-overhead {tol_trace_overhead}, obs-wall {tol_obs_wall})"
+            "bench-gate: REGRESSION (tolerances: coalescing {tol_coalescing}, speedup {tol_speedup}, kernel-ratio {tol_kernel_ratio}, kernel-wall {tol_kernel_wall}, trace-overhead {tol_trace_overhead}, obs-wall {tol_obs_wall}, server-counter {tol_server_counter}, server-wall {tol_server_wall})"
         );
         std::process::exit(1);
     }
@@ -2394,6 +2916,134 @@ fn obs_gate_rows(
     });
 }
 
+/// Server-tier comparisons (`bench-server` artifacts) for `bench-gate`:
+/// the network-tier gate. The hard rules come first — any refusal of a
+/// compliant tenant, any queue shed or closed-queue error for *anyone*,
+/// or an outcome partition that doesn't sum to the offered load is an
+/// unconditional failure, not a band. The hot tenant's throttle counter
+/// is the fairness signal and gets the tight band (exact when its
+/// policy's refill rate is 0); latencies get the loose wall band.
+fn server_gate_rows(
+    current_path: &str,
+    reference_path: &str,
+    tol_counter: f64,
+    tol_wall: f64,
+    rows: &mut Vec<GateRow>,
+    failed: &mut bool,
+) {
+    let read = |path: &str| -> BenchServerReport {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        serde_json::from_str(&json).unwrap_or_else(|e| die(&format!("bad report {path}: {e}")))
+    };
+    let current = read(current_path);
+    let reference = read(reference_path);
+    if current.config != reference.config {
+        eprintln!(
+            "bench-gate: server configs differ (current {} tenant(s) seed={} quick={}, reference {} tenant(s) seed={} quick={})",
+            current.config.tenants.len(),
+            current.config.seed,
+            current.config.quick,
+            reference.config.tenants.len(),
+            reference.config.seed,
+            reference.config.quick
+        );
+        die("refusing to compare server reports from different workloads");
+    }
+    for (key, spec) in reference.config.tenants.iter().enumerate() {
+        let Some(current_row) = current.tenants.iter().find(|t| t.tenant == spec.name) else {
+            println!("FAIL: tenant {} missing from {current_path}", spec.name);
+            *failed = true;
+            continue;
+        };
+        let Some(reference_row) = reference.tenants.iter().find(|t| t.tenant == spec.name) else {
+            println!("FAIL: tenant {} missing from {reference_path}", spec.name);
+            *failed = true;
+            continue;
+        };
+        let total = current_row.served
+            + current_row.throttled
+            + current_row.overloaded
+            + current_row.closed
+            + current_row.failed;
+        if total != spec.offered {
+            println!(
+                "FAIL: {} outcomes sum to {total}, offered {} in {current_path}",
+                spec.name, spec.offered
+            );
+            *failed = true;
+        }
+        // A healthy server refuses excess with `Throttled` only: queue
+        // sheds or closed-queue errors mean the capacity plan is wrong.
+        if current_row.overloaded + current_row.closed + current_row.failed > 0 {
+            println!(
+                "FAIL: {} saw {} overloaded / {} closed / {} failed in {current_path}",
+                spec.name, current_row.overloaded, current_row.closed, current_row.failed
+            );
+            *failed = true;
+        }
+        if spec.hot {
+            let bound = reference_row.throttled as f64 * (1.0 - tol_counter);
+            rows.push(GateRow {
+                key,
+                metric: "server_hot_throttled_min",
+                reference: reference_row.throttled as f64,
+                current: current_row.throttled as f64,
+                bound,
+                lower: false,
+                ok: current_row.throttled as f64 >= bound,
+            });
+            let bound = reference_row.throttled as f64 * (1.0 + tol_counter) + 1e-9;
+            rows.push(GateRow {
+                key,
+                metric: "server_hot_throttled_max",
+                reference: reference_row.throttled as f64,
+                current: current_row.throttled as f64,
+                bound,
+                lower: true,
+                ok: (current_row.throttled as f64) <= bound,
+            });
+        } else {
+            // The satellite contract: ANY refusal of a compliant tenant
+            // fails the gate outright.
+            if current_row.throttled > 0 {
+                println!(
+                    "FAIL: compliant tenant {} was throttled {} time(s) in {current_path}",
+                    spec.name, current_row.throttled
+                );
+                *failed = true;
+            }
+            if current_row.served != spec.offered {
+                println!(
+                    "FAIL: compliant tenant {} served {}/{} in {current_path}",
+                    spec.name, current_row.served, spec.offered
+                );
+                *failed = true;
+            }
+        }
+        let bound = reference_row.ticket_p50_us * (1.0 + tol_wall);
+        rows.push(GateRow {
+            key,
+            metric: "server_ticket_p50_us",
+            reference: reference_row.ticket_p50_us,
+            current: current_row.ticket_p50_us,
+            bound,
+            lower: true,
+            ok: current_row.ticket_p50_us <= bound,
+        });
+        let bound = reference_row.answer_p50_us * (1.0 + tol_wall);
+        rows.push(GateRow {
+            key,
+            metric: "server_answer_p50_us",
+            reference: reference_row.answer_p50_us,
+            current: current_row.answer_p50_us,
+            bound,
+            lower: true,
+            ok: current_row.answer_p50_us <= bound,
+        });
+    }
+}
+
 fn cmd_lpm(flags: HashMap<String, String>) {
     let sigma: u16 = flag(&flags, "sigma", 4);
     let m: usize = flag(&flags, "m", 8);
@@ -2461,7 +3111,10 @@ fn main() {
         "mount" => cmd_mount(flags),
         "swap" => cmd_swap(flags),
         "serve" => cmd_serve(flags),
+        "server" => cmd_server(flags),
+        "client" => cmd_client(flags),
         "bench-serve" => cmd_bench_serve(flags),
+        "bench-server" => cmd_bench_server(flags),
         "bench-kernels" => cmd_bench_kernels(flags),
         "bench-obs" => cmd_bench_obs(flags),
         "bench-gate" => cmd_bench_gate(flags),

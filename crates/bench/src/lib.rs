@@ -21,6 +21,8 @@
 
 use anns_cellprobe::ProbeLedger;
 
+pub mod server_bench;
+
 /// The shared hot-set workload generator, re-exported from
 /// `anns_engine::testkit` so the engine's equivalence tests, `annsctl
 /// serve`/`bench-serve`, and the criterion benches all draw the *same*

@@ -1,0 +1,141 @@
+//! The `annsctl bench-server` artifact: the multi-tenant loopback
+//! workload's client-observed outcome counters and latency splits, one
+//! row per tenant. Shared between the binary that writes it, the
+//! `bench-gate --server-*` comparison that reloads the committed
+//! `BENCH_server_quick.json` reference, and the end-to-end tests that
+//! doctor artifacts to prove the gate trips.
+//!
+//! The counters are designed to be *deterministic* under the CI tenant
+//! policies: a hot tenant whose bucket never refills (`hot:0:B`) is
+//! admitted exactly `B` times and throttled `offered − B` times,
+//! timing-free; compliant tenants offering within their burst see zero
+//! refusals. Only the latency columns are runner-speed-dependent.
+
+use serde::{Deserialize, Serialize};
+
+/// `bench-server` output: workload config plus one row per tenant.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct BenchServerReport {
+    /// The workload that produced the rows; [`PartialEq`] so the gate
+    /// can refuse to compare artifacts from different workloads.
+    pub config: BenchServerConfig,
+    /// Per-tenant outcomes, in submission order.
+    pub tenants: Vec<TenantBenchRow>,
+}
+
+impl BenchServerReport {
+    /// The row for `tenant`, if the run included it.
+    pub fn tenant(&self, name: &str) -> Option<&TenantBenchRow> {
+        self.tenants.iter().find(|t| t.tenant == name)
+    }
+}
+
+/// The workload shape: which tenants offered how much, under which
+/// seed, in which mode.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchServerConfig {
+    /// Per-tenant offered load, in submission (round-robin) order.
+    pub tenants: Vec<TenantWorkloadSpec>,
+    pub seed: u64,
+    pub quick: bool,
+}
+
+/// One tenant's place in the workload.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantWorkloadSpec {
+    pub name: String,
+    /// Queries this tenant offers over the run.
+    pub offered: u64,
+    /// Whether this tenant intentionally offers beyond its token
+    /// budget. The gate bands the hot tenant's throttle counter; for
+    /// any other tenant a single refusal is a hard failure.
+    pub hot: bool,
+}
+
+/// One tenant's client-observed outcomes and latency distribution.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct TenantBenchRow {
+    pub tenant: String,
+    pub offered: u64,
+    pub served: u64,
+    /// Typed `Throttled` refusals (token bucket empty).
+    pub throttled: u64,
+    /// Typed `Overloaded` refusals (shared queue at capacity).
+    pub overloaded: u64,
+    /// Typed `Closed` refusals (queue draining).
+    pub closed: u64,
+    /// Other typed server errors (unknown shard, bad request).
+    pub failed: u64,
+    /// Socket-to-ticket round trip: how long admission took.
+    pub ticket_p50_us: f64,
+    pub ticket_p99_us: f64,
+    pub ticket_max_us: f64,
+    /// Socket-to-answer round trip: admission plus window wait plus
+    /// execution.
+    pub answer_p50_us: f64,
+    pub answer_p99_us: f64,
+    pub answer_max_us: f64,
+}
+
+/// Percentile over sorted client-side RTT samples, in µs (0 if empty).
+/// Nearest-rank on the already-sorted slice.
+pub fn rtt_pct_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_sorted_samples() {
+        assert_eq!(rtt_pct_us(&[], 0.5), 0.0);
+        assert_eq!(rtt_pct_us(&[2_000], 0.99), 2.0);
+        let xs: Vec<u64> = (1..=100).map(|i| i * 1_000).collect();
+        assert_eq!(rtt_pct_us(&xs, 0.0), 1.0);
+        assert_eq!(rtt_pct_us(&xs, 1.0), 100.0);
+        assert_eq!(rtt_pct_us(&xs, 0.5), 51.0, "nearest rank, not interp");
+    }
+
+    #[test]
+    fn artifact_roundtrips_and_configs_compare() {
+        let report = BenchServerReport {
+            config: BenchServerConfig {
+                tenants: vec![TenantWorkloadSpec {
+                    name: "hot".into(),
+                    offered: 40,
+                    hot: true,
+                }],
+                seed: 99,
+                quick: true,
+            },
+            tenants: vec![TenantBenchRow {
+                tenant: "hot".into(),
+                offered: 40,
+                served: 8,
+                throttled: 32,
+                overloaded: 0,
+                closed: 0,
+                failed: 0,
+                ticket_p50_us: 10.0,
+                ticket_p99_us: 20.0,
+                ticket_max_us: 30.0,
+                answer_p50_us: 100.0,
+                answer_p99_us: 200.0,
+                answer_max_us: 300.0,
+            }],
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: BenchServerReport = serde_json::from_str(&json).unwrap();
+        assert!(back.config == report.config);
+        assert_eq!(back.tenant("hot").unwrap().throttled, 32);
+        assert!(back.tenant("cold").is_none());
+        let mut other = report.config.clone();
+        other.seed = 7;
+        assert!(other != report.config, "seed is part of the workload");
+    }
+}

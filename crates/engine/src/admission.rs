@@ -86,6 +86,7 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::time::Duration;
 
@@ -281,6 +282,12 @@ pub struct AdmissionQueue {
     engine: Arc<Engine>,
     clock: Arc<dyn Clock>,
     opts: AdmissionOptions,
+    /// The *live* seal deadline in nanoseconds. Starts at
+    /// `opts.max_wait` and is retuned at runtime by
+    /// [`AdmissionQueue::set_max_wait`] (the network tier adapts it to
+    /// the observed arrival rate); every deadline decision reads this,
+    /// never `opts`.
+    max_wait_ns: AtomicU64,
     shared: Arc<QueueShared>,
 }
 
@@ -318,6 +325,7 @@ impl AdmissionQueue {
         AdmissionQueue {
             engine,
             clock,
+            max_wait_ns: AtomicU64::new(opts.max_wait.as_nanos() as u64),
             opts,
             shared,
         }
@@ -328,9 +336,36 @@ impl AdmissionQueue {
         &self.engine
     }
 
-    /// The queue configuration.
-    pub fn options(&self) -> &AdmissionOptions {
-        &self.opts
+    /// The queue configuration, with `max_wait` reflecting the *live*
+    /// value (the configured one until [`AdmissionQueue::set_max_wait`]
+    /// retunes it).
+    pub fn options(&self) -> AdmissionOptions {
+        AdmissionOptions {
+            max_wait: self.max_wait(),
+            ..self.opts
+        }
+    }
+
+    /// The live seal deadline.
+    pub fn max_wait(&self) -> Duration {
+        Duration::from_nanos(self.max_wait_ns.load(Ordering::Relaxed))
+    }
+
+    /// Retunes the seal deadline at runtime — the knob an adaptive
+    /// driver pool turns as the observed arrival rate changes. Takes
+    /// effect for the *next* seal decision: parked drivers are woken so
+    /// a shortened deadline is honored immediately, and a window whose
+    /// oldest waiter already exceeds the new deadline seals on the next
+    /// pump. Zero is allowed (every non-empty window seals instantly —
+    /// batching off).
+    pub fn set_max_wait(&self, max_wait: Duration) {
+        self.max_wait_ns
+            .store(max_wait.as_nanos() as u64, Ordering::Relaxed);
+        // Same wake discipline as the clock-tick hook: take the state
+        // lock so a driver between "checked the deadline" and "parked"
+        // cannot miss the retune.
+        let _sync = self.lock();
+        self.shared.changed.notify_all();
     }
 
     /// Requests currently waiting for a seal.
@@ -360,6 +395,22 @@ impl AdmissionQueue {
     /// is at capacity and [`ServeError::Closed`] after a close; neither
     /// failure leaves a dangling ticket.
     pub fn enqueue(&self, request: NamedRequest) -> Result<Ticket, ServeError> {
+        self.enqueue_as(None, request)
+    }
+
+    /// Tenant-tagged admission: exactly [`AdmissionQueue::enqueue`], but
+    /// the outcome is also attributed to `tenant` — admitted requests
+    /// bump the tenant's `enqueued` counter, capacity sheds its `shed`
+    /// counter (in `EngineStats::online.tenants`), and each emits one
+    /// `tenant_decision` trace event so a complete trace reconciles
+    /// exactly with the usage accounting. A [`ServeError::Closed`]
+    /// rejection is *not* attributed (shutdown races are the caller's
+    /// bookkeeping, not workload accounting).
+    pub fn enqueue_as(
+        &self,
+        tenant: Option<&str>,
+        request: NamedRequest,
+    ) -> Result<Ticket, ServeError> {
         let obs = Arc::clone(self.engine.recorder());
         let slot = {
             let mut st = self.lock();
@@ -378,11 +429,21 @@ impl AdmissionQueue {
                 let depth = st.open.len();
                 drop(st);
                 self.engine.absorb_online(|o| o.shed += 1);
+                if let Some(tenant) = tenant {
+                    self.engine.absorb_tenant(tenant, |u| u.shed += 1);
+                }
                 if obs.enabled() {
                     obs.record(TraceEvent::Shed {
                         reason: "overloaded".to_string(),
                         depth: depth as u64,
                     });
+                    if let Some(tenant) = tenant {
+                        obs.record(TraceEvent::TenantDecision {
+                            tenant: tenant.to_string(),
+                            decision: "shed".to_string(),
+                            depth: depth as u64,
+                        });
+                    }
                 }
                 return Err(ServeError::Overloaded {
                     depth,
@@ -405,10 +466,20 @@ impl AdmissionQueue {
                 o.enqueued += 1;
                 o.depth_hist.record(depth as u64);
             });
+            if let Some(tenant) = tenant {
+                self.engine.absorb_tenant(tenant, |u| u.enqueued += 1);
+            }
             if obs.enabled() {
                 obs.record(TraceEvent::QueryAdmitted {
                     depth: depth as u64,
                 });
+                if let Some(tenant) = tenant {
+                    obs.record(TraceEvent::TenantDecision {
+                        tenant: tenant.to_string(),
+                        decision: "admitted".to_string(),
+                        depth: depth as u64,
+                    });
+                }
             }
             slot
         };
@@ -461,7 +532,7 @@ impl AdmissionQueue {
                 let deadline_ns = st
                     .open
                     .front()
-                    .map(|w| w.enqueued_at_ns + self.opts.max_wait.as_nanos() as u64);
+                    .map(|w| w.enqueued_at_ns + self.max_wait_ns.load(Ordering::Relaxed));
                 st = match deadline_ns {
                     Some(deadline) if self.clock.realtime() => {
                         let remaining = Duration::from_nanos(deadline.saturating_sub(now).max(1));
@@ -500,7 +571,7 @@ impl AdmissionQueue {
             Some(SealReason::Fill)
         } else if st.closed {
             Some(SealReason::Drain)
-        } else if now_ns >= front.enqueued_at_ns + self.opts.max_wait.as_nanos() as u64 {
+        } else if now_ns >= front.enqueued_at_ns + self.max_wait_ns.load(Ordering::Relaxed) {
             Some(SealReason::Deadline)
         } else {
             None

@@ -341,6 +341,21 @@ impl Engine {
         fold(&mut self.totals.lock().unwrap_or_else(|e| e.into_inner()).online)
     }
 
+    /// Folds an update into one tenant's usage row (created zeroed on
+    /// first sight). The accounting hook of the tenant-aware serving
+    /// tier: the admission queue tags enqueue/shed outcomes through it,
+    /// and the network front adds bucket throttles and per-ticket
+    /// resolution outcomes.
+    pub fn absorb_tenant(&self, tenant: &str, fold: impl FnOnce(&mut crate::stats::TenantUsage)) {
+        fold(
+            self.totals
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .online
+                .tenant_mut(tenant),
+        )
+    }
+
     /// Runs one generation against a pinned epoch: a scoped thread per
     /// query, all advanced round by round through the generation barrier.
     fn run_generation(

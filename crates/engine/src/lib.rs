@@ -136,4 +136,6 @@ pub use engine::{
 pub use mount::{MountError, MountManifest, MountTable, SwapReceipt};
 pub use registry::{load_index_snapshot, BundleMeta, LoadedBundle, Registry, ShardId, ShardInfo};
 pub use scheduler::{DispatchTrace, Generation};
-pub use stats::{percentile, EngineStats, Histogram, LatencySummary, OnlineStats, ServeReport};
+pub use stats::{
+    percentile, EngineStats, Histogram, LatencySummary, OnlineStats, ServeReport, TenantUsage,
+};

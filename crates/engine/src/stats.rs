@@ -104,6 +104,39 @@ impl Histogram {
     }
 }
 
+/// Usage accounting for one tenant of the serving tier.
+///
+/// The admission side (`enqueued`, `throttled`, `shed`) is written by
+/// [`crate::AdmissionQueue::enqueue_as`] and the network tier's
+/// token-bucket gate; the resolution side (`served`, `failed`,
+/// `probes`, `wait_hist`) by whoever waits out the tenant's tickets.
+/// Every admission-side increment is mirrored by exactly one
+/// `tenant_decision` trace event, so a complete trace reconciles with
+/// these counters exactly.
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct TenantUsage {
+    /// Tenant name (the wire-frame `tenant` field).
+    pub tenant: String,
+    /// Requests admitted into the shared window.
+    pub enqueued: u64,
+    /// Requests rejected by the tenant's token bucket (never reached
+    /// the shared queue).
+    pub throttled: u64,
+    /// Requests past the bucket but shed by the shared queue's
+    /// capacity bound (`ServeError::Overloaded`).
+    pub shed: u64,
+    /// Admitted requests that resolved with an answer.
+    pub served: u64,
+    /// Admitted requests that resolved with a typed error
+    /// (`UnknownShard` in the window's epoch, or `Closed`).
+    pub failed: u64,
+    /// Total probes executed on behalf of this tenant's served queries.
+    pub probes: u64,
+    /// Per-query admission wait (enqueue → window seal) in clock
+    /// nanoseconds.
+    pub wait_hist: Histogram,
+}
+
 /// Cumulative metrics of the online admission path (all zero when the
 /// engine is only driven through `submit_batch`/`submit_named`). Updated
 /// by [`crate::AdmissionQueue`]; read through [`crate::Engine::stats`].
@@ -129,6 +162,24 @@ pub struct OnlineStats {
     /// Per-query admission wait in nanoseconds (enqueue → seal), on the
     /// queue's [`crate::clock::Clock`] — virtual time in tests.
     pub wait_hist: Histogram,
+    /// Per-tenant usage accounting (empty unless the tenant-aware
+    /// serving tier is in front — `enqueue_as` with a tenant, or the
+    /// `anns-server` network front). Sorted by first sight, not name.
+    pub tenants: Vec<TenantUsage>,
+}
+
+impl OnlineStats {
+    /// The usage row for `tenant`, created zeroed on first sight.
+    pub fn tenant_mut(&mut self, tenant: &str) -> &mut TenantUsage {
+        if let Some(idx) = self.tenants.iter().position(|u| u.tenant == tenant) {
+            return &mut self.tenants[idx];
+        }
+        self.tenants.push(TenantUsage {
+            tenant: tenant.to_string(),
+            ..TenantUsage::default()
+        });
+        self.tenants.last_mut().expect("just pushed")
+    }
 }
 
 /// Cumulative counters since the engine was built.

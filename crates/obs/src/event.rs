@@ -64,6 +64,20 @@ pub enum TraceEvent {
     /// at capacity) or `"closed"`; `depth` is the fill observed at
     /// rejection. Always a flight-recorder trigger.
     Shed { reason: String, depth: u64 },
+    /// The per-tenant admission layer decided a request's fate.
+    /// `decision` is `"admitted"` (entered the shared window),
+    /// `"throttled"` (token bucket empty), or `"shed"` (shared queue at
+    /// capacity); `depth` is the shared-queue fill observed at decision
+    /// time. Emitted once per request, so per-tenant decision counts in
+    /// a complete trace reconcile *exactly* with the server's usage
+    /// accounting. Not a flight trigger: throttling a hot tenant is the
+    /// limiter working, not an anomaly (queue-overload sheds still fire
+    /// the untenanted [`TraceEvent::Shed`] trigger alongside).
+    TenantDecision {
+        tenant: String,
+        decision: String,
+        depth: u64,
+    },
     /// A namespace atomically flipped to a new registry at `epoch`.
     SwapEpoch { namespace: String, epoch: u64 },
     /// A mount or swap failed before any flip happened; the previous
@@ -82,6 +96,7 @@ impl TraceEvent {
             TraceEvent::ProbeBatchRead { .. } => "probe_batch_read",
             TraceEvent::QueryServed { .. } => "query_served",
             TraceEvent::Shed { .. } => "shed",
+            TraceEvent::TenantDecision { .. } => "tenant_decision",
             TraceEvent::SwapEpoch { .. } => "swap_epoch",
             TraceEvent::SwapFailed { .. } => "swap_failed",
         }
@@ -147,6 +162,12 @@ mod tests {
         assert!(served(false).is_flight_trigger());
         assert!(!served(true).is_flight_trigger());
         assert!(!TraceEvent::QueryAdmitted { depth: 1 }.is_flight_trigger());
+        assert!(!TraceEvent::TenantDecision {
+            tenant: "hot".into(),
+            decision: "throttled".into(),
+            depth: 3
+        }
+        .is_flight_trigger());
         assert!(!TraceEvent::SwapEpoch {
             namespace: "live".into(),
             epoch: 2

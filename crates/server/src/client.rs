@@ -1,0 +1,180 @@
+//! The blocking client for the `anns-server` wire protocol.
+//!
+//! One [`Client`] owns one TCP connection and speaks the framed
+//! protocol from [`crate::frame`]. Every failure is typed —
+//! [`ClientError`] distinguishes transport faults, malformed frames,
+//! and the server's own typed refusals — so callers (notably `annsctl
+//! client`) can map each class onto a distinct exit code.
+//!
+//! Latency is measured client-side, per query, at two points: when the
+//! [`Ticket`](crate::frame::Frame::Ticket) acknowledgment arrives
+//! (socket-to-ticket: admission latency as the client observes it) and
+//! when the [`Answer`](crate::frame::Frame::Answer) arrives
+//! (socket-to-answer: the full round trip through the batched engine).
+
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Instant;
+
+use anns_hamming::Point;
+
+use crate::frame::{read_frame, Frame, FrameError, WireAnswer, WireFault, WireShard};
+
+/// Why a client call failed. Each variant maps onto a distinct
+/// `annsctl client` exit code.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed (connect, read, write, or the server hung up
+    /// mid-frame).
+    Transport(std::io::Error),
+    /// Bytes arrived but did not parse as a frame.
+    Frame(FrameError),
+    /// The server answered with a typed error frame.
+    Server(WireFault),
+    /// The server answered with a well-formed frame of the wrong kind.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport: {e}"),
+            ClientError::Frame(e) => write!(f, "frame: {e}"),
+            ClientError::Server(fault) => write!(f, "server: {fault}"),
+            ClientError::Protocol(what) => write!(f, "protocol: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<crate::frame::TransportError> for ClientError {
+    fn from(e: crate::frame::TransportError) -> Self {
+        match e {
+            crate::frame::TransportError::Io(e) => ClientError::Transport(e),
+            crate::frame::TransportError::Frame(e) => ClientError::Frame(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Transport(e)
+    }
+}
+
+/// One answered query, with the client-side latency split.
+#[derive(Clone, Debug)]
+pub struct QueryReply {
+    /// The engine's answer as it crossed the wire.
+    pub answer: WireAnswer,
+    /// Queue depth at admission, from the ticket acknowledgment.
+    pub depth: u64,
+    /// Send-to-ticket round trip, nanoseconds (admission latency as
+    /// the client sees it).
+    pub ticket_rtt_ns: u64,
+    /// Send-to-answer round trip, nanoseconds (the full serve).
+    pub answer_rtt_ns: u64,
+}
+
+/// A blocking connection to one `anns-server`.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects and handshakes: sends [`Frame::Hello`], returns the
+    /// client plus the server's shard listing from
+    /// [`Frame::Welcome`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<(Self, Vec<WireShard>), ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Client {
+            stream,
+            buf: Vec::new(),
+        };
+        client.send(&Frame::Hello)?;
+        match client.recv()? {
+            Frame::Welcome { shards } => Ok((client, shards)),
+            Frame::Error(fault) => Err(ClientError::Server(fault)),
+            other => Err(ClientError::Protocol(format!(
+                "expected welcome, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        self.buf = frame.encode();
+        self.stream.write_all(&self.buf)?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Frame, ClientError> {
+        match read_frame(&mut self.stream)? {
+            Some(frame) => Ok(frame),
+            None => Err(ClientError::Transport(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+        }
+    }
+
+    /// One query as `tenant` against `shard`: sends
+    /// [`Frame::Query`], waits for the ticket acknowledgment, then the
+    /// answer. A typed server refusal (throttle, overload, closed,
+    /// unknown shard) surfaces as [`ClientError::Server`]; both round
+    /// trips are stamped from the same pre-send instant.
+    pub fn query(
+        &mut self,
+        tenant: &str,
+        shard: &str,
+        point: &Point,
+    ) -> Result<QueryReply, ClientError> {
+        let start = Instant::now();
+        self.send(&Frame::Query {
+            tenant: tenant.to_string(),
+            shard: shard.to_string(),
+            point: point.clone(),
+        })?;
+        let depth = match self.recv()? {
+            Frame::Ticket { depth } => depth,
+            Frame::Error(fault) => return Err(ClientError::Server(fault)),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected ticket, got {}",
+                    other.kind_name()
+                )))
+            }
+        };
+        let ticket_rtt_ns = start.elapsed().as_nanos() as u64;
+        match self.recv()? {
+            Frame::Answer(answer) => Ok(QueryReply {
+                answer,
+                depth,
+                ticket_rtt_ns,
+                answer_rtt_ns: start.elapsed().as_nanos() as u64,
+            }),
+            Frame::Error(fault) => Err(ClientError::Server(fault)),
+            other => Err(ClientError::Protocol(format!(
+                "expected answer, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+
+    /// Asks the server to drain and exit; returns the server's lifetime
+    /// served count from [`Frame::ShutdownAck`].
+    pub fn shutdown_server(&mut self) -> Result<u64, ClientError> {
+        self.send(&Frame::Shutdown)?;
+        match self.recv()? {
+            Frame::ShutdownAck { served } => Ok(served),
+            Frame::Error(fault) => Err(ClientError::Server(fault)),
+            other => Err(ClientError::Protocol(format!(
+                "expected shutdown ack, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}

@@ -1,0 +1,662 @@
+//! The wire protocol: versioned, length-prefixed frames over TCP.
+//!
+//! Every frame is an 11-byte header followed by a payload:
+//!
+//! | offset | size | field                                        |
+//! |-------:|-----:|----------------------------------------------|
+//! | 0      | 4    | magic `"ANSF"`                               |
+//! | 4      | 2    | protocol version, little-endian (`1`)        |
+//! | 6      | 1    | frame kind                                   |
+//! | 7      | 4    | payload length, little-endian                |
+//! | 11     | len  | payload ([`anns_store`]-codec encoded)       |
+//!
+//! The codec is hand-rolled in the style of `anns-store`'s [`Codec`]:
+//! payloads compose the same [`ByteWriter`]/[`ByteReader`] primitives
+//! (so `Point` reuses its store encoding verbatim), decoding never
+//! trusts a length with an allocation — the header length is capped at
+//! [`MAX_PAYLOAD`] *before* any payload is read, and inner string/point
+//! prefixes are validated against the bytes actually present — and
+//! every failure is a typed [`FrameError`], never a panic or a dropped
+//! connection. A buffer that simply ends too early is
+//! [`FrameError::Truncated`], the "read more bytes" signal a streaming
+//! reader keys on; every *strict prefix* of a valid frame decodes to
+//! exactly that.
+
+use std::io::{Read, Write};
+
+use anns_hamming::Point;
+use anns_store::{ByteReader, ByteWriter, Codec, StoreError};
+
+use crate::ServeError;
+
+/// Frame magic: first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"ANSF";
+
+/// Protocol version this build speaks.
+pub const VERSION: u16 = 1;
+
+/// Header bytes before the payload.
+pub const HEADER_LEN: usize = 11;
+
+/// Hard cap on a payload length (1 MiB). A header claiming more is
+/// rejected as [`FrameError::TooLarge`] before a single payload byte is
+/// read or allocated — the allocation cap that makes hostile length
+/// prefixes an error, not a reservation.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// Why a byte sequence is not a frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ends before the frame does; `need` is the total byte
+    /// count the frame requires. The streaming reader's "wait for more"
+    /// signal — every strict prefix of a valid frame decodes to this.
+    Truncated {
+        /// Total bytes the frame needs (header + payload).
+        need: usize,
+    },
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// A version this build does not speak.
+    UnsupportedVersion(u16),
+    /// An unassigned frame-kind byte.
+    UnknownKind(u8),
+    /// The header claims a payload larger than [`MAX_PAYLOAD`].
+    TooLarge {
+        /// Claimed payload length.
+        len: u32,
+        /// The cap it exceeded.
+        cap: u32,
+    },
+    /// The payload bytes do not decode as the kind's schema.
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { need } => write!(f, "truncated frame: needs {need} bytes"),
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::TooLarge { len, cap } => {
+                write!(f, "payload length {len} exceeds the {cap}-byte cap")
+            }
+            FrameError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Payload decode failures map onto [`FrameError::Malformed`]; by the
+/// time a payload is parsed its bytes are fully present, so a store
+/// underrun *inside* it is schema skew, not a short read.
+impl From<StoreError> for FrameError {
+    fn from(e: StoreError) -> Self {
+        FrameError::Malformed(e.to_string())
+    }
+}
+
+/// Typed wire error codes — the backpressure vocabulary. `Throttled`
+/// and `Overloaded` are *distinct*: the first means the tenant's own
+/// token bucket is empty (slow down), the second that the shared
+/// admission queue is at capacity (everyone backs off). Both derive
+/// from [`ServeError::Overloaded`]-style shedding, never a dropped
+/// connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The tenant's token bucket is empty; retry after the refill.
+    Throttled = 1,
+    /// The shared admission queue is at capacity
+    /// ([`ServeError::Overloaded`]).
+    Overloaded = 2,
+    /// The server is draining ([`ServeError::Closed`]).
+    Closed = 3,
+    /// The shard name did not resolve in the serving epoch
+    /// ([`ServeError::UnknownShard`]).
+    UnknownShard = 4,
+    /// The request itself was unintelligible or arrived out of
+    /// protocol order.
+    BadRequest = 5,
+}
+
+impl ErrorCode {
+    /// Decodes a wire byte.
+    pub fn from_u8(v: u8) -> Result<Self, StoreError> {
+        Ok(match v {
+            1 => ErrorCode::Throttled,
+            2 => ErrorCode::Overloaded,
+            3 => ErrorCode::Closed,
+            4 => ErrorCode::UnknownShard,
+            5 => ErrorCode::BadRequest,
+            other => return Err(StoreError::Malformed(format!("error code {other}"))),
+        })
+    }
+
+    /// Stable lowercase label (reports, logs).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorCode::Throttled => "throttled",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Closed => "closed",
+            ErrorCode::UnknownShard => "unknown_shard",
+            ErrorCode::BadRequest => "bad_request",
+        }
+    }
+}
+
+/// A typed error frame's contents.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireFault {
+    /// What went wrong.
+    pub code: ErrorCode,
+    /// Queue depth observed at rejection (overload/throttle context).
+    pub depth: u64,
+    /// The capacity or bucket burst the request exceeded.
+    pub capacity: u64,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireFault {
+    /// Maps an engine-side rejection onto its wire form.
+    pub fn from_serve_error(e: &ServeError) -> Self {
+        match e {
+            ServeError::Overloaded { depth, capacity } => WireFault {
+                code: ErrorCode::Overloaded,
+                depth: *depth as u64,
+                capacity: *capacity as u64,
+                message: e.to_string(),
+            },
+            ServeError::Closed => WireFault {
+                code: ErrorCode::Closed,
+                depth: 0,
+                capacity: 0,
+                message: e.to_string(),
+            },
+            ServeError::UnknownShard { .. } => WireFault {
+                code: ErrorCode::UnknownShard,
+                depth: 0,
+                capacity: 0,
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for WireFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.label(), self.message)
+    }
+}
+
+impl Codec for WireFault {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(self.code as u8);
+        w.put_u64(self.depth);
+        w.put_u64(self.capacity);
+        self.message.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        Ok(WireFault {
+            code: ErrorCode::from_u8(r.u8()?)?,
+            depth: r.u64()?,
+            capacity: r.u64()?,
+            message: String::decode(r)?,
+        })
+    }
+}
+
+/// One shard row in a [`Frame::Welcome`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireShard {
+    /// Shard name (what a [`Frame::Query`] addresses).
+    pub name: String,
+    /// Scheme label, e.g. `alg1[k=3]`.
+    pub label: String,
+    /// Query dimension the shard expects (0 when the scheme declares
+    /// none).
+    pub dim: u32,
+}
+
+impl Codec for WireShard {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.name.encode(w);
+        self.label.encode(w);
+        w.put_u32(self.dim);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        Ok(WireShard {
+            name: String::decode(r)?,
+            label: String::decode(r)?,
+            dim: r.u32()?,
+        })
+    }
+}
+
+/// A served answer's wire form: the database index (if any) plus the
+/// cost/accounting fields a client needs to reason about its own
+/// latency — admission wait vs execution time, probes, rounds, the
+/// epoch that answered.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireAnswer {
+    /// Database index of the answer point; `None` = no neighbor found.
+    pub index: Option<u64>,
+    /// Probe rounds the query used.
+    pub rounds: u64,
+    /// Total cell-probes the query used.
+    pub probes: u64,
+    /// Admission wait (enqueue → window seal), server-clock ns.
+    pub wait_ns: u64,
+    /// Execution latency inside the generation, server-clock ns.
+    pub latency_ns: u64,
+    /// Whether the query stayed within its shard's declared budgets.
+    pub within_budget: bool,
+    /// Mount-table epoch that served the query.
+    pub epoch: u64,
+}
+
+impl Codec for WireAnswer {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.index.encode(w);
+        w.put_u64(self.rounds);
+        w.put_u64(self.probes);
+        w.put_u64(self.wait_ns);
+        w.put_u64(self.latency_ns);
+        self.within_budget.encode(w);
+        w.put_u64(self.epoch);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        Ok(WireAnswer {
+            index: Option::<u64>::decode(r)?,
+            rounds: r.u64()?,
+            probes: r.u64()?,
+            wait_ns: r.u64()?,
+            latency_ns: r.u64()?,
+            within_budget: bool::decode(r)?,
+            epoch: r.u64()?,
+        })
+    }
+}
+
+/// Frame-kind bytes (header offset 6).
+mod kind {
+    pub const HELLO: u8 = 1;
+    pub const WELCOME: u8 = 2;
+    pub const QUERY: u8 = 3;
+    pub const TICKET: u8 = 4;
+    pub const ANSWER: u8 = 5;
+    pub const ERROR: u8 = 6;
+    pub const SHUTDOWN: u8 = 7;
+    pub const SHUTDOWN_ACK: u8 = 8;
+}
+
+/// One protocol frame. The request/response grammar:
+///
+/// * `Hello` → `Welcome` (shard discovery);
+/// * `Query` → `Error` (rejected at admission: throttled, overloaded,
+///   closed), or `Ticket` (admitted) followed by `Answer` or `Error`
+///   (resolved) — the two-step reply is what lets a client measure
+///   socket-to-ticket and socket-to-answer separately;
+/// * `Shutdown` → `ShutdownAck`, then the server drains and exits.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Client hello; empty payload.
+    Hello,
+    /// Server directory: every mounted shard with its query dimension.
+    Welcome {
+        /// Mounted shards, id order.
+        shards: Vec<WireShard>,
+    },
+    /// One tenant-attributed query.
+    Query {
+        /// Tenant the request bills to.
+        tenant: String,
+        /// Target shard name.
+        shard: String,
+        /// The query point (store codec encoding).
+        point: Point,
+    },
+    /// Admission succeeded; the query is in the shared window. `depth`
+    /// is the queue fill after this admission.
+    Ticket {
+        /// Queue depth after admission.
+        depth: u64,
+    },
+    /// The query resolved with an answer.
+    Answer(WireAnswer),
+    /// The query (or connection) was rejected, typed.
+    Error(WireFault),
+    /// Ask the server to drain and exit; empty payload.
+    Shutdown,
+    /// Shutdown accepted; `served` is the lifetime served-query count.
+    ShutdownAck {
+        /// Queries served over the server's lifetime.
+        served: u64,
+    },
+}
+
+impl Frame {
+    fn kind_byte(&self) -> u8 {
+        match self {
+            Frame::Hello => kind::HELLO,
+            Frame::Welcome { .. } => kind::WELCOME,
+            Frame::Query { .. } => kind::QUERY,
+            Frame::Ticket { .. } => kind::TICKET,
+            Frame::Answer(_) => kind::ANSWER,
+            Frame::Error(_) => kind::ERROR,
+            Frame::Shutdown => kind::SHUTDOWN,
+            Frame::ShutdownAck { .. } => kind::SHUTDOWN_ACK,
+        }
+    }
+
+    /// Short stable name for logs and reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Frame::Hello => "hello",
+            Frame::Welcome { .. } => "welcome",
+            Frame::Query { .. } => "query",
+            Frame::Ticket { .. } => "ticket",
+            Frame::Answer(_) => "answer",
+            Frame::Error(_) => "error",
+            Frame::Shutdown => "shutdown",
+            Frame::ShutdownAck { .. } => "shutdown_ack",
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Frame::Hello | Frame::Shutdown => {}
+            Frame::Welcome { shards } => shards.encode(&mut w),
+            Frame::Query {
+                tenant,
+                shard,
+                point,
+            } => {
+                tenant.encode(&mut w);
+                shard.encode(&mut w);
+                point.encode(&mut w);
+            }
+            Frame::Ticket { depth } => w.put_u64(*depth),
+            Frame::Answer(a) => a.encode(&mut w),
+            Frame::Error(e) => e.encode(&mut w),
+            Frame::ShutdownAck { served } => w.put_u64(*served),
+        }
+        w.into_bytes()
+    }
+
+    fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, FrameError> {
+        let mut r = ByteReader::new(payload);
+        let frame = match kind {
+            kind::HELLO => Frame::Hello,
+            kind::WELCOME => Frame::Welcome {
+                shards: Vec::<WireShard>::decode(&mut r)?,
+            },
+            kind::QUERY => Frame::Query {
+                tenant: String::decode(&mut r)?,
+                shard: String::decode(&mut r)?,
+                point: Point::decode(&mut r)?,
+            },
+            kind::TICKET => Frame::Ticket { depth: r.u64()? },
+            kind::ANSWER => Frame::Answer(WireAnswer::decode(&mut r)?),
+            kind::ERROR => Frame::Error(WireFault::decode(&mut r)?),
+            kind::SHUTDOWN => Frame::Shutdown,
+            kind::SHUTDOWN_ACK => Frame::ShutdownAck { served: r.u64()? },
+            other => return Err(FrameError::UnknownKind(other)),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+
+    /// Encodes this frame: header plus payload.
+    ///
+    /// # Panics
+    /// If the payload exceeds [`MAX_PAYLOAD`] — an encoder-side bug
+    /// (the caller built an oversized frame), not a wire condition.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.payload();
+        assert!(
+            payload.len() <= MAX_PAYLOAD as usize,
+            "frame payload {} exceeds the {}-byte cap",
+            payload.len(),
+            MAX_PAYLOAD
+        );
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(self.kind_byte());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes one frame from the front of `buf`, returning it with the
+    /// byte count consumed. [`FrameError::Truncated`] means the buffer
+    /// holds a valid-so-far prefix — read more and retry; every other
+    /// error is fatal for the stream. Structural checks run in header
+    /// order (magic, version, kind, length cap) *before* any payload
+    /// byte is touched, so a hostile header is rejected without an
+    /// allocation.
+    pub fn decode(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
+        if buf.len() >= 4 && buf[..4] != MAGIC {
+            return Err(FrameError::BadMagic([buf[0], buf[1], buf[2], buf[3]]));
+        }
+        if buf.len() >= 6 {
+            let version = u16::from_le_bytes([buf[4], buf[5]]);
+            if version != VERSION {
+                return Err(FrameError::UnsupportedVersion(version));
+            }
+        }
+        if buf.len() < HEADER_LEN {
+            return Err(FrameError::Truncated { need: HEADER_LEN });
+        }
+        let len = u32::from_le_bytes([buf[7], buf[8], buf[9], buf[10]]);
+        if len > MAX_PAYLOAD {
+            return Err(FrameError::TooLarge {
+                len,
+                cap: MAX_PAYLOAD,
+            });
+        }
+        let need = HEADER_LEN + len as usize;
+        if buf.len() < need {
+            return Err(FrameError::Truncated { need });
+        }
+        let frame = Frame::decode_payload(buf[6], &buf[HEADER_LEN..need])?;
+        Ok((frame, need))
+    }
+}
+
+/// A failure while moving frames over a stream.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The socket failed (reset, refused, mid-frame EOF).
+    Io(std::io::Error),
+    /// The bytes were not a valid frame.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "transport: {e}"),
+            TransportError::Frame(e) => write!(f, "frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+impl From<FrameError> for TransportError {
+    fn from(e: FrameError) -> Self {
+        TransportError::Frame(e)
+    }
+}
+
+/// Writes one frame and flushes.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> std::io::Result<()> {
+    w.write_all(&frame.encode())?;
+    w.flush()
+}
+
+/// Reads exactly `buf.len()` bytes; `Ok(false)` = clean EOF before the
+/// first byte, `Err` = EOF mid-buffer or a socket failure.
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(false);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!("eof {filled} bytes into a frame"),
+            ));
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+/// Reads one frame from a blocking stream. `Ok(None)` is a clean close
+/// (EOF at a frame boundary); EOF *inside* a frame is an error. The
+/// payload buffer is allocated only after the header's length passes
+/// the [`MAX_PAYLOAD`] cap.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, TransportError> {
+    let mut header = [0u8; HEADER_LEN];
+    if !read_full(r, &mut header)? {
+        return Ok(None);
+    }
+    // Validate the header structurally before trusting its length.
+    match Frame::decode(&header) {
+        Err(FrameError::Truncated { need }) => {
+            debug_assert!(need >= HEADER_LEN);
+        }
+        Err(fatal) => return Err(fatal.into()),
+        Ok(_) => {} // zero-payload frame: fall through to the common path
+    }
+    let len = u32::from_le_bytes([header[7], header[8], header[9], header[10]]) as usize;
+    let mut buf = Vec::with_capacity(HEADER_LEN + len);
+    buf.extend_from_slice(&header);
+    buf.resize(HEADER_LEN + len, 0);
+    if !read_full(r, &mut buf[HEADER_LEN..])? {
+        return Err(TransportError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "eof inside a frame payload",
+        )));
+    }
+    let (frame, consumed) = Frame::decode(&buf)?;
+    debug_assert_eq!(consumed, buf.len());
+    Ok(Some(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_payload_frames_roundtrip() {
+        for frame in [Frame::Hello, Frame::Shutdown] {
+            let bytes = frame.encode();
+            assert_eq!(bytes.len(), HEADER_LEN);
+            let (back, consumed) = Frame::decode(&bytes).unwrap();
+            assert_eq!(back, frame);
+            assert_eq!(consumed, HEADER_LEN);
+        }
+    }
+
+    #[test]
+    fn bad_magic_beats_truncation() {
+        // Four wrong bytes are already diagnosable: the reader must not
+        // wait for more input that could never help.
+        assert_eq!(Frame::decode(b"XXXX"), Err(FrameError::BadMagic(*b"XXXX")));
+        // Three bytes cannot be judged yet.
+        assert_eq!(
+            Frame::decode(b"ANS"),
+            Err(FrameError::Truncated { need: HEADER_LEN })
+        );
+    }
+
+    #[test]
+    fn hostile_header_length_is_capped() {
+        let mut bytes = Frame::Hello.encode();
+        bytes[7..11].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(FrameError::TooLarge {
+                len: u32::MAX,
+                cap: MAX_PAYLOAD
+            })
+        );
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut bytes = Frame::Hello.encode();
+        bytes[4..6].copy_from_slice(&7u16.to_le_bytes());
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(FrameError::UnsupportedVersion(7))
+        );
+    }
+
+    #[test]
+    fn unknown_kind_is_typed() {
+        let mut bytes = Frame::Hello.encode();
+        bytes[6] = 99;
+        assert_eq!(Frame::decode(&bytes), Err(FrameError::UnknownKind(99)));
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_malformed() {
+        // A Ticket payload with one extra byte: the length prefix admits
+        // it but the schema does not.
+        let mut bytes = Frame::Ticket { depth: 3 }.encode();
+        bytes.push(0xEE);
+        let len = (bytes.len() - HEADER_LEN) as u32;
+        bytes[7..11].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn stream_reader_roundtrips_and_reports_clean_eof() {
+        let frames = vec![
+            Frame::Hello,
+            Frame::Ticket { depth: 9 },
+            Frame::ShutdownAck { served: 42 },
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        for f in &frames {
+            assert_eq!(read_frame(&mut cursor).unwrap().as_ref(), Some(f));
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean eof");
+    }
+
+    #[test]
+    fn stream_reader_rejects_mid_frame_eof() {
+        let bytes = Frame::Ticket { depth: 1 }.encode();
+        let mut cursor = std::io::Cursor::new(&bytes[..bytes.len() - 2]);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(TransportError::Io(_))
+        ));
+    }
+}

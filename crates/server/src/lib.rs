@@ -1,0 +1,47 @@
+//! # anns-server: the network serving tier
+//!
+//! A TCP front over the engine's
+//! [`AdmissionQueue`](anns_engine::admission::AdmissionQueue):
+//! length-prefixed
+//! typed frames on the wire, a per-tenant token-bucket gate ahead of
+//! the shared queue, and a driver pool sized from the machine. The
+//! pieces, bottom-up:
+//!
+//! - [`frame`] — the wire protocol: an 11-byte versioned header plus a
+//!   payload encoded with the `anns-store` codec. Every parse failure
+//!   is typed; hostile length prefixes are rejected before allocation.
+//! - [`bucket`] — the token bucket, refilled from caller-supplied
+//!   clock nanoseconds so tests drive it deterministically.
+//! - [`tenant`] — the [`TenantGate`]: bucket-then-queue admission with
+//!   exact per-tenant accounting (every decision increments one usage
+//!   counter and emits one `tenant_decision` trace event).
+//! - [`server`] — [`AnnsServer`]: accept loop, per-connection handler
+//!   threads, the driver pool, and the arrival-rate `max_wait`
+//!   adapter.
+//! - [`client`] — the blocking [`Client`], measuring socket-to-ticket
+//!   and socket-to-answer latency per query.
+//! - [`report`] — the [`ServerReport`] written at drain, which `annsctl
+//!   trace inspect` reconciles against the trace by exact equality.
+//!
+//! Backpressure is always typed, never a dropped connection: a tenant
+//! over its rate sees `Throttled` (with a retry hint), a full shared
+//! queue sees `Overloaded` (with depth and capacity), a draining
+//! server sees `Closed`.
+
+pub mod bucket;
+pub mod client;
+pub mod frame;
+pub mod report;
+pub mod server;
+pub mod tenant;
+
+pub use anns_engine::ServeError;
+pub use bucket::TokenBucket;
+pub use client::{Client, ClientError, QueryReply};
+pub use frame::{
+    read_frame, write_frame, ErrorCode, Frame, FrameError, TransportError, WireAnswer, WireFault,
+    WireShard, MAX_PAYLOAD, VERSION,
+};
+pub use report::{ServerReport, TenantUsageReport};
+pub use server::{AnnsServer, ServerOptions};
+pub use tenant::{Denied, TenantGate, TenantPolicy};

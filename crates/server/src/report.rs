@@ -1,0 +1,121 @@
+//! The server's shutdown report: global admission counters plus the
+//! per-tenant usage rows, flattened for JSON round-tripping.
+//!
+//! `annsctl server` writes one of these on drain; `annsctl trace
+//! inspect --server-report` reloads it and reconciles the per-tenant
+//! rows against the trace's `tenant_decision` events by *exact*
+//! equality — both sides are pure functions of the workload, so any
+//! drift is a bug, not noise.
+
+use std::time::Duration;
+
+use anns_engine::{EngineStats, TenantUsage};
+use anns_obs::TraceCounters;
+
+/// One tenant's usage, flattened from [`TenantUsage`] (histograms are
+/// summarized so the report deserializes without them).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TenantUsageReport {
+    /// Tenant name.
+    pub tenant: String,
+    /// Requests admitted into the shared window.
+    pub enqueued: u64,
+    /// Requests refused by the tenant's token bucket.
+    pub throttled: u64,
+    /// Requests shed by the shared queue's capacity bound.
+    pub shed: u64,
+    /// Admitted requests resolved with an answer.
+    pub served: u64,
+    /// Admitted requests resolved with a typed error.
+    pub failed: u64,
+    /// Probes executed for this tenant's served queries.
+    pub probes: u64,
+    /// Mean admission wait, microseconds.
+    pub wait_mean_us: f64,
+    /// Worst admission wait, microseconds.
+    pub wait_max_us: f64,
+}
+
+impl TenantUsageReport {
+    /// Flattens one engine-side usage row.
+    pub fn from_usage(u: &TenantUsage) -> Self {
+        TenantUsageReport {
+            tenant: u.tenant.clone(),
+            enqueued: u.enqueued,
+            throttled: u.throttled,
+            shed: u.shed,
+            served: u.served,
+            failed: u.failed,
+            probes: u.probes,
+            wait_mean_us: u.wait_hist.mean() / 1e3,
+            wait_max_us: u.wait_hist.max as f64 / 1e3,
+        }
+    }
+}
+
+/// The server's lifetime accounting, written as JSON at drain.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServerReport {
+    /// Queries served through the engine.
+    pub queries: u64,
+    /// Requests admitted into the shared window (all tenants).
+    pub enqueued: u64,
+    /// Requests shed by the shared queue (all tenants).
+    pub shed: u64,
+    /// Windows sealed into generations.
+    pub windows: u64,
+    /// Windows sealed by fill / deadline / drain.
+    pub sealed_by_fill: u64,
+    /// See `sealed_by_fill`.
+    pub sealed_by_deadline: u64,
+    /// See `sealed_by_fill`.
+    pub sealed_by_drain: u64,
+    /// Driver threads the pool ran.
+    pub drivers: u64,
+    /// The live `max_wait` at drain time, microseconds (what the
+    /// arrival-rate adapter converged to).
+    pub max_wait_us: u64,
+    /// Per-tenant usage, sorted by tenant name (deterministic JSON).
+    pub tenants: Vec<TenantUsageReport>,
+    /// Trace events the recorder accepted (0 with tracing off).
+    pub trace_events: u64,
+    /// Trace events the bounded ring evicted.
+    pub trace_dropped: u64,
+}
+
+impl ServerReport {
+    /// Builds the report from the engine's cumulative stats.
+    pub fn from_stats(
+        stats: &EngineStats,
+        drivers: usize,
+        max_wait: Duration,
+        trace: TraceCounters,
+    ) -> Self {
+        let mut tenants: Vec<TenantUsageReport> = stats
+            .online
+            .tenants
+            .iter()
+            .map(TenantUsageReport::from_usage)
+            .collect();
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        ServerReport {
+            queries: stats.queries,
+            enqueued: stats.online.enqueued,
+            shed: stats.online.shed,
+            windows: stats.online.windows,
+            sealed_by_fill: stats.online.sealed_by_fill,
+            sealed_by_deadline: stats.online.sealed_by_deadline,
+            sealed_by_drain: stats.online.sealed_by_drain,
+            drivers: drivers as u64,
+            max_wait_us: max_wait.as_micros() as u64,
+            tenants,
+            trace_events: trace.events,
+            trace_dropped: trace.dropped,
+        }
+    }
+
+    /// The usage row for `tenant`, if present.
+    pub fn tenant(&self, tenant: &str) -> Option<&TenantUsageReport> {
+        self.tenants.iter().find(|t| t.tenant == tenant)
+    }
+}

@@ -1,0 +1,322 @@
+//! The tenant gate's isolation claim, proven deterministically on a
+//! `VirtualClock` — no sleeps, no wall-clock timing, every counter
+//! asserted exactly:
+//!
+//! 1. **Fairness** — one tenant offering at 10× its token rate cannot
+//!    push a compliant tenant's admission waits past the seal deadline,
+//!    cannot cause it a single throttle or shed, and loses exactly its
+//!    own excess (burst + refill admitted, the rest typed `Throttled`);
+//! 2. **Distinct backpressure** — bucket exhaustion and queue overload
+//!    are different typed refusals (`Throttled` vs `Overloaded`), each
+//!    carrying its own context, and map onto distinct wire codes;
+//! 3. **Exact accounting** — per-tenant usage rows and the
+//!    `tenant_decision` trace events reconcile by equality: one event
+//!    per decision, decisions partition offered load with nothing
+//!    lost or double-counted.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use anns_cellprobe::ExecOptions;
+use anns_core::AnnIndex;
+use anns_engine::admission::{AdmissionOptions, AdmissionQueue, Ticket};
+use anns_engine::testkit::{clustered_index, hot_set_workload};
+use anns_engine::{
+    Engine, EngineOptions, NamedRequest, Recorder, Registry, RingRecorder, ServeError, TraceEvent,
+    VirtualClock,
+};
+use anns_hamming::Point;
+use anns_server::frame::ErrorCode;
+use anns_server::tenant::{Denied, TenantGate, TenantPolicy};
+
+const D: u32 = 192;
+/// Seal deadline: also the tick length the scenario advances by.
+const TICK: Duration = Duration::from_millis(10);
+
+fn index() -> Arc<AnnIndex> {
+    static INDEX: OnceLock<Arc<AnnIndex>> = OnceLock::new();
+    Arc::clone(INDEX.get_or_init(|| clustered_index(8, 12, D, 0.05, 2026)))
+}
+
+fn workload(seed: u64, count: usize) -> Vec<Point> {
+    hot_set_workload(&index(), count, 8, 5, seed)
+}
+
+fn named(query: &Point) -> NamedRequest {
+    NamedRequest {
+        shard: "alg1-k3".into(),
+        query: query.clone(),
+    }
+}
+
+struct Fixture {
+    engine: Arc<Engine>,
+    clock: Arc<VirtualClock>,
+    queue: Arc<AdmissionQueue>,
+    trace: Arc<RingRecorder>,
+}
+
+/// An engine + queue + ring recorder on a virtual clock. Window width
+/// `max_generation`, queue bound `capacity`, seal deadline [`TICK`].
+fn fixture(max_generation: usize, capacity: usize) -> Fixture {
+    let mut registry = Registry::new();
+    registry.register_alg1("alg1-k3", index(), 3);
+    let clock: Arc<VirtualClock> = Arc::new(VirtualClock::new());
+    let trace = Arc::new(RingRecorder::new(65536, clock.clone()));
+    let engine = Arc::new(
+        Engine::new(
+            registry,
+            EngineOptions {
+                generation: max_generation,
+                exec: ExecOptions::default(),
+                batch_threads: 1,
+            },
+        )
+        .recorded(trace.clone()),
+    );
+    let queue = Arc::new(AdmissionQueue::new(
+        Arc::clone(&engine),
+        AdmissionOptions {
+            max_generation,
+            max_wait: TICK,
+            capacity,
+        },
+        clock.clone(),
+    ));
+    Fixture {
+        engine,
+        clock,
+        queue,
+        trace,
+    }
+}
+
+/// Counts `tenant_decision` events for (tenant, decision) in the ring.
+fn decisions(trace: &RingRecorder, who: &str, what: &str) -> u64 {
+    trace
+        .snapshot()
+        .iter()
+        .filter(|r| {
+            matches!(
+                &r.event,
+                TraceEvent::TenantDecision { tenant, decision, .. }
+                    if tenant == who && decision == what
+            )
+        })
+        .count() as u64
+}
+
+#[test]
+fn hot_tenant_cannot_degrade_a_compliant_tenant() {
+    // Both tenants get the same policy: 100 tokens/s (one per tick),
+    // burst 2. "steady" offers exactly its sustained rate; "hot"
+    // offers 10× that. 50 ticks.
+    let fx = fixture(8, 16);
+    let policy = TenantPolicy {
+        rate_per_sec: 100.0,
+        burst: 2.0,
+    };
+    let gate = TenantGate::new(
+        Arc::clone(&fx.queue),
+        fx.clock.clone(),
+        TenantPolicy::default(),
+    )
+    .with_policy("steady", policy)
+    .with_policy("hot", policy);
+
+    const TICKS: usize = 50;
+    const HOT_PER_TICK: usize = 10;
+    let steady_queries = workload(31, TICKS);
+    let hot_queries = workload(32, TICKS * HOT_PER_TICK);
+
+    let mut steady_tickets: Vec<Ticket> = Vec::new();
+    let mut hot_tickets: Vec<Ticket> = Vec::new();
+    let mut hot_throttled = 0u64;
+    for tick in 0..TICKS {
+        // Hot first each tick: worst case for steady's position.
+        for i in 0..HOT_PER_TICK {
+            match gate.submit("hot", named(&hot_queries[tick * HOT_PER_TICK + i])) {
+                Ok(ticket) => hot_tickets.push(ticket),
+                Err(Denied::Throttled { retry_after_ns, .. }) => {
+                    hot_throttled += 1;
+                    assert!(retry_after_ns > 0, "empty bucket must quote a wait");
+                }
+                Err(other) => panic!("hot tenant must only be throttled, got {other}"),
+            }
+        }
+        steady_tickets.push(
+            gate.submit("steady", named(&steady_queries[tick]))
+                .expect("a compliant tenant is never refused"),
+        );
+        fx.clock.advance(TICK);
+        let window = fx.queue.pump_now().expect("deadline seals each tick");
+        assert!(window.fill <= 8, "admitted load stays inside one window");
+    }
+
+    // The hot tenant's admissions: burst (2) up front, then exactly the
+    // one token per tick that refills — 2 + 49 = 51 of 500 offered.
+    let expected_hot_admitted = (2 + (TICKS - 1)) as u64;
+    assert_eq!(hot_tickets.len() as u64, expected_hot_admitted);
+    assert_eq!(
+        hot_throttled,
+        (TICKS * HOT_PER_TICK) as u64 - expected_hot_admitted
+    );
+
+    // Settle every ticket so served/failed and wait histograms fill.
+    for (t, q) in [("steady", steady_tickets), ("hot", hot_tickets)] {
+        for ticket in q {
+            let resolution = ticket.wait();
+            assert!(resolution.result.is_ok(), "{t}: admitted queries serve");
+            gate.settle(t, &resolution);
+        }
+    }
+
+    let online = fx.engine.stats().online;
+    let steady = online
+        .tenants
+        .iter()
+        .find(|u| u.tenant == "steady")
+        .unwrap();
+    let hot = online.tenants.iter().find(|u| u.tenant == "hot").unwrap();
+
+    // The fairness bound: the hot tenant's pressure never touches the
+    // compliant tenant — zero throttles, zero sheds, every query
+    // served, and no admission wait past the seal deadline.
+    assert_eq!(steady.throttled, 0, "compliant tenant never throttled");
+    assert_eq!(steady.shed, 0, "compliant tenant never shed");
+    assert_eq!(steady.enqueued, TICKS as u64);
+    assert_eq!(steady.served, TICKS as u64);
+    assert_eq!(steady.failed, 0);
+    assert!(
+        steady.wait_hist.max <= TICK.as_nanos() as u64,
+        "waits stay within the seal deadline: {} > {}",
+        steady.wait_hist.max,
+        TICK.as_nanos()
+    );
+
+    // The hot tenant's excess is typed and exact.
+    assert_eq!(hot.enqueued, expected_hot_admitted);
+    assert_eq!(hot.throttled, hot_throttled);
+    assert_eq!(hot.shed, 0, "the bucket refused before the queue had to");
+    assert_eq!(hot.served, expected_hot_admitted);
+
+    // Trace ↔ usage reconciliation, by equality, per tenant per
+    // decision. The ring is sized to hold everything: zero drops.
+    assert_eq!(fx.trace.counters().dropped, 0);
+    for u in [steady, hot] {
+        assert_eq!(decisions(&fx.trace, &u.tenant, "admitted"), u.enqueued);
+        assert_eq!(decisions(&fx.trace, &u.tenant, "throttled"), u.throttled);
+        assert_eq!(decisions(&fx.trace, &u.tenant, "shed"), u.shed);
+    }
+}
+
+#[test]
+fn bucket_exhaustion_and_queue_overload_are_distinct_refusals() {
+    // Capacity 4, and a tenant whose bucket (burst 6) outlasts the
+    // queue: the first 4 submissions are admitted, the next two are
+    // shed by the *queue* (Overloaded), and once the bucket empties the
+    // refusal flips to Throttled — three different outcomes, each
+    // typed, each mapped to its own wire code.
+    let fx = fixture(8, 4);
+    let gate = TenantGate::new(
+        Arc::clone(&fx.queue),
+        fx.clock.clone(),
+        TenantPolicy::default(),
+    )
+    .with_policy(
+        "greedy",
+        TenantPolicy {
+            rate_per_sec: 0.0, // never refills: exactly 6 tokens, ever
+            burst: 6.0,
+        },
+    );
+    let queries = workload(33, 8);
+
+    let tickets: Vec<Ticket> = queries[..4]
+        .iter()
+        .map(|q| gate.submit("greedy", named(q)).expect("under capacity"))
+        .collect();
+
+    // 5th and 6th: tokens remain but the shared queue is full.
+    for q in &queries[4..6] {
+        match gate.submit("greedy", named(q)) {
+            Err(Denied::Engine(ServeError::Overloaded { depth, capacity })) => {
+                assert_eq!((depth, capacity), (4, 4));
+            }
+            other => panic!("expected queue overload, got {other:?}"),
+        }
+    }
+    // 7th: the bucket is now empty (6 tokens consumed — sheds cost a
+    // token too; the tenant *offered* that load) → Throttled.
+    match gate.submit("greedy", named(&queries[6])) {
+        Err(Denied::Throttled { retry_after_ns, .. }) => {
+            assert_eq!(retry_after_ns, u64::MAX, "zero rate: no refill, ever");
+        }
+        other => panic!("expected throttle, got {other:?}"),
+    }
+
+    // The wire mapping keeps them distinct.
+    let overload = Denied::Engine(ServeError::Overloaded {
+        depth: 4,
+        capacity: 4,
+    });
+    assert_eq!(overload.to_fault(4).code, ErrorCode::Overloaded);
+    let throttle = Denied::Throttled {
+        retry_after_ns: 1,
+        burst: 6,
+    };
+    assert_eq!(throttle.to_fault(4).code, ErrorCode::Throttled);
+    assert_eq!(
+        Denied::Engine(ServeError::Closed).to_fault(0).code,
+        ErrorCode::Closed
+    );
+
+    // Accounting partitions the 7 offered queries: 4 + 2 + 1.
+    let online = fx.engine.stats().online;
+    let usage = online
+        .tenants
+        .iter()
+        .find(|u| u.tenant == "greedy")
+        .unwrap();
+    assert_eq!(
+        (usage.enqueued, usage.shed, usage.throttled),
+        (4, 2, 1),
+        "decisions partition offered load"
+    );
+    assert_eq!(decisions(&fx.trace, "greedy", "admitted"), 4);
+    assert_eq!(decisions(&fx.trace, "greedy", "shed"), 2);
+    assert_eq!(decisions(&fx.trace, "greedy", "throttled"), 1);
+
+    // Drain so the admitted tickets resolve.
+    fx.queue.close();
+    fx.queue.pump_now().expect("drain flushes the window");
+    for ticket in tickets {
+        assert!(ticket.wait().result.is_ok());
+    }
+}
+
+#[test]
+fn unconfigured_tenants_get_the_default_policy_lazily() {
+    let fx = fixture(4, 64);
+    let gate = TenantGate::new(
+        Arc::clone(&fx.queue),
+        fx.clock.clone(),
+        TenantPolicy {
+            rate_per_sec: 0.0,
+            burst: 1.0,
+        },
+    );
+    assert_eq!(gate.policy_for("nobody").burst, 1.0);
+    let queries = workload(34, 2);
+    // First sight materializes the bucket with the default policy…
+    assert!(gate.submit("walk-in", named(&queries[0])).is_ok());
+    // …whose single never-refilling token is now spent.
+    assert!(matches!(
+        gate.submit("walk-in", named(&queries[1])),
+        Err(Denied::Throttled { .. })
+    ));
+    assert_eq!(gate.tokens_available("walk-in"), 0.0);
+
+    fx.queue.close();
+    fx.queue.pump_now();
+}

@@ -1,0 +1,179 @@
+//! Property tests for the wire codec, mirroring the store's codec
+//! suite (`crates/store/tests`): every frame kind round-trips through
+//! `encode`/`decode` byte-exactly, every *strict prefix* of a valid
+//! frame decodes to a typed `Truncated` (the streaming reader's "read
+//! more" signal — never a panic, never a misparse), and hostile length
+//! prefixes are rejected by the cap before any allocation happens.
+//!
+//! Frames are sampled from a `(kind, seed)` pair so every one of the
+//! eight kinds is exercised with randomized contents, deterministically
+//! in the seed.
+
+use anns_hamming::Point;
+use anns_server::frame::{
+    ErrorCode, Frame, FrameError, WireAnswer, WireFault, WireShard, HEADER_LEN, MAX_PAYLOAD,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of frame kinds `frame_for` can produce.
+const KINDS: usize = 8;
+
+fn ascii(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| rng.gen_range(b' '..=b'~') as char)
+        .collect()
+}
+
+fn fault(rng: &mut StdRng) -> WireFault {
+    let codes = [
+        ErrorCode::Throttled,
+        ErrorCode::Overloaded,
+        ErrorCode::Closed,
+        ErrorCode::UnknownShard,
+        ErrorCode::BadRequest,
+    ];
+    WireFault {
+        code: codes[rng.gen_range(0..codes.len())],
+        depth: rng.gen(),
+        capacity: rng.gen(),
+        message: ascii(rng, 48),
+    }
+}
+
+/// A frame of the given kind with seed-determined contents — every
+/// wire kind, including empty-payload and `Point`-bearing ones.
+fn frame_for(kind: usize, seed: u64) -> Frame {
+    let rng = &mut StdRng::seed_from_u64(seed);
+    match kind {
+        0 => Frame::Hello,
+        1 => Frame::Welcome {
+            shards: (0..rng.gen_range(0..5))
+                .map(|_| WireShard {
+                    name: ascii(rng, 24),
+                    label: ascii(rng, 32),
+                    dim: rng.gen(),
+                })
+                .collect(),
+        },
+        2 => {
+            let dim = rng.gen_range(1..=512);
+            Frame::Query {
+                tenant: ascii(rng, 16),
+                shard: ascii(rng, 24),
+                point: Point::random(dim, rng),
+            }
+        }
+        3 => Frame::Ticket { depth: rng.gen() },
+        4 => Frame::Answer(WireAnswer {
+            index: if rng.gen() { Some(rng.gen()) } else { None },
+            rounds: rng.gen(),
+            probes: rng.gen(),
+            wait_ns: rng.gen(),
+            latency_ns: rng.gen(),
+            within_budget: rng.gen(),
+            epoch: rng.gen(),
+        }),
+        5 => Frame::Error(fault(rng)),
+        6 => Frame::Shutdown,
+        _ => Frame::ShutdownAck { served: rng.gen() },
+    }
+}
+
+proptest! {
+    /// encode → decode is the identity, for every frame kind, and
+    /// decode consumes exactly the encoded length.
+    #[test]
+    fn every_frame_kind_roundtrips(kind in 0usize..KINDS, seed in any::<u64>()) {
+        let frame = frame_for(kind, seed);
+        let bytes = frame.encode();
+        let (back, consumed) = Frame::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(back, frame);
+        prop_assert_eq!(consumed, bytes.len());
+    }
+
+    /// Every strict prefix of a valid frame is a typed `Truncated`
+    /// whose `need` never overshoots the real frame length — the
+    /// invariant a streaming reader keys on to wait for exactly the
+    /// right number of bytes.
+    #[test]
+    fn every_strict_prefix_is_truncated(kind in 0usize..KINDS, seed in any::<u64>()) {
+        let bytes = frame_for(kind, seed).encode();
+        for cut in 0..bytes.len() {
+            match Frame::decode(&bytes[..cut]) {
+                Err(FrameError::Truncated { need }) => {
+                    prop_assert!(need > cut, "prefix of {cut} must demand more");
+                    prop_assert!(need <= bytes.len(), "never demand past the frame");
+                }
+                other => panic!(
+                    "prefix of {cut}/{} bytes decoded to {other:?}",
+                    bytes.len()
+                ),
+            }
+        }
+    }
+
+    /// A header claiming any payload length over the cap is rejected as
+    /// `TooLarge` — before the decoder ever waits for (or allocates)
+    /// the claimed bytes.
+    #[test]
+    fn hostile_length_prefixes_are_capped(
+        kind in 0usize..KINDS,
+        seed in any::<u64>(),
+        excess in (MAX_PAYLOAD as u64 + 1)..=u32::MAX as u64,
+    ) {
+        let mut bytes = frame_for(kind, seed).encode();
+        let hostile = excess as u32;
+        bytes[7..11].copy_from_slice(&hostile.to_le_bytes());
+        // Header alone suffices: no payload bytes needed for the verdict.
+        prop_assert_eq!(
+            Frame::decode(&bytes[..HEADER_LEN]),
+            Err(FrameError::TooLarge { len: hostile, cap: MAX_PAYLOAD })
+        );
+        // And with the (stale) payload present the verdict is the same.
+        prop_assert_eq!(
+            Frame::decode(&bytes),
+            Err(FrameError::TooLarge { len: hostile, cap: MAX_PAYLOAD })
+        );
+    }
+
+    /// A length prefix *inside* the payload (a string or point header)
+    /// claiming more than the bytes present is typed `Malformed`, not
+    /// an allocation: the inner codec validates counts against the
+    /// input actually remaining.
+    #[test]
+    fn hostile_inner_prefixes_are_malformed(claim in (1u64 << 20)..=u32::MAX as u64) {
+        // A Query whose payload opens with a tenant-string header
+        // claiming up to 4 GiB, backed by 8 bytes.
+        let mut w = anns_store::ByteWriter::new();
+        w.put_u32(claim as u32);
+        w.put_u64(0xDEAD_BEEF);
+        let payload = w.into_bytes();
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(b"ANSF");
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.push(3); // QUERY
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        prop_assert!(matches!(
+            Frame::decode(&bytes),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+}
+
+#[test]
+fn corrupting_any_header_byte_never_panics() {
+    // Exhaustive over header positions and byte values: decode must
+    // answer typed for every single-byte corruption of a real frame.
+    let bytes = Frame::Ticket { depth: 7 }.encode();
+    for pos in 0..HEADER_LEN {
+        for v in 0..=u8::MAX {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] = v;
+            let _ = Frame::decode(&corrupt); // typed Ok or Err — no panic
+        }
+    }
+}

@@ -30,7 +30,11 @@
 //! * [`store`] — the persistent index store: a versioned binary snapshot
 //!   format (checksummed sections, typed errors) that persists every
 //!   servable scheme and whole registry bundles, so instances build once
-//!   and warm-start in milliseconds.
+//!   and warm-start in milliseconds;
+//! * [`server`] — the network tier: a framed TCP protocol over the
+//!   admission queue, per-tenant token-bucket rate limiting with exact
+//!   usage accounting, and a blocking client that measures
+//!   socket-to-ticket and socket-to-answer latency.
 //!
 //! ## Quickstart
 //!
@@ -61,5 +65,6 @@ pub use anns_hamming as hamming;
 pub use anns_lpm as lpm;
 pub use anns_lsh as lsh;
 pub use anns_obs as obs;
+pub use anns_server as server;
 pub use anns_sketch as sketch;
 pub use anns_store as store;
