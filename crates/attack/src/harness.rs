@@ -1,0 +1,257 @@
+//! The attack harness: strategies driven through the real serving stack.
+//!
+//! Nothing here shortcuts the production path. Every crafted query is
+//! wrapped in an `anns_engine::NamedRequest`, enqueued into an
+//! [`AdmissionQueue`] bounded exactly like a deployment's, sealed into a
+//! generation ([`AdmissionQueue::pump_now`]) and executed by the
+//! [`Engine`] — probe ledgers, budgets, epochs and all. Time is a
+//! [`VirtualClock`] advanced a fixed tick per round and randomness is a
+//! per-arm seeded [`StdRng`], so a full attack trace is a pure function
+//! of `(scenario, seed)` — replaying it is an equality check, not a
+//! statistical one.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use anns_engine::{
+    AdmissionOptions, AdmissionQueue, Engine, EngineOptions, NamedRequest, Registry, VirtualClock,
+};
+use anns_hamming::{Dataset, Point};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::{fold_fingerprint, ArmReport};
+use crate::strategy::AttackStrategy;
+
+/// Scores served answers against planted ground truth.
+///
+/// Strategies only craft queries at distance ≤ `r` from a database
+/// point, so a γ-correct scheme must return *some* point within `γ·r`;
+/// the judge resolves the answered index against the dataset and calls
+/// anything absent or farther a failure.
+pub struct Judge {
+    dataset: Dataset,
+    /// The `γr` acceptance band (inclusive).
+    pub band: u32,
+}
+
+impl Judge {
+    /// A judge over `dataset` accepting answers within `band` of the
+    /// query.
+    pub fn new(dataset: Dataset, band: u32) -> Self {
+        Judge { dataset, band }
+    }
+
+    /// `true` if the answer misses the acceptance band: no index, an
+    /// out-of-range index, or an answered point farther than `band`
+    /// from the query.
+    pub fn failed(&self, query: &Point, answer: &anns_core::ServedAnswer) -> bool {
+        match answer.index() {
+            None => true,
+            Some(index) => match usize::try_from(index) {
+                Ok(i) if i < self.dataset.len() => {
+                    query.distance(self.dataset.point(i)) > self.band
+                }
+                _ => true,
+            },
+        }
+    }
+}
+
+/// The per-round clock tick the harness advances its [`VirtualClock`] by.
+pub const ROUND_TICK: Duration = Duration::from_micros(50);
+
+/// An engine + admission queue + virtual clock bundle the strategies
+/// attack through.
+pub struct AttackHarness {
+    engine: Arc<Engine>,
+    queue: AdmissionQueue,
+    clock: Arc<VirtualClock>,
+    judge: Judge,
+}
+
+impl AttackHarness {
+    /// Stands the serving stack up over `registry`: single-query
+    /// generations (every round is its own sealed window, the
+    /// deterministic serving configuration) on a fresh virtual clock.
+    pub fn new(registry: Registry, judge: Judge) -> Self {
+        let engine = Arc::new(Engine::new(
+            registry,
+            EngineOptions {
+                generation: 1,
+                exec: anns_cellprobe::ExecOptions::default(),
+                batch_threads: 1,
+            },
+        ));
+        let clock = Arc::new(VirtualClock::new());
+        let queue = AdmissionQueue::new(
+            Arc::clone(&engine),
+            AdmissionOptions {
+                max_generation: 1,
+                max_wait: Duration::from_millis(1),
+                capacity: 64,
+            },
+            clock.clone(),
+        );
+        AttackHarness {
+            engine,
+            queue,
+            clock,
+            judge,
+        }
+    }
+
+    /// The engine under attack (for stats inspection after a run).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Drives one strategy against one shard for `rounds` rounds and
+    /// reports the arm. `arm_seed` seeds the strategy's RNG stream;
+    /// `bucket` sets the failure-curve resolution.
+    pub fn run_arm(
+        &self,
+        shard: &str,
+        strategy: &mut dyn AttackStrategy,
+        rounds: usize,
+        bucket: usize,
+        arm_seed: u64,
+    ) -> ArmReport {
+        assert!(bucket > 0, "bucket must be positive");
+        let mut rng = StdRng::seed_from_u64(arm_seed);
+        let mut failures = 0u64;
+        let mut bucket_failures = vec![0u64; rounds.div_ceil(bucket)];
+        let mut total_probes = 0u64;
+        let mut fingerprint = 0u32;
+        let mut replay_repeats = 0u64;
+        let mut replay_mismatches = 0u64;
+        // First-serving answer fingerprint per distinct query, keyed by
+        // its exact limb content — strategy-agnostic replay tracking.
+        let mut first_answers: HashMap<Vec<u64>, u32> = HashMap::new();
+        let mut scheme_label = String::new();
+
+        for round in 0..rounds {
+            let query = strategy.craft(round, &mut rng);
+            let ticket = self
+                .queue
+                .enqueue(NamedRequest {
+                    shard: shard.into(),
+                    query: query.clone(),
+                })
+                .expect("attack harness never overfills its queue");
+            self.queue
+                .pump_now()
+                .expect("a single-query window seals by fill");
+            let served = ticket
+                .wait()
+                .result
+                .unwrap_or_else(|e| panic!("shard {shard:?} failed to serve: {e:?}"));
+            if scheme_label.is_empty() {
+                let id = self
+                    .engine
+                    .registry()
+                    .resolve(shard)
+                    .expect("served shard resolves");
+                scheme_label = self.engine.registry().scheme(id).label();
+            }
+            let failed = self.judge.failed(&query, &served.answer);
+            let answer_debug = format!("{:?}", served.answer);
+            let answer_digest = anns_store::crc32(answer_debug.as_bytes());
+            match first_answers.entry(query.limbs().to_vec()) {
+                std::collections::hash_map::Entry::Occupied(first) => {
+                    replay_repeats += 1;
+                    if *first.get() != answer_digest {
+                        replay_mismatches += 1;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(answer_digest);
+                }
+            }
+            failures += u64::from(failed);
+            bucket_failures[round / bucket] += u64::from(failed);
+            total_probes += served.ledger.total_probes() as u64;
+            fingerprint = fold_fingerprint(fingerprint, query.limbs(), &answer_debug, failed);
+            strategy.observe(&query, failed, &served.answer);
+            self.clock.advance(ROUND_TICK);
+        }
+
+        ArmReport {
+            shard: shard.into(),
+            scheme: scheme_label,
+            strategy: strategy.name().into(),
+            rounds,
+            failures,
+            bucket,
+            bucket_failures,
+            replay_repeats,
+            replay_mismatches,
+            total_probes,
+            fingerprint,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{NonAdaptiveControl, RepetitionProbe};
+    use anns_core::{AnnIndex, BuildOptions};
+    use anns_hamming::gen;
+    use anns_sketch::SketchParams;
+
+    fn fixture() -> (Registry, Judge, Point) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let inst = gen::planted(64, 96, 4, &mut rng);
+        let target = inst.dataset.point(inst.planted_index).clone();
+        let judge = Judge::new(inst.dataset.clone(), 8);
+        let index = Arc::new(AnnIndex::build(
+            inst.dataset,
+            SketchParams::practical(2.0, 21),
+            BuildOptions::default(),
+        ));
+        let mut registry = Registry::new();
+        registry.register_alg1("alg1", index, 2);
+        (registry, judge, target)
+    }
+
+    #[test]
+    fn arm_traces_replay_byte_identically() {
+        let run = || {
+            let (registry, judge, target) = fixture();
+            let harness = AttackHarness::new(registry, judge);
+            let mut strategy = NonAdaptiveControl::new(target, 4);
+            harness.run_arm("alg1", &mut strategy, 24, 8, 5)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.bucket_failures.len(), 3);
+        assert_eq!(
+            a.bucket_failures.iter().sum::<u64>(),
+            a.failures,
+            "curve sums to the total"
+        );
+    }
+
+    #[test]
+    fn deterministic_scheme_answers_replays_identically() {
+        let (registry, judge, target) = fixture();
+        let harness = AttackHarness::new(registry, judge);
+        let mut strategy = RepetitionProbe::new(target, 4);
+        let arm = harness.run_arm("alg1", &mut strategy, 30, 10, 6);
+        assert!(arm.replay_repeats > 0, "the prober replayed something");
+        assert_eq!(arm.replay_mismatches, 0, "alg1 is deterministic");
+        assert_eq!(arm.failures, 0, "alg1 is γ-correct on planted shells");
+    }
+
+    #[test]
+    #[should_panic(expected = "failed to serve")]
+    fn unknown_shards_panic_loudly() {
+        let (registry, judge, target) = fixture();
+        let harness = AttackHarness::new(registry, judge);
+        let mut strategy = NonAdaptiveControl::new(target, 4);
+        harness.run_arm("nope", &mut strategy, 1, 1, 7);
+    }
+}

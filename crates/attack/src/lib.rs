@@ -1,0 +1,88 @@
+//! `anns-attack` — the adversarial-robustness scenario suite.
+//!
+//! The paper's guarantees (and every LSH-style baseline's) are stated
+//! against an *oblivious* adversary: queries are fixed before the
+//! structure's random coins are drawn. A real serving deployment leaks
+//! information with every answer, and an **adaptive** adversary can fold
+//! those answers back into its next query — walking along the recall
+//! boundary of a fixed randomized structure until it concentrates its
+//! queries where that one structure fails. This crate measures exactly
+//! that gap, end to end through the real serving stack:
+//!
+//! * [`strategy`] — the [`strategy::AttackStrategy`] trait and three
+//!   reference attackers: a non-adaptive control arm
+//!   ([`strategy::NonAdaptiveControl`]), answer-guided bit-flip
+//!   hill-climbing that latches observed failures and explores their
+//!   Hamming neighborhood ([`strategy::BitFlipHillClimb`]), and a
+//!   repetition prober that replays earlier queries to hunt for answer
+//!   instability ([`strategy::RepetitionProbe`]);
+//! * [`harness`] — [`harness::AttackHarness`]: every crafted query goes
+//!   through the real `anns_engine::Registry` → `Engine` →
+//!   `AdmissionQueue` path on an injectable `VirtualClock` with seeded
+//!   RNG, so an attack trace is *byte-replayable* — the same seed
+//!   reproduces the same queries, answers, ledgers and fingerprints;
+//! * [`scenario`] — canned scenarios ([`scenario::ScenarioConfig`])
+//!   registering the arms under attack: an undefended LSH baseline, the
+//!   same baseline wrapped in the `anns_core::SubsampledRepetition`
+//!   defense (R independently-built replicas, each query answered by a
+//!   per-query pseudorandom subsample of K), and the paper's
+//!   Algorithm 1;
+//! * [`report`] — [`report::RobustnessReport`] /
+//!   [`report::BenchAttackReport`]: per-arm failure counts, bucketed
+//!   failure curves over adaptive rounds, replay-consistency counters
+//!   and a CRC-32 trace fingerprint, all `serde`-serializable for
+//!   `annsctl attack` / `annsctl bench-attack` and the CI attack gate.
+//!
+//! The defense's point, observable here: against the *undefended* LSH
+//! arm the hill-climber's failure rate climbs well above the control arm
+//! once it latches a boundary query, while the subsampled wrapper keeps
+//! the adaptive and control curves statistically indistinguishable —
+//! each distinct query draws a fresh subsample of replicas, so a failure
+//! observed against one subsample says nearly nothing about its
+//! neighbors'.
+//!
+//! # Example
+//!
+//! Run a miniature suite twice and check the traces are byte-identical:
+//!
+//! ```
+//! use anns_attack::{run_suite, ScenarioConfig};
+//!
+//! let config = ScenarioConfig {
+//!     rounds: 12,
+//!     ..ScenarioConfig::tiny(7)
+//! };
+//! let a = run_suite(&config);
+//! let b = run_suite(&config);
+//! assert_eq!(a, b, "same seed, same trace");
+//! // One arm per (scheme, strategy) pair.
+//! assert_eq!(a.arms.len(), 9);
+//! // The deterministic Algorithm 1 arm never fails the judge.
+//! for arm in a.arms.iter().filter(|arm| arm.shard == "alg1") {
+//!     assert_eq!(arm.failures, 0, "{}", arm.strategy);
+//! }
+//! ```
+
+pub mod harness;
+pub mod report;
+pub mod scenario;
+pub mod strategy;
+
+pub use harness::{AttackHarness, Judge};
+pub use report::{ArmReport, BenchAttackReport, RobustnessReport};
+pub use scenario::{
+    build_scenario, default_strategies, run_suite, Scenario, ScenarioConfig, SHARDS,
+};
+pub use strategy::{AttackStrategy, BitFlipHillClimb, NonAdaptiveControl, RepetitionProbe};
+
+/// SplitMix64 step: the crate's deterministic seed-derivation primitive
+/// (arm seeds, replica build seeds) — never wall-clock, never shared
+/// mutable state, so every derived stream is a pure function of the
+/// scenario seed.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}

@@ -13,9 +13,11 @@
 //! annsctl serve       [--from-store bundle.anns | --mounts a=x.anns,… | --index index.json]
 //! annsctl serve       --online 1 [--rate 4000] [--window 16] [--max-wait-us 500] [--queue-cap 256]
 //! annsctl serve       --trace-out trace.jsonl [--trace-cap 4096] […]
-//! annsctl server      --listen 127.0.0.1:0 [--addr-file addr.txt] [--tenants hot:0:8,…] [--out report.json]
+//! annsctl server      --listen 127.0.0.1:0 [--addr-file addr.txt] [--tenants hot:0:8,…] [--max-conns 256] [--out report.json]
 //! annsctl client      --addr 127.0.0.1:PORT [--tenant acme] [--count 4] [--shutdown 1]
 //! annsctl trace       inspect --trace trace.jsonl [--limit 12] [--server-report report.json]
+//! annsctl attack      [--scenario quick] [--rounds 240] [--seed 42] [--band 0.05] [--out report.json]
+//! annsctl bench-attack [--seed 42] --out BENCH_attack_quick.json
 //! annsctl bench-serve [--from-store bundle.anns | --index index.json] [--shards 4] --out BENCH_serve.json
 //! annsctl bench-kernels [--dims 64,256,512] [--n 16384] --out BENCH_kernels.json
 //! annsctl bench-obs   [--events 2000000] [--capacity 4096] --out BENCH_obs.json
@@ -24,6 +26,7 @@
 //! annsctl bench-gate  --kernels-current BENCH_k.json --kernels-reference BENCH_kernels_quick.json
 //! annsctl bench-gate  --obs-current BENCH_o.json --obs-reference BENCH_obs_quick.json
 //! annsctl bench-gate  --server-current BENCH_s.json --server-reference BENCH_server_quick.json
+//! annsctl bench-gate  --attack-current BENCH_a.json --attack-reference BENCH_attack_quick.json
 //! annsctl lpm         --sigma 4 --m 8 --n 64 --k 2 --queries 32
 //! annsctl lb          --log2n 1.3e24 --log2d 1.1e12 --gamma 4 --k 3
 //! ```
@@ -71,10 +74,17 @@
 //! clock, and writes `BENCH_serve.json`,
 //! `bench-kernels` times the scalar per-`Point` distance loop against the
 //! limb-major `PackedBlock` kernels and writes `BENCH_kernels.json`,
+//! `attack` runs the adversarial-robustness suite (`anns-attack`:
+//! adaptive attackers driven through the real engine + admission queue,
+//! the subsampled-repetition defense under test) and exits nonzero if
+//! the defended scheme's adaptive degradation exceeds `--band`,
+//! `bench-attack` runs that suite twice, verifies the two traces are
+//! byte-identical, and writes the committed `BENCH_attack_quick.json`
+//! artifact the CI attack gate diffs against,
 //! `bench-gate` compares such reports (serve and/or kernel) against
-//! committed references with tolerance bands (the CI perf-regression and
-//! microbench gates), `lpm` runs the trie scheme end to end, and `lb`
-//! invokes the round-elimination calculator.
+//! committed references with tolerance bands (the CI perf-regression,
+//! microbench and attack gates), `lpm` runs the trie scheme end to end,
+//! and `lb` invokes the round-elimination calculator.
 //!
 //! The operator-facing walkthrough of these commands lives in
 //! `docs/SERVING.md`; the bundle format itself in `docs/STORE_FORMAT.md`.
@@ -83,6 +93,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use anns_attack::{run_suite, BenchAttackReport, RobustnessReport, ScenarioConfig};
 use anns_bench::server_bench::{
     rtt_pct_us, BenchServerConfig, BenchServerReport, TenantBenchRow, TenantWorkloadSpec,
 };
@@ -128,7 +139,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 fn die(msg: &str) -> ! {
     eprintln!("annsctl: {msg}");
     eprintln!(
-        "usage: annsctl <build|query|lambda|stats|save|load|inspect|mount|swap|serve|server|client|trace|bench-serve|bench-kernels|bench-obs|bench-server|bench-gate|lpm|lb> [--flag value]…"
+        "usage: annsctl <build|query|lambda|stats|save|load|inspect|mount|swap|serve|server|client|trace|attack|bench-attack|bench-serve|bench-kernels|bench-obs|bench-server|bench-gate|lpm|lb> [--flag value]…"
     );
     std::process::exit(2);
 }
@@ -999,6 +1010,7 @@ fn cmd_server(flags: HashMap<String, String>) {
     let threads: usize = flag(&flags, "threads", 2);
     let rate: f64 = flag(&flags, "rate", 1_000.0);
     let burst: f64 = flag(&flags, "burst", 256.0);
+    let max_conns: usize = flag(&flags, "max-conns", 256);
     // The arrival-rate deadline adapter is on by default; `--adapt 0`
     // pins the configured cap (what the deterministic CI runs want).
     let adapt = flags.get("adapt").is_none_or(|v| v != "0" && v != "false");
@@ -1032,6 +1044,7 @@ fn cmd_server(flags: HashMap<String, String>) {
         },
         policies: policies.clone(),
         adapt_max_wait: adapt,
+        max_connections: max_conns,
     };
     let server = AnnsServer::bind(&listen, Arc::new(engine), opts, Arc::new(RealClock::new()))
         .unwrap_or_else(|e| die(&format!("cannot bind {listen}: {e}")));
@@ -1043,7 +1056,8 @@ fn cmd_server(flags: HashMap<String, String>) {
     }
     eprintln!(
         "server: {} shard(s), {} driver(s), window {window}, deadline cap {max_wait_us} µs \
-         ({}), capacity {capacity}, default policy {rate}/s burst {burst}, {} tenant override(s)",
+         ({}), capacity {capacity}, max-conns {max_conns}, default policy {rate}/s burst {burst}, \
+         {} tenant override(s)",
         server.engine().registry().len(),
         server.drivers(),
         if adapt { "adaptive" } else { "pinned" },
@@ -2476,6 +2490,163 @@ fn cmd_inspect(flags: HashMap<String, String>) {
     }
 }
 
+/// Renders one suite's arms as the attack summary table, and returns the
+/// headline deltas: `(undefended adaptive delta, defended adaptive
+/// delta)` — each is the hill-climb failure rate minus the control
+/// failure rate on that shard.
+fn print_attack_summary(report: &RobustnessReport) -> (f64, f64) {
+    let mut table = MarkdownTable::new(&[
+        "shard",
+        "scheme",
+        "strategy",
+        "failures",
+        "rate",
+        "final bucket",
+        "curve",
+        "replays",
+        "mismatches",
+    ]);
+    for arm in &report.arms {
+        table.row(vec![
+            arm.shard.clone(),
+            arm.scheme.clone(),
+            arm.strategy.clone(),
+            format!("{}/{}", arm.failures, arm.rounds),
+            format!("{:.3}", arm.failure_rate()),
+            format!("{:.3}", arm.final_bucket_rate()),
+            format!("{:?}", arm.bucket_failures),
+            arm.replay_repeats.to_string(),
+            arm.replay_mismatches.to_string(),
+        ]);
+    }
+    table.print();
+    let undefended = report.adaptive_delta("lsh").unwrap_or(0.0);
+    let defended = report.adaptive_delta("lsh-sub").unwrap_or(0.0);
+    let attacked = report
+        .arm("lsh", "hillclimb")
+        .map_or(0.0, |a| a.failure_rate());
+    let attacked_defended = report
+        .arm("lsh-sub", "hillclimb")
+        .map_or(0.0, |a| a.failure_rate());
+    println!();
+    println!(
+        "attacked-vs-control   (lsh):     {undefended:+.4} adaptive delta (hillclimb {:.3} vs control {:.3})",
+        attacked,
+        report.arm("lsh", "control").map_or(0.0, |a| a.failure_rate()),
+    );
+    println!(
+        "defended-vs-undefended (hillclimb): {:+.4} ({:.3} defended vs {:.3} undefended)",
+        attacked_defended - attacked,
+        attacked_defended,
+        attacked
+    );
+    println!("defended adaptive delta (lsh-sub): {defended:+.4}");
+    (undefended, defended)
+}
+
+/// Resolves `--scenario` + overrides into a config.
+fn attack_config(flags: &HashMap<String, String>) -> ScenarioConfig {
+    let seed: u64 = flag(flags, "seed", 42);
+    let scenario = flags.get("scenario").map_or("quick", String::as_str);
+    let mut config = match scenario {
+        "tiny" => ScenarioConfig::tiny(seed),
+        "quick" => ScenarioConfig::quick(seed),
+        "full" => ScenarioConfig::full(seed),
+        other => die(&format!("--scenario must be tiny|quick|full, got {other}")),
+    };
+    config.rounds = flag(flags, "rounds", config.rounds);
+    config.bucket = flag(flags, "bucket", config.bucket);
+    if config.rounds == 0 || config.bucket == 0 {
+        die("--rounds and --bucket must be positive");
+    }
+    config
+}
+
+fn cmd_attack(flags: HashMap<String, String>) {
+    let config = attack_config(&flags);
+    let band: f64 = flag(&flags, "band", 0.05);
+    println!(
+        "attack: scenario {} (n={} d={} r={} γ={} boost={}, defense R={} K={}), {} rounds/arm, seed {}",
+        config.name,
+        config.n,
+        config.d,
+        config.r,
+        config.gamma,
+        config.boost,
+        config.replicas,
+        config.sample,
+        config.rounds,
+        config.seed
+    );
+    let report = run_suite(&config);
+    let (_, defended_delta) = print_attack_summary(&report);
+    if let Some(out) = flags.get("out") {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(out, json).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+        println!("report written to {out}");
+    }
+    let mismatches: u64 = report.arms.iter().map(|a| a.replay_mismatches).sum();
+    if mismatches > 0 {
+        eprintln!("attack: FAIL — {mismatches} replayed queries answered differently (answer instability)");
+        std::process::exit(1);
+    }
+    if defended_delta > band {
+        eprintln!(
+            "attack: FAIL — defended scheme degraded {defended_delta:+.4} under the adaptive attacker (band {band})"
+        );
+        std::process::exit(1);
+    }
+    println!("attack: pass (defended adaptive delta {defended_delta:+.4} within band {band})");
+}
+
+fn cmd_bench_attack(flags: HashMap<String, String>) {
+    let seed: u64 = flag(&flags, "seed", 42);
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_attack_quick.json".into());
+    // Quick mode is the committed-artifact configuration; full mode is
+    // the same geometry with 4× the adaptive rounds.
+    let config = if quick_mode() {
+        ScenarioConfig::quick(seed)
+    } else {
+        ScenarioConfig::full(seed)
+    };
+    println!(
+        "bench-attack: scenario {} ({} rounds/arm, seed {seed}), two verification runs",
+        config.name, config.rounds
+    );
+    let start = Instant::now();
+    let first = run_suite(&config);
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let second = run_suite(&config);
+    let replay_verified = first == second;
+    print_attack_summary(&first);
+    println!();
+    println!(
+        "replay_verified: {replay_verified} (two runs {}), suite wall {:.2}s",
+        if replay_verified {
+            "byte-identical"
+        } else {
+            "DIVERGED"
+        },
+        wall_ns as f64 / 1e9
+    );
+    let report = BenchAttackReport {
+        scenario: first.scenario.clone(),
+        arms: first.arms,
+        replay_verified,
+        wall_ns,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    println!("report written to {out}");
+    if !replay_verified {
+        eprintln!("bench-attack: FAIL — identical configs produced different traces");
+        std::process::exit(1);
+    }
+}
+
 /// One gated metric comparison in the `bench-gate` diff summary. `key` is
 /// the engine batch width for serve metrics, the dimension `d` for kernel
 /// metrics; `lower` says which direction of `bound` is passing.
@@ -2498,6 +2669,8 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
     let obs_reference_path = flags.get("obs-reference").cloned();
     let server_current_path = flags.get("server-current").cloned();
     let server_reference_path = flags.get("server-reference").cloned();
+    let attack_current_path = flags.get("attack-current").cloned();
+    let attack_reference_path = flags.get("attack-reference").cloned();
     if current_path.is_some() != reference_path.is_some() {
         die("--current and --reference must be given together");
     }
@@ -2510,12 +2683,16 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
     if server_current_path.is_some() != server_reference_path.is_some() {
         die("--server-current and --server-reference must be given together");
     }
+    if attack_current_path.is_some() != attack_reference_path.is_some() {
+        die("--attack-current and --attack-reference must be given together");
+    }
     if current_path.is_none()
         && kernels_current_path.is_none()
         && obs_current_path.is_none()
         && server_current_path.is_none()
+        && attack_current_path.is_none()
     {
-        die("nothing to gate: pass --current/--reference, --kernels-current/--kernels-reference, --obs-current/--obs-reference and/or --server-current/--server-reference");
+        die("nothing to gate: pass --current/--reference, --kernels-current/--kernels-reference, --obs-current/--obs-reference, --server-current/--server-reference and/or --attack-current/--attack-reference");
     }
     // Coalescing is deterministic in the workload, so its band is tight;
     // speedup is wall-clock on shared CI runners, so its band only
@@ -2541,6 +2718,10 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
     // shared runners, so they get the loose collapse-detector band.
     let tol_server_counter: f64 = flag(&flags, "tol-server-counter", 0.10);
     let tol_server_wall: f64 = flag(&flags, "tol-server-wall", 4.0);
+    // Attack failure counts are deterministic in (scenario, seed) —
+    // gated by exact equality, no tolerance flag. Suite wall-clock is
+    // machine dependent: loose collapse-detector band like the others.
+    let tol_attack_wall: f64 = flag(&flags, "tol-attack-wall", 4.0);
 
     let mut rows: Vec<GateRow> = Vec::new();
     let mut failed = false;
@@ -2589,6 +2770,17 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
             &mut failed,
         );
     }
+    if let (Some(attack_current), Some(attack_reference)) =
+        (&attack_current_path, &attack_reference_path)
+    {
+        attack_gate_rows(
+            attack_current,
+            attack_reference,
+            tol_attack_wall,
+            &mut rows,
+            &mut failed,
+        );
+    }
 
     // The diff summary, markdown so CI step output renders it.
     println!("| key | metric | reference | current | allowed | verdict |");
@@ -2608,7 +2800,7 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
     }
     if failed {
         println!(
-            "bench-gate: REGRESSION (tolerances: coalescing {tol_coalescing}, speedup {tol_speedup}, kernel-ratio {tol_kernel_ratio}, kernel-wall {tol_kernel_wall}, trace-overhead {tol_trace_overhead}, obs-wall {tol_obs_wall}, server-counter {tol_server_counter}, server-wall {tol_server_wall})"
+            "bench-gate: REGRESSION (tolerances: coalescing {tol_coalescing}, speedup {tol_speedup}, kernel-ratio {tol_kernel_ratio}, kernel-wall {tol_kernel_wall}, trace-overhead {tol_trace_overhead}, obs-wall {tol_obs_wall}, server-counter {tol_server_counter}, server-wall {tol_server_wall}, attack-wall {tol_attack_wall}; attack failure counts exact)"
         );
         std::process::exit(1);
     }
@@ -3044,6 +3236,107 @@ fn server_gate_rows(
     }
 }
 
+/// Attack-report comparisons (`bench-attack` artifacts) for
+/// `bench-gate`. Failure counts are a pure function of (scenario, seed),
+/// so both sides of every count band are the reference value itself —
+/// any drift means the serving stack, a scheme, or an attacker changed
+/// behavior without the reference being regenerated. Only the suite
+/// wall-clock gets a tolerance.
+fn attack_gate_rows(
+    current_path: &str,
+    reference_path: &str,
+    tol_wall: f64,
+    rows: &mut Vec<GateRow>,
+    failed: &mut bool,
+) {
+    let read = |path: &str| -> BenchAttackReport {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        serde_json::from_str(&json).unwrap_or_else(|e| die(&format!("bad report {path}: {e}")))
+    };
+    let current = read(current_path);
+    let reference = read(reference_path);
+    if current.scenario != reference.scenario {
+        eprintln!(
+            "bench-gate: attack scenarios differ (current {} n={} rounds={} seed={}, reference {} n={} rounds={} seed={})",
+            current.scenario.name,
+            current.scenario.n,
+            current.scenario.rounds,
+            current.scenario.seed,
+            reference.scenario.name,
+            reference.scenario.n,
+            reference.scenario.rounds,
+            reference.scenario.seed
+        );
+        die("refusing to compare attack reports from different scenarios");
+    }
+    if !current.replay_verified {
+        println!("FAIL: {current_path} was not replay-verified (two runs diverged)");
+        *failed = true;
+    }
+    for (key, reference_arm) in reference.arms.iter().enumerate() {
+        let Some(current_arm) = current
+            .arms
+            .iter()
+            .find(|a| a.shard == reference_arm.shard && a.strategy == reference_arm.strategy)
+        else {
+            println!(
+                "FAIL: arm {}/{} missing from {current_path}",
+                reference_arm.shard, reference_arm.strategy
+            );
+            *failed = true;
+            continue;
+        };
+        let exact = current_arm.failures == reference_arm.failures;
+        if !exact {
+            println!(
+                "FAIL: {}/{} failure count drifted (current {}, reference {}) — \
+                 deterministic counts only move when code changes behavior; regenerate the reference deliberately",
+                reference_arm.shard,
+                reference_arm.strategy,
+                current_arm.failures,
+                reference_arm.failures
+            );
+        }
+        rows.push(GateRow {
+            key,
+            metric: "attack_failures_exact",
+            reference: reference_arm.failures as f64,
+            current: current_arm.failures as f64,
+            bound: reference_arm.failures as f64,
+            lower: true,
+            ok: exact,
+        });
+        if current_arm.replay_mismatches > 0 {
+            println!(
+                "FAIL: {}/{} answered {} replayed query(ies) differently in {current_path}",
+                reference_arm.shard, reference_arm.strategy, current_arm.replay_mismatches
+            );
+            *failed = true;
+        }
+        if current_arm.fingerprint != reference_arm.fingerprint {
+            println!(
+                "FAIL: {}/{} trace fingerprint drifted (current {:#010x}, reference {:#010x})",
+                reference_arm.shard,
+                reference_arm.strategy,
+                current_arm.fingerprint,
+                reference_arm.fingerprint
+            );
+            *failed = true;
+        }
+    }
+    let bound = reference.wall_ns as f64 * tol_wall;
+    rows.push(GateRow {
+        key: 0,
+        metric: "attack_suite_wall_ns",
+        reference: reference.wall_ns as f64,
+        current: current.wall_ns as f64,
+        bound,
+        lower: true,
+        ok: (current.wall_ns as f64) <= bound,
+    });
+}
+
 fn cmd_lpm(flags: HashMap<String, String>) {
     let sigma: u16 = flag(&flags, "sigma", 4);
     let m: usize = flag(&flags, "m", 8);
@@ -3113,6 +3406,8 @@ fn main() {
         "serve" => cmd_serve(flags),
         "server" => cmd_server(flags),
         "client" => cmd_client(flags),
+        "attack" => cmd_attack(flags),
+        "bench-attack" => cmd_bench_attack(flags),
         "bench-serve" => cmd_bench_serve(flags),
         "bench-server" => cmd_bench_server(flags),
         "bench-kernels" => cmd_bench_kernels(flags),

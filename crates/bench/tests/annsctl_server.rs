@@ -196,6 +196,73 @@ fn server_client_exit_codes_and_trace_reconcile() {
 }
 
 #[test]
+fn connection_cap_refusal_is_exit_code_overloaded() {
+    let dir = tmp_dir("cap");
+    let addr_file = dir.file("addr.txt");
+
+    let (child, addr) = spawn_server(
+        &[
+            "server",
+            "--listen",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--n",
+            "128",
+            "--d",
+            "64",
+            "--scheme",
+            "alg1",
+            "--max-conns",
+            "1",
+        ],
+        &addr_file,
+    );
+
+    // A raw TCP connection occupies the only slot — the cap counts
+    // accepted sockets, not completed handshakes.
+    let hog = std::net::TcpStream::connect(&addr).expect("hog connects");
+
+    // The real client binary is refused typed: exit code 3, the
+    // scriptable Overloaded verdict.
+    let out = annsctl()
+        .args(["client", "--addr", &addr, "--tenant", "acme"])
+        .output()
+        .expect("spawn client");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "overloaded exit code\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("connection limit"),
+        "typed message reaches the client\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Freeing the slot re-admits; the release is asynchronous, so
+    // retry until the server notices the hangup.
+    drop(hog);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let out = annsctl()
+            .args(["client", "--addr", &addr, "--tenant", "acme"])
+            .output()
+            .expect("spawn client");
+        if out.status.success() {
+            break;
+        }
+        assert_eq!(out.status.code(), Some(3), "only overload retries");
+        assert!(Instant::now() < deadline, "slot never freed");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    run_ok(annsctl().args(["client", "--addr", &addr, "--shutdown", "1"]));
+    join_server(child);
+}
+
+#[test]
 fn bench_server_and_gate_pipeline() {
     let dir = tmp_dir("gate");
     let addr_file = dir.file("addr.txt");

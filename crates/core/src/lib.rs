@@ -26,7 +26,11 @@
 //!   (decode) and the table oracles (encode);
 //! * [`serve`] — the object-safe [`serve::ServableScheme`] surface the
 //!   `anns-engine` serving subsystem holds instances behind, with
-//!   adapters for Algorithm 1/2 and λ-ANNS over a built index.
+//!   adapters for Algorithm 1/2 and λ-ANNS over a built index;
+//! * [`subsample`] — [`subsample::SubsampledRepetition`], independent
+//!   repetition with per-query subsampling: the adaptive-adversary
+//!   defense as a wrapper over any servable schemes (see
+//!   `docs/ROBUSTNESS.md`).
 //!
 //! All schemes speak the [`anns_cellprobe`] model: probes go through a
 //! `RoundExecutor`, rounds and probes are charged to a `ProbeLedger`, word
@@ -71,6 +75,7 @@ pub mod lambda;
 pub mod outcome;
 pub mod serve;
 pub mod store;
+pub mod subsample;
 pub mod synthetic;
 
 pub use alg1::{alg1, choose_tau_alg1, Alg1Scheme};
@@ -84,4 +89,5 @@ pub use serve::{
     Candidate, ServableScheme, ServeAlg1, ServeAlg2, ServeLambda, ServedAnswer, SoloServable,
 };
 pub use store::{SchemeSpec, StoredScheme};
+pub use subsample::{Aggregation, SubsampledRepetition, REPLICA_STRIDE};
 pub use synthetic::{ErrorModel, SyntheticInstance, SyntheticProfile};

@@ -86,6 +86,19 @@ pub enum SchemeSpec {
         /// Distance threshold λ.
         lambda: f64,
     },
+    /// Subsampled repetition over inner schemes
+    /// ([`crate::subsample::SubsampledRepetition`]). This spec is only
+    /// the wrapper's own parameters; the inner schemes ride in the
+    /// shard record itself (see the bundle codec in `anns-engine`), so
+    /// [`SchemeSpec::instantiate`] cannot build it from one index.
+    Subsampled {
+        /// Subsample size `K`.
+        sample: u32,
+        /// Subsample-selection seed.
+        seed: u64,
+        /// Aggregation rule over the `K` answers.
+        agg: crate::subsample::Aggregation,
+    },
 }
 
 impl SchemeSpec {
@@ -95,10 +108,17 @@ impl SchemeSpec {
             SchemeSpec::Alg1 { .. } => scheme_kind::ALG1,
             SchemeSpec::Alg2(_) => scheme_kind::ALG2,
             SchemeSpec::Lambda { .. } => scheme_kind::LAMBDA,
+            SchemeSpec::Subsampled { .. } => scheme_kind::SUBSAMPLE,
         }
     }
 
     /// Instantiates the servable scheme over a (shared) index.
+    ///
+    /// # Panics
+    ///
+    /// For [`SchemeSpec::Subsampled`]: the wrapper's record carries its
+    /// inner schemes and is instantiated by the bundle loader through
+    /// [`crate::subsample::SubsampledRepetition::new`], never here.
     pub fn instantiate(&self, index: Arc<AnnIndex>) -> Box<dyn ServableScheme> {
         match *self {
             SchemeSpec::Alg1 { k, tau_override } => Box::new(ServeAlg1 {
@@ -108,6 +128,9 @@ impl SchemeSpec {
             }),
             SchemeSpec::Alg2(config) => Box::new(ServeAlg2 { index, config }),
             SchemeSpec::Lambda { lambda } => Box::new(ServeLambda { index, lambda }),
+            SchemeSpec::Subsampled { .. } => {
+                panic!("SchemeSpec::Subsampled carries inner schemes; use the bundle loader")
+            }
         }
     }
 
@@ -121,6 +144,15 @@ impl SchemeSpec {
             }),
             scheme_kind::ALG2 => Ok(SchemeSpec::Alg2(Alg2Config::decode(r)?)),
             scheme_kind::LAMBDA => Ok(SchemeSpec::Lambda { lambda: r.f64()? }),
+            scheme_kind::SUBSAMPLE => {
+                let sample = r.u32()?;
+                let seed = r.u64()?;
+                let byte = r.u8()?;
+                let agg = crate::subsample::Aggregation::from_byte(byte).ok_or_else(|| {
+                    StoreError::Malformed(format!("unknown aggregation byte {byte}"))
+                })?;
+                Ok(SchemeSpec::Subsampled { sample, seed, agg })
+            }
             other => Err(StoreError::UnknownSchemeKind(other)),
         }
     }
@@ -135,6 +167,11 @@ impl SchemeSpec {
             }
             SchemeSpec::Alg2(config) => config.encode(w),
             SchemeSpec::Lambda { lambda } => w.put_f64(lambda),
+            SchemeSpec::Subsampled { sample, seed, agg } => {
+                w.put_u32(sample);
+                w.put_u64(seed);
+                w.put_u8(agg.to_byte());
+            }
         }
     }
 }
@@ -155,6 +192,19 @@ pub enum StoredScheme {
         kind: u8,
         /// The scheme's self-contained encoding.
         payload: Vec<u8>,
+    },
+    /// Subsampled repetition: wrapper parameters plus the stored form
+    /// of every inner replica (which may be `Core` or `Foreign`, but
+    /// not nested `Subsampled` — the bundle codec rejects that).
+    Subsampled {
+        /// Subsample size `K`.
+        sample: u32,
+        /// Subsample-selection seed.
+        seed: u64,
+        /// Aggregation rule.
+        agg: crate::subsample::Aggregation,
+        /// Stored inner replicas, in replica order.
+        inners: Vec<StoredScheme>,
     },
 }
 

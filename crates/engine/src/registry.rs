@@ -29,7 +29,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Weak};
 
 use anns_core::serve::{ServableScheme, ServeAlg1, ServeAlg2, ServeLambda};
-use anns_core::{Alg2Config, AnnIndex, SchemeSpec, StoredScheme};
+use anns_core::{Alg2Config, AnnIndex, SchemeSpec, StoredScheme, SubsampledRepetition};
 use anns_store::{
     ByteReader, ByteWriter, Codec, Manifest, ManifestTracker, SectionDigest, StoreError,
     StoreReader, StoreWriter,
@@ -382,16 +382,38 @@ impl Registry {
                     entry.scheme.label()
                 ))
             })?;
+            let mut pool_index = |index: &Arc<AnnIndex>| {
+                let ptr = Arc::as_ptr(index);
+                *pool_ids.entry(ptr).or_insert_with(|| {
+                    pool.push(Arc::clone(index));
+                    pool.len() as u32 - 1
+                })
+            };
             let kind = match &stored {
                 StoredScheme::Core { index, spec } => {
-                    let ptr = Arc::as_ptr(index);
-                    pool_ids.entry(ptr).or_insert_with(|| {
-                        pool.push(Arc::clone(index));
-                        pool.len() as u32 - 1
-                    });
+                    pool_index(index);
                     spec.kind()
                 }
                 StoredScheme::Foreign { kind, .. } => *kind,
+                StoredScheme::Subsampled { inners, .. } => {
+                    for inner in inners {
+                        match inner {
+                            StoredScheme::Core { index, .. } => {
+                                pool_index(index);
+                            }
+                            StoredScheme::Foreign { .. } => {}
+                            // One level only: the record format (and the
+                            // wrapper's table-id striding) is flat.
+                            StoredScheme::Subsampled { .. } => {
+                                return Err(StoreError::Unsupported(format!(
+                                    "shard {:?}: nested subsampled repetition",
+                                    entry.name
+                                )));
+                            }
+                        }
+                    }
+                    anns_store::scheme_kind::SUBSAMPLE
+                }
             };
             directory.push(ShardInfo {
                 name: entry.name.clone(),
@@ -413,18 +435,43 @@ impl Registry {
         }
         let mut shrd = ByteWriter::new();
         shrd.put_u32(shard_records.len() as u32);
+        // Inner records of a subsampled wrapper share the top-level
+        // layout (kind byte, then pool reference + spec payload or an
+        // opaque foreign payload); nesting is rejected above.
+        let flat_record = |shrd: &mut ByteWriter, stored: &StoredScheme| match stored {
+            StoredScheme::Core { index, spec } => {
+                shrd.put_u8(spec.kind());
+                shrd.put_u32(pool_ids[&Arc::as_ptr(index)]);
+                spec.encode_payload(shrd);
+            }
+            StoredScheme::Foreign { kind, payload } => {
+                shrd.put_u8(*kind);
+                shrd.put_bytes(payload);
+            }
+            StoredScheme::Subsampled { .. } => unreachable!("nesting rejected during pooling"),
+        };
         for (name, stored) in &shard_records {
             name.encode(&mut shrd);
             match stored {
-                StoredScheme::Core { index, spec } => {
-                    shrd.put_u8(spec.kind());
-                    shrd.put_u32(pool_ids[&Arc::as_ptr(index)]);
-                    spec.encode_payload(&mut shrd);
+                StoredScheme::Subsampled {
+                    sample,
+                    seed,
+                    agg,
+                    inners,
+                } => {
+                    shrd.put_u8(anns_store::scheme_kind::SUBSAMPLE);
+                    SchemeSpec::Subsampled {
+                        sample: *sample,
+                        seed: *seed,
+                        agg: *agg,
+                    }
+                    .encode_payload(&mut shrd);
+                    shrd.put_u32(inners.len() as u32);
+                    for inner in inners {
+                        flat_record(&mut shrd, inner);
+                    }
                 }
-                StoredScheme::Foreign { kind, payload } => {
-                    shrd.put_u8(*kind);
-                    shrd.put_bytes(payload);
-                }
+                flat => flat_record(&mut shrd, flat),
             }
         }
 
@@ -587,20 +634,7 @@ impl Registry {
                         for _ in 0..count {
                             let name = String::decode(&mut r)?;
                             let kind = r.u8()?;
-                            let scheme: Box<dyn ServableScheme> =
-                                if kind < anns_store::scheme_kind::FOREIGN_MIN {
-                                    let pool_id = r.u32()? as usize;
-                                    let index = indexes.get(pool_id).ok_or_else(|| {
-                                        StoreError::Malformed(format!(
-                                            "shard {name:?} references index {pool_id} of {}",
-                                            indexes.len()
-                                        ))
-                                    })?;
-                                    let spec = SchemeSpec::decode_kind(kind, &mut r)?;
-                                    spec.instantiate(Arc::clone(index))
-                                } else {
-                                    anns_lsh::decode_foreign_scheme(kind, r.bytes()?)?
-                                };
+                            let scheme = decode_shard_scheme(&name, kind, &mut r, &indexes, false)?;
                             let full = format!("{prefix}{name}");
                             if self.resolve(&full).is_some() {
                                 return Err(StoreError::Malformed(format!(
@@ -650,6 +684,62 @@ impl Registry {
             indexes,
             meta,
         })
+    }
+}
+
+/// Decodes one shard record (kind byte already read) into a servable
+/// scheme. Core kinds reference the index pool; foreign kinds carry an
+/// opaque payload owned by `anns-lsh`; `SUBSAMPLE` records carry the
+/// wrapper spec plus a flat list of inner records in this same layout.
+/// `nested` guards the one-level rule — a subsampled record inside a
+/// subsampled record is malformed, not merely unsupported, because no
+/// writer in this workspace ever produces it.
+fn decode_shard_scheme(
+    name: &str,
+    kind: u8,
+    r: &mut ByteReader<'_>,
+    indexes: &[Arc<AnnIndex>],
+    nested: bool,
+) -> Result<Box<dyn ServableScheme>, StoreError> {
+    if kind == anns_store::scheme_kind::SUBSAMPLE {
+        if nested {
+            return Err(StoreError::Malformed(format!(
+                "shard {name:?}: nested subsampled repetition"
+            )));
+        }
+        let SchemeSpec::Subsampled { sample, seed, agg } = SchemeSpec::decode_kind(kind, r)? else {
+            unreachable!("SUBSAMPLE kind decodes to SchemeSpec::Subsampled")
+        };
+        let count = r.u32()?;
+        if count == 0 || count as usize > SubsampledRepetition::MAX_REPLICAS {
+            return Err(StoreError::Malformed(format!(
+                "shard {name:?}: {count} subsampled replicas (1..={} allowed)",
+                SubsampledRepetition::MAX_REPLICAS
+            )));
+        }
+        let mut inners: Vec<Arc<dyn ServableScheme>> = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let inner_kind = r.u8()?;
+            inners.push(Arc::from(decode_shard_scheme(
+                name, inner_kind, r, indexes, true,
+            )?));
+        }
+        let wrapped = SubsampledRepetition::new(inners, sample, seed, agg)
+            .map_err(|e| StoreError::Malformed(format!("shard {name:?}: {e}")))?;
+        return Ok(Box::new(wrapped));
+    }
+    if kind < anns_store::scheme_kind::FOREIGN_MIN {
+        let pool_id = r.u32()? as usize;
+        let index = indexes.get(pool_id).ok_or_else(|| {
+            StoreError::Malformed(format!(
+                "shard {name:?} references index {pool_id} of {}",
+                indexes.len()
+            ))
+        })?;
+        let spec = SchemeSpec::decode_kind(kind, r)?;
+        Ok(spec.instantiate(Arc::clone(index)))
+    } else {
+        anns_lsh::decode_foreign_scheme(kind, r.bytes()?)
     }
 }
 
@@ -714,6 +804,97 @@ mod tests {
         assert_eq!(fork.resolve("a"), Some(id));
         // Same trait object, not a copy.
         assert!(std::ptr::eq(reg.scheme(id), fork.scheme(id)));
+    }
+
+    #[test]
+    fn subsampled_shard_roundtrips_through_a_bundle() {
+        use anns_cellprobe::{ExecOptions, RoundExecutor};
+        use anns_core::serve::ServeAlg1;
+        use anns_core::Aggregation;
+
+        let mut rng = StdRng::seed_from_u64(51);
+        let inst = gen::planted(48, 96, 4, &mut rng);
+        let shared = Arc::new(AnnIndex::build(
+            inst.dataset.clone(),
+            SketchParams::practical(2.0, 60),
+            BuildOptions::default(),
+        ));
+        let other = Arc::new(AnnIndex::build(
+            inst.dataset,
+            SketchParams::practical(2.0, 61),
+            BuildOptions::default(),
+        ));
+        let inners: Vec<Arc<dyn ServableScheme>> = vec![
+            Arc::new(ServeAlg1 {
+                index: Arc::clone(&shared),
+                k: 2,
+                tau_override: None,
+            }),
+            Arc::new(ServeAlg1 {
+                index: Arc::clone(&other),
+                k: 2,
+                tau_override: None,
+            }),
+            Arc::new(ServeAlg1 {
+                index: Arc::clone(&shared),
+                k: 3,
+                tau_override: None,
+            }),
+        ];
+        let wrapper = SubsampledRepetition::new(inners, 2, 99, Aggregation::BestOf).unwrap();
+        let mut reg = Registry::new();
+        // A plain shard over the same index, to exercise pool sharing
+        // between top-level and inner records.
+        reg.register_alg1("plain", Arc::clone(&shared), 2);
+        reg.register("defended", Box::new(wrapper));
+        let mut bytes = Vec::new();
+        reg.save_bundle_to(&mut bytes).unwrap();
+
+        let bundle = Registry::load_bundle_from(&bytes[..]).unwrap();
+        // Two distinct indexes total: `shared` is pooled once across
+        // three references (plain shard + two inner replicas).
+        assert_eq!(bundle.registry.pooled_indexes().len(), 2);
+        let id = bundle.registry.resolve("defended").unwrap();
+        let loaded = bundle.registry.scheme(id);
+        let orig_id = reg.resolve("defended").unwrap();
+        let orig = reg.scheme(orig_id);
+        assert_eq!(loaded.label(), orig.label());
+        assert_eq!(loaded.round_budget(), orig.round_budget());
+        assert_eq!(loaded.probe_budget(), orig.probe_budget());
+        // Byte-identical serving across the round-trip.
+        let serve = |s: &dyn ServableScheme| {
+            let mut exec = RoundExecutor::new(s.table(), ExecOptions::with_transcript());
+            let answer = s.serve(&inst.query, &mut exec);
+            let (ledger, transcript) = exec.finish();
+            (format!("{answer:?}"), ledger, transcript)
+        };
+        assert_eq!(serve(orig), serve(loaded));
+    }
+
+    #[test]
+    fn nested_subsampled_shards_are_rejected_at_save() {
+        use anns_core::serve::ServeAlg1;
+        use anns_core::Aggregation;
+
+        let index = small_index();
+        let leaf: Arc<dyn ServableScheme> = Arc::new(ServeAlg1 {
+            index,
+            k: 2,
+            tau_override: None,
+        });
+        let inner = SubsampledRepetition::new(vec![leaf], 1, 7, Aggregation::Majority).unwrap();
+        let outer = SubsampledRepetition::new(
+            vec![Arc::new(inner) as Arc<dyn ServableScheme>],
+            1,
+            8,
+            Aggregation::Majority,
+        )
+        .unwrap();
+        let mut reg = Registry::new();
+        reg.register("nested", Box::new(outer));
+        let mut out = Vec::new();
+        let err = reg.save_bundle_to(&mut out).unwrap_err();
+        assert!(matches!(err, StoreError::Unsupported(msg) if msg.contains("nested")));
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Answer stability: asking the same question twice returns the same
+//! bytes. For every scheme kind in the system — Algorithm 1/2, λ-ANNS,
+//! LSH, linear scan, and the subsampled-repetition defense — a repeated
+//! query yields a byte-identical `ServedAnswer`, ledger, and transcript,
+//! both solo and through the coalescing engine. This is the property
+//! the attack harness's replay-consistency accounting leans on: an
+//! index that answers the *same* query differently across asks leaks
+//! its coins to an adaptive observer (and breaks byte-replayable
+//! benchmarks besides).
+
+use std::sync::Arc;
+
+use anns_cellprobe::{execute_with, ExecOptions};
+use anns_core::serve::{ServableScheme, SoloServable};
+use anns_core::{Aggregation, Alg2Config, SchemeSpec, SubsampledRepetition};
+use anns_engine::testkit::{clustered_index, hot_set_workload};
+use anns_engine::{Engine, EngineOptions, QueryRequest, Registry};
+use anns_lsh::{LinearScan, LshIndex, LshParams, ServeLinear, ServeLsh};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 160;
+const D: u32 = 192;
+
+/// One registry holding every scheme kind over the same database.
+fn full_registry() -> Registry {
+    let index = clustered_index(10, 16, D, 0.05, 9090);
+    let dataset = index.dataset().clone();
+    let mut registry = Registry::new();
+    registry.register_alg1("alg1", Arc::clone(&index), 3);
+    registry.register_alg2("alg2", Arc::clone(&index), Alg2Config::with_k(8));
+    registry.register_lambda("lambda", Arc::clone(&index), 8.0);
+
+    let params = LshParams::for_radius(N, D, 6.0, 2.0, 4.0);
+    let lsh = LshIndex::build(dataset.clone(), params, &mut StdRng::seed_from_u64(31));
+    registry.register(
+        "lsh",
+        Box::new(ServeLsh {
+            index: Arc::new(lsh),
+        }),
+    );
+    registry.register(
+        "linear",
+        Box::new(ServeLinear {
+            scan: Arc::new(LinearScan::new(dataset.clone())),
+        }),
+    );
+
+    // The defense wrapper: the per-query subsample is *derived from the
+    // query*, so stability is a theorem about the derivation, not luck.
+    let inners: Vec<Arc<dyn ServableScheme>> = (0..4)
+        .map(|i| {
+            let replica = LshIndex::build(dataset.clone(), params, &mut StdRng::seed_from_u64(i));
+            Arc::new(ServeLsh {
+                index: Arc::new(replica),
+            }) as Arc<dyn ServableScheme>
+        })
+        .chain(std::iter::once(Arc::from(
+            SchemeSpec::Alg1 {
+                k: 2,
+                tau_override: None,
+            }
+            .instantiate(Arc::clone(&index)),
+        )))
+        .collect();
+    let defended = SubsampledRepetition::new(inners, 2, 0xFEED, Aggregation::BestOf)
+        .expect("valid defense parameters");
+    registry.register("subsampled", Box::new(defended));
+    registry
+}
+
+const SHARDS: [&str; 6] = ["alg1", "alg2", "lambda", "lsh", "linear", "subsampled"];
+
+#[test]
+fn repeated_queries_are_byte_identical_solo() {
+    let registry = full_registry();
+    let index = clustered_index(10, 16, D, 0.05, 9090);
+    let queries = hot_set_workload(&index, 6, 3, 5, 41);
+    for shard in SHARDS {
+        let id = registry.resolve(shard).unwrap();
+        let scheme = registry.scheme(id);
+        for (i, query) in queries.iter().enumerate() {
+            let first = execute_with(&SoloServable(scheme), query, ExecOptions::with_transcript());
+            let second = execute_with(&SoloServable(scheme), query, ExecOptions::with_transcript());
+            assert_eq!(
+                format!("{:?}", first.0),
+                format!("{:?}", second.0),
+                "{shard}: query {i} answered differently on the second ask"
+            );
+            assert_eq!(first.1, second.1, "{shard}: query {i} ledger drifted");
+            assert_eq!(first.2, second.2, "{shard}: query {i} transcript drifted");
+        }
+    }
+}
+
+#[test]
+fn repeated_queries_are_byte_identical_through_the_engine() {
+    let engine = Engine::new(
+        full_registry(),
+        EngineOptions {
+            generation: 12,
+            exec: ExecOptions::default(),
+            batch_threads: 2,
+        },
+    );
+    let index = clustered_index(10, 16, D, 0.05, 9090);
+    let query = hot_set_workload(&index, 1, 1, 5, 43).pop().unwrap();
+    for shard in SHARDS {
+        let id = engine.registry().resolve(shard).unwrap();
+
+        // Solo through the engine, twice.
+        let a = engine.submit(id, &query);
+        let b = engine.submit(id, &query);
+        assert_eq!(a.answer, b.answer, "{shard}: engine answer drifted");
+        assert_eq!(a.ledger, b.ledger, "{shard}: engine ledger drifted");
+
+        // A full generation of the identical query: coalescing merges
+        // the probes, but every slot's answer must still be the solo
+        // answer — repetition is unobservable in the result bytes.
+        let requests: Vec<QueryRequest> = (0..12)
+            .map(|_| QueryRequest {
+                shard: id,
+                query: query.clone(),
+            })
+            .collect();
+        let served = engine.submit_batch(&requests);
+        for (slot, s) in served.iter().enumerate() {
+            assert_eq!(
+                s.answer, a.answer,
+                "{shard}: slot {slot} diverged under coalescing"
+            );
+            assert_eq!(s.ledger, a.ledger, "{shard}: slot {slot} ledger diverged");
+            assert!(s.within_budget);
+        }
+    }
+}

@@ -14,7 +14,7 @@
 //! batching still happens.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -44,6 +44,13 @@ pub struct ServerOptions {
     pub policies: Vec<(String, TenantPolicy)>,
     /// Whether to adapt `max_wait` to the observed arrival rate.
     pub adapt_max_wait: bool,
+    /// Concurrent-connection cap for the thread-per-connection accept
+    /// loop (the hardening bound on handler threads). An accepted
+    /// connection beyond the cap is refused with one typed
+    /// [`ErrorCode::Overloaded`] error frame and closed — clients see
+    /// the same refusal class as a full admission queue, never a silent
+    /// hangup. `0` means unlimited.
+    pub max_connections: usize,
 }
 
 impl Default for ServerOptions {
@@ -54,7 +61,68 @@ impl Default for ServerOptions {
             default_policy: TenantPolicy::default(),
             policies: Vec::new(),
             adapt_max_wait: true,
+            max_connections: 256,
         }
+    }
+}
+
+/// Bounded accounting of live connection-handler threads. The accept
+/// loop acquires a slot before spawning a handler; the slot releases
+/// when the handler's guard drops, so `active` tracks threads actually
+/// running (not sockets the OS has queued).
+struct ConnSlots {
+    max: usize,
+    active: Arc<AtomicUsize>,
+}
+
+impl ConnSlots {
+    /// A slot pool capped at `max` (`0` = unlimited).
+    fn new(max: usize) -> Self {
+        ConnSlots {
+            max,
+            active: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Live handler count.
+    fn active(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Claims a slot, or `None` at the cap. Lock-free: a compare-exchange
+    /// loop so two racing accepts never overshoot the cap.
+    fn try_acquire(&self) -> Option<ConnGuard> {
+        let mut current = self.active.load(Ordering::SeqCst);
+        loop {
+            if self.max != 0 && current >= self.max {
+                return None;
+            }
+            match self.active.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    return Some(ConnGuard {
+                        active: Arc::clone(&self.active),
+                    })
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+/// RAII slot release: moved into the handler thread, decrements when the
+/// connection's exchange fully finishes (whatever the exit path).
+struct ConnGuard {
+    active: Arc<AtomicUsize>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -130,6 +198,7 @@ struct Inner {
     served_total: AtomicU64,
     adapter: Option<Mutex<WaitAdapter>>,
     drivers: usize,
+    slots: ConnSlots,
 }
 
 impl Inner {
@@ -200,6 +269,7 @@ impl AnnsServer {
                 served_total: AtomicU64::new(0),
                 adapter,
                 drivers,
+                slots: ConnSlots::new(opts.max_connections),
             }),
         })
     }
@@ -222,6 +292,12 @@ impl AnnsServer {
     /// Driver threads the pool will run.
     pub fn drivers(&self) -> usize {
         self.inner.drivers
+    }
+
+    /// Connection-handler threads currently live (test and
+    /// introspection surface).
+    pub fn active_connections(&self) -> usize {
+        self.inner.slots.active()
     }
 
     /// Initiates drain from outside the protocol (signal handlers,
@@ -256,10 +332,18 @@ impl AnnsServer {
                 break;
             }
             match stream {
-                Ok(stream) => {
-                    let inner = Arc::clone(&self.inner);
-                    handlers.push(std::thread::spawn(move || handle_conn(&inner, stream)));
-                }
+                Ok(stream) => match self.inner.slots.try_acquire() {
+                    Some(guard) => {
+                        let inner = Arc::clone(&self.inner);
+                        handlers.push(std::thread::spawn(move || {
+                            let _slot = guard;
+                            handle_conn(&inner, stream);
+                        }));
+                    }
+                    // At the cap: one typed refusal frame, then close —
+                    // inline, so the flood itself never spawns threads.
+                    None => refuse_conn(&self.inner, stream),
+                },
                 Err(_) => continue,
             }
             // Reap finished handlers so an indefinitely running server
@@ -276,6 +360,20 @@ impl AnnsServer {
             let _ = d.join();
         }
     }
+}
+
+/// Refuses a connection accepted past the cap: one
+/// [`ErrorCode::Overloaded`] frame (depth = live handlers, capacity =
+/// the cap, so clients can log how full the server was), then drop.
+fn refuse_conn(inner: &Inner, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let fault = WireFault {
+        code: ErrorCode::Overloaded,
+        depth: inner.slots.active() as u64,
+        capacity: inner.slots.max as u64,
+        message: "connection limit reached; retry later".to_string(),
+    };
+    let _ = write_frame(&mut stream, &Frame::Error(fault));
 }
 
 fn welcome(inner: &Inner) -> Frame {
@@ -410,6 +508,63 @@ mod tests {
     use super::*;
 
     const MS: u64 = 1_000_000;
+
+    #[test]
+    fn conn_slots_cap_and_release() {
+        let slots = ConnSlots::new(2);
+        let a = slots.try_acquire().expect("slot 1");
+        let b = slots.try_acquire().expect("slot 2");
+        assert_eq!(slots.active(), 2);
+        assert!(slots.try_acquire().is_none(), "at the cap");
+        drop(a);
+        assert_eq!(slots.active(), 1);
+        let c = slots.try_acquire().expect("released slot is reusable");
+        assert!(slots.try_acquire().is_none());
+        drop(b);
+        drop(c);
+        assert_eq!(slots.active(), 0);
+    }
+
+    #[test]
+    fn conn_slots_zero_means_unlimited() {
+        let slots = ConnSlots::new(0);
+        let guards: Vec<ConnGuard> = (0..512).map(|_| slots.try_acquire().unwrap()).collect();
+        assert_eq!(slots.active(), 512);
+        drop(guards);
+        assert_eq!(slots.active(), 0);
+    }
+
+    #[test]
+    fn conn_slots_never_overshoot_under_racing_accepts() {
+        let slots = Arc::new(ConnSlots::new(4));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let slots = Arc::clone(&slots);
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    let mut refused = 0usize;
+                    for _ in 0..2_000 {
+                        match slots.try_acquire() {
+                            Some(_guard) => {
+                                peak.fetch_max(slots.active(), Ordering::SeqCst);
+                            }
+                            None => refused += 1,
+                        }
+                    }
+                    refused
+                })
+            })
+            .collect();
+        for t in threads {
+            let _ = t.join().unwrap();
+        }
+        assert!(
+            peak.load(Ordering::SeqCst) <= 4,
+            "cap held under contention"
+        );
+        assert_eq!(slots.active(), 0);
+    }
 
     #[test]
     fn adapter_shrinks_deadline_under_fast_arrivals() {

@@ -73,6 +73,7 @@ fn options() -> ServerOptions {
         default_policy: TenantPolicy::default(),
         policies: Vec::new(),
         adapt_max_wait: false,
+        max_connections: 256,
     }
 }
 
@@ -179,6 +180,55 @@ fn refusals_reach_the_client_typed() {
     assert_eq!(miser.served, 0);
     let acme = report.tenant("acme").expect("acme row");
     assert_eq!(acme.served, 1);
+}
+
+#[test]
+fn connection_cap_refuses_typed_and_recovers_when_a_slot_frees() {
+    let (server, handle) = serve(ServerOptions {
+        max_connections: 1,
+        ..options()
+    });
+    let addr = server.local_addr();
+
+    // The first client takes the only slot and works normally.
+    let (mut first, _) = Client::connect(addr).expect("first connect");
+    let query = workload(54, 1).pop().unwrap();
+    assert!(first.query("acme", "alg1-k3", &query).is_ok());
+
+    // The second is refused *typed* — the Overloaded frame arrives
+    // before any hello processing, so connect itself fails.
+    match Client::connect(addr) {
+        Err(ClientError::Server(fault)) => {
+            assert_eq!(fault.code, ErrorCode::Overloaded);
+            assert_eq!(fault.capacity, 1, "the fault quotes the cap");
+            assert!(fault.message.contains("connection limit"));
+        }
+        Err(other) => panic!("expected typed overload refusal, got {other:?}"),
+        Ok(_) => panic!("expected typed overload refusal, got a welcome"),
+    }
+
+    // Releasing the slot re-admits: the handler thread drops its guard
+    // after the socket closes, so poll until the server notices.
+    drop(first);
+    let mut second = None;
+    for _ in 0..200 {
+        match Client::connect(addr) {
+            Ok((client, _)) => {
+                second = Some(client);
+                break;
+            }
+            Err(ClientError::Server(fault)) => {
+                assert_eq!(fault.code, ErrorCode::Overloaded);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(other) => panic!("unexpected connect failure: {other:?}"),
+        }
+    }
+    let mut second = second.expect("slot frees after the first client hangs up");
+    assert!(second.query("acme", "alg1-k3", &query).is_ok());
+
+    second.shutdown_server().expect("shutdown ack");
+    handle.join().expect("server exits");
 }
 
 #[test]

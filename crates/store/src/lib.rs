@@ -89,6 +89,9 @@ pub mod scheme_kind {
     pub const ALG2: u8 = 2;
     /// The 1-probe λ-ANNS scheme.
     pub const LAMBDA: u8 = 3;
+    /// Subsampled repetition over inner schemes (the adaptive-adversary
+    /// defense; record carries the wrapper spec plus its inner records).
+    pub const SUBSAMPLE: u8 = 4;
     /// First *foreign* kind: records at or above this tag carry a
     /// self-contained opaque payload owned by another crate; records
     /// below it are core specs referencing the bundle's index pool.
@@ -105,6 +108,7 @@ pub mod scheme_kind {
             ALG1 => "alg1",
             ALG2 => "alg2",
             LAMBDA => "lambda",
+            SUBSAMPLE => "subsampled",
             LSH => "lsh",
             LINEAR => "linear",
             _ => "unknown",
