@@ -6,11 +6,11 @@
 //! annsctl lambda      --index index.json --lambda 8
 //! annsctl stats       --index index.json
 //! annsctl save        --out bundle.anns [--scheme all] [--n 1024 --d 256 | --index index.json]
-//! annsctl load        --store bundle.anns [--verify-queries 4]
+//! annsctl load        --store bundle.anns [--store-backend heap|mmap] [--verify-queries 4]
 //! annsctl inspect     --store bundle.anns
-//! annsctl mount       --mounts a=x.anns,b=y.anns [--verify-queries 4]
+//! annsctl mount       --mounts a=x.anns,b=y.anns [--store-backend heap|mmap] [--verify-queries 4]
 //! annsctl swap        --mounts a=x.anns,b=y.anns --swap a=x2.anns [--requests 256]
-//! annsctl serve       [--from-store bundle.anns | --mounts a=x.anns,… | --index index.json]
+//! annsctl serve       [--from-store bundle.anns | --mounts a=x.anns,… | --index index.json] [--store-backend heap|mmap]
 //! annsctl serve       --online 1 [--rate 4000] [--window 16] [--max-wait-us 500] [--queue-cap 256]
 //! annsctl serve       --trace-out trace.jsonl [--trace-cap 4096] […]
 //! annsctl server      --listen 127.0.0.1:0 [--addr-file addr.txt] [--tenants hot:0:8,…] [--max-conns 256] [--out report.json]
@@ -22,11 +22,13 @@
 //! annsctl bench-kernels [--dims 64,256,512] [--n 16384] --out BENCH_kernels.json
 //! annsctl bench-obs   [--events 2000000] [--capacity 4096] --out BENCH_obs.json
 //! annsctl bench-server --addr 127.0.0.1:PORT [--hot-requests 40] [--requests 12] --out BENCH_server.json
+//! annsctl bench-store [--small-n 1024 --large-n 8192 --d 256] --out BENCH_store.json
 //! annsctl bench-gate  --current BENCH_new.json --reference BENCH_serve.json [--tol-coalescing 0.1]
 //! annsctl bench-gate  --kernels-current BENCH_k.json --kernels-reference BENCH_kernels_quick.json
 //! annsctl bench-gate  --obs-current BENCH_o.json --obs-reference BENCH_obs_quick.json
 //! annsctl bench-gate  --server-current BENCH_s.json --server-reference BENCH_server_quick.json
 //! annsctl bench-gate  --attack-current BENCH_a.json --attack-reference BENCH_attack_quick.json
+//! annsctl bench-gate  --store-current BENCH_st.json --store-reference BENCH_store_quick.json
 //! annsctl lpm         --sigma 4 --m 8 --n 64 --k 2 --queries 32
 //! annsctl lb          --log2n 1.3e24 --log2d 1.1e12 --gamma 4 --k 3
 //! ```
@@ -104,10 +106,10 @@ use anns_cellprobe::{
 use anns_core::serve::{ServableScheme, SoloServable};
 use anns_core::{Alg2Config, AnnIndex, AnnsInstance, BuildOptions};
 use anns_engine::{
-    AdmissionOptions, AdmissionQueue, Clock, Engine, EngineOptions, FlightRecorder, MountManifest,
-    MountTable, NamedRequest, NullRecorder, QueryRequest, RealClock, Recorder, Registry,
-    Resolution, RingRecorder, ServeReport, Served, ShardId, Ticket, TraceCounters, TraceEvent,
-    VirtualClock,
+    current_rss_bytes, AdmissionOptions, AdmissionQueue, Clock, Engine, EngineOptions,
+    FlightRecorder, MountManifest, MountTable, NamedRequest, NullRecorder, QueryRequest, RealClock,
+    Recorder, Registry, Resolution, RingRecorder, ServeReport, Served, ShardId, StoreBackend,
+    Ticket, TraceCounters, TraceEvent, VirtualClock,
 };
 use anns_hamming::{gen, Point};
 use anns_lpm::{certified_lower_bound, lower_bound_form, ElimParams, LpmInstance, TrieLpm};
@@ -139,7 +141,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 fn die(msg: &str) -> ! {
     eprintln!("annsctl: {msg}");
     eprintln!(
-        "usage: annsctl <build|query|lambda|stats|save|load|inspect|mount|swap|serve|server|client|trace|attack|bench-attack|bench-serve|bench-kernels|bench-obs|bench-server|bench-gate|lpm|lb> [--flag value]…"
+        "usage: annsctl <build|query|lambda|stats|save|load|inspect|mount|swap|serve|server|client|trace|attack|bench-attack|bench-serve|bench-kernels|bench-obs|bench-server|bench-store|bench-gate|lpm|lb> [--flag value]…"
     );
     std::process::exit(2);
 }
@@ -156,6 +158,30 @@ fn parse_mounts(spec: &str) -> Vec<(String, String)> {
             (ns.to_string(), path.to_string())
         })
         .collect()
+}
+
+/// Parses `--store-backend {heap,mmap}` (default `heap`). `heap` reads,
+/// verifies and decodes the whole bundle up front; `mmap` maps the file,
+/// reads O(manifest) bytes eagerly and defers per-index verification to
+/// first touch, so resident memory tracks the queried working set.
+fn store_backend_flag(flags: &HashMap<String, String>) -> StoreBackend {
+    match flags.get("store-backend") {
+        Some(v) => StoreBackend::parse(v).unwrap_or_else(|e| die(&e)),
+        None => StoreBackend::default(),
+    }
+}
+
+/// Loads a bundle into a fresh registry through the selected backend.
+fn load_bundle_with(path: &str, backend: StoreBackend) -> anns_engine::LoadedBundle {
+    let result = match backend {
+        StoreBackend::Heap => Registry::load_bundle(path),
+        StoreBackend::Mmap => Registry::load_bundle_mapped(path),
+    };
+    result.unwrap_or_else(|e| {
+        die(&format!(
+            "cannot load store {path} ({backend} backend): {e}"
+        ))
+    })
 }
 
 /// Prints one mount's provenance manifest (shared by `mount`/`load`).
@@ -380,35 +406,37 @@ fn build_registry(flags: &HashMap<String, String>, index: &Arc<AnnIndex>) -> Reg
 /// (`--from-store`), or a cold-built registry over a fresh/JSON-snapshot
 /// index.
 fn registry_and_index(flags: &HashMap<String, String>) -> (Registry, Arc<AnnIndex>) {
+    let backend = store_backend_flag(flags);
     if let Some(spec) = flags.get("mounts") {
         let mut registry = Registry::new();
         for (ns, path) in parse_mounts(spec) {
-            let manifest = registry
-                .mount(&ns, &path)
-                .unwrap_or_else(|e| die(&format!("cannot mount {ns}={path}: {e}")));
+            let manifest = match backend {
+                StoreBackend::Heap => registry.mount(&ns, &path),
+                StoreBackend::Mmap => registry.mount_mapped(&ns, &path),
+            }
+            .unwrap_or_else(|e| die(&format!("cannot mount {ns}={path}: {e}")));
             eprintln!("mounted {}", manifest.summary());
         }
         // One workload round-robins over every shard, so every mounted
         // dataset must share its query dimension.
         require_one_dimension(&registry);
         let index = registry
-            .pooled_indexes()
-            .first()
-            .cloned()
+            .any_pooled_index()
             .unwrap_or_else(|| die("mounted bundles hold no AnnIndex-backed shard"));
         (registry, index)
     } else if let Some(path) = flags.get("from-store") {
-        let bundle = Registry::load_bundle(path)
-            .unwrap_or_else(|e| die(&format!("cannot load store {path}: {e}")));
+        let bundle = load_bundle_with(path, backend);
         let index = bundle
             .indexes
             .first()
             .cloned()
+            .or_else(|| bundle.registry.any_pooled_index())
             .unwrap_or_else(|| die(&format!("{path} holds no AnnIndex-backed shard")));
         eprintln!(
-            "warm start: {} shard(s), {} pooled index(es) from {path}",
+            "warm start: {} shard(s), {} pooled index(es) from {path} ({} backend)",
             bundle.registry.len(),
-            bundle.indexes.len()
+            bundle.registry.pooled_indexes().len(),
+            bundle.report.backend
         );
         if !bundle.report.skipped.is_empty() {
             eprintln!(
@@ -468,20 +496,29 @@ fn cmd_mount(flags: HashMap<String, String>) {
     let spec = required(&flags, "mounts");
     let verify: usize = flag(&flags, "verify-queries", 4);
     let seed: u64 = flag(&flags, "seed", 99);
+    let backend = store_backend_flag(&flags);
     let mounts = parse_mounts(&spec);
     let mut registry = Registry::new();
     let started = Instant::now();
     for (ns, path) in &mounts {
-        registry
-            .mount(ns, path)
-            .unwrap_or_else(|e| die(&format!("cannot mount {ns}={path}: {e}")));
+        match backend {
+            StoreBackend::Heap => registry.mount(ns, path),
+            StoreBackend::Mmap => registry.mount_mapped(ns, path),
+        }
+        .unwrap_or_else(|e| die(&format!("cannot mount {ns}={path}: {e}")));
     }
     let mount_ms = started.elapsed().as_secs_f64() * 1e3;
+    let (eager, file): (u64, u64) = registry
+        .mounts()
+        .iter()
+        .fold((0, 0), |(e, f), m| (e + m.eager_bytes, f + m.file_bytes));
     println!(
-        "mounted {} bundle(s), {} shard(s), {} distinct pooled index(es) in {mount_ms:.1} ms",
+        "mounted {} bundle(s), {} shard(s), {} distinct pooled index(es) in {mount_ms:.1} ms \
+         ({backend} backend: {eager} / {file} bytes eager, rss {} KiB)",
         registry.mounts().len(),
         registry.len(),
-        registry.pooled_indexes().len()
+        registry.pooled_indexes().len(),
+        current_rss_bytes() / 1024
     );
     for manifest in registry.mounts().to_vec() {
         print_manifest(&manifest);
@@ -491,15 +528,18 @@ fn cmd_mount(flags: HashMap<String, String>) {
     // fine side by side; one shared workload would not fit them all).
     if verify > 0 {
         for (ns, path) in &mounts {
-            let bundle = Registry::load_bundle(path).unwrap_or_else(|e| {
-                die(&format!("cannot reload {ns}={path} for verification: {e}"))
-            });
-            let Some(index) = bundle.indexes.first() else {
+            let bundle = load_bundle_with(path, backend);
+            let index = bundle
+                .indexes
+                .first()
+                .cloned()
+                .or_else(|| bundle.registry.any_pooled_index());
+            let Some(index) = index else {
                 println!("  verify {ns}: no pooled index, skipping query verification");
                 continue;
             };
             println!("  namespace {ns}:");
-            verify_shard_budgets(&bundle.registry, index, verify, seed);
+            verify_shard_budgets(&bundle.registry, &index, verify, seed);
         }
     }
 }
@@ -697,6 +737,9 @@ fn online_report(
     let mut report = ServeReport::from_run(label, &ok, &[], wall)
         .with_options(engine.options())
         .with_wait(&waits);
+    if let Some(manifest) = engine.registry().mounts().first() {
+        report = report.with_backend(manifest);
+    }
     report.probes_submitted = stats.probes_submitted;
     report.probes_executed = stats.probes_executed;
     report.coalescing_ratio = stats.coalescing_ratio();
@@ -920,6 +963,9 @@ fn cmd_serve(flags: HashMap<String, String>) {
     let mut report =
         ServeReport::from_run(format!("engine[batch={batch}]"), &served, &traces, wall)
             .with_options(engine.options());
+    if let Some(manifest) = engine.registry().mounts().first() {
+        report = report.with_backend(manifest);
+    }
     if let Some((path, flight)) = &trace {
         report = report.with_trace(finish_trace(path, flight));
     }
@@ -2169,6 +2215,130 @@ fn cmd_bench_obs(flags: HashMap<String, String>) {
     println!("report → {out}");
 }
 
+/// `bench-store` output: mount-cost accounting for both store backends
+/// over two seeded bundles, one small and one several times larger. The
+/// byte columns are pure functions of (seed, n, d, schemes) — the store
+/// format is deterministic — so `bench-gate` diffs them *exactly*
+/// against the committed artifact: any drift in `file_bytes` is a
+/// format change, and any drift in `mmap_eager_bytes` is a change to
+/// what the mapped mount reads up front. The O(manifest) claim itself
+/// is gated structurally: the large bundle's eager bytes must stay
+/// within a small factor of the small bundle's even as the files
+/// diverge. Timings and RSS ride along as loose collapse detectors.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct BenchStoreReport {
+    config: BenchStoreConfig,
+    small: StoreMountRow,
+    large: StoreMountRow,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct BenchStoreConfig {
+    small_n: usize,
+    large_n: usize,
+    d: u32,
+    seed: u64,
+    quick: bool,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct StoreMountRow {
+    /// Total section payload bytes in the bundle (deterministic).
+    file_bytes: u64,
+    /// Bytes the heap load reads eagerly — the whole file, by design.
+    heap_eager_bytes: u64,
+    /// Bytes the mapped mount reads eagerly: header, preludes, MNFT,
+    /// META, SHRD and the pool entry table (deterministic).
+    mmap_eager_bytes: u64,
+    /// Wall-clock mount times (machine dependent; loosely gated).
+    heap_mount_ms: f64,
+    mmap_mount_ms: f64,
+    /// Process RSS after each load (informational, not gated).
+    rss_after_heap_bytes: u64,
+    rss_after_mmap_bytes: u64,
+}
+
+fn cmd_bench_store(flags: HashMap<String, String>) {
+    let quick = quick_mode();
+    let seed: u64 = flag(&flags, "seed", 4242);
+    let d: u32 = flag(&flags, "d", 256);
+    let small_n: usize = flag(&flags, "small-n", if quick { 512 } else { 1024 });
+    let large_n: usize = flag(&flags, "large-n", if quick { 4096 } else { 8192 });
+    let out = flag(&flags, "out", "BENCH_store.json".to_string());
+    if large_n < small_n * 4 {
+        die(
+            "--large-n must be at least 4x --small-n for the O(manifest) contrast to mean anything",
+        );
+    }
+    let dir = std::env::temp_dir().join(format!("annsctl-bench-store-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| die(&format!("cannot mkdir {dir:?}: {e}")));
+
+    let measure = |n: usize, tag: &str| -> StoreMountRow {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = gen::uniform(n, d, &mut rng);
+        let index = Arc::new(AnnIndex::build(
+            ds,
+            SketchParams::practical(2.0, seed),
+            BuildOptions::default(),
+        ));
+        let mut registry = Registry::new();
+        registry.register_alg1("alg1-k3", Arc::clone(&index), 3);
+        registry.register_lambda("lambda-8", Arc::clone(&index), 8.0);
+        let path = dir.join(format!("{tag}.anns"));
+        registry
+            .save_bundle(&path)
+            .unwrap_or_else(|e| die(&format!("cannot save {path:?}: {e}")));
+        let path = path.to_string_lossy().into_owned();
+        drop(registry);
+        drop(index);
+
+        // Mapped first, so the heap load's decoded pool cannot inflate
+        // the mmap RSS reading.
+        let mapped = load_bundle_with(&path, StoreBackend::Mmap);
+        let rss_after_mmap_bytes = current_rss_bytes();
+        let mmap_report = mapped.report.clone();
+        drop(mapped);
+        let heap = load_bundle_with(&path, StoreBackend::Heap);
+        let rss_after_heap_bytes = current_rss_bytes();
+        eprintln!(
+            "bench-store: {tag} (n = {n}): file {} B, eager heap {} B / mmap {} B, \
+             mount heap {:.2} ms / mmap {:.2} ms",
+            heap.report.file_bytes,
+            heap.report.eager_bytes,
+            mmap_report.eager_bytes,
+            heap.report.mount_ms,
+            mmap_report.mount_ms
+        );
+        StoreMountRow {
+            file_bytes: heap.report.file_bytes,
+            heap_eager_bytes: heap.report.eager_bytes,
+            mmap_eager_bytes: mmap_report.eager_bytes,
+            heap_mount_ms: heap.report.mount_ms,
+            mmap_mount_ms: mmap_report.mount_ms,
+            rss_after_heap_bytes,
+            rss_after_mmap_bytes,
+        }
+    };
+
+    let small = measure(small_n, "small");
+    let large = measure(large_n, "large");
+    let report = BenchStoreReport {
+        config: BenchStoreConfig {
+            small_n,
+            large_n,
+            d,
+            seed,
+            quick,
+        },
+        small,
+        large,
+    };
+    let json = serde_json::to_string(&report).expect("serialize bench-store report");
+    std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("report → {out}");
+}
+
 /// `bench-server`: the multi-tenant workload against a *running*
 /// `annsctl server` (CI starts one on a loopback ephemeral port).
 /// Three tenants on three connections, submitted round-robin from one
@@ -2377,15 +2547,20 @@ fn cmd_load(flags: HashMap<String, String>) {
     let path = required(&flags, "store");
     let verify: usize = flag(&flags, "verify-queries", 4);
     let seed: u64 = flag(&flags, "seed", 99);
-    let started = Instant::now();
-    let bundle = Registry::load_bundle(&path)
-        .unwrap_or_else(|e| die(&format!("cannot load store {path}: {e}")));
-    let load_ms = started.elapsed().as_secs_f64() * 1e3;
+    let backend = store_backend_flag(&flags);
+    let bundle = load_bundle_with(&path, backend);
     println!(
-        "loaded {path} in {load_ms:.1} ms: {} shard(s), {} pooled index(es) [{}]",
+        "loaded {path} in {:.1} ms: {} shard(s), {} pooled index(es) [{}]",
+        bundle.report.mount_ms,
         bundle.registry.len(),
-        bundle.indexes.len(),
+        bundle.meta.indexes,
         bundle.meta.tool
+    );
+    println!(
+        "  {backend} backend: {} / {} bytes read eagerly, rss {} KiB",
+        bundle.report.eager_bytes,
+        bundle.report.file_bytes,
+        current_rss_bytes() / 1024
     );
     println!(
         "  manifest {}; {} section(s), {} skipped",
@@ -2420,12 +2595,19 @@ fn cmd_load(flags: HashMap<String, String>) {
     }
     // Smoke-run a few queries per shard through the solo executor so a
     // load that *parses* but cannot serve is caught here, not in prod.
+    // On the mmap backend this is also the first touch: it decodes (and
+    // verifies) exactly the shards it queries.
     if verify > 0 {
-        let Some(index) = bundle.indexes.first() else {
+        let index = bundle
+            .indexes
+            .first()
+            .cloned()
+            .or_else(|| bundle.registry.any_pooled_index());
+        let Some(index) = index else {
             println!("no pooled index: skipping query verification");
             return;
         };
-        verify_shard_budgets(&bundle.registry, index, verify, seed);
+        verify_shard_budgets(&bundle.registry, &index, verify, seed);
     }
 }
 
@@ -2671,6 +2853,8 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
     let server_reference_path = flags.get("server-reference").cloned();
     let attack_current_path = flags.get("attack-current").cloned();
     let attack_reference_path = flags.get("attack-reference").cloned();
+    let store_current_path = flags.get("store-current").cloned();
+    let store_reference_path = flags.get("store-reference").cloned();
     if current_path.is_some() != reference_path.is_some() {
         die("--current and --reference must be given together");
     }
@@ -2686,13 +2870,17 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
     if attack_current_path.is_some() != attack_reference_path.is_some() {
         die("--attack-current and --attack-reference must be given together");
     }
+    if store_current_path.is_some() != store_reference_path.is_some() {
+        die("--store-current and --store-reference must be given together");
+    }
     if current_path.is_none()
         && kernels_current_path.is_none()
         && obs_current_path.is_none()
         && server_current_path.is_none()
         && attack_current_path.is_none()
+        && store_current_path.is_none()
     {
-        die("nothing to gate: pass --current/--reference, --kernels-current/--kernels-reference, --obs-current/--obs-reference, --server-current/--server-reference and/or --attack-current/--attack-reference");
+        die("nothing to gate: pass --current/--reference, --kernels-current/--kernels-reference, --obs-current/--obs-reference, --server-current/--server-reference, --attack-current/--attack-reference and/or --store-current/--store-reference");
     }
     // Coalescing is deterministic in the workload, so its band is tight;
     // speedup is wall-clock on shared CI runners, so its band only
@@ -2722,6 +2910,13 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
     // gated by exact equality, no tolerance flag. Suite wall-clock is
     // machine dependent: loose collapse-detector band like the others.
     let tol_attack_wall: f64 = flag(&flags, "tol-attack-wall", 4.0);
+    // Store byte columns are deterministic — gated by exact equality.
+    // The O(manifest) assertion allows the large bundle's eager bytes
+    // this factor over the small bundle's (both are manifest-sized, but
+    // the shard directory grows by a few entries). Mount wall clock is
+    // machine dependent: loose collapse-detector band.
+    let tol_store_eager_ratio: f64 = flag(&flags, "tol-store-eager-ratio", 2.0);
+    let tol_store_wall: f64 = flag(&flags, "tol-store-wall", 4.0);
 
     let mut rows: Vec<GateRow> = Vec::new();
     let mut failed = false;
@@ -2781,6 +2976,18 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
             &mut failed,
         );
     }
+    if let (Some(store_current), Some(store_reference)) =
+        (&store_current_path, &store_reference_path)
+    {
+        store_gate_rows(
+            store_current,
+            store_reference,
+            tol_store_eager_ratio,
+            tol_store_wall,
+            &mut rows,
+            &mut failed,
+        );
+    }
 
     // The diff summary, markdown so CI step output renders it.
     println!("| key | metric | reference | current | allowed | verdict |");
@@ -2800,7 +3007,7 @@ fn cmd_bench_gate(flags: HashMap<String, String>) {
     }
     if failed {
         println!(
-            "bench-gate: REGRESSION (tolerances: coalescing {tol_coalescing}, speedup {tol_speedup}, kernel-ratio {tol_kernel_ratio}, kernel-wall {tol_kernel_wall}, trace-overhead {tol_trace_overhead}, obs-wall {tol_obs_wall}, server-counter {tol_server_counter}, server-wall {tol_server_wall}, attack-wall {tol_attack_wall}; attack failure counts exact)"
+            "bench-gate: REGRESSION (tolerances: coalescing {tol_coalescing}, speedup {tol_speedup}, kernel-ratio {tol_kernel_ratio}, kernel-wall {tol_kernel_wall}, trace-overhead {tol_trace_overhead}, obs-wall {tol_obs_wall}, server-counter {tol_server_counter}, server-wall {tol_server_wall}, attack-wall {tol_attack_wall}, store-eager-ratio {tol_store_eager_ratio}, store-wall {tol_store_wall}; attack failure counts and store bytes exact)"
         );
         std::process::exit(1);
     }
@@ -3337,6 +3544,129 @@ fn attack_gate_rows(
     });
 }
 
+/// Store mount-cost comparisons (`bench-store` artifacts) for
+/// `bench-gate`. The byte columns are deterministic in the config, so
+/// they are diffed exactly; the O(manifest) property is asserted
+/// structurally on the *current* report (large eager ≈ small eager,
+/// both well under their files); only wall clock gets a tolerance band.
+fn store_gate_rows(
+    current_path: &str,
+    reference_path: &str,
+    tol_eager_ratio: f64,
+    tol_wall: f64,
+    rows: &mut Vec<GateRow>,
+    failed: &mut bool,
+) {
+    let read = |path: &str| -> BenchStoreReport {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        serde_json::from_str(&json).unwrap_or_else(|e| die(&format!("bad report {path}: {e}")))
+    };
+    let current = read(current_path);
+    let reference = read(reference_path);
+    let (c, r) = (&current.config, &reference.config);
+    if (c.small_n, c.large_n, c.d, c.seed, c.quick) != (r.small_n, r.large_n, r.d, r.seed, r.quick)
+    {
+        eprintln!(
+            "bench-gate: store configs differ (current n={}/{} d={} seed={} quick={}, \
+             reference n={}/{} d={} seed={} quick={})",
+            c.small_n, c.large_n, c.d, c.seed, c.quick, r.small_n, r.large_n, r.d, r.seed, r.quick
+        );
+        die("refusing to compare store reports from different configs");
+    }
+    let mut exact = |key: usize, metric: &'static str, cur: u64, refv: u64| {
+        let ok = cur == refv;
+        if !ok {
+            println!(
+                "FAIL: {metric} drifted (current {cur}, reference {refv}) — store bytes are \
+                 deterministic; a drift is a format change and needs a regenerated reference"
+            );
+        }
+        rows.push(GateRow {
+            key,
+            metric,
+            reference: refv as f64,
+            current: cur as f64,
+            bound: refv as f64,
+            lower: true,
+            ok,
+        });
+        *failed |= !ok;
+    };
+    exact(
+        0,
+        "store_small_file_bytes",
+        current.small.file_bytes,
+        reference.small.file_bytes,
+    );
+    exact(
+        1,
+        "store_large_file_bytes",
+        current.large.file_bytes,
+        reference.large.file_bytes,
+    );
+    exact(
+        0,
+        "store_small_mmap_eager_bytes",
+        current.small.mmap_eager_bytes,
+        reference.small.mmap_eager_bytes,
+    );
+    exact(
+        1,
+        "store_large_mmap_eager_bytes",
+        current.large.mmap_eager_bytes,
+        reference.large.mmap_eager_bytes,
+    );
+    // Heap reads the whole file, by definition of the backend.
+    exact(
+        0,
+        "store_small_heap_eager_bytes",
+        current.small.heap_eager_bytes,
+        current.small.file_bytes,
+    );
+    exact(
+        1,
+        "store_large_heap_eager_bytes",
+        current.large.heap_eager_bytes,
+        current.large.file_bytes,
+    );
+    // The O(manifest) assertions: growing the dataset ~8x must not grow
+    // the eagerly-read bytes beyond the shard-directory factor, and the
+    // large mount's eager read must stay well under its file.
+    let eager_bound = current.small.mmap_eager_bytes as f64 * tol_eager_ratio;
+    rows.push(GateRow {
+        key: 1,
+        metric: "store_eager_is_o_manifest",
+        reference: current.small.mmap_eager_bytes as f64,
+        current: current.large.mmap_eager_bytes as f64,
+        bound: eager_bound,
+        lower: true,
+        ok: (current.large.mmap_eager_bytes as f64) <= eager_bound,
+    });
+    let fraction_bound = current.large.file_bytes as f64 / 4.0;
+    rows.push(GateRow {
+        key: 1,
+        metric: "store_eager_fraction_of_file",
+        reference: current.large.file_bytes as f64,
+        current: current.large.mmap_eager_bytes as f64,
+        bound: fraction_bound,
+        lower: true,
+        ok: (current.large.mmap_eager_bytes as f64) <= fraction_bound,
+    });
+    // Wall clock: a mapped mount that regressed to heap-shaped work
+    // shows up as mount time tracking the full decode.
+    let wall_bound = current.large.heap_mount_ms * tol_wall;
+    rows.push(GateRow {
+        key: 1,
+        metric: "store_mmap_mount_ms",
+        reference: current.large.heap_mount_ms,
+        current: current.large.mmap_mount_ms,
+        bound: wall_bound,
+        lower: true,
+        ok: current.large.mmap_mount_ms <= wall_bound,
+    });
+}
+
 fn cmd_lpm(flags: HashMap<String, String>) {
     let sigma: u16 = flag(&flags, "sigma", 4);
     let m: usize = flag(&flags, "m", 8);
@@ -3412,6 +3742,7 @@ fn main() {
         "bench-server" => cmd_bench_server(flags),
         "bench-kernels" => cmd_bench_kernels(flags),
         "bench-obs" => cmd_bench_obs(flags),
+        "bench-store" => cmd_bench_store(flags),
         "bench-gate" => cmd_bench_gate(flags),
         "lpm" => cmd_lpm(flags),
         "lb" => cmd_lb(flags),

@@ -57,7 +57,7 @@ fn save_load_serve_gate_pipeline() {
     let out = run_ok(annsctl().args(["inspect", "--store", store_s]));
     let stdout = String::from_utf8_lossy(&out.stdout).to_string();
     for needle in [
-        "format     : v1 bundle",
+        "format     : v2 bundle",
         "META",
         "IDXP",
         "SHRD",
@@ -70,10 +70,23 @@ fn save_load_serve_gate_pipeline() {
         );
     }
 
-    // load: summary + per-shard budget verification.
+    // load: summary + per-shard budget verification, on both backends.
     let out = run_ok(annsctl().args(["load", "--store", store_s, "--verify-queries", "3"]));
     let stdout = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(stdout.contains("within budget = true"), "{stdout}");
+
+    let out = run_ok(annsctl().args([
+        "load",
+        "--store",
+        store_s,
+        "--store-backend",
+        "mmap",
+        "--verify-queries",
+        "3",
+    ]));
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("within budget = true"), "{stdout}");
+    assert!(stdout.contains("mmap backend"), "{stdout}");
 
     // serve --from-store: exits 0 with the audit passing.
     let out = run_ok(annsctl().args([

@@ -72,6 +72,16 @@ pub trait ServableScheme: Send + Sync {
     /// Display label for registry listings and reports, e.g. `alg1[k=3]`.
     fn label(&self) -> String;
 
+    /// Forces any deferred loading this scheme carries (mmap-backed
+    /// shards verify and decode their payload at first touch), returning
+    /// the latched fault if the backing bytes are damaged. Eagerly
+    /// loaded schemes are always ready. Engines call this before
+    /// routing a query so corruption surfaces as a typed serve error
+    /// rather than a panic mid-probe.
+    fn ready(&self) -> Result<(), anns_store::PayloadFault> {
+        Ok(())
+    }
+
     /// The table oracle this scheme probes.
     fn table(&self) -> &dyn Table;
 

@@ -89,6 +89,16 @@ pub enum ServeError {
     /// The admission queue was closed before this request could be
     /// admitted — or its driver unwound before resolving the ticket.
     Closed,
+    /// The shard resolved but could not be made ready: its mmap-backed
+    /// payload failed deferred (first-touch) verification or decoding.
+    /// The fault is latched — every retry against this epoch returns the
+    /// same error; remounting a repaired bundle clears it.
+    ShardFault {
+        /// The shard whose backing bytes are damaged.
+        shard: String,
+        /// The latched verification/decode fault.
+        fault: anns_store::PayloadFault,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -104,6 +114,9 @@ impl std::fmt::Display for ServeError {
                 )
             }
             ServeError::Closed => write!(f, "admission queue closed"),
+            ServeError::ShardFault { shard, fault } => {
+                write!(f, "shard {shard:?} failed deferred load: {fault}")
+            }
         }
     }
 }
@@ -299,13 +312,25 @@ impl Engine {
             let mut generation: Vec<QueryRequest> = Vec::with_capacity(chunk.len());
             for (offset, request) in chunk.iter().enumerate() {
                 match epoch.resolve(&request.shard) {
-                    Some(shard) => {
-                        slots.push(chunk_start + offset);
-                        generation.push(QueryRequest {
-                            shard,
-                            query: request.query.clone(),
-                        });
-                    }
+                    // `ready()` forces any deferred (mmap-backed) load
+                    // before the query enters a generation, so damaged
+                    // backing bytes surface as a typed per-query error
+                    // here instead of a panic at the round barrier.
+                    Some(shard) => match epoch.scheme(shard).ready() {
+                        Ok(()) => {
+                            slots.push(chunk_start + offset);
+                            generation.push(QueryRequest {
+                                shard,
+                                query: request.query.clone(),
+                            });
+                        }
+                        Err(fault) => {
+                            out[chunk_start + offset] = Some(Err(ServeError::ShardFault {
+                                shard: request.shard.clone(),
+                                fault,
+                            }))
+                        }
+                    },
                     None => {
                         out[chunk_start + offset] = Some(Err(ServeError::UnknownShard {
                             shard: request.shard.clone(),
@@ -363,9 +388,15 @@ impl Engine {
         epoch: &Arc<Registry>,
         requests: &[QueryRequest],
     ) -> (Vec<Served>, GenerationTrace) {
-        let tables = (0..epoch.len())
-            .map(|i| epoch.scheme(ShardId(i)).table())
-            .collect();
+        // Materialize table oracles only for the shards this generation
+        // actually targets: forcing every shard in the epoch would make
+        // one query page in (and decode) every mmap-deferred index.
+        let mut tables: Vec<Option<&dyn anns_cellprobe::Table>> = vec![None; epoch.len()];
+        for request in requests {
+            if tables[request.shard.0].is_none() {
+                tables[request.shard.0] = Some(epoch.scheme(request.shard).table());
+            }
+        }
         let obs = self.obs.as_ref();
         let gen_id = self.gen_seq.fetch_add(1, Ordering::Relaxed);
         let gen_started_ns = if obs.enabled() { obs.now_ns() } else { 0 };

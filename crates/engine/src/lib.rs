@@ -117,6 +117,7 @@
 pub mod admission;
 pub mod clock;
 pub mod engine;
+pub mod lazy;
 pub mod mount;
 pub mod registry;
 pub mod scheduler;
@@ -133,7 +134,10 @@ pub use clock::{Clock, RealClock, VirtualClock};
 pub use engine::{
     Engine, EngineOptions, GenerationTrace, NamedRequest, QueryRequest, ServeError, Served,
 };
-pub use mount::{MountError, MountManifest, MountTable, SwapReceipt};
+pub use lazy::{LazyPool, LazyServable};
+pub use mount::{
+    current_rss_bytes, MountError, MountManifest, MountTable, StoreBackend, SwapReceipt,
+};
 pub use registry::{load_index_snapshot, BundleMeta, LoadedBundle, Registry, ShardId, ShardInfo};
 pub use scheduler::{DispatchTrace, Generation};
 pub use stats::{

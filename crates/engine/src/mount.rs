@@ -81,6 +81,59 @@ impl From<StoreError> for MountError {
     }
 }
 
+/// Which ingest path loads a bundle into the registry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StoreBackend {
+    /// Stream the file, verify every section CRC, and decode every index
+    /// eagerly. The only path that reads format-v1 files.
+    #[default]
+    Heap,
+    /// Memory-map the file: header and `MNFT` manifest verify eagerly,
+    /// per-index CRC checks and decoding defer to first query touch, so
+    /// mount cost and resident memory track the manifest and the queried
+    /// working set rather than the file size. Requires format v2.
+    Mmap,
+}
+
+impl StoreBackend {
+    /// Parses the CLI spelling (`heap` | `mmap`).
+    pub fn parse(s: &str) -> Result<StoreBackend, String> {
+        match s {
+            "heap" => Ok(StoreBackend::Heap),
+            "mmap" => Ok(StoreBackend::Mmap),
+            other => Err(format!(
+                "unknown store backend {other:?} (expected heap or mmap)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for StoreBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StoreBackend::Heap => "heap",
+            StoreBackend::Mmap => "mmap",
+        })
+    }
+}
+
+/// Resident-set size of this process in bytes (`VmRSS` from
+/// `/proc/self/status`), or 0 where procfs is unavailable. This is the
+/// number the mmap backend moves: after a mapped mount, RSS grows with
+/// the shards actually queried, not the bundle size on disk.
+pub fn current_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmRSS:"))
+        .and_then(|rest| rest.trim().strip_suffix("kB"))
+        .and_then(|kb| kb.trim().parse::<u64>().ok())
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
 /// Provenance and load report of one mounted bundle: where it came from,
 /// what the file contained, and what the loader did with it. This is the
 /// registry's answer to "what exactly is serving right now?" — and the
@@ -118,6 +171,18 @@ pub struct MountManifest {
     /// matched the sections actually read. `false` for pre-manifest
     /// bundles (they still load).
     pub manifest_verified: bool,
+    /// Which ingest path loaded the bundle.
+    pub backend: StoreBackend,
+    /// Wall-clock time of the ingest itself, in milliseconds.
+    pub mount_ms: f64,
+    /// Bytes read (and checksummed) eagerly at mount. The heap backend
+    /// reads the whole file; the mmap backend reads O(manifest): header,
+    /// section preludes, `META`/`SHRD`/`MNFT` payloads and the index
+    /// pool's entry table — never the pool payloads themselves.
+    pub eager_bytes: u64,
+    /// Total payload bytes across every section in the file — the bound
+    /// `eager_bytes` would hit if nothing were deferred.
+    pub file_bytes: u64,
 }
 
 impl MountManifest {
@@ -125,7 +190,8 @@ impl MountManifest {
     pub fn summary(&self) -> String {
         format!(
             "{ns}: {shards} shard(s), {pooled} pooled + {shared} shared index(es), \
-             {sections} section(s), {skipped} skipped, manifest {verified} [{source}]",
+             {sections} section(s), {skipped} skipped, manifest {verified}, \
+             {backend} backend ({eager}/{file} B eager, {ms:.2} ms) [{source}]",
             ns = if self.namespace.is_empty() {
                 "<root>"
             } else {
@@ -141,6 +207,10 @@ impl MountManifest {
             } else {
                 "absent"
             },
+            backend = self.backend,
+            eager = self.eager_bytes,
+            file = self.file_bytes,
+            ms = self.mount_ms,
             source = self.source,
         )
     }
@@ -314,6 +384,33 @@ impl MountTable {
         Ok(self.flip(namespace, next, Some(manifest)))
     }
 
+    /// [`MountTable::mount`] through an explicit store backend: `Heap`
+    /// behaves exactly like `mount`; `Mmap` maps the file and defers
+    /// index verification/decoding to first query touch.
+    pub fn mount_with_backend(
+        &self,
+        namespace: &str,
+        path: impl AsRef<std::path::Path>,
+        backend: StoreBackend,
+    ) -> Result<SwapReceipt, MountError> {
+        match backend {
+            StoreBackend::Heap => self.mount(namespace, path),
+            StoreBackend::Mmap => {
+                let result = (|| {
+                    let _build = self.swap_lock.lock().unwrap_or_else(|e| e.into_inner());
+                    let base = self.current();
+                    if base.manifest(namespace).is_some() {
+                        return Err(MountError::AlreadyMounted(namespace.to_string()));
+                    }
+                    let mut next = base.fork();
+                    let manifest = next.mount_mapped(namespace, path.as_ref())?;
+                    Ok(self.flip(namespace, next, Some(manifest)))
+                })();
+                self.observed(namespace, result)
+            }
+        }
+    }
+
     /// Replaces an existing namespace with a new bundle, atomically: the
     /// new mount is built off to the side, the pointer flips at a
     /// generation boundary, in-flight generations finish on the old
@@ -362,6 +459,31 @@ impl MountTable {
         let mut next = base.fork_without(namespace);
         let manifest = next.mount_from(namespace, inner, source)?;
         Ok(self.flip(namespace, next, Some(manifest)))
+    }
+
+    /// [`MountTable::swap`] through an explicit store backend.
+    pub fn swap_with_backend(
+        &self,
+        namespace: &str,
+        path: impl AsRef<std::path::Path>,
+        backend: StoreBackend,
+    ) -> Result<SwapReceipt, MountError> {
+        match backend {
+            StoreBackend::Heap => self.swap(namespace, path),
+            StoreBackend::Mmap => {
+                let result = (|| {
+                    let _build = self.swap_lock.lock().unwrap_or_else(|e| e.into_inner());
+                    let base = self.current();
+                    if base.manifest(namespace).is_none() {
+                        return Err(MountError::NotMounted(namespace.to_string()));
+                    }
+                    let mut next = base.fork_without(namespace);
+                    let manifest = next.mount_mapped(namespace, path.as_ref())?;
+                    Ok(self.flip(namespace, next, Some(manifest)))
+                })();
+                self.observed(namespace, result)
+            }
+        }
     }
 
     /// Removes a namespace's shards from serving.

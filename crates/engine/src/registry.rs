@@ -29,13 +29,17 @@ use std::collections::HashMap;
 use std::sync::{Arc, Weak};
 
 use anns_core::serve::{ServableScheme, ServeAlg1, ServeAlg2, ServeLambda};
-use anns_core::{Alg2Config, AnnIndex, SchemeSpec, StoredScheme, SubsampledRepetition};
+use anns_core::{
+    Aggregation, Alg2Config, AnnIndex, SchemeSpec, StoredScheme, SubsampledRepetition,
+};
+use anns_store::pool::{decode_pool_table, encode_pool};
 use anns_store::{
-    ByteReader, ByteWriter, Codec, Manifest, ManifestTracker, SectionDigest, StoreError,
-    StoreReader, StoreWriter,
+    ByteReader, ByteWriter, Codec, Manifest, ManifestTracker, MappedStore, SectionDigest,
+    StoreError, StoreReader, StoreWriter,
 };
 
-use crate::mount::{MountError, MountManifest};
+use crate::lazy::{LazyPool, LazyServable};
+use crate::mount::{MountError, MountManifest, StoreBackend};
 
 /// Identifier of a registered shard; stable for the registry's lifetime.
 ///
@@ -67,6 +71,11 @@ pub struct Registry {
     entries: Vec<Entry>,
     mounts: Vec<MountManifest>,
     pool: Vec<PoolSlot>,
+    /// Deferred index pools of mapped mounts, keyed by namespace. Mapped
+    /// bundles skip the byte-dedup `pool` (interning would force every
+    /// payload, defeating laziness); their decoded working set is
+    /// reported here instead.
+    lazy_pools: Vec<(String, Arc<LazyPool>)>,
     epoch: u64,
 }
 
@@ -195,11 +204,33 @@ impl Registry {
         self.mounts.iter().find(|m| m.namespace == namespace)
     }
 
-    /// Every distinct `AnnIndex` currently alive in the dedup pool.
-    /// Shards that share an index (same bundle or byte-identical payloads
-    /// across bundles) contribute it once.
+    /// Every distinct `AnnIndex` currently alive in the dedup pool, plus
+    /// the decoded working set of every mapped mount. Shards that share
+    /// an index (same bundle or byte-identical payloads across bundles)
+    /// contribute it once; lazily mounted indexes appear only once a
+    /// query (or an explicit `ready()`) has forced them.
     pub fn pooled_indexes(&self) -> Vec<Arc<AnnIndex>> {
-        self.pool.iter().filter_map(|s| s.index.upgrade()).collect()
+        let mut indexes: Vec<Arc<AnnIndex>> =
+            self.pool.iter().filter_map(|s| s.index.upgrade()).collect();
+        for (_, lazy) in &self.lazy_pools {
+            indexes.extend(lazy.decoded());
+        }
+        indexes
+    }
+
+    /// One pooled index, for callers that only need dataset geometry
+    /// (workload generators, dimension checks): the first heap-pooled
+    /// index if any, else the first entry of the first mapped pool —
+    /// decoded (and thereby verified) on demand, leaving the rest of
+    /// that pool untouched.
+    pub fn any_pooled_index(&self) -> Option<Arc<AnnIndex>> {
+        if let Some(index) = self.pool.iter().find_map(|s| s.index.upgrade()) {
+            return Some(index);
+        }
+        self.lazy_pools
+            .iter()
+            .find(|(_, lazy)| !lazy.is_empty())
+            .and_then(|(_, lazy)| lazy.get(0).ok())
     }
 
     /// A cheap structural copy sharing every scheme `Arc` — the "build
@@ -211,6 +242,7 @@ impl Registry {
             entries: self.entries.clone(),
             mounts: self.mounts.clone(),
             pool: self.pool.clone(),
+            lazy_pools: self.lazy_pools.clone(),
             epoch: self.epoch,
         }
     }
@@ -235,6 +267,12 @@ impl Registry {
                 .cloned()
                 .collect(),
             pool: self.pool.clone(),
+            lazy_pools: self
+                .lazy_pools
+                .iter()
+                .filter(|(ns, _)| ns != namespace)
+                .cloned()
+                .collect(),
             epoch: self.epoch,
         }
     }
@@ -350,6 +388,10 @@ pub struct LoadedBundle {
     /// version-skew debugging — every section that was *skipped* because
     /// this build does not know its tag.
     pub report: MountManifest,
+    /// The deferred index pool of a mapped load (`None` on the heap
+    /// path). For mapped loads `indexes` is empty — force entries
+    /// through [`LazyPool::get`] instead.
+    pub lazy: Option<Arc<LazyPool>>,
 }
 
 /// Everything one bundle ingest produced.
@@ -357,6 +399,7 @@ struct Ingested {
     manifest: MountManifest,
     indexes: Vec<Arc<AnnIndex>>,
     meta: BundleMeta,
+    lazy: Option<Arc<LazyPool>>,
 }
 
 impl Registry {
@@ -424,15 +467,19 @@ impl Registry {
         }
 
         let meta = BundleMeta {
-            tool: format!("anns-store/{}", anns_store::FORMAT_VERSION),
+            tool: format!("anns-store/{}", anns_store::FORMAT_VERSION_V2),
             indexes: pool.len() as u32,
             shards: directory,
         };
-        let mut idxp = ByteWriter::new();
-        idxp.put_u32(pool.len() as u32);
-        for index in &pool {
-            idxp.put_bytes(&index.to_bytes());
-        }
+        // v2 pool layout: a CRC'd entry table up front, payloads aligned
+        // behind it — the shape that lets a mapped mount read O(table)
+        // bytes and verify each index only when a query first touches it.
+        let idxp = encode_pool(
+            &pool
+                .iter()
+                .map(|index| index.to_bytes())
+                .collect::<Vec<_>>(),
+        );
         let mut shrd = ByteWriter::new();
         shrd.put_u32(shard_records.len() as u32);
         // Inner records of a subsampled wrapper share the top-level
@@ -482,7 +529,7 @@ impl Registry {
         };
         let mut writer = StoreWriter::new(container_kind);
         writer.section(anns_store::section_tag::META, meta.to_bytes());
-        writer.section(anns_store::section_tag::INDEX_POOL, idxp.into_bytes());
+        writer.section(anns_store::section_tag::INDEX_POOL, idxp);
         writer.section(anns_store::section_tag::SHARDS, shrd.into_bytes());
         let manifest = Manifest {
             tool: meta.tool.clone(),
@@ -560,6 +607,7 @@ impl Registry {
             indexes: ingested.indexes,
             meta: ingested.meta,
             report: ingested.manifest,
+            lazy: ingested.lazy,
         })
     }
 
@@ -581,6 +629,7 @@ impl Registry {
         inner: impl std::io::Read,
         source: String,
     ) -> Result<Ingested, StoreError> {
+        let started = std::time::Instant::now();
         let prefix = if namespace.is_empty() {
             String::new()
         } else {
@@ -613,19 +662,45 @@ impl Registry {
                         meta = Some(BundleMeta::from_bytes(&section.payload)?);
                     }
                     anns_store::section_tag::INDEX_POOL => {
-                        let mut r = section.reader();
-                        let count = r.u32()?;
-                        for _ in 0..count {
-                            let payload = r.bytes()?;
-                            let (index, was_shared) = self.intern(payload)?;
-                            if was_shared {
-                                shared += 1;
-                            } else {
-                                pooled += 1;
+                        if header.version >= anns_store::FORMAT_VERSION_V2 {
+                            // v2: CRC'd entry table up front, payloads
+                            // aligned behind it. The section checksum
+                            // already verified every byte on this path,
+                            // so per-entry CRCs are not re-checked here.
+                            for entry in decode_pool_table(&section.payload)? {
+                                let start = entry.offset as usize;
+                                let end = start + entry.len as usize;
+                                let payload = section.payload.get(start..end).ok_or_else(|| {
+                                    StoreError::Malformed(format!(
+                                        "pool entry spans {start}..{end} of a {}-byte \
+                                             section",
+                                        section.payload.len()
+                                    ))
+                                })?;
+                                let (index, was_shared) = self.intern(payload)?;
+                                if was_shared {
+                                    shared += 1;
+                                } else {
+                                    pooled += 1;
+                                }
+                                indexes.push(index);
                             }
-                            indexes.push(index);
+                        } else {
+                            // v1 legacy layout: count-prefixed blobs.
+                            let mut r = section.reader();
+                            let count = r.u32()?;
+                            for _ in 0..count {
+                                let payload = r.bytes()?;
+                                let (index, was_shared) = self.intern(payload)?;
+                                if was_shared {
+                                    shared += 1;
+                                } else {
+                                    pooled += 1;
+                                }
+                                indexes.push(index);
+                            }
+                            r.finish()?;
                         }
-                        r.finish()?;
                     }
                     anns_store::section_tag::SHARDS => {
                         saw_shards = true;
@@ -665,6 +740,8 @@ impl Registry {
             return Err(e);
         }
         let meta = meta.unwrap_or_default();
+        // The heap backend reads and checksums every payload byte.
+        let file_bytes: u64 = sections.iter().map(|d| d.len as u64).sum();
         let manifest = MountManifest {
             namespace: namespace.to_string(),
             source,
@@ -677,30 +754,250 @@ impl Registry {
             pooled,
             shared,
             manifest_verified: tracker.verified(),
+            backend: StoreBackend::Heap,
+            mount_ms: started.elapsed().as_secs_f64() * 1e3,
+            eager_bytes: file_bytes,
+            file_bytes,
         };
         self.mounts.push(manifest.clone());
         Ok(Ingested {
             manifest,
             indexes,
             meta,
+            lazy: None,
+        })
+    }
+
+    /// Mounts a bundle through the mmap backend: `namespace/name` shards
+    /// whose indexes verify and decode on first query touch. Eager work
+    /// is O(manifest) — header, section preludes, `META`/`SHRD`/`MNFT`
+    /// payloads and the pool's entry table — so mount time and resident
+    /// memory do not scale with the bundle's index payloads. Requires a
+    /// format-v2 file (v1 files load through [`Registry::mount`]).
+    pub fn mount_mapped(
+        &mut self,
+        namespace: &str,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<MountManifest, MountError> {
+        if namespace.is_empty() || namespace.contains('/') {
+            return Err(MountError::InvalidNamespace(namespace.to_string()));
+        }
+        if self.manifest(namespace).is_some() {
+            return Err(MountError::AlreadyMounted(namespace.to_string()));
+        }
+        let ingested = self.ingest_mapped(namespace, path.as_ref())?;
+        Ok(ingested.manifest)
+    }
+
+    /// Loads a bundle into a fresh registry through the mmap backend.
+    /// [`LoadedBundle::indexes`] is empty (nothing decoded yet); the
+    /// deferred pool is in [`LoadedBundle::lazy`].
+    pub fn load_bundle_mapped(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<LoadedBundle, StoreError> {
+        let mut registry = Registry::new();
+        let ingested = registry.ingest_mapped("", path.as_ref())?;
+        Ok(LoadedBundle {
+            registry,
+            indexes: ingested.indexes,
+            meta: ingested.meta,
+            report: ingested.manifest,
+            lazy: ingested.lazy,
+        })
+    }
+
+    /// The mapped counterpart of [`Registry::ingest`]. Parses every
+    /// shard *record* eagerly (cheap, and it validates the directory) but
+    /// registers [`LazyServable`]s, so no index payload is read, hashed
+    /// or decoded until a query first touches its shard.
+    fn ingest_mapped(
+        &mut self,
+        namespace: &str,
+        path: &std::path::Path,
+    ) -> Result<Ingested, StoreError> {
+        let started = std::time::Instant::now();
+        let prefix = if namespace.is_empty() {
+            String::new()
+        } else {
+            format!("{namespace}/")
+        };
+        let store = MappedStore::open(path)?;
+        let header = *store.header();
+        let sections = store.digests();
+        let skipped: Vec<SectionDigest> = sections
+            .iter()
+            .filter(|d| {
+                !matches!(
+                    d.tag,
+                    anns_store::section_tag::META
+                        | anns_store::section_tag::INDEX_POOL
+                        | anns_store::section_tag::SHARDS
+                        | anns_store::section_tag::MANIFEST
+                )
+            })
+            .copied()
+            .collect();
+        // META and SHRD are manifest-sized: read (and verify) them now.
+        let meta = match store.find(anns_store::section_tag::META) {
+            Some(section) => BundleMeta::from_bytes(section.bytes()?)?,
+            None => BundleMeta::default(),
+        };
+        let pool = Arc::new(LazyPool::new(
+            store.find(anns_store::section_tag::INDEX_POOL),
+        )?);
+        let shrd = store
+            .find(anns_store::section_tag::SHARDS)
+            .ok_or_else(|| StoreError::Malformed("bundle has no SHRD section".into()))?;
+        let shrd_bytes = shrd.bytes()?;
+        let mut r = ByteReader::new(shrd_bytes);
+        let count = r.u32()?;
+        let mut records: Vec<(String, ShardRecord)> = Vec::new();
+        for _ in 0..count {
+            let name = String::decode(&mut r)?;
+            let kind = r.u8()?;
+            let record = parse_shard_record(&name, kind, &mut r, false)?;
+            // Pool references are validated now, not at first touch: a
+            // dangling id is a malformed file, not deferred damage.
+            if let Some(max) = record.max_pool_id() {
+                if max as usize >= pool.len() {
+                    return Err(StoreError::Malformed(format!(
+                        "shard {name:?} references index {max} of {}",
+                        pool.len()
+                    )));
+                }
+            }
+            records.push((name, record));
+        }
+        r.finish()?;
+
+        let file_bytes: u64 = sections.iter().map(|d| d.len as u64).sum();
+        let eager_bytes = store.eager_bytes()
+            + meta.to_bytes().len() as u64
+            + shrd_bytes.len() as u64
+            + pool.table_bytes();
+        let first_new_entry = self.entries.len();
+        let result: Result<Vec<String>, StoreError> = (|| {
+            let mut shard_names = Vec::new();
+            for (i, (name, record)) in records.into_iter().enumerate() {
+                let full = format!("{prefix}{name}");
+                if self.resolve(&full).is_some() {
+                    return Err(StoreError::Malformed(format!(
+                        "duplicate shard name {full:?}"
+                    )));
+                }
+                let label = meta
+                    .shards
+                    .get(i)
+                    .map(|info| info.label.clone())
+                    .unwrap_or_else(|| format!("{full} (deferred)"));
+                shard_names.push(full.clone());
+                self.register(
+                    full.clone(),
+                    Box::new(LazyServable::new(full, label, record, Arc::clone(&pool))),
+                );
+            }
+            Ok(shard_names)
+        })();
+        let shard_names = match result {
+            Ok(names) => names,
+            Err(e) => {
+                // Same contract as the heap path: a failed mount leaves
+                // the registry exactly as it was.
+                self.entries.truncate(first_new_entry);
+                return Err(e);
+            }
+        };
+        let manifest = MountManifest {
+            namespace: namespace.to_string(),
+            source: path.display().to_string(),
+            format_version: header.version,
+            container_kind: header.kind,
+            tool: meta.tool.clone(),
+            sections,
+            skipped,
+            shards: shard_names,
+            // Nothing decoded yet, and mapped mounts skip cross-bundle
+            // byte dedup (interning would force every payload).
+            pooled: pool.len() as u32,
+            shared: 0,
+            manifest_verified: store.manifest().is_some(),
+            backend: StoreBackend::Mmap,
+            mount_ms: started.elapsed().as_secs_f64() * 1e3,
+            eager_bytes,
+            file_bytes,
+        };
+        self.mounts.push(manifest.clone());
+        self.lazy_pools
+            .push((namespace.to_string(), Arc::clone(&pool)));
+        Ok(Ingested {
+            manifest,
+            indexes: Vec::new(),
+            meta,
+            lazy: Some(pool),
         })
     }
 }
 
-/// Decodes one shard record (kind byte already read) into a servable
-/// scheme. Core kinds reference the index pool; foreign kinds carry an
-/// opaque payload owned by `anns-lsh`; `SUBSAMPLE` records carry the
-/// wrapper spec plus a flat list of inner records in this same layout.
-/// `nested` guards the one-level rule — a subsampled record inside a
-/// subsampled record is malformed, not merely unsupported, because no
-/// writer in this workspace ever produces it.
-fn decode_shard_scheme(
+/// One shard's parsed `SHRD` record: the manifest-sized *description* of
+/// a shard, split from instantiation so a mapped mount can parse (and
+/// validate) every record eagerly while deferring the expensive part —
+/// decoding the pooled indexes a record references — to first touch.
+#[derive(Clone, Debug)]
+pub(crate) enum ShardRecord {
+    /// A core scheme over a pooled index.
+    Core {
+        /// Position in the bundle's `IDXP` pool.
+        pool_id: u32,
+        /// The scheme's stored parameters.
+        spec: SchemeSpec,
+    },
+    /// An opaque foreign scheme owned by `anns-lsh`.
+    Foreign {
+        /// Scheme-kind tag (`>= FOREIGN_MIN`).
+        kind: u8,
+        /// The scheme's self-contained payload (indexes inline, no pool).
+        payload: Vec<u8>,
+    },
+    /// The subsampled-repetition wrapper over flat inner records.
+    Subsampled {
+        /// Tables sampled per replica per query.
+        sample: u32,
+        /// Seed of the per-query sampling stream.
+        seed: u64,
+        /// How replica answers combine.
+        agg: Aggregation,
+        /// Inner records (never `Subsampled`; one level only).
+        inners: Vec<ShardRecord>,
+    },
+}
+
+impl ShardRecord {
+    /// The highest pool id this record (or any inner) references, if any
+    /// — lets a mapped mount validate pool references at mount time, so
+    /// a dangling id is a malformed file rather than deferred damage.
+    pub(crate) fn max_pool_id(&self) -> Option<u32> {
+        match self {
+            ShardRecord::Core { pool_id, .. } => Some(*pool_id),
+            ShardRecord::Foreign { .. } => None,
+            ShardRecord::Subsampled { inners, .. } => {
+                inners.iter().filter_map(ShardRecord::max_pool_id).max()
+            }
+        }
+    }
+}
+
+/// Parses one shard record (kind byte already read). Core kinds carry a
+/// pool reference plus a spec payload; foreign kinds an opaque payload;
+/// `SUBSAMPLE` records the wrapper spec plus a flat list of inner
+/// records in this same layout. `nested` guards the one-level rule — a
+/// subsampled record inside a subsampled record is malformed, not merely
+/// unsupported, because no writer in this workspace ever produces it.
+pub(crate) fn parse_shard_record(
     name: &str,
     kind: u8,
     r: &mut ByteReader<'_>,
-    indexes: &[Arc<AnnIndex>],
     nested: bool,
-) -> Result<Box<dyn ServableScheme>, StoreError> {
+) -> Result<ShardRecord, StoreError> {
     if kind == anns_store::scheme_kind::SUBSAMPLE {
         if nested {
             return Err(StoreError::Malformed(format!(
@@ -717,30 +1014,75 @@ fn decode_shard_scheme(
                 SubsampledRepetition::MAX_REPLICAS
             )));
         }
-        let mut inners: Vec<Arc<dyn ServableScheme>> = Vec::with_capacity(count as usize);
+        let mut inners: Vec<ShardRecord> = Vec::with_capacity(count as usize);
         for _ in 0..count {
             let inner_kind = r.u8()?;
-            inners.push(Arc::from(decode_shard_scheme(
-                name, inner_kind, r, indexes, true,
-            )?));
+            inners.push(parse_shard_record(name, inner_kind, r, true)?);
         }
-        let wrapped = SubsampledRepetition::new(inners, sample, seed, agg)
-            .map_err(|e| StoreError::Malformed(format!("shard {name:?}: {e}")))?;
-        return Ok(Box::new(wrapped));
+        return Ok(ShardRecord::Subsampled {
+            sample,
+            seed,
+            agg,
+            inners,
+        });
     }
     if kind < anns_store::scheme_kind::FOREIGN_MIN {
-        let pool_id = r.u32()? as usize;
-        let index = indexes.get(pool_id).ok_or_else(|| {
+        let pool_id = r.u32()?;
+        let spec = SchemeSpec::decode_kind(kind, r)?;
+        Ok(ShardRecord::Core { pool_id, spec })
+    } else {
+        Ok(ShardRecord::Foreign {
+            kind,
+            payload: r.bytes()?.to_vec(),
+        })
+    }
+}
+
+/// Instantiates a parsed record into a servable scheme, resolving pool
+/// references through `lookup` — eager decoded indexes on the heap path,
+/// [`LazyPool::get`] on the mapped path.
+pub(crate) fn instantiate_record(
+    name: &str,
+    record: &ShardRecord,
+    lookup: &mut dyn FnMut(u32) -> Result<Arc<AnnIndex>, StoreError>,
+) -> Result<Box<dyn ServableScheme>, StoreError> {
+    match record {
+        ShardRecord::Core { pool_id, spec } => Ok(spec.clone().instantiate(lookup(*pool_id)?)),
+        ShardRecord::Foreign { kind, payload } => anns_lsh::decode_foreign_scheme(*kind, payload),
+        ShardRecord::Subsampled {
+            sample,
+            seed,
+            agg,
+            inners,
+        } => {
+            let mut schemes: Vec<Arc<dyn ServableScheme>> = Vec::with_capacity(inners.len());
+            for inner in inners {
+                schemes.push(Arc::from(instantiate_record(name, inner, lookup)?));
+            }
+            let wrapped = SubsampledRepetition::new(schemes, *sample, *seed, *agg)
+                .map_err(|e| StoreError::Malformed(format!("shard {name:?}: {e}")))?;
+            Ok(Box::new(wrapped))
+        }
+    }
+}
+
+/// Parse + instantiate in one step — the eager (heap) decode path.
+fn decode_shard_scheme(
+    name: &str,
+    kind: u8,
+    r: &mut ByteReader<'_>,
+    indexes: &[Arc<AnnIndex>],
+    nested: bool,
+) -> Result<Box<dyn ServableScheme>, StoreError> {
+    let record = parse_shard_record(name, kind, r, nested)?;
+    instantiate_record(name, &record, &mut |pool_id| {
+        indexes.get(pool_id as usize).cloned().ok_or_else(|| {
             StoreError::Malformed(format!(
                 "shard {name:?} references index {pool_id} of {}",
                 indexes.len()
             ))
-        })?;
-        let spec = SchemeSpec::decode_kind(kind, r)?;
-        Ok(spec.instantiate(Arc::clone(index)))
-    } else {
-        anns_lsh::decode_foreign_scheme(kind, r.bytes()?)
-    }
+        })
+    })
 }
 
 #[cfg(test)]

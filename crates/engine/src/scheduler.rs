@@ -80,8 +80,11 @@ struct GenState {
 
 /// Shared state of one in-flight generation.
 pub struct Generation<'a> {
-    /// Table oracle of each shard, indexed by shard id.
-    tables: Vec<&'a dyn Table>,
+    /// Table oracle of each shard, indexed by shard id. `None` for
+    /// shards no query in this generation targets — the engine only
+    /// materializes (and, for mmap-deferred shards, decodes) the tables
+    /// it will actually probe.
+    tables: Vec<Option<&'a dyn Table>>,
     state: Mutex<GenState>,
     parked: Condvar,
     /// Worker threads per coalesced shard batch.
@@ -97,11 +100,12 @@ pub struct Generation<'a> {
 }
 
 impl<'a> Generation<'a> {
-    /// A generation of `slots` queries over the given shard tables,
-    /// pinned to one mount-table epoch. `probe_tile` cache-blocks each
-    /// shard's coalesced batch (see `anns_cellprobe::read_batch_tiled`).
+    /// A generation of `slots` queries over the given shard tables
+    /// (`None` for shards the generation will not touch), pinned to one
+    /// mount-table epoch. `probe_tile` cache-blocks each shard's
+    /// coalesced batch (see `anns_cellprobe::read_batch_tiled`).
     pub fn new(
-        tables: Vec<&'a dyn Table>,
+        tables: Vec<Option<&'a dyn Table>>,
         slots: usize,
         batch_threads: usize,
         probe_tile: usize,
@@ -211,7 +215,7 @@ impl<'a> Generation<'a> {
             let shard_words =
                 chunked_parallel_map(&prepared, prepared.len(), |(shard, _, addrs)| {
                     read_batch_observed(
-                        self.tables[*shard],
+                        self.tables[*shard].expect("dispatch to unmaterialized shard"),
                         addrs,
                         self.batch_threads,
                         self.probe_tile,
@@ -348,7 +352,8 @@ mod tests {
     #[test]
     fn two_queries_coalesce_shared_addresses() {
         let t = table(7);
-        let generation = Generation::new(vec![&t as &dyn Table], 2, 1, 64, 0, 0, &NullRecorder);
+        let generation =
+            Generation::new(vec![Some(&t as &dyn Table)], 2, 1, 64, 0, 0, &NullRecorder);
         let generation_ref = &generation;
         let answers = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -389,7 +394,8 @@ mod tests {
     #[test]
     fn departing_query_releases_the_barrier() {
         let t = table(3);
-        let generation = Generation::new(vec![&t as &dyn Table], 2, 1, 64, 0, 0, &NullRecorder);
+        let generation =
+            Generation::new(vec![Some(&t as &dyn Table)], 2, 1, 64, 0, 0, &NullRecorder);
         let generation_ref = &generation;
         let sums = crossbeam::thread::scope(|scope| {
             let long = {
@@ -431,7 +437,8 @@ mod tests {
     #[test]
     fn per_slot_rounds_advance_monotonically_in_traces() {
         let t = table(11);
-        let generation = Generation::new(vec![&t as &dyn Table], 3, 1, 64, 0, 0, &NullRecorder);
+        let generation =
+            Generation::new(vec![Some(&t as &dyn Table)], 3, 1, 64, 0, 0, &NullRecorder);
         let generation_ref = &generation;
         crossbeam::thread::scope(|scope| {
             for slot in 0..3usize {

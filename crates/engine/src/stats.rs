@@ -354,6 +354,20 @@ pub struct ServeReport {
     /// Trace events the bounded ring evicted (drop-oldest; 0 means the
     /// trace artifact is complete).
     pub trace_dropped: u64,
+    /// Store backend the served bundle was mounted through (`"heap"` or
+    /// `"mmap"`; `None` for runs without a bundle mount, and for
+    /// artifacts written before backends existed).
+    pub store_backend: Option<String>,
+    /// Wall-clock of the bundle mount, milliseconds.
+    pub mount_ms: Option<f64>,
+    /// Bytes read eagerly at mount (see `MountManifest::eager_bytes`).
+    pub mount_eager_bytes: Option<u64>,
+    /// Total section payload bytes of the mounted bundle on disk.
+    pub mount_file_bytes: Option<u64>,
+    /// Process resident-set size when the report was built — the
+    /// working-set number the mmap backend keeps proportional to the
+    /// queried shards (`None` where procfs is unavailable).
+    pub rss_bytes: Option<u64>,
 }
 
 impl ServeReport {
@@ -421,6 +435,11 @@ impl ServeReport {
             wait: LatencySummary::from_ns(&[]),
             trace_events: 0,
             trace_dropped: 0,
+            store_backend: None,
+            mount_ms: None,
+            mount_eager_bytes: None,
+            mount_file_bytes: None,
+            rss_bytes: None,
         }
     }
 
@@ -444,6 +463,20 @@ impl ServeReport {
     pub fn with_trace(mut self, counters: anns_obs::TraceCounters) -> Self {
         self.trace_events = counters.events;
         self.trace_dropped = counters.dropped;
+        self
+    }
+
+    /// Stamps the bundle's mount provenance (backend, mount time, eager
+    /// vs file bytes) and the process RSS at report time.
+    pub fn with_backend(mut self, manifest: &crate::mount::MountManifest) -> Self {
+        self.store_backend = Some(manifest.backend.to_string());
+        self.mount_ms = Some(manifest.mount_ms);
+        self.mount_eager_bytes = Some(manifest.eager_bytes);
+        self.mount_file_bytes = Some(manifest.file_bytes);
+        self.rss_bytes = match crate::mount::current_rss_bytes() {
+            0 => None,
+            rss => Some(rss),
+        };
         self
     }
 }

@@ -1,0 +1,330 @@
+//! The mmap backend's central claim, tested end to end: **a mapped
+//! mount is observationally identical to a heap load** — answers,
+//! probe ledgers and transcripts match byte for byte, for every scheme
+//! kind including subsampled repetition, under both solo and coalesced
+//! execution — while reading only O(manifest) bytes eagerly. Damage
+//! that lands *after* the eager checks surfaces as a typed
+//! [`ServeError::ShardFault`] at first touch, never a panic, and v1
+//! bundles keep loading through the heap path.
+
+use std::sync::{Arc, OnceLock};
+
+use anns_cellprobe::{execute_with, ExecOptions};
+use anns_core::serve::{ServableScheme, ServeAlg1, SoloServable};
+use anns_core::{Aggregation, AnnIndex, SchemeSpec, SubsampledRepetition};
+use anns_engine::testkit::{clustered_index, hot_set_workload, TempDir};
+use anns_engine::{
+    Engine, EngineOptions, MountTable, NamedRequest, Registry, ServeError, StoreBackend,
+};
+use anns_hamming::Point;
+use anns_lsh::{LinearScan, LshIndex, LshParams, ServeLinear, ServeLsh};
+use anns_store::{ByteWriter, Codec, Manifest, PayloadFault, StoreError, StoreWriter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 128;
+const D: u32 = 192;
+
+fn shared_index() -> Arc<AnnIndex> {
+    static INDEX: OnceLock<Arc<AnnIndex>> = OnceLock::new();
+    Arc::clone(INDEX.get_or_init(|| clustered_index(8, 16, D, 0.05, 991)))
+}
+
+/// A registry covering every persistable scheme kind — the three core
+/// specs, both foreign kinds, and a subsampled-repetition wrapper whose
+/// inner replicas share the pooled index.
+fn full_registry() -> Registry {
+    let index = shared_index();
+    let mut rng = StdRng::seed_from_u64(992);
+    let mut registry = Registry::new();
+    registry.register_alg1("alg1-k3", Arc::clone(&index), 3);
+    registry.register_alg2(
+        "alg2-k8",
+        Arc::clone(&index),
+        anns_core::Alg2Config::with_k(8),
+    );
+    registry.register_lambda("lambda-8", Arc::clone(&index), 8.0);
+    let params = LshParams::for_radius(N, D, 5.0, 2.0, 8.0);
+    registry.register(
+        "lsh",
+        Box::new(ServeLsh {
+            index: Arc::new(LshIndex::build(index.dataset().clone(), params, &mut rng)),
+        }),
+    );
+    registry.register(
+        "linear",
+        Box::new(ServeLinear {
+            scan: Arc::new(LinearScan::new(index.dataset().clone())),
+        }),
+    );
+    let inners: Vec<Arc<dyn ServableScheme>> = (2..5)
+        .map(|k| {
+            Arc::new(ServeAlg1 {
+                index: Arc::clone(&index),
+                k,
+                tau_override: None,
+            }) as Arc<dyn ServableScheme>
+        })
+        .collect();
+    registry.register(
+        "subsampled",
+        Box::new(SubsampledRepetition::new(inners, 2, 99, Aggregation::BestOf).unwrap()),
+    );
+    registry
+}
+
+/// Saves the full registry into `dir` and returns the bundle path.
+fn saved_bundle(dir: &TempDir) -> std::path::PathBuf {
+    let path = dir.file("bundle.anns");
+    full_registry().save_bundle(&path).unwrap();
+    path
+}
+
+fn workload(seed: u64, count: usize) -> Vec<Point> {
+    hot_set_workload(&shared_index(), count, count, 5, seed)
+}
+
+/// Heap load vs mapped mount of the same file: identical listings, and
+/// byte-identical answers, ledgers and transcripts on every shard under
+/// solo execution.
+#[test]
+fn backends_serve_byte_identical_answers_solo() {
+    let dir = TempDir::new("backend-eq-solo");
+    let path = saved_bundle(&dir);
+    let heap = Registry::load_bundle(&path).unwrap();
+    let mapped = Registry::load_bundle_mapped(&path).unwrap();
+    assert_eq!(heap.registry.listing(), mapped.registry.listing());
+    for q in workload(7, 12) {
+        for shard in 0..heap.registry.len() {
+            let id = anns_engine::ShardId(shard);
+            let (a1, l1, t1) = execute_with(
+                &SoloServable(heap.registry.scheme(id)),
+                &q,
+                ExecOptions::with_transcript(),
+            );
+            let (a2, l2, t2) = execute_with(
+                &SoloServable(mapped.registry.scheme(id)),
+                &q,
+                ExecOptions::with_transcript(),
+            );
+            assert_eq!(a1, a2, "answer diverged on shard {shard}");
+            assert_eq!(l1, l2, "ledger diverged on shard {shard}");
+            assert_eq!(t1, t2, "transcript diverged on shard {shard}");
+        }
+    }
+}
+
+/// The same equivalence through the coalescing engine: `submit_named`
+/// over every shard (including the subsampled wrapper) returns the same
+/// answers, ledgers, transcripts and budget verdicts on both backends.
+#[test]
+fn backends_agree_through_the_coalescing_engine() {
+    let dir = TempDir::new("backend-eq-engine");
+    let path = saved_bundle(&dir);
+    let heap = Registry::load_bundle(&path).unwrap();
+    let mapped = Registry::load_bundle_mapped(&path).unwrap();
+    let names = heap.registry.listing();
+    let reqs: Vec<NamedRequest> = workload(13, 24)
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| NamedRequest {
+            shard: names[i % names.len()].0.clone(),
+            query: q,
+        })
+        .collect();
+    let opts = EngineOptions {
+        generation: 8,
+        exec: ExecOptions::with_transcript(),
+        batch_threads: 2,
+    };
+    let served_heap = Engine::new(heap.registry, opts).submit_named(&reqs);
+    let served_mapped = Engine::new(mapped.registry, opts).submit_named(&reqs);
+    for (i, (a, b)) in served_heap.iter().zip(served_mapped.iter()).enumerate() {
+        let a = a.as_ref().expect("heap backend serves");
+        let b = b.as_ref().expect("mapped backend serves");
+        assert_eq!(a.answer, b.answer, "answer diverged on request {i}");
+        assert_eq!(a.ledger, b.ledger, "ledger diverged on request {i}");
+        assert_eq!(
+            a.transcript, b.transcript,
+            "transcript diverged on request {i}"
+        );
+        assert_eq!(a.within_budget, b.within_budget);
+    }
+}
+
+/// The O(manifest) accounting: a mapped mount's eagerly-read byte count
+/// stays a small fraction of the file, while the heap path reads (and
+/// reports) the whole thing. Pool-backed core shards carry the claim —
+/// foreign payloads ride inside `SHRD` and are always read with the
+/// directory — so this bundle is all core shards over distinct indexes.
+#[test]
+fn mapped_mount_reads_o_manifest_bytes() {
+    let dir = TempDir::new("backend-eq-eager");
+    let path = dir.file("core.anns");
+    {
+        let mut registry = Registry::new();
+        for (i, seed) in [101u64, 102, 103].into_iter().enumerate() {
+            let index = clustered_index(8, 16, D, 0.05, seed);
+            registry.register_alg1(format!("alg1-{i}"), Arc::clone(&index), 3);
+            registry.register_lambda(format!("lambda-{i}"), index, 8.0);
+        }
+        registry.save_bundle(&path).unwrap();
+    }
+    let heap = Registry::load_bundle(&path).unwrap();
+    assert_eq!(heap.report.backend, StoreBackend::Heap);
+    assert_eq!(heap.report.eager_bytes, heap.report.file_bytes);
+    let mapped = Registry::load_bundle_mapped(&path).unwrap();
+    assert_eq!(mapped.report.backend, StoreBackend::Mmap);
+    assert!(mapped.report.manifest_verified);
+    assert!(
+        mapped.report.eager_bytes * 4 < mapped.report.file_bytes,
+        "eager {} bytes should be well under the {}-byte file",
+        mapped.report.eager_bytes,
+        mapped.report.file_bytes
+    );
+    // Nothing is decoded until a query lands; then only that shard's
+    // pool entry is.
+    let lazy = mapped.lazy.as_ref().expect("mapped load exposes the pool");
+    assert_eq!(lazy.decoded().len(), 0);
+    let id = anns_engine::ShardId(0);
+    let q = workload(17, 1).pop().unwrap();
+    let _ = execute_with(
+        &SoloServable(mapped.registry.scheme(id)),
+        &q,
+        ExecOptions::default(),
+    );
+    assert_eq!(lazy.decoded().len(), 1);
+}
+
+/// A byte flip landing in a pooled index payload *after* the eager
+/// checks (preludes and manifest untouched) mounts fine, then surfaces
+/// as a typed, latched [`ServeError::ShardFault`] on first probe —
+/// never a panic, and never a silently different answer.
+#[test]
+fn post_mount_byte_flip_is_a_typed_fault() {
+    use anns_store::Codec;
+    let dir = TempDir::new("backend-eq-fault");
+    let path = saved_bundle(&dir);
+    // Locate the pooled index payload inside the file by content and
+    // flip one byte in the middle of it.
+    let needle_src = shared_index().to_bytes();
+    let needle = &needle_src[needle_src.len() / 3..needle_src.len() / 3 + 24];
+    let mut file = std::fs::read(&path).unwrap();
+    let hit = file
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .expect("pooled index payload appears in the bundle");
+    file[hit + 8] ^= 0xff;
+    std::fs::write(&path, &file).unwrap();
+
+    // Eager checks still pass: header, preludes and MNFT are intact.
+    let mapped = Registry::load_bundle_mapped(&path).unwrap();
+    let engine = Engine::new(mapped.registry, EngineOptions::default());
+    let q = workload(19, 1).pop().unwrap();
+    let req = |shard: &str| NamedRequest {
+        shard: shard.to_string(),
+        query: q.clone(),
+    };
+    for attempt in 0..2 {
+        let out = engine.submit_named(&[req("alg1-k3")]);
+        match &out[0] {
+            Err(ServeError::ShardFault { shard, fault }) => {
+                assert_eq!(shard, "alg1-k3");
+                assert!(
+                    matches!(fault, PayloadFault::Checksum { .. }),
+                    "attempt {attempt}: expected a checksum fault, got {fault}"
+                );
+            }
+            other => panic!("attempt {attempt}: expected a shard fault, got {other:?}"),
+        }
+    }
+    // Foreign shards live in SHRD (verified eagerly), so they keep
+    // serving next to the faulted core shard.
+    let out = engine.submit_named(&[req("linear")]);
+    assert!(out[0].is_ok(), "undamaged shard keeps serving: {out:?}");
+}
+
+/// A hand-built v1 (unaligned, count-prefixed pool) bundle still loads
+/// through the heap path and serves identically to a freshly built
+/// registry — and the mmap backend rejects it with a typed
+/// [`StoreError::Unsupported`] pointing at the heap backend, instead of
+/// mis-mapping unaligned payloads.
+#[test]
+fn v1_bundles_load_on_heap_and_are_rejected_by_mmap() {
+    let dir = TempDir::new("backend-eq-v1");
+    let path = dir.file("v1.anns");
+    let index = shared_index();
+
+    let mut idxp = ByteWriter::new();
+    idxp.put_u32(1);
+    idxp.put_bytes(&index.to_bytes());
+    let mut shrd = ByteWriter::new();
+    shrd.put_u32(1);
+    "v1-alg1".to_string().encode(&mut shrd);
+    shrd.put_u8(anns_store::scheme_kind::ALG1);
+    shrd.put_u32(0);
+    SchemeSpec::Alg1 {
+        k: 3,
+        tau_override: None,
+    }
+    .encode_payload(&mut shrd);
+
+    let mut writer = StoreWriter::v1(anns_store::scheme_kind::ALG1);
+    writer.section(anns_store::section_tag::INDEX_POOL, idxp.into_bytes());
+    writer.section(anns_store::section_tag::SHARDS, shrd.into_bytes());
+    let manifest = Manifest {
+        tool: format!("anns-store/{}", anns_store::FORMAT_VERSION),
+        sections: writer.digests(),
+    };
+    writer.section(anns_store::section_tag::MANIFEST, manifest.to_bytes());
+    std::fs::write(&path, writer.to_bytes()).unwrap();
+
+    let loaded = Registry::load_bundle(&path).expect("v1 bundles stay loadable");
+    assert_eq!(loaded.report.backend, StoreBackend::Heap);
+    let mut fresh = Registry::new();
+    fresh.register_alg1("v1-alg1", Arc::clone(&index), 3);
+    for q in workload(23, 8) {
+        let id = anns_engine::ShardId(0);
+        let (a1, l1, _) = execute_with(
+            &SoloServable(loaded.registry.scheme(id)),
+            &q,
+            ExecOptions::default(),
+        );
+        let (a2, l2, _) = execute_with(&SoloServable(fresh.scheme(id)), &q, ExecOptions::default());
+        assert_eq!(a1, a2);
+        assert_eq!(l1, l2);
+    }
+
+    match Registry::load_bundle_mapped(&path) {
+        Err(StoreError::Unsupported(msg)) => {
+            assert!(
+                msg.contains("heap backend"),
+                "rejection should point at the heap backend: {msg}"
+            );
+        }
+        Err(other) => panic!("expected Unsupported, got {other}"),
+        Ok(_) => panic!("v1 must not mount through the mmap backend"),
+    }
+}
+
+/// The mount table's backend plumbing: an mmap mount lands in the live
+/// epoch with its provenance in the summary, and serves named queries.
+#[test]
+fn mount_table_mounts_and_serves_through_the_mmap_backend() {
+    let dir = TempDir::new("backend-eq-mount");
+    let path = saved_bundle(&dir);
+    let table = Arc::new(MountTable::new());
+    let receipt = table
+        .mount_with_backend("tenant-a", &path, StoreBackend::Mmap)
+        .unwrap();
+    let manifest = receipt.manifest.as_ref().expect("mount carries a report");
+    assert_eq!(manifest.backend, StoreBackend::Mmap);
+    assert!(manifest.summary().contains("mmap backend"));
+    let engine = Engine::over(Arc::clone(&table), EngineOptions::default());
+    let q = workload(29, 1).pop().unwrap();
+    let out = engine.submit_named(&[NamedRequest {
+        shard: "tenant-a/alg1-k3".to_string(),
+        query: q,
+    }]);
+    assert!(out[0].is_ok(), "mounted shard serves: {out:?}");
+}

@@ -179,6 +179,11 @@ fn serve_report_json_field_set_is_locked() {
             "wait",
             "trace_events",
             "trace_dropped",
+            "store_backend",
+            "mount_ms",
+            "mount_eager_bytes",
+            "mount_file_bytes",
+            "rss_bytes",
         ]
     );
 }

@@ -170,43 +170,81 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Structure-aware fuzz at the bundle layer: hostile *nested* length
-    /// and count prefixes inside the `IDXP` / `SHRD` payloads — the
+    /// and count fields inside the `IDXP` / `SHRD` payloads — the
     /// values a corrupted-but-checksummed (or adversarial) file would
     /// present to the decoders — always yield a typed [`StoreError`],
     /// never a panic and never an attacker-sized allocation (decode
-    /// capacities are capped by the bytes actually present).
+    /// capacities are capped by the bytes actually present). For the v2
+    /// pool the entry table's own CRC is re-stamped after each mutation,
+    /// so only the semantic bounds checks can object.
     #[test]
     fn nested_length_prefix_mutations_yield_typed_errors(
         target_shrd in any::<bool>(),
         kind in 0u8..3,
         delta in 1u64..1 << 40,
     ) {
-        let tag = if target_shrd {
-            anns_store::section_tag::SHARDS
-        } else {
-            anns_store::section_tag::INDEX_POOL
-        };
+        use anns_store::pool::{POOL_ENTRY_BYTES, POOL_TABLE_PREFIX_BYTES};
         let bytes = remanifested(|sections| {
-            let section = sections
-                .iter_mut()
-                .find(|s| s.tag == tag)
-                .expect("bundle has the section");
-            match kind {
-                // The first entry's u64 length prefix (after the u32
-                // count): claim more bytes than the payload holds.
-                0 => {
-                    let huge = section.payload.len() as u64 + delta;
-                    section.payload[4..12].copy_from_slice(&huge.to_le_bytes());
+            if target_shrd {
+                // SHRD: count u32, then length-prefixed records.
+                let section = sections
+                    .iter_mut()
+                    .find(|s| s.tag == anns_store::section_tag::SHARDS)
+                    .expect("bundle has a SHRD section");
+                match kind {
+                    // The first record's u64 length prefix (after the
+                    // u32 count): claim more bytes than the payload
+                    // holds.
+                    0 => {
+                        let huge = section.payload.len() as u64 + delta;
+                        section.payload[4..12].copy_from_slice(&huge.to_le_bytes());
+                    }
+                    // The same prefix at u64::MAX — the "allocate
+                    // everything" probe.
+                    1 => {
+                        section.payload[4..12].copy_from_slice(&u64::MAX.to_le_bytes());
+                    }
+                    // The u32 record count itself: a count the payload
+                    // cannot possibly satisfy must run out of bytes, not
+                    // memory.
+                    _ => {
+                        section.payload[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+                    }
                 }
-                // The same prefix at u64::MAX — the "allocate everything"
-                // probe.
-                1 => {
-                    section.payload[4..12].copy_from_slice(&u64::MAX.to_le_bytes());
+            } else {
+                // IDXP (v2): count u32, table_crc u32, then entry rows
+                // of {offset u64, len u64, crc u32}.
+                let section = sections
+                    .iter_mut()
+                    .find(|s| s.tag == anns_store::section_tag::INDEX_POOL)
+                    .expect("bundle has an IDXP section");
+                let payload = &mut section.payload;
+                let first_len = POOL_TABLE_PREFIX_BYTES + 8;
+                match kind {
+                    // First entry's length: claim more bytes than the
+                    // section holds.
+                    0 => {
+                        let huge = payload.len() as u64 + delta;
+                        payload[first_len..first_len + 8].copy_from_slice(&huge.to_le_bytes());
+                    }
+                    // u64::MAX length — the offset+len overflow probe.
+                    1 => {
+                        payload[first_len..first_len + 8]
+                            .copy_from_slice(&u64::MAX.to_le_bytes());
+                    }
+                    // An entry count the section cannot satisfy.
+                    _ => {
+                        payload[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+                    }
                 }
-                // The u32 entry count itself: a count the payload cannot
-                // possibly satisfy must run out of bytes, not memory.
-                _ => {
-                    section.payload[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+                // Re-stamp the table CRC where the table is still in
+                // bounds, so the bounds checks (not the checksum) must
+                // reject the hostile values.
+                if kind != 2 {
+                    let count = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+                    let table_end = POOL_TABLE_PREFIX_BYTES + count * POOL_ENTRY_BYTES;
+                    let crc = anns_store::crc32(&payload[POOL_TABLE_PREFIX_BYTES..table_end]);
+                    payload[4..8].copy_from_slice(&crc.to_le_bytes());
                 }
             }
         });

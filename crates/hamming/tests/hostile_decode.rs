@@ -1,0 +1,71 @@
+//! Hostile-count fuzz over the [`Dataset`] codec — the substrate every
+//! persisted index decodes through. The count and dimension prefixes
+//! are attacker-controlled in a corrupted-but-checksummed (or
+//! adversarially authored) bundle, so any value they can take must
+//! yield a typed [`StoreError`], never a panic and never an allocation
+//! sized by the prefix instead of by the bytes actually present.
+
+use anns_hamming::{gen, Dataset};
+use anns_store::{Codec, StoreError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn encoded(seed: u64, n: usize, d: u32) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gen::uniform(n, d, &mut rng).to_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The `u64` point count at bytes `[4..12]`: any inflated value —
+    /// one past the truth up to `u64::MAX` — is "impossible in the
+    /// remaining bytes" and must be rejected before any reservation.
+    #[test]
+    fn inflated_count_prefix_is_a_typed_error(
+        seed in any::<u64>(),
+        n in 1usize..24,
+        delta in 1u64..u64::MAX / 2,
+    ) {
+        let mut bytes = encoded(seed, n, 96);
+        let count = (n as u64).saturating_add(delta);
+        bytes[4..12].copy_from_slice(&count.to_le_bytes());
+        match Dataset::from_bytes(&bytes) {
+            Err(StoreError::Malformed(_) | StoreError::Truncated { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other}"),
+            Ok(_) => prop_assert!(false, "hostile count decoded"),
+        }
+    }
+
+    /// The `u32` dimension at bytes `[0..4]`: a huge dimension implies
+    /// a huge per-point limb count, which must fail the bytes-present
+    /// check instead of reserving `dim/8` bytes per point.
+    #[test]
+    fn inflated_dim_prefix_is_a_typed_error(
+        seed in any::<u64>(),
+        n in 1usize..24,
+        dim in 1u32 << 20..u32::MAX,
+    ) {
+        let mut bytes = encoded(seed, n, 96);
+        bytes[0..4].copy_from_slice(&dim.to_le_bytes());
+        match Dataset::from_bytes(&bytes) {
+            Err(StoreError::Malformed(_) | StoreError::Truncated { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other}"),
+            Ok(_) => prop_assert!(false, "hostile dim decoded"),
+        }
+    }
+
+    /// Arbitrary damage anywhere in the 12-byte header region never
+    /// panics: every outcome is a dataset or a typed error.
+    #[test]
+    fn header_region_fuzz_never_panics(
+        seed in any::<u64>(),
+        offset in 0usize..12,
+        value in any::<u8>(),
+    ) {
+        let mut bytes = encoded(seed, 8, 64);
+        bytes[offset] = value;
+        let _ = Dataset::from_bytes(&bytes);
+    }
+}

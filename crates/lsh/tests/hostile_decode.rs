@@ -1,0 +1,62 @@
+//! Hostile-count fuzz over the [`LshIndex`] codec — the largest foreign
+//! payload a bundle carries. Its bucket-count prefix is
+//! attacker-controlled in an adversarially authored `SHRD` record, so
+//! any inflated value must be a typed [`StoreError`] before any
+//! count-sized reservation, and arbitrary damage to the prefix region
+//! must never panic.
+
+use anns_hamming::gen;
+use anns_lsh::{LshIndex, LshParams};
+use anns_store::{encode_slice, ByteWriter, Codec, StoreError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small built index plus the byte offset of its `u64` bucket-count
+/// prefix (everything before it re-encoded through the same codecs).
+fn encoded_with_count_offset(seed: u64) -> (Vec<u8>, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dataset = gen::uniform(24, 96, &mut rng);
+    let params = LshParams::for_radius(24, 96, 5.0, 2.0, 8.0);
+    let index = LshIndex::build(dataset, params, &mut rng);
+    let bytes = index.to_bytes();
+    let mut prefix = ByteWriter::new();
+    index.dataset().encode(&mut prefix);
+    index.params().encode(&mut prefix);
+    encode_slice(index.masks(), &mut prefix);
+    (bytes, prefix.into_bytes().len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any inflated bucket count is "impossible in the remaining
+    /// bytes": rejected with a typed error before reserving
+    /// `count × entry` bytes.
+    #[test]
+    fn inflated_bucket_count_is_a_typed_error(
+        seed in any::<u64>(),
+        count in 1u64 << 32..u64::MAX,
+    ) {
+        let (mut bytes, at) = encoded_with_count_offset(seed);
+        bytes[at..at + 8].copy_from_slice(&count.to_le_bytes());
+        match LshIndex::from_bytes(&bytes) {
+            Err(StoreError::Malformed(_) | StoreError::Truncated { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other}"),
+            Ok(_) => prop_assert!(false, "hostile bucket count decoded"),
+        }
+    }
+
+    /// Arbitrary damage to the count prefix never panics — every
+    /// outcome is an index or a typed error.
+    #[test]
+    fn count_prefix_fuzz_never_panics(
+        seed in any::<u64>(),
+        offset in 0usize..8,
+        value in any::<u8>(),
+    ) {
+        let (mut bytes, at) = encoded_with_count_offset(seed);
+        bytes[at + offset] = value;
+        let _ = LshIndex::from_bytes(&bytes);
+    }
+}

@@ -119,6 +119,11 @@ pub enum ErrorCode {
     /// The request itself was unintelligible or arrived out of
     /// protocol order.
     BadRequest = 5,
+    /// The target shard's mmap-backed payload failed its deferred
+    /// first-touch verification or decode
+    /// ([`ServeError::ShardFault`]) — the bundle needs a remount from
+    /// an intact file; retrying will not help.
+    ShardFault = 6,
 }
 
 impl ErrorCode {
@@ -130,6 +135,7 @@ impl ErrorCode {
             3 => ErrorCode::Closed,
             4 => ErrorCode::UnknownShard,
             5 => ErrorCode::BadRequest,
+            6 => ErrorCode::ShardFault,
             other => return Err(StoreError::Malformed(format!("error code {other}"))),
         })
     }
@@ -142,6 +148,7 @@ impl ErrorCode {
             ErrorCode::Closed => "closed",
             ErrorCode::UnknownShard => "unknown_shard",
             ErrorCode::BadRequest => "bad_request",
+            ErrorCode::ShardFault => "shard_fault",
         }
     }
 }
@@ -177,6 +184,12 @@ impl WireFault {
             },
             ServeError::UnknownShard { .. } => WireFault {
                 code: ErrorCode::UnknownShard,
+                depth: 0,
+                capacity: 0,
+                message: e.to_string(),
+            },
+            ServeError::ShardFault { .. } => WireFault {
+                code: ErrorCode::ShardFault,
                 depth: 0,
                 capacity: 0,
                 message: e.to_string(),

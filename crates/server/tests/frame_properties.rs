@@ -34,6 +34,7 @@ fn fault(rng: &mut StdRng) -> WireFault {
         ErrorCode::Closed,
         ErrorCode::UnknownShard,
         ErrorCode::BadRequest,
+        ErrorCode::ShardFault,
     ];
     WireFault {
         code: codes[rng.gen_range(0..codes.len())],

@@ -43,6 +43,77 @@ pub fn crc32_pair(a: &[u8], b: &[u8]) -> u32 {
     !update(update(0xFFFF_FFFF, a), b)
 }
 
+/// Multiplies the GF(2) matrix `mat` by the bit-vector `vec`.
+fn gf2_matrix_times(mat: &[u32; 32], mut vec: u32) -> u32 {
+    let mut sum = 0u32;
+    let mut i = 0;
+    while vec != 0 {
+        if vec & 1 != 0 {
+            sum ^= mat[i];
+        }
+        vec >>= 1;
+        i += 1;
+    }
+    sum
+}
+
+/// Squares a GF(2) matrix: `square = mat * mat`.
+fn gf2_matrix_square(square: &mut [u32; 32], mat: &[u32; 32]) {
+    for n in 0..32 {
+        square[n] = gf2_matrix_times(mat, mat[n]);
+    }
+}
+
+/// Combines two *finished* digests: given `crc_a = crc32(a)` and
+/// `crc_b = crc32(b)` with `len_b = b.len()`, returns `crc32(a ++ b)` —
+/// without touching a single byte of either buffer.
+///
+/// This is the streaming combine (zlib's `crc32_combine`): appending
+/// `len_b` zero bytes to `a` is a linear operator over GF(2), applied to
+/// `crc_a` by matrix exponentiation in `O(log len_b)` squarings, after
+/// which the independent digests xor together. It lets digests computed
+/// separately — per pool entry, per section, per shard — be stitched
+/// into the digest of the concatenation with no re-hash and no
+/// intermediate copy of the inputs.
+pub fn crc32_concat(crc_a: u32, crc_b: u32, len_b: u64) -> u32 {
+    if len_b == 0 {
+        return crc_a;
+    }
+    let mut even = [0u32; 32]; // even-power-of-two zero-byte operators
+    let mut odd = [0u32; 32]; // odd-power operators
+                              // The operator for one zero *bit*: shift down, conditionally xor POLY.
+    odd[0] = POLY;
+    let mut row = 1u32;
+    for entry in odd.iter_mut().skip(1) {
+        *entry = row;
+        row <<= 1;
+    }
+    // Square to the one-zero-byte (8-bit) operator and beyond.
+    gf2_matrix_square(&mut even, &odd); // 2 bits
+    gf2_matrix_square(&mut odd, &even); // 4 bits
+    let mut crc = crc_a;
+    let mut len = len_b;
+    loop {
+        gf2_matrix_square(&mut even, &odd);
+        if len & 1 != 0 {
+            crc = gf2_matrix_times(&even, crc);
+        }
+        len >>= 1;
+        if len == 0 {
+            break;
+        }
+        gf2_matrix_square(&mut odd, &even);
+        if len & 1 != 0 {
+            crc = gf2_matrix_times(&odd, crc);
+        }
+        len >>= 1;
+        if len == 0 {
+            break;
+        }
+    }
+    crc ^ crc_b
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,6 +136,29 @@ mod tests {
         concat.extend_from_slice(b);
         assert_eq!(crc32_pair(a, b), crc32(&concat));
         assert_eq!(crc32_pair(b"", b""), crc32(b""));
+    }
+
+    #[test]
+    fn concat_combine_matches_naive_concatenation() {
+        // Regression pin: the streaming combine must equal hashing the
+        // materialized concatenation, for every split point of a buffer
+        // that spans several zero-byte-operator doublings.
+        let data: Vec<u8> = (0..1021u32).map(|i| (i * 31 + 7) as u8).collect();
+        let whole = crc32(&data);
+        for split in [0, 1, 2, 7, 8, 63, 64, 255, 511, 1020, 1021] {
+            let (a, b) = data.split_at(split);
+            let combined = crc32_concat(crc32(a), crc32(b), b.len() as u64);
+            assert_eq!(combined, whole, "split at {split}");
+            // And it agrees with the two-buffer streaming digest.
+            assert_eq!(combined, crc32_pair(a, b), "pair at {split}");
+        }
+        // Appending nothing is the identity.
+        assert_eq!(crc32_concat(whole, crc32(b""), 0), whole);
+        // Known vector, stitched: "123456789" = "1234" ++ "56789".
+        assert_eq!(
+            crc32_concat(crc32(b"1234"), crc32(b"56789"), 5),
+            0xCBF4_3926
+        );
     }
 
     #[test]

@@ -11,6 +11,29 @@
 
 use crate::error::StoreError;
 
+/// Upper bound, in bytes, on any single speculative pre-reservation made
+/// while decoding (1 MiB).
+///
+/// A count prefix is validated against the bytes *remaining*, but that
+/// bound is per-item-minimum: a forged count of a billion one-byte items
+/// inside a gigabyte section passes the remaining-bytes check while
+/// `Vec::with_capacity(count)` for a 24-byte element type would reserve
+/// tens of gigabytes before a single item decodes. Decoders therefore
+/// clamp the *reservation* (never the count itself) to this cap via
+/// [`decode_capacity`]; a hostile count still decodes item by item until
+/// the payload underruns into a typed [`StoreError::Malformed`], just
+/// without the OOM-sized up-front allocation.
+pub const MAX_DECODE_PREALLOC_BYTES: usize = 1 << 20;
+
+/// The capacity to pre-reserve for `count` decoded items whose in-memory
+/// size is `item_bytes`: `count`, clamped so the reservation never
+/// exceeds [`MAX_DECODE_PREALLOC_BYTES`]. Growth past the clamp is
+/// amortized doubling, paid only by inputs that actually deliver the
+/// items.
+pub fn decode_capacity(count: usize, item_bytes: usize) -> usize {
+    count.min((MAX_DECODE_PREALLOC_BYTES / item_bytes.max(1)).max(1))
+}
+
 /// Growable little-endian byte sink.
 #[derive(Default)]
 pub struct ByteWriter {
@@ -294,7 +317,7 @@ impl<T: Codec> Codec for Vec<T> {
     }
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
         let count = r.count_prefix(1)?;
-        let mut out = Vec::with_capacity(count);
+        let mut out = Vec::with_capacity(decode_capacity(count, std::mem::size_of::<T>()));
         for _ in 0..count {
             out.push(T::decode(r)?);
         }
@@ -382,6 +405,49 @@ mod tests {
             String::from_bytes(&bytes),
             Err(StoreError::Malformed(_))
         ));
+        assert!(matches!(
+            Vec::<u64>::from_bytes(&bytes),
+            Err(StoreError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn decode_capacity_clamps_to_the_cap() {
+        // Under the cap: reserve exactly the count.
+        assert_eq!(decode_capacity(100, 8), 100);
+        assert_eq!(decode_capacity(0, 8), 0);
+        // A forged count of 2^30 u64s would be an 8 GiB reservation;
+        // the clamp holds it to the documented byte cap.
+        let clamped = decode_capacity(1 << 30, 8);
+        assert_eq!(clamped, MAX_DECODE_PREALLOC_BYTES / 8);
+        // Huge item types still reserve at least one slot, never zero
+        // for a nonzero count.
+        assert_eq!(decode_capacity(5, MAX_DECODE_PREALLOC_BYTES * 2), 1);
+        // Zero-sized items cannot divide by zero.
+        assert_eq!(decode_capacity(3, 0), 3);
+    }
+
+    #[test]
+    fn hostile_count_prefix_reservation_is_capped() {
+        // A forged count larger than the bytes remaining is rejected
+        // before any reservation at all.
+        let mut w = ByteWriter::new();
+        w.put_u64(512 * 1024 * 1024);
+        w.put_raw(&[0u8; 16]);
+        assert!(matches!(
+            Vec::<u64>::from_bytes(&w.into_bytes()),
+            Err(StoreError::Malformed(_))
+        ));
+        // A count that *passes* the remaining-bytes check (one byte per
+        // item minimum) but would over-reserve for a wide element type
+        // decodes under the clamp and fails typed at the underrun — the
+        // reservation stays capped the whole way.
+        let claimed = 2 * MAX_DECODE_PREALLOC_BYTES; // 2 MiB of 1-byte "items"
+        let mut w = ByteWriter::new();
+        w.put_u64(claimed as u64);
+        w.put_raw(&vec![7u8; claimed]); // enough bytes for the count check…
+        let bytes = w.into_bytes();
+        // …but u64 items consume 8 bytes each, so decode underruns.
         assert!(matches!(
             Vec::<u64>::from_bytes(&bytes),
             Err(StoreError::Malformed(_))

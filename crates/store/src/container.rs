@@ -1,14 +1,29 @@
 //! The container: header plus checksummed sections, streamed over `io`.
+//!
+//! Two wire versions share the header and the `tag/len/crc` section
+//! prelude. Version 1 packs payloads back to back; version 2 extends the
+//! section prelude with a `pad` field and zero-fills so every payload
+//! starts on a [`SECTION_ALIGN`]-byte file offset — the property that
+//! makes v2 payloads directly memory-mappable (see [`crate::mapped`]).
+//! Writers emit v2 by default ([`StoreWriter::new`]); readers accept
+//! both.
 
 use std::io::{Read, Write};
 
-use crate::checksum::crc32_pair;
+use crate::checksum::{crc32, crc32_concat, crc32_pair};
 use crate::codec::ByteReader;
 use crate::error::StoreError;
-use crate::{FORMAT_VERSION, MAGIC};
+use crate::{FORMAT_VERSION, FORMAT_VERSION_V2, MAGIC, SECTION_ALIGN};
 
 /// A section's four-byte tag.
 pub type SectionTag = [u8; 4];
+
+/// Bytes of the fixed file header (magic + version + kind + reserved +
+/// section count).
+pub const HEADER_BYTES: usize = 12;
+
+/// Bytes of a v2 section prelude (`tag`, `len`, `crc`, `pad`).
+pub const SECTION_PRELUDE_V2_BYTES: usize = 16;
 
 /// The fixed-size file header.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,15 +57,35 @@ impl Section {
 
 /// Assembles a store file: sections are buffered, then written with the
 /// header in one pass.
+///
+/// Each payload is digested once as it is appended; the tag-inclusive
+/// section checksum is derived by the streaming combine
+/// ([`crate::crc32_concat`]) wherever it is needed, so multi-megabyte
+/// payloads are hashed exactly once no matter how many times
+/// [`StoreWriter::digests`] and [`StoreWriter::write_to`] run.
 pub struct StoreWriter {
+    version: u16,
     kind: u8,
-    sections: Vec<(SectionTag, Vec<u8>)>,
+    sections: Vec<(SectionTag, Vec<u8>, u32)>,
 }
 
 impl StoreWriter {
-    /// A writer for a container of the given kind.
+    /// A writer for a container of the given kind, in the current (v2,
+    /// mappable) format.
     pub fn new(kind: u8) -> Self {
+        StoreWriter::with_version(FORMAT_VERSION_V2, kind)
+    }
+
+    /// A writer emitting the legacy v1 (unaligned) format — kept so
+    /// back-compat fixtures can be produced and the v1 read path stays
+    /// covered.
+    pub fn v1(kind: u8) -> Self {
+        StoreWriter::with_version(FORMAT_VERSION, kind)
+    }
+
+    fn with_version(version: u16, kind: u8) -> Self {
         StoreWriter {
+            version,
             kind,
             sections: Vec::new(),
         }
@@ -58,8 +93,15 @@ impl StoreWriter {
 
     /// Appends a section.
     pub fn section(&mut self, tag: SectionTag, payload: Vec<u8>) -> &mut Self {
-        self.sections.push((tag, payload));
+        let payload_crc = crc32(&payload);
+        self.sections.push((tag, payload, payload_crc));
         self
+    }
+
+    /// The tag-inclusive checksum of a section, stitched from the
+    /// payload digest computed at append time.
+    fn section_crc(tag: &SectionTag, payload_len: usize, payload_crc: u32) -> u32 {
+        crc32_concat(crc32(tag), payload_crc, payload_len as u64)
     }
 
     /// Digests (tag, length, CRC-32) of every section appended so far, in
@@ -68,36 +110,48 @@ impl StoreWriter {
     pub fn digests(&self) -> Vec<crate::manifest::SectionDigest> {
         self.sections
             .iter()
-            .map(|(tag, payload)| crate::manifest::SectionDigest {
-                tag: *tag,
-                len: payload.len() as u32,
-                crc: crc32_pair(tag, payload),
-            })
+            .map(
+                |(tag, payload, payload_crc)| crate::manifest::SectionDigest {
+                    tag: *tag,
+                    len: payload.len() as u32,
+                    crc: Self::section_crc(tag, payload.len(), *payload_crc),
+                },
+            )
             .collect()
     }
 
     /// Writes header and sections to `out`.
     pub fn write_to(&self, out: &mut impl Write) -> Result<(), StoreError> {
         out.write_all(&MAGIC).map_err(StoreError::Io)?;
-        out.write_all(&FORMAT_VERSION.to_le_bytes())
+        out.write_all(&self.version.to_le_bytes())
             .map_err(StoreError::Io)?;
         out.write_all(&[self.kind, 0]).map_err(StoreError::Io)?;
         out.write_all(&(self.sections.len() as u32).to_le_bytes())
             .map_err(StoreError::Io)?;
-        for (tag, payload) in &self.sections {
+        let mut offset = HEADER_BYTES;
+        for (tag, payload, payload_crc) in &self.sections {
             // The length field is u32: refuse to write what cannot be
             // read back rather than silently truncating the prefix.
             let len: u32 = payload.len().try_into().map_err(|_| {
                 StoreError::Unsupported(format!(
-                    "section {} is {} bytes; the v{FORMAT_VERSION} format caps sections at 4 GiB",
+                    "section {} is {} bytes; the format caps sections at 4 GiB",
                     String::from_utf8_lossy(tag),
                     payload.len()
                 ))
             })?;
+            let crc = Self::section_crc(tag, payload.len(), *payload_crc);
             out.write_all(tag).map_err(StoreError::Io)?;
             out.write_all(&len.to_le_bytes()).map_err(StoreError::Io)?;
-            out.write_all(&crc32_pair(tag, payload).to_le_bytes())
-                .map_err(StoreError::Io)?;
+            out.write_all(&crc.to_le_bytes()).map_err(StoreError::Io)?;
+            if self.version >= FORMAT_VERSION_V2 {
+                // Zero-fill so the payload lands on an aligned offset.
+                let prelude_end = offset + SECTION_PRELUDE_V2_BYTES;
+                let pad = prelude_end.next_multiple_of(SECTION_ALIGN) - prelude_end;
+                out.write_all(&(pad as u32).to_le_bytes())
+                    .map_err(StoreError::Io)?;
+                out.write_all(&vec![0u8; pad]).map_err(StoreError::Io)?;
+                offset = prelude_end + pad + payload.len();
+            }
             out.write_all(payload).map_err(StoreError::Io)?;
         }
         Ok(())
@@ -150,10 +204,10 @@ impl<R: Read> StoreReader<R> {
         let mut version = [0u8; 2];
         read_exact(&mut inner, &mut version, "version")?;
         let version = u16::from_le_bytes(version);
-        if version != FORMAT_VERSION {
+        if version != FORMAT_VERSION && version != FORMAT_VERSION_V2 {
             return Err(StoreError::UnsupportedVersion {
                 found: version,
-                supported: FORMAT_VERSION,
+                supported: FORMAT_VERSION_V2,
             });
         }
         let mut kind_reserved = [0u8; 2];
@@ -189,6 +243,24 @@ impl<R: Read> StoreReader<R> {
         let mut crc = [0u8; 4];
         read_exact(&mut self.inner, &mut crc, "section checksum")?;
         let crc = u32::from_le_bytes(crc);
+        if self.header.version >= FORMAT_VERSION_V2 {
+            // v2 preludes carry alignment padding; the streaming path
+            // skips it (padding is not covered by the section checksum).
+            let mut pad = [0u8; 4];
+            read_exact(&mut self.inner, &mut pad, "section padding")?;
+            let pad = u32::from_le_bytes(pad) as u64;
+            if pad >= SECTION_ALIGN as u64 {
+                return Err(StoreError::Malformed(format!(
+                    "section padding {pad} exceeds the {SECTION_ALIGN}-byte alignment unit"
+                )));
+            }
+            let mut sink = [0u8; SECTION_ALIGN];
+            read_exact(
+                &mut self.inner,
+                &mut sink[..pad as usize],
+                "section padding",
+            )?;
+        }
         // Read through `take`, growing as bytes arrive: a corrupted length
         // cannot force a giant up-front allocation.
         let mut payload = Vec::new();
@@ -251,7 +323,7 @@ mod tests {
         assert_eq!(
             *r.header(),
             StoreHeader {
-                version: FORMAT_VERSION,
+                version: FORMAT_VERSION_V2,
                 kind: KIND_BUNDLE,
                 sections: 3
             }
@@ -284,9 +356,60 @@ mod tests {
             StoreReader::new(&bytes[..]),
             Err(StoreError::UnsupportedVersion {
                 found: 99,
-                supported: FORMAT_VERSION
+                supported: FORMAT_VERSION_V2
             })
         ));
+    }
+
+    #[test]
+    fn v1_containers_still_read_back() {
+        let mut w = StoreWriter::v1(KIND_BUNDLE);
+        w.section(*b"META", b"hello".to_vec());
+        w.section(*b"IDXP", vec![0u8; 300]);
+        let bytes = w.to_bytes();
+        let mut r = StoreReader::new(&bytes[..]).unwrap();
+        assert_eq!(r.header().version, FORMAT_VERSION);
+        let sections = r.sections().unwrap();
+        assert_eq!(sections[0].payload, b"hello");
+        assert_eq!(sections[1].payload.len(), 300);
+        // v1 packs sections back to back: no padding anywhere.
+        assert_eq!(bytes.len(), HEADER_BYTES + 2 * 12 + 5 + 300);
+    }
+
+    #[test]
+    fn v2_payloads_are_aligned_in_the_file() {
+        let bytes = sample();
+        // Walk the raw layout and check every payload offset.
+        let mut offset = HEADER_BYTES;
+        for _ in 0..3 {
+            let pad = u32::from_le_bytes(bytes[offset + 12..offset + 16].try_into().unwrap());
+            let len = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
+            let payload_at = offset + SECTION_PRELUDE_V2_BYTES + pad as usize;
+            assert_eq!(payload_at % SECTION_ALIGN, 0, "payload at {payload_at}");
+            assert!(
+                bytes[offset + SECTION_PRELUDE_V2_BYTES..payload_at]
+                    .iter()
+                    .all(|&b| b == 0),
+                "padding is zero-filled"
+            );
+            offset = payload_at + len as usize;
+        }
+        assert_eq!(offset, bytes.len());
+    }
+
+    #[test]
+    fn v1_and_v2_digests_agree() {
+        // Padding is outside the checksummed bytes, so the same sections
+        // produce identical manifest digests in both wire versions.
+        let build = |mut w: StoreWriter| {
+            w.section(*b"META", b"same payload".to_vec());
+            w.section(*b"IDXP", (0u8..200).collect());
+            w.digests()
+        };
+        assert_eq!(
+            build(StoreWriter::new(KIND_BUNDLE)),
+            build(StoreWriter::v1(KIND_BUNDLE))
+        );
     }
 
     #[test]

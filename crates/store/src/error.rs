@@ -93,6 +93,82 @@ impl std::error::Error for StoreError {
     }
 }
 
+/// A deferred-verification failure, latched at first touch of a lazily
+/// mapped payload and replayed to every subsequent accessor.
+///
+/// Unlike [`StoreError`] (which carries a non-clonable `io::Error`),
+/// this type is `Clone + PartialEq + Eq` so it can live in a
+/// verified-once latch and travel inside engine-level error enums — the
+/// typed value a probe receives when an mmap-backed section fails its
+/// first-touch checksum, instead of a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PayloadFault {
+    /// The mapped bytes do not match the checksum recorded in the file.
+    Checksum {
+        /// The section's tag, as ASCII where printable.
+        tag: [u8; 4],
+        /// Checksum recorded in the file.
+        stored: u32,
+        /// Checksum of the mapped bytes.
+        computed: u32,
+    },
+    /// The bytes verified (or were heap-owned) but failed to decode.
+    Decode(String),
+}
+
+impl fmt::Display for PayloadFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PayloadFault::Checksum {
+                tag,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "lazy verification of section {} failed: stored {stored:#010x}, computed {computed:#010x}",
+                String::from_utf8_lossy(tag)
+            ),
+            PayloadFault::Decode(what) => write!(f, "lazy decode failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PayloadFault {}
+
+impl From<PayloadFault> for StoreError {
+    fn from(fault: PayloadFault) -> Self {
+        match fault {
+            PayloadFault::Checksum {
+                tag,
+                stored,
+                computed,
+            } => StoreError::ChecksumMismatch {
+                tag,
+                stored,
+                computed,
+            },
+            PayloadFault::Decode(what) => StoreError::Malformed(what),
+        }
+    }
+}
+
+impl From<&StoreError> for PayloadFault {
+    fn from(err: &StoreError) -> Self {
+        match err {
+            StoreError::ChecksumMismatch {
+                tag,
+                stored,
+                computed,
+            } => PayloadFault::Checksum {
+                tag: *tag,
+                stored: *stored,
+                computed: *computed,
+            },
+            other => PayloadFault::Decode(other.to_string()),
+        }
+    }
+}
+
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> Self {
         // An interrupted read manifests as UnexpectedEof from read_exact;

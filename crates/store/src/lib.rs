@@ -16,13 +16,23 @@
 //!
 //! ```text
 //! magic      [u8; 4]   = b"ANNS"
-//! version    u16       = FORMAT_VERSION
+//! version    u16       = 1 or 2
 //! kind       u8        container kind: 0 = registry bundle,
 //!                      1.. = single-scheme file of that scheme kind
 //! reserved   u8        = 0
 //! sections   u32       section count
-//! section*   tag [u8;4], len u32, crc32 u32, payload [u8; len]
+//! v1 section*  tag [u8;4], len u32, crc32 u32, payload [u8; len]
+//! v2 section*  tag [u8;4], len u32, crc32 u32, pad u32,
+//!              zeros [u8; pad], payload [u8; len]
 //! ```
+//!
+//! Version 2 (the current write format) zero-pads each section prelude
+//! so every payload begins on a [`SECTION_ALIGN`]-byte file offset —
+//! the property that lets payloads be memory-mapped in place
+//! ([`MappedStore`]) and verified lazily at first touch instead of at
+//! mount. Version 1 packs payloads back to back; both versions read
+//! through the heap path, and the checksums cover `tag ++ payload`
+//! identically (padding excluded), so manifests agree across versions.
 //!
 //! Each section's payload is covered by a CRC-32 (IEEE) checksum, so a
 //! flipped bit anywhere in a payload surfaces as
@@ -62,18 +72,36 @@ mod codec;
 mod container;
 mod error;
 pub mod manifest;
+pub mod mapped;
+pub mod pool;
 
-pub use checksum::{crc32, crc32_pair};
-pub use codec::{encode_slice, ByteReader, ByteWriter, Codec};
-pub use container::{open_file, Section, SectionTag, StoreHeader, StoreReader, StoreWriter};
-pub use error::StoreError;
+pub use checksum::{crc32, crc32_concat, crc32_pair};
+pub use codec::{
+    decode_capacity, encode_slice, ByteReader, ByteWriter, Codec, MAX_DECODE_PREALLOC_BYTES,
+};
+pub use container::{
+    open_file, Section, SectionTag, StoreHeader, StoreReader, StoreWriter, HEADER_BYTES,
+    SECTION_PRELUDE_V2_BYTES,
+};
+pub use error::{PayloadFault, StoreError};
 pub use manifest::{scan, scan_file, Manifest, ManifestTracker, SectionDigest};
+pub use mapped::{LazySection, MappedStore, PayloadSource};
 
 /// The four magic bytes opening every store file.
 pub const MAGIC: [u8; 4] = *b"ANNS";
 
-/// Current (and only) format version this build reads and writes.
+/// The legacy (unaligned) format version: still read, no longer
+/// written.
 pub const FORMAT_VERSION: u16 = 1;
+
+/// The current write format: sections padded so payloads are
+/// [`SECTION_ALIGN`]-aligned and therefore mappable.
+pub const FORMAT_VERSION_V2: u16 = 2;
+
+/// File-offset alignment of every v2 section payload (and of every
+/// entry inside a v2 [`pool`] section) — a cache line, so mapped
+/// sketch rows never straddle an unaligned boundary.
+pub const SECTION_ALIGN: usize = 64;
 
 /// Container kind byte for a registry bundle (several named shards).
 pub const KIND_BUNDLE: u8 = 0;

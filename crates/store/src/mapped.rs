@@ -1,0 +1,652 @@
+//! Memory-mapped store access: O(manifest) open, lazily verified
+//! sections.
+//!
+//! [`MappedStore::open`] maps a v2 container and reads *only* its fixed
+//! header, the section preludes, and the trailing `MNFT` manifest
+//! payload — work proportional to the manifest, not to the index bytes.
+//! The manifest is checksum-verified eagerly and cross-checked against
+//! the `(tag, len, crc)` triples recorded in the section preludes, so a
+//! spliced file still fails loudly at mount without a single payload
+//! page being touched. Every other payload stays cold until first touch,
+//! at which point a verified-once latch checks its CRC exactly once and
+//! replays the verdict (success, or a typed [`PayloadFault`]) to every
+//! later reader.
+//!
+//! v1 containers are *not* mappable — their payloads are unaligned — and
+//! open with a typed error pointing at the heap path, which reads both
+//! versions (see `docs/STORE_FORMAT.md` §v2 for the compatibility
+//! matrix).
+
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+
+use crate::checksum::crc32_pair;
+use crate::container::{SectionTag, StoreHeader, HEADER_BYTES, SECTION_PRELUDE_V2_BYTES};
+use crate::error::{PayloadFault, StoreError};
+use crate::manifest::{Manifest, SectionDigest};
+use crate::{Codec, FORMAT_VERSION_V2, MAGIC, SECTION_ALIGN};
+
+/// Read-only mapping of a whole file.
+///
+/// On unix this is a real `mmap(PROT_READ, MAP_PRIVATE)` through a
+/// minimal hand-rolled FFI (std already links libc); elsewhere it
+/// degrades to reading the file into an owned buffer so the crate — and
+/// every backend-generic caller — still compiles and behaves
+/// identically, minus the paging benefits.
+#[cfg(unix)]
+mod sys {
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    extern "C" {
+        fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
+        fn munmap(addr: *mut u8, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    pub struct Mapping {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    // The mapping is read-only and owned: sharing &self across threads
+    // only ever reads the mapped bytes.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        pub fn map(file: &File, len: usize) -> std::io::Result<Mapping> {
+            if len == 0 {
+                // mmap rejects zero-length maps; an empty file has no
+                // bytes to expose anyway.
+                return Ok(Mapping {
+                    ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                    len: 0,
+                });
+            }
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(Mapping { ptr, len })
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            // Safety: ptr/len describe a live PROT_READ mapping (or a
+            // dangling pointer with len 0, which from_raw_parts allows).
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            if self.len != 0 {
+                unsafe {
+                    munmap(self.ptr, self.len);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use std::fs::File;
+    use std::io::Read;
+
+    pub struct Mapping {
+        buf: Vec<u8>,
+    }
+
+    impl Mapping {
+        pub fn map(file: &File, len: usize) -> std::io::Result<Mapping> {
+            let mut buf = Vec::new();
+            let mut file = file;
+            file.read_to_end(&mut buf)?;
+            debug_assert_eq!(buf.len(), len);
+            let _ = len;
+            Ok(Mapping { buf })
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            &self.buf
+        }
+    }
+}
+
+/// Location and digest of one section inside the mapping.
+struct SectionMeta {
+    tag: SectionTag,
+    len: u32,
+    crc: u32,
+    payload_offset: usize,
+}
+
+struct Inner {
+    map: sys::Mapping,
+    header: StoreHeader,
+    metas: Vec<SectionMeta>,
+    /// Per-section verified-once latch: `None` until first touch, then
+    /// the permanent verdict.
+    verified: Vec<OnceLock<Result<(), PayloadFault>>>,
+    manifest: Option<Manifest>,
+    eager_bytes: u64,
+}
+
+/// A v2 container opened through the mapped (lazy) backend.
+#[derive(Clone)]
+pub struct MappedStore {
+    inner: Arc<Inner>,
+}
+
+impl MappedStore {
+    /// Maps `path` and performs the O(manifest) eager work: header and
+    /// section-prelude parse, manifest checksum + cross-check. No other
+    /// payload bytes are read.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let file = std::fs::File::open(path).map_err(StoreError::Io)?;
+        let file_len = file.metadata().map_err(StoreError::Io)?.len();
+        let file_len: usize = file_len
+            .try_into()
+            .map_err(|_| StoreError::Unsupported("file exceeds the address space".into()))?;
+        let map = sys::Mapping::map(&file, file_len)?;
+        Self::from_mapping(map)
+    }
+
+    fn from_mapping(map: sys::Mapping) -> Result<Self, StoreError> {
+        let bytes = map.bytes();
+        if bytes.len() < HEADER_BYTES {
+            return Err(StoreError::Truncated { context: "header" });
+        }
+        if bytes[..4] != MAGIC {
+            return Err(StoreError::BadMagic {
+                found: bytes[..4].try_into().expect("len 4"),
+            });
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("len 2"));
+        if version != FORMAT_VERSION_V2 {
+            return Err(StoreError::Unsupported(format!(
+                "format v{version} containers are not mappable (payloads unaligned); \
+                 load this file with the heap backend, or re-save it as v{FORMAT_VERSION_V2}"
+            )));
+        }
+        let header = StoreHeader {
+            version,
+            kind: bytes[6],
+            sections: u32::from_le_bytes(bytes[8..12].try_into().expect("len 4")),
+        };
+        let mut metas = Vec::with_capacity(crate::codec::decode_capacity(
+            header.sections as usize,
+            std::mem::size_of::<SectionMeta>(),
+        ));
+        let mut offset = HEADER_BYTES;
+        let mut eager_bytes = HEADER_BYTES as u64;
+        for _ in 0..header.sections {
+            if bytes.len() < offset + SECTION_PRELUDE_V2_BYTES {
+                return Err(StoreError::Truncated {
+                    context: "section prelude",
+                });
+            }
+            let prelude = &bytes[offset..offset + SECTION_PRELUDE_V2_BYTES];
+            let tag: SectionTag = prelude[..4].try_into().expect("len 4");
+            let len = u32::from_le_bytes(prelude[4..8].try_into().expect("len 4"));
+            let crc = u32::from_le_bytes(prelude[8..12].try_into().expect("len 4"));
+            let pad = u32::from_le_bytes(prelude[12..16].try_into().expect("len 4"));
+            eager_bytes += SECTION_PRELUDE_V2_BYTES as u64;
+            if pad as usize >= SECTION_ALIGN {
+                return Err(StoreError::Malformed(format!(
+                    "section padding {pad} exceeds the {SECTION_ALIGN}-byte alignment unit"
+                )));
+            }
+            let payload_offset = offset + SECTION_PRELUDE_V2_BYTES + pad as usize;
+            if !payload_offset.is_multiple_of(SECTION_ALIGN) {
+                return Err(StoreError::Malformed(format!(
+                    "section {} payload at misaligned offset {payload_offset}",
+                    String::from_utf8_lossy(&tag)
+                )));
+            }
+            let end = payload_offset
+                .checked_add(len as usize)
+                .ok_or(StoreError::Truncated {
+                    context: "section payload",
+                })?;
+            if bytes.len() < end {
+                return Err(StoreError::Truncated {
+                    context: "section payload",
+                });
+            }
+            metas.push(SectionMeta {
+                tag,
+                len,
+                crc,
+                payload_offset,
+            });
+            offset = end;
+        }
+        let verified: Vec<OnceLock<Result<(), PayloadFault>>> =
+            metas.iter().map(|_| OnceLock::new()).collect();
+        // Eager manifest verification: the one payload read at open.
+        let mut manifest = None;
+        if let Some(last) = metas.last() {
+            if last.tag == crate::section_tag::MANIFEST {
+                let payload = &bytes[last.payload_offset..last.payload_offset + last.len as usize];
+                let computed = crc32_pair(&last.tag, payload);
+                if computed != last.crc {
+                    return Err(StoreError::ChecksumMismatch {
+                        tag: last.tag,
+                        stored: last.crc,
+                        computed,
+                    });
+                }
+                eager_bytes += last.len as u64;
+                let decoded = Manifest::from_bytes(payload)?;
+                let observed: Vec<SectionDigest> = metas[..metas.len() - 1]
+                    .iter()
+                    .map(|m| SectionDigest {
+                        tag: m.tag,
+                        len: m.len,
+                        crc: m.crc,
+                    })
+                    .collect();
+                if !decoded.matches(&observed) {
+                    return Err(StoreError::Malformed(
+                        "manifest does not match the sections preceding it".into(),
+                    ));
+                }
+                verified[metas.len() - 1].set(Ok(())).expect("fresh latch");
+                manifest = Some(decoded);
+            }
+        }
+        // A manifest anywhere but last violates the format rules.
+        if manifest.is_none() && metas.iter().any(|m| m.tag == crate::section_tag::MANIFEST) {
+            return Err(StoreError::Malformed(
+                "sections after the manifest are not covered by it".into(),
+            ));
+        }
+        Ok(MappedStore {
+            inner: Arc::new(Inner {
+                map,
+                header,
+                metas,
+                verified,
+                manifest,
+                eager_bytes,
+            }),
+        })
+    }
+
+    /// The validated header.
+    pub fn header(&self) -> &StoreHeader {
+        &self.inner.header
+    }
+
+    /// Total bytes of the mapped file.
+    pub fn file_bytes(&self) -> u64 {
+        self.inner.map.bytes().len() as u64
+    }
+
+    /// Bytes examined eagerly at open: header, section preludes, and the
+    /// manifest payload — the measurable O(manifest) mount cost.
+    pub fn eager_bytes(&self) -> u64 {
+        self.inner.eager_bytes
+    }
+
+    /// The verified manifest, if the file carries one.
+    pub fn manifest(&self) -> Option<&Manifest> {
+        self.inner.manifest.as_ref()
+    }
+
+    /// Digest of every section, derived from the section preludes
+    /// without reading any payload.
+    pub fn digests(&self) -> Vec<SectionDigest> {
+        self.inner
+            .metas
+            .iter()
+            .map(|m| SectionDigest {
+                tag: m.tag,
+                len: m.len,
+                crc: m.crc,
+            })
+            .collect()
+    }
+
+    /// Number of sections.
+    pub fn section_count(&self) -> usize {
+        self.inner.metas.len()
+    }
+
+    /// A lazy handle to section `idx` (file order).
+    pub fn section(&self, idx: usize) -> Option<LazySection> {
+        if idx < self.inner.metas.len() {
+            Some(LazySection {
+                inner: Arc::clone(&self.inner),
+                idx,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The first section with the given tag.
+    pub fn find(&self, tag: SectionTag) -> Option<LazySection> {
+        self.inner
+            .metas
+            .iter()
+            .position(|m| m.tag == tag)
+            .and_then(|idx| self.section(idx))
+    }
+}
+
+/// A clone-able handle to one mapped section, verified on first touch.
+#[derive(Clone)]
+pub struct LazySection {
+    inner: Arc<Inner>,
+    idx: usize,
+}
+
+impl LazySection {
+    fn meta(&self) -> &SectionMeta {
+        &self.inner.metas[self.idx]
+    }
+
+    /// The section tag.
+    pub fn tag(&self) -> SectionTag {
+        self.meta().tag
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.meta().len as usize
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.meta().len == 0
+    }
+
+    /// The CRC-32 recorded in the section prelude.
+    pub fn crc(&self) -> u32 {
+        self.meta().crc
+    }
+
+    /// The mapped payload bytes with *no* checksum verification — for
+    /// callers that bring their own finer-grained digests (the index
+    /// pool verifies per entry, so touching one entry doesn't page in
+    /// the whole section).
+    pub fn raw(&self) -> &[u8] {
+        let meta = self.meta();
+        &self.inner.map.bytes()[meta.payload_offset..meta.payload_offset + meta.len as usize]
+    }
+
+    /// The payload bytes, CRC-verified exactly once: the first call
+    /// reads and checks the whole section; every later call replays the
+    /// latched verdict without re-hashing.
+    pub fn bytes(&self) -> Result<&[u8], StoreError> {
+        match self.try_bytes() {
+            Ok(bytes) => Ok(bytes),
+            Err(fault) => Err(fault.into()),
+        }
+    }
+
+    /// [`LazySection::bytes`], with the clone-able fault type.
+    pub fn try_bytes(&self) -> Result<&[u8], PayloadFault> {
+        let raw = self.raw();
+        let meta = self.meta();
+        let verdict = self.inner.verified[self.idx].get_or_init(|| {
+            let computed = crc32_pair(&meta.tag, raw);
+            if computed == meta.crc {
+                Ok(())
+            } else {
+                Err(PayloadFault::Checksum {
+                    tag: meta.tag,
+                    stored: meta.crc,
+                    computed,
+                })
+            }
+        });
+        verdict.clone().map(|()| raw)
+    }
+
+    /// The latched verdict, if this section has been touched.
+    pub fn fault(&self) -> Option<PayloadFault> {
+        match self.inner.verified[self.idx].get() {
+            Some(Err(fault)) => Some(fault.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// One payload behind the backend seam: heap-owned bytes (verified by
+/// the streaming reader before they got here) or a window of a lazily
+/// verified mapped section. Registry loaders and pool entries hold
+/// `PayloadSource`s so the decode path is written once and runs
+/// identically over both backends.
+#[derive(Clone)]
+pub struct PayloadSource {
+    backend: SourceBackend,
+    offset: usize,
+    len: usize,
+}
+
+#[derive(Clone)]
+enum SourceBackend {
+    Heap(Arc<[u8]>),
+    Mapped(LazySection),
+}
+
+impl PayloadSource {
+    /// A heap-owned source (already verified at read time).
+    pub fn heap(bytes: Vec<u8>) -> Self {
+        let len = bytes.len();
+        PayloadSource {
+            backend: SourceBackend::Heap(bytes.into()),
+            offset: 0,
+            len,
+        }
+    }
+
+    /// A source over a whole mapped section.
+    pub fn mapped(section: LazySection) -> Self {
+        let len = section.len();
+        PayloadSource {
+            backend: SourceBackend::Mapped(section),
+            offset: 0,
+            len,
+        }
+    }
+
+    /// A bounds-checked sub-window (offsets relative to this source).
+    pub fn window(&self, offset: usize, len: usize) -> Result<PayloadSource, StoreError> {
+        offset
+            .checked_add(len)
+            .filter(|&end| end <= self.len)
+            .ok_or_else(|| {
+                StoreError::Malformed(format!(
+                    "window {offset}+{len} exceeds the {} payload bytes",
+                    self.len
+                ))
+            })?;
+        Ok(PayloadSource {
+            backend: self.backend.clone(),
+            offset: self.offset + offset,
+            len,
+        })
+    }
+
+    /// Window length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bytes with *no* lazy verification (callers bring their own
+    /// digests; heap bytes were verified when read).
+    pub fn raw(&self) -> &[u8] {
+        let all = match &self.backend {
+            SourceBackend::Heap(bytes) => &bytes[..],
+            SourceBackend::Mapped(section) => section.raw(),
+        };
+        &all[self.offset..self.offset + self.len]
+    }
+
+    /// The bytes with backend-appropriate verification: heap windows
+    /// return immediately; mapped windows go through the owning
+    /// section's verified-once latch (typed [`PayloadFault`] on
+    /// damage).
+    pub fn bytes(&self) -> Result<&[u8], PayloadFault> {
+        let all = match &self.backend {
+            SourceBackend::Heap(bytes) => &bytes[..],
+            SourceBackend::Mapped(section) => section.try_bytes()?,
+        };
+        Ok(&all[self.offset..self.offset + self.len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::StoreWriter;
+    use crate::section_tag::MANIFEST;
+    use crate::KIND_BUNDLE;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("anns-store-mapped-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn write_sample(name: &str, with_manifest: bool) -> std::path::PathBuf {
+        let mut w = StoreWriter::new(KIND_BUNDLE);
+        w.section(*b"META", b"hello".to_vec());
+        w.section(*b"IDXP", (0..1000u32).flat_map(u32::to_le_bytes).collect());
+        if with_manifest {
+            let manifest = Manifest {
+                tool: "test/1".into(),
+                sections: w.digests(),
+            };
+            w.section(MANIFEST, manifest.to_bytes());
+        }
+        let path = temp_path(name);
+        w.write_file(&path).unwrap();
+        path
+    }
+
+    #[test]
+    fn open_reads_only_manifest_bytes_eagerly() {
+        let path = write_sample("eager", true);
+        let store = MappedStore::open(&path).unwrap();
+        assert_eq!(store.header().kind, KIND_BUNDLE);
+        assert_eq!(store.section_count(), 3);
+        assert!(store.manifest().is_some());
+        // Eager work: header + 3 preludes + manifest payload — far less
+        // than the 4000-byte IDXP section.
+        let mnft_len = store.find(MANIFEST).unwrap().len() as u64;
+        assert_eq!(store.eager_bytes(), 12 + 3 * 16 + mnft_len);
+        assert!(store.eager_bytes() < store.file_bytes() / 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lazy_sections_verify_once_and_latch() {
+        let path = write_sample("latch", true);
+        let store = MappedStore::open(&path).unwrap();
+        let idxp = store.find(*b"IDXP").unwrap();
+        assert!(idxp.fault().is_none());
+        let bytes = idxp.bytes().unwrap();
+        assert_eq!(bytes.len(), 4000);
+        assert!(idxp.fault().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn post_open_corruption_surfaces_as_typed_fault_at_first_touch() {
+        let path = write_sample("flip", true);
+        // Flip a byte inside IDXP *after* the writer finished: open
+        // succeeds (O(manifest) — the damage is in a cold payload), and
+        // the fault surfaces lazily, typed, on first touch.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = bytes.len() - 200; // inside IDXP (MNFT is ~60 bytes)
+        bytes[idx] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let store = MappedStore::open(&path).unwrap();
+        let idxp = store.find(*b"IDXP").unwrap();
+        let fault = idxp.try_bytes().unwrap_err();
+        assert!(matches!(fault, PayloadFault::Checksum { tag, .. } if tag == *b"IDXP"));
+        // The verdict is latched and replayed.
+        assert_eq!(idxp.fault(), Some(fault.clone()));
+        assert_eq!(idxp.try_bytes().unwrap_err(), fault);
+        // And converts to the classic typed StoreError.
+        assert!(matches!(
+            idxp.bytes(),
+            Err(StoreError::ChecksumMismatch { tag, .. }) if tag == *b"IDXP"
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn manifest_damage_fails_open_eagerly() {
+        let path = write_sample("mnft", true);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 4; // inside the MNFT payload
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            MappedStore::open(&path),
+            Err(StoreError::ChecksumMismatch { tag, .. }) if tag == MANIFEST
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_files_get_a_pointer_to_the_heap_backend() {
+        let mut w = StoreWriter::v1(KIND_BUNDLE);
+        w.section(*b"META", b"old".to_vec());
+        let path = temp_path("v1");
+        w.write_file(&path).unwrap();
+        match MappedStore::open(&path) {
+            Err(StoreError::Unsupported(msg)) => {
+                assert!(msg.contains("heap backend"), "{msg}");
+            }
+            other => panic!("expected Unsupported, got {:?}", other.map(|_| ())),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn payload_source_windows_are_bounds_checked() {
+        let src = PayloadSource::heap(vec![1, 2, 3, 4, 5]);
+        assert_eq!(src.len(), 5);
+        let win = src.window(1, 3).unwrap();
+        assert_eq!(win.bytes().unwrap(), &[2, 3, 4]);
+        assert_eq!(win.raw(), &[2, 3, 4]);
+        let sub = win.window(2, 1).unwrap();
+        assert_eq!(sub.bytes().unwrap(), &[4]);
+        assert!(src.window(4, 2).is_err());
+        assert!(src.window(usize::MAX, 1).is_err());
+    }
+
+    #[test]
+    fn mapped_payload_source_defers_to_the_section_latch() {
+        let path = write_sample("source", true);
+        let store = MappedStore::open(&path).unwrap();
+        let src = PayloadSource::mapped(store.find(*b"META").unwrap());
+        assert_eq!(src.bytes().unwrap(), b"hello");
+        assert_eq!(src.window(1, 3).unwrap().bytes().unwrap(), b"ell");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -61,6 +61,20 @@ pub fn obj_get<'a>(fields: &'a [(String, Value)], key: &str) -> Result<&'a Value
         .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
 }
 
+static NULL: Value = Value::Null;
+
+/// Looks up an `Option`-typed field in an object body, treating a
+/// missing key as `null` (used by derived impls so documents written
+/// before the field existed still deserialize — the shim's stand-in for
+/// upstream `#[serde(default)]` on optional fields).
+pub fn obj_opt<'a>(fields: &'a [(String, Value)], key: &str) -> &'a Value {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
 /// A type renderable into the shim data model.
 pub trait Serialize {
     /// Renders `self` as a [`Value`].

@@ -14,10 +14,18 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Parsed shape of the deriving item.
 enum Shape {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+/// A named field: its identifier and whether its type is `Option<...>`
+/// (spelled as a plain `Option` path — optional fields tolerate a
+/// missing key on deserialize, the shim's `#[serde(default)]`).
+struct Field {
+    name: String,
+    optional: bool,
 }
 
 struct Variant {
@@ -27,7 +35,7 @@ struct Variant {
 
 enum VariantKind {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
 }
 
@@ -136,8 +144,9 @@ fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
     }
 }
 
-/// Parses `name: Type, ...` field lists, returning the field names.
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+/// Parses `name: Type, ...` field lists, returning each field's name
+/// and whether its type is spelled as a plain `Option<...>` path.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let toks: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
@@ -155,6 +164,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             return Err(format!("expected `:` after field `{name}`"));
         }
         i += 1;
+        let optional = is_ident(toks.get(i), "Option") && is_punct(toks.get(i + 1), '<');
         // Skip the type: everything up to the next comma outside `<...>`.
         let mut depth = 0i32;
         while i < toks.len() {
@@ -169,7 +179,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             }
             i += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, optional });
     }
     Ok(fields)
 }
@@ -238,16 +248,39 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
 
 /// `vec![(String::from("f"), Serialize::to_value(<prefix>f)), ...]` for an
 /// object body; `prefix` is `&self.` for structs, `` for bound variants.
-fn object_body(fields: &[String], access: impl Fn(&str) -> String) -> String {
+fn object_body(fields: &[Field], access: impl Fn(&str) -> String) -> String {
     let mut out = String::from("::std::vec![");
     for f in fields {
         out.push_str(&format!(
-            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({})),",
-            access(f)
+            "(::std::string::String::from(\"{}\"), ::serde::Serialize::to_value({})),",
+            f.name,
+            access(&f.name)
         ));
     }
     out.push(']');
     out
+}
+
+/// `f: Deserialize::from_value(...)?` initializers for an object body
+/// bound to `source`; `Option`-typed fields read through `obj_opt`, so a
+/// missing key is `None` rather than a missing-field error.
+fn field_inits(fields: &[Field], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let name = &f.name;
+            if f.optional {
+                format!(
+                    "{name}: ::serde::Deserialize::from_value(::serde::obj_opt({source}, \"{name}\"))?"
+                )
+            } else {
+                format!(
+                    "{name}: ::serde::Deserialize::from_value(::serde::obj_get({source}, \"{name}\")?)?"
+                )
+            }
+        })
+        .collect();
+    inits.join(",")
 }
 
 fn gen_serialize(name: &str, shape: &Shape) -> String {
@@ -273,7 +306,7 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
                         "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
                     )),
                     VariantKind::Named(fields) => {
-                        let pat: Vec<String> = fields.to_vec();
+                        let pat: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         arms.push_str(&format!(
                             "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Object({}))]),",
                             pat.join(","),
@@ -309,17 +342,9 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
 fn gen_deserialize(name: &str, shape: &Shape) -> String {
     let body = match shape {
         Shape::NamedStruct(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(::serde::obj_get(__fields, \"{f}\")?)?"
-                    )
-                })
-                .collect();
             format!(
                 "match __v {{ ::serde::Value::Object(__fields) => ::std::result::Result::Ok({name} {{ {} }}), _ => ::std::result::Result::Err(::serde::Error::custom(\"expected object for {name}\")) }}",
-                inits.join(",")
+                field_inits(fields, "__fields")
             )
         }
         Shape::TupleStruct(1) => {
@@ -345,17 +370,9 @@ fn gen_deserialize(name: &str, shape: &Shape) -> String {
                         "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
                     )),
                     VariantKind::Named(fields) => {
-                        let inits: Vec<String> = fields
-                            .iter()
-                            .map(|f| {
-                                format!(
-                                    "{f}: ::serde::Deserialize::from_value(::serde::obj_get(__fs, \"{f}\")?)?"
-                                )
-                            })
-                            .collect();
                         tagged_arms.push_str(&format!(
                             "\"{vn}\" => match __inner {{ ::serde::Value::Object(__fs) => ::std::result::Result::Ok({name}::{vn} {{ {} }}), _ => ::std::result::Result::Err(::serde::Error::custom(\"expected object for variant {vn}\")) }},",
-                            inits.join(",")
+                            field_inits(fields, "__fs")
                         ));
                     }
                     VariantKind::Tuple(1) => tagged_arms.push_str(&format!(

@@ -1,0 +1,50 @@
+//! Forward-compatibility contract of the derive shim: `Option`-typed
+//! struct fields tolerate a *missing* key (deserializing to `None`), so
+//! reports committed before a field existed still parse. Non-`Option`
+//! fields keep the strict missing-field error.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Report {
+    name: String,
+    count: u64,
+    rss_bytes: Option<u64>,
+    mount_ms: Option<f64>,
+}
+
+#[test]
+fn missing_option_fields_deserialize_to_none() {
+    let old: Report = serde_json::from_str(r#"{"name":"a","count":3}"#).unwrap();
+    assert_eq!(
+        old,
+        Report {
+            name: "a".into(),
+            count: 3,
+            rss_bytes: None,
+            mount_ms: None,
+        }
+    );
+}
+
+#[test]
+fn present_option_fields_round_trip() {
+    let full = Report {
+        name: "b".into(),
+        count: 1,
+        rss_bytes: Some(4096),
+        mount_ms: Some(1.5),
+    };
+    let json = serde_json::to_string(&full).unwrap();
+    assert_eq!(serde_json::from_str::<Report>(&json).unwrap(), full);
+    // An explicit null is equivalent to a missing key.
+    let nulled: Report =
+        serde_json::from_str(r#"{"name":"b","count":1,"rss_bytes":null,"mount_ms":null}"#).unwrap();
+    assert_eq!(nulled.rss_bytes, None);
+}
+
+#[test]
+fn missing_required_fields_still_error() {
+    let err = serde_json::from_str::<Report>(r#"{"name":"c"}"#).unwrap_err();
+    assert!(err.to_string().contains("missing field `count`"), "{err}");
+}
